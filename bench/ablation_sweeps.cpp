@@ -1,0 +1,106 @@
+// Ablation sweeps:
+//  1. Bus-throughput (θ) sweep — how the proposed system's advantage over
+//     the baseline shrinks as the system bus gets faster (burst support),
+//     locating the crossover where a custom interconnect stops paying off.
+//  2. NoC packet-size sweep — jpeg runtime sensitivity to the maximum
+//     packet payload (serialization vs per-packet overhead).
+//  3. Streaming-overhead (O) sweep — when case-1/2 pipelining stops being
+//     selected by the design algorithm.
+#include <iostream>
+
+#include "apps/jpeg.hpp"
+#include "bench/bench_common.hpp"
+#include "core/interconnect_design.hpp"
+
+int main() {
+  using namespace hybridic;
+  const apps::ProfiledApp jpeg = apps::run_jpeg(apps::JpegConfig{});
+  const sys::AppSchedule schedule = jpeg.schedule();
+
+  // ---- 1. Bus burst-length sweep. ----
+  {
+    Table table{"Sweep — bus burst length (effective θ) vs speed-up"};
+    table.set_header({"burst beats", "theta ns/B", "baseline ms",
+                      "proposed ms", "speed-up"});
+    CsvWriter csv{bench::csv_path("sweep_bus_theta"),
+                  {"burst_beats", "theta_ns_per_byte", "baseline_seconds",
+                   "proposed_seconds", "speedup"}};
+    for (const std::uint32_t beats : {1U, 2U, 4U, 8U, 16U, 64U}) {
+      sys::PlatformConfig config;
+      config.bus.max_burst_beats = beats;
+      core::DesignInput input = sys::make_design_input(schedule, config);
+      const core::DesignResult design = core::design_interconnect(input);
+      const sys::RunResult baseline = sys::run_baseline(schedule, config);
+      const sys::RunResult proposed =
+          sys::run_designed(schedule, design, config);
+      const double speedup =
+          baseline.total_seconds / proposed.total_seconds;
+      table.add_row({std::to_string(beats),
+                     format_fixed(input.theta.seconds_per_byte * 1e9, 2),
+                     format_fixed(baseline.total_seconds * 1e3, 3),
+                     format_fixed(proposed.total_seconds * 1e3, 3),
+                     format_ratio(speedup)});
+      csv.add_row({std::to_string(beats),
+                   format_fixed(input.theta.seconds_per_byte * 1e9, 3),
+                   format_fixed(baseline.total_seconds, 6),
+                   format_fixed(proposed.total_seconds, 6),
+                   format_fixed(speedup, 3)});
+    }
+    table.render(std::cout);
+    std::cout << "takeaway: the slower the system bus, the more the "
+                 "custom interconnect pays off; with deep bursts the gap "
+                 "narrows toward the compute bound\n\n";
+  }
+
+  // ---- 2. NoC packet-size sweep. ----
+  {
+    Table table{"Sweep — NoC max packet payload vs jpeg runtime"};
+    table.set_header({"payload B", "proposed ms"});
+    CsvWriter csv{bench::csv_path("sweep_noc_packet"),
+                  {"payload_bytes", "proposed_seconds"}};
+    for (const std::uint32_t payload : {16U, 64U, 256U, 1024U, 4096U}) {
+      sys::PlatformConfig config;
+      config.noc.max_packet_payload_bytes = payload;
+      core::DesignInput input = sys::make_design_input(schedule, config);
+      const core::DesignResult design = core::design_interconnect(input);
+      const sys::RunResult proposed =
+          sys::run_designed(schedule, design, config);
+      table.add_row({std::to_string(payload),
+                     format_fixed(proposed.total_seconds * 1e3, 3)});
+      csv.add_row({std::to_string(payload),
+                   format_fixed(proposed.total_seconds, 6)});
+    }
+    table.render(std::cout);
+    std::cout << "\n";
+  }
+
+  // ---- 3. Streaming-overhead sweep. ----
+  {
+    Table table{"Sweep — streaming overhead O vs parallel decisions"};
+    table.set_header({"O (us)", "case-1 instances", "case-2 edges",
+                      "proposed ms"});
+    CsvWriter csv{bench::csv_path("sweep_stream_overhead"),
+                  {"overhead_us", "case1", "case2", "proposed_seconds"}};
+    for (const double o_us : {1.0, 15.0, 60.0, 250.0, 2000.0}) {
+      sys::PlatformConfig config;
+      config.stream_overhead_seconds = o_us * 1e-6;
+      core::DesignInput input = sys::make_design_input(schedule, config);
+      const core::DesignResult design = core::design_interconnect(input);
+      const sys::RunResult proposed =
+          sys::run_designed(schedule, design, config);
+      table.add_row({format_fixed(o_us, 0),
+                     std::to_string(design.parallel.host_pipelined.size()),
+                     std::to_string(design.parallel.streamed.size()),
+                     format_fixed(proposed.total_seconds * 1e3, 3)});
+      csv.add_row({format_fixed(o_us, 1),
+                   std::to_string(design.parallel.host_pipelined.size()),
+                   std::to_string(design.parallel.streamed.size()),
+                   format_fixed(proposed.total_seconds, 6)});
+    }
+    table.render(std::cout);
+    std::cout << "takeaway: with large O the algorithm stops selecting the "
+                 "parallel solutions (Δp1/Δp2 <= 0), exactly per the "
+                 "paper's §IV-A3 conditions\n";
+  }
+  return 0;
+}

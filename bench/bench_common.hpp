@@ -1,0 +1,78 @@
+// Shared support for the paper-reproduction bench binaries: runs the full
+// pipeline for the four applications and carries the paper's published
+// numbers so every report prints paper-vs-measured side by side.
+#pragma once
+
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "apps/app.hpp"
+#include "sys/experiment.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace hybridic::bench {
+
+/// Paper-published reference numbers (Fig. 4, Table III, Table IV, Fig. 9).
+struct PaperReference {
+  // Table III.
+  double proposed_app_vs_sw;
+  double proposed_kernel_vs_sw;
+  double proposed_app_vs_baseline;
+  double proposed_kernel_vs_baseline;
+  // Derived from Table III (baseline = proposed_vs_sw / proposed_vs_base).
+  double baseline_app_vs_sw;
+  double baseline_kernel_vs_sw;
+  // Table IV.
+  std::uint64_t baseline_luts, baseline_regs;
+  std::uint64_t ours_luts, ours_regs;
+  std::uint64_t noc_only_luts, noc_only_regs;
+  std::string solution;
+};
+
+inline const std::map<std::string, PaperReference>& paper_reference() {
+  static const std::map<std::string, PaperReference> kRef{
+      {"canny",
+       {3.15, 3.88, 1.83, 2.12, 3.15 / 1.83, 3.88 / 2.12, 9926, 12707,
+        15227, 18657, 17894, 21059, "NoC, SM, P"}},
+      {"jpeg",
+       {2.33, 2.50, 2.87, 3.08, 2.33 / 2.87, 2.50 / 3.08, 11755, 11910,
+        20837, 20900, 23180, 23188, "NoC, SM, P"}},
+      {"klt",
+       {3.72, 6.58, 1.26, 1.55, 3.72 / 1.26, 6.58 / 1.55, 4721, 5430, 4921,
+        5631, 7358, 8070, "SM"}},
+      {"fluid",
+       {1.66, 1.68, 1.59, 1.60, 1.66 / 1.59, 1.68 / 1.60, 19125, 28793,
+        24156, 36100, 24552, 36110, "NoC"}},
+  };
+  return kRef;
+}
+
+/// Profile + design + simulate all four paper applications (deterministic;
+/// takes a few seconds).
+inline std::map<std::string, sys::AppExperiment> run_all_experiments() {
+  std::map<std::string, sys::AppExperiment> experiments;
+  for (const auto& name : apps::paper_app_names()) {
+    const apps::ProfiledApp app = apps::run_paper_app(name);
+    if (!app.verified) {
+      throw ConfigError{"application self-verification failed: " + name +
+                        " (" + app.verification_note + ")"};
+    }
+    experiments.emplace(name,
+                        sys::run_experiment(app.schedule(),
+                                            sys::PlatformConfig{},
+                                            app.environment));
+  }
+  return experiments;
+}
+
+/// Where CSV copies of each table/figure land (./bench_results/).
+inline std::string csv_path(const std::string& name) {
+  std::error_code ec;
+  std::filesystem::create_directories("bench_results", ec);
+  return "bench_results/" + name + ".csv";
+}
+
+}  // namespace hybridic::bench

@@ -1,0 +1,75 @@
+// Extension bench: all four interconnect classes of the paper's §II-A
+// related-work taxonomy on the same applications — bus-only (group 1),
+// NoC (group 2), shared memory inside the hybrid (group 3), and a full
+// crossbar (group 4) — in performance and interconnect area.
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+#include "core/interconnect_design.hpp"
+#include "sys/crossbar_system.hpp"
+
+int main() {
+  using namespace hybridic;
+  const sys::PlatformConfig platform;
+
+  Table table{"Interconnect classes (paper §II-A taxonomy) — time and "
+              "interconnect LUTs"};
+  table.set_header({"app", "bus-only", "full crossbar", "NoC-only",
+                    "hybrid (paper)", "xbar LUTs", "NoC LUTs",
+                    "hybrid LUTs"});
+  CsvWriter csv{bench::csv_path("ext_interconnect_classes"),
+                {"app", "bus_s", "crossbar_s", "noc_s", "hybrid_s",
+                 "crossbar_luts", "noc_luts", "hybrid_luts"}};
+
+  for (const auto& name : apps::paper_app_names()) {
+    const apps::ProfiledApp app = apps::run_paper_app(name);
+    const sys::AppSchedule schedule = app.schedule();
+
+    const core::DesignInput input =
+        sys::make_design_input(schedule, platform);
+    const core::DesignResult hybrid = core::design_interconnect(input);
+    core::DesignInput noc_input = input;
+    noc_input.enable_shared_memory = false;
+    noc_input.enable_adaptive_mapping = false;
+    const core::DesignResult noc_only =
+        core::design_interconnect(noc_input);
+
+    const sys::RunResult bus = sys::run_baseline(schedule, platform);
+    const sys::RunResult xbar =
+        sys::run_crossbar_system(schedule, platform);
+    const sys::RunResult noc =
+        sys::run_designed(schedule, noc_only, platform, "noc-only");
+    const sys::RunResult hyb =
+        sys::run_designed(schedule, hybrid, platform);
+
+    const core::Resources xbar_area = sys::crossbar_system_resources(
+        static_cast<std::uint32_t>(schedule.specs.size()));
+    const core::Resources noc_area =
+        core::interconnect_resources(noc_only);
+    const core::Resources hybrid_area =
+        core::interconnect_resources(hybrid);
+
+    const auto ms = [](const sys::RunResult& r) {
+      return format_fixed(r.total_seconds * 1e3, 3);
+    };
+    table.add_row({name, ms(bus), ms(xbar), ms(noc), ms(hyb),
+                   std::to_string(xbar_area.luts),
+                   std::to_string(noc_area.luts),
+                   std::to_string(hybrid_area.luts)});
+    csv.add_row({name, format_fixed(bus.total_seconds, 6),
+                 format_fixed(xbar.total_seconds, 6),
+                 format_fixed(noc.total_seconds, 6),
+                 format_fixed(hyb.total_seconds, 6),
+                 std::to_string(xbar_area.luts),
+                 std::to_string(noc_area.luts),
+                 std::to_string(hybrid_area.luts)});
+  }
+  table.render(std::cout);
+  std::cout
+      << "takeaway: the crossbar and the NoC both hide kernel traffic "
+         "(similar times, far ahead of the bus); the crossbar's "
+         "crosspoint area grows quadratically with the kernel count "
+         "while the hybrid keeps only the fabric each application "
+         "needs — the niche the paper's design strategy occupies\n";
+  return 0;
+}

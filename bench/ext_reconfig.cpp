@@ -1,0 +1,90 @@
+// Extension bench (paper §VI future work): runtime-reconfigurable
+// interconnects for multi-application workloads. Compares bus-only,
+// a static union fabric, and per-application partial reconfiguration on
+// grouped and alternating schedules of the four paper applications.
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "reconfig/multi_app.hpp"
+#include "sys/timeline.hpp"
+
+int main() {
+  using namespace hybridic;
+
+  // Profile all four applications once; keep them alive for the run.
+  std::vector<apps::ProfiledApp> apps_store;
+  std::vector<sys::AppSchedule> schedules;
+  for (const auto& name : apps::paper_app_names()) {
+    apps_store.push_back(apps::run_paper_app(name));
+    schedules.push_back(apps_store.back().schedule());
+  }
+
+  const auto make_phases = [&](bool grouped, std::uint32_t frames) {
+    std::vector<reconfig::WorkloadPhase> phases;
+    if (grouped) {
+      for (std::size_t i = 0; i < schedules.size(); ++i) {
+        phases.push_back(reconfig::WorkloadPhase{
+            apps_store[i].name, &schedules[i], frames});
+      }
+    } else {
+      for (std::uint32_t f = 0; f < frames; ++f) {
+        for (std::size_t i = 0; i < schedules.size(); ++i) {
+          phases.push_back(reconfig::WorkloadPhase{
+              apps_store[i].name, &schedules[i], 1});
+        }
+      }
+    }
+    return phases;
+  };
+
+  const sys::PlatformConfig platform;
+  for (const bool grouped : {true, false}) {
+    const auto phases = make_phases(grouped, 10);
+    Table table{std::string{"Multi-application workload, "} +
+                (grouped ? "grouped (canny x10, jpeg x10, ...)"
+                         : "alternating (canny, jpeg, klt, fluid) x10")};
+    table.set_header({"strategy", "compute", "reconfig", "total",
+                      "interconnect area (LUTs/regs)"});
+    CsvWriter csv{bench::csv_path(std::string{"ext_reconfig_"} +
+                                  (grouped ? "grouped" : "alternating")),
+                  {"strategy", "compute_s", "reconfig_s", "total_s",
+                   "area_luts", "area_regs"}};
+    for (const reconfig::Strategy strategy :
+         {reconfig::Strategy::kBusOnly, reconfig::Strategy::kStaticUnion,
+          reconfig::Strategy::kPerAppReconfig}) {
+      const reconfig::ScenarioResult result =
+          reconfig::evaluate_scenario(phases, strategy, platform);
+      table.add_row(
+          {reconfig::to_string(strategy),
+           format_fixed(result.compute_total_seconds * 1e3, 2) + " ms",
+           format_fixed(result.reconfig_total_seconds * 1e3, 2) + " ms",
+           format_fixed(result.total_seconds() * 1e3, 2) + " ms",
+           std::to_string(result.provisioned_interconnect.luts) + "/" +
+               std::to_string(result.provisioned_interconnect.regs)});
+      csv.add_row({reconfig::to_string(strategy),
+                   format_fixed(result.compute_total_seconds, 6),
+                   format_fixed(result.reconfig_total_seconds, 6),
+                   format_fixed(result.total_seconds(), 6),
+                   std::to_string(result.provisioned_interconnect.luts),
+                   std::to_string(result.provisioned_interconnect.regs)});
+    }
+    table.render(std::cout);
+    std::cout << "\n";
+  }
+  std::cout
+      << "takeaway: per-app reconfiguration gets the static union's "
+         "performance at a fraction of its interconnect area whenever "
+         "phases repeat long enough to amortize the ICAP swap; rapid "
+         "alternation favours the static union — quantifying the trade "
+         "the paper's conclusion points to\n";
+
+  // Bonus: show where the time goes inside one jpeg iteration.
+  const core::DesignInput input =
+      sys::make_design_input(schedules[1], platform);
+  const core::DesignResult design = core::design_interconnect(input);
+  const sys::RunResult run =
+      sys::run_designed(schedules[1], design, platform);
+  std::cout << "\n" << sys::render_timeline(run);
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Figure 4: speed-up of the baseline (bus-based) accelerator over pure
+// software, and the ratio of kernel communication time to computation time.
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+
+int main() {
+  using namespace hybridic;
+  const auto experiments = bench::run_all_experiments();
+
+  Table table{"Figure 4 — baseline vs SW speed-up and comm/comp ratio"};
+  table.set_header({"app", "app speed-up", "(paper)", "kernel speed-up",
+                    "(paper)", "comm/comp", "(paper)"});
+  CsvWriter csv{bench::csv_path("fig4_baseline"),
+                {"app", "app_speedup", "kernel_speedup", "comm_comp"}};
+
+  for (const auto& [name, exp] : experiments) {
+    const bench::PaperReference& ref = bench::paper_reference().at(name);
+    const double app_speedup = exp.baseline_app_speedup_vs_sw();
+    const double kernel_speedup = exp.baseline_kernel_speedup_vs_sw();
+    const double ratio = exp.baseline_comm_comp_ratio();
+    table.add_row({name, format_ratio(app_speedup),
+                   format_ratio(ref.baseline_app_vs_sw),
+                   format_ratio(kernel_speedup),
+                   format_ratio(ref.baseline_kernel_vs_sw),
+                   format_ratio(ratio),
+                   name == "jpeg" ? "3.63x" : "n/a"});
+    csv.add_row({name, format_fixed(app_speedup, 3),
+                 format_fixed(kernel_speedup, 3), format_fixed(ratio, 3)});
+  }
+  table.render(std::cout);
+
+  double ratio_sum = 0.0;
+  for (const auto& [name, exp] : experiments) {
+    ratio_sum += exp.baseline_comm_comp_ratio();
+  }
+  std::cout << "average comm/comp ratio: "
+            << format_ratio(ratio_sum / 4.0)
+            << "  (paper: ~2.09x)\n";
+  std::cout << "note: jpeg baseline is slower than software, as in the "
+               "paper (communication dominates)\n";
+  return 0;
+}

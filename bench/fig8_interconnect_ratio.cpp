@@ -1,0 +1,41 @@
+// Figure 8: resources used by the custom interconnect, normalized to the
+// resources used by the kernels (computing) in the proposed system.
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+
+int main() {
+  using namespace hybridic;
+  const auto experiments = bench::run_all_experiments();
+
+  Table table{
+      "Figure 8 — interconnect resources normalized to kernel resources"};
+  table.set_header({"app", "interconnect L/R", "kernels L/R", "LUT ratio",
+                    "reg ratio"});
+  CsvWriter csv{bench::csv_path("fig8_interconnect_ratio"),
+                {"app", "lut_ratio", "reg_ratio"}};
+
+  double max_ratio = 0.0;
+  for (const auto& name : apps::paper_app_names()) {
+    const sys::AppExperiment& exp = experiments.at(name);
+    const double lut_ratio =
+        static_cast<double>(exp.interconnect_area.luts) /
+        static_cast<double>(exp.kernel_area.luts);
+    const double reg_ratio =
+        static_cast<double>(exp.interconnect_area.regs) /
+        static_cast<double>(exp.kernel_area.regs);
+    max_ratio = std::max(max_ratio, lut_ratio);
+    table.add_row({name,
+                   std::to_string(exp.interconnect_area.luts) + "/" +
+                       std::to_string(exp.interconnect_area.regs),
+                   std::to_string(exp.kernel_area.luts) + "/" +
+                       std::to_string(exp.kernel_area.regs),
+                   format_percent(lut_ratio), format_percent(reg_ratio)});
+    csv.add_row({name, format_fixed(lut_ratio, 4),
+                 format_fixed(reg_ratio, 4)});
+  }
+  table.render(std::cout);
+  std::cout << "max interconnect/kernels ratio: "
+            << format_percent(max_ratio) << "  (paper: at most 40.7%)\n";
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Google-benchmark micro-benchmarks of the NoC substrate: message latency
+// and simulation throughput across mesh sizes, payloads and routings.
+#include <benchmark/benchmark.h>
+
+#include "noc/network.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+using namespace hybridic;
+
+const sim::ClockDomain kNocClock{"noc", Frequency::megahertz(150)};
+
+void BM_NocSingleMessage(benchmark::State& state) {
+  const auto dim = static_cast<std::uint32_t>(state.range(0));
+  const auto bytes = static_cast<std::uint64_t>(state.range(1));
+  for (auto _ : state) {
+    sim::Engine engine;
+    noc::Network network{"noc", engine, kNocClock,
+                         noc::Mesh2D{dim, dim}, noc::NetworkConfig{}};
+    network.attach_adapter(0, "src", noc::AdapterKind::kAccelerator);
+    network.attach_adapter(dim * dim - 1, "dst",
+                           noc::AdapterKind::kLocalMemory);
+    Picoseconds delivered{0};
+    network.send(0, dim * dim - 1, Bytes{bytes},
+                 [&delivered](std::uint64_t, Bytes, Picoseconds at) {
+                   delivered = at;
+                 });
+    engine.run();
+    benchmark::DoNotOptimize(delivered);
+    state.counters["sim_latency_us"] = delivered.microseconds();
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_NocSingleMessage)
+    ->Args({2, 1024})
+    ->Args({4, 1024})
+    ->Args({8, 1024})
+    ->Args({4, 65536});
+
+void BM_NocAllToAll(benchmark::State& state) {
+  const auto dim = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine engine;
+    noc::Network network{"noc", engine, kNocClock,
+                         noc::Mesh2D{dim, dim}, noc::NetworkConfig{}};
+    for (std::uint32_t n = 0; n < dim * dim; ++n) {
+      network.attach_adapter(n, "n" + std::to_string(n),
+                             noc::AdapterKind::kAccelerator);
+    }
+    int delivered = 0;
+    for (std::uint32_t src = 0; src < dim * dim; ++src) {
+      for (std::uint32_t dst = 0; dst < dim * dim; ++dst) {
+        if (src != dst) {
+          network.send(src, dst, Bytes{256},
+                       [&delivered](std::uint64_t, Bytes, Picoseconds) {
+                         ++delivered;
+                       });
+        }
+      }
+    }
+    engine.run();
+    benchmark::DoNotOptimize(delivered);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) *
+                          state.range(0) * (state.range(0) * state.range(0) - 1));
+}
+BENCHMARK(BM_NocAllToAll)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_NocRoutingChoice(benchmark::State& state) {
+  const std::string routing = state.range(0) == 0 ? "XY" : "YX";
+  for (auto _ : state) {
+    sim::Engine engine;
+    noc::NetworkConfig config;
+    config.routing = routing;
+    noc::Network network{"noc", engine, kNocClock, noc::Mesh2D{4, 4},
+                         config};
+    network.attach_adapter(0, "a", noc::AdapterKind::kAccelerator);
+    network.attach_adapter(15, "b", noc::AdapterKind::kLocalMemory);
+    network.send(0, 15, Bytes{4096}, {});
+    engine.run();
+    benchmark::DoNotOptimize(network.stats().flits_ejected);
+  }
+}
+BENCHMARK(BM_NocRoutingChoice)->Arg(0)->Arg(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,81 @@
+// Google-benchmark micro-benchmarks of the QUAD-style profiler: tracked
+// access overhead, shadow-memory scans, and full application profiling.
+#include <benchmark/benchmark.h>
+
+#include "apps/canny.hpp"
+#include "apps/jpeg.hpp"
+#include "prof/tracked.hpp"
+
+namespace {
+
+using namespace hybridic;
+
+void BM_TrackedWriteRead(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  prof::QuadProfiler q;
+  const auto writer = q.declare("writer");
+  const auto reader = q.declare("reader");
+  prof::TrackedBuffer<float> buffer{q, "buf", n};
+  for (auto _ : state) {
+    {
+      prof::ScopedFunction scope{q, writer};
+      for (std::size_t i = 0; i < n; ++i) {
+        buffer.set(i, static_cast<float>(i));
+      }
+    }
+    float sum = 0.0F;
+    {
+      prof::ScopedFunction scope{q, reader};
+      for (std::size_t i = 0; i < n; ++i) {
+        sum += buffer.get(i);
+      }
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(2 * n));
+}
+BENCHMARK(BM_TrackedWriteRead)->Arg(1024)->Arg(65536);
+
+void BM_ShadowScanRuns(benchmark::State& state) {
+  prof::ShadowMemory shadow;
+  // Alternating producers to create many runs.
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    shadow.write(i * 128, 128, static_cast<prof::FunctionId>(i % 4));
+  }
+  for (auto _ : state) {
+    std::uint64_t total = 0;
+    shadow.scan(0, 64 * 128,
+                [&total](std::uint64_t, std::uint64_t len,
+                         prof::FunctionId) { total += len; });
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetBytesProcessed(state.iterations() * 64 * 128);
+}
+BENCHMARK(BM_ShadowScanRuns);
+
+void BM_ProfileCanny(benchmark::State& state) {
+  for (auto _ : state) {
+    apps::CannyConfig config;
+    config.width = 96;
+    config.height = 64;
+    const apps::ProfiledApp app = apps::run_canny(config);
+    benchmark::DoNotOptimize(app.graph().edges().size());
+  }
+}
+BENCHMARK(BM_ProfileCanny)->Unit(benchmark::kMillisecond);
+
+void BM_ProfileJpeg(benchmark::State& state) {
+  for (auto _ : state) {
+    apps::JpegConfig config;
+    config.width = 48;
+    config.height = 48;
+    const apps::ProfiledApp app = apps::run_jpeg(config);
+    benchmark::DoNotOptimize(app.graph().edges().size());
+  }
+}
+BENCHMARK(BM_ProfileJpeg)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,54 @@
+// Table II: HW resource utilization and maximum frequency of the
+// interconnect components. The model carries the paper's synthesized
+// numbers; this bench also cross-checks the §IV-B claim that four routers
+// cost ~5x a shared-local-memory solution.
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+#include "core/resource_model.hpp"
+
+int main() {
+  using namespace hybridic;
+  using core::Component;
+
+  Table table{"Table II — interconnect component resources"};
+  table.set_header({"component", "LUTs", "registers", "fmax"});
+  CsvWriter csv{bench::csv_path("table2_components"),
+                {"component", "luts", "regs", "fmax_mhz"}};
+
+  for (const Component c :
+       {Component::kBus, Component::kCrossbar, Component::kRouter,
+        Component::kNaAccelerator, Component::kNaLocalMemory,
+        Component::kPortMux}) {
+    const core::ComponentCost cost = core::component_cost(c);
+    table.add_row({core::to_string(c), std::to_string(cost.luts),
+                   std::to_string(cost.regs),
+                   cost.fmax_mhz > 0.0
+                       ? format_fixed(cost.fmax_mhz, 1) + " MHz"
+                       : "N/A"});
+    csv.add_row({core::to_string(c), std::to_string(cost.luts),
+                 std::to_string(cost.regs),
+                 format_fixed(cost.fmax_mhz, 1)});
+  }
+  table.render(std::cout);
+
+  const auto router = core::component_cost(Component::kRouter);
+  const auto na_acc = core::component_cost(Component::kNaAccelerator);
+  const auto na_mem = core::component_cost(Component::kNaLocalMemory);
+  const auto xbar = core::component_cost(Component::kCrossbar);
+  const std::uint64_t noc_pair_cost =
+      4 * router.luts + 2 * na_acc.luts + 2 * na_mem.luts;
+  std::cout << "cost of connecting one kernel pair via NoC (4 routers + "
+               "NAs): "
+            << noc_pair_cost << " LUTs vs shared-memory crossbar: "
+            << xbar.luts << " LUTs  ("
+            << format_fixed(static_cast<double>(noc_pair_cost) /
+                                static_cast<double>(xbar.luts),
+                            1)
+            << "x, paper claims ~5x for routers alone: "
+            << format_fixed(static_cast<double>(4 * router.luts) /
+                                static_cast<double>(xbar.luts),
+                            1)
+            << "x)\n";
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Table IV: whole-system HW resource utilization for the baseline, the
+// proposed hybrid system and the NoC-only system, plus the solution tag
+// the design algorithm chose per application.
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+
+int main() {
+  using namespace hybridic;
+  const auto experiments = bench::run_all_experiments();
+
+  Table table{"Table IV — system resources (LUTs/registers)"};
+  table.set_header({"app", "baseline", "(paper)", "our system", "(paper)",
+                    "NoC only", "(paper)", "solution", "(paper)"});
+  CsvWriter csv{bench::csv_path("table4_resources"),
+                {"app", "baseline_luts", "baseline_regs", "ours_luts",
+                 "ours_regs", "noc_only_luts", "noc_only_regs",
+                 "solution"}};
+
+  const auto fmt = [](const core::Resources& r) {
+    return std::to_string(r.luts) + "/" + std::to_string(r.regs);
+  };
+  for (const auto& name : apps::paper_app_names()) {
+    const sys::AppExperiment& exp = experiments.at(name);
+    const bench::PaperReference& ref = bench::paper_reference().at(name);
+    table.add_row(
+        {name, fmt(exp.baseline_resources),
+         std::to_string(ref.baseline_luts) + "/" +
+             std::to_string(ref.baseline_regs),
+         fmt(exp.proposed_resources),
+         std::to_string(ref.ours_luts) + "/" +
+             std::to_string(ref.ours_regs),
+         fmt(exp.noc_only_resources),
+         std::to_string(ref.noc_only_luts) + "/" +
+             std::to_string(ref.noc_only_regs),
+         exp.proposed_design.solution_tag(), ref.solution});
+    csv.add_row({name, std::to_string(exp.baseline_resources.luts),
+                 std::to_string(exp.baseline_resources.regs),
+                 std::to_string(exp.proposed_resources.luts),
+                 std::to_string(exp.proposed_resources.regs),
+                 std::to_string(exp.noc_only_resources.luts),
+                 std::to_string(exp.noc_only_resources.regs),
+                 exp.proposed_design.solution_tag()});
+  }
+  table.render(std::cout);
+
+  double max_lut_saving = 0.0;
+  double max_reg_saving = 0.0;
+  for (const auto& [name, exp] : experiments) {
+    max_lut_saving = std::max(
+        max_lut_saving,
+        1.0 - static_cast<double>(exp.proposed_resources.luts) /
+                  static_cast<double>(exp.noc_only_resources.luts));
+    max_reg_saving = std::max(
+        max_reg_saving,
+        1.0 - static_cast<double>(exp.proposed_resources.regs) /
+                  static_cast<double>(exp.noc_only_resources.regs));
+  }
+  std::cout << "max saving vs NoC-only: " << format_percent(max_lut_saving)
+            << " LUTs, " << format_percent(max_reg_saving)
+            << " registers  (paper: 33.1% / 30.2%)\n";
+  return 0;
+}

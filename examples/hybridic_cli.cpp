@@ -1,0 +1,173 @@
+// hybridic_cli — command-line driver for the whole pipeline.
+//
+//   hybridic_cli <app> [options]
+//
+//   <app>        canny | jpeg | klt | fluid | synthetic:<seed>
+//   --design     print the custom interconnect design (Fig. 6 style)
+//   --profile    print the communication profile (Fig. 5 style)
+//   --dot        print the profile as Graphviz DOT
+//   --memory     print the profiler's flat memory report
+//   --timeline   print an ASCII timeline of the proposed-system run
+//   --json       print the design as JSON (toolchain hand-off)
+//   --validate   run the design validator and print its findings
+//   --frames=N   report pipelined multi-frame throughput over N frames
+//   --all        everything above plus the system comparison (default)
+//
+// Examples:
+//   ./build/examples/hybridic_cli jpeg --design --timeline
+//   ./build/examples/hybridic_cli synthetic:42 --all
+#include <cstdlib>
+#include <iostream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "apps/app.hpp"
+#include "apps/synthetic.hpp"
+#include "core/design_validate.hpp"
+#include "core/json_export.hpp"
+#include "prof/dot_export.hpp"
+#include "sys/experiment.hpp"
+#include "sys/pipeline_executor.hpp"
+#include "sys/timeline.hpp"
+#include "util/table.hpp"
+
+using namespace hybridic;
+
+namespace {
+
+apps::ProfiledApp load_app(const std::string& spec) {
+  if (spec.rfind("synthetic:", 0) == 0) {
+    apps::SyntheticConfig config;
+    config.seed = static_cast<std::uint64_t>(
+        std::atoll(spec.substr(std::string{"synthetic:"}.size()).c_str()));
+    return apps::make_synthetic_app(config);
+  }
+  return apps::run_paper_app(spec);
+}
+
+void print_usage() {
+  std::cout << "usage: hybridic_cli <canny|jpeg|klt|fluid|synthetic:SEED>"
+               " [--design] [--profile] [--dot] [--memory] [--timeline]"
+               " [--all]\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    print_usage();
+    return 2;
+  }
+  const std::string app_spec = argv[1];
+  std::set<std::string> flags;
+  std::uint32_t frames = 0;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--frames=", 0) == 0) {
+      frames = static_cast<std::uint32_t>(
+          std::atoi(arg.substr(std::string{"--frames="}.size()).c_str()));
+      continue;
+    }
+    flags.insert(arg);
+  }
+  if (flags.count("--all") > 0) {
+    flags = {"--design", "--profile", "--memory", "--timeline",
+             "--validate", "--compare"};
+    if (frames == 0) {
+      frames = 32;
+    }
+  } else if (flags.empty() && frames == 0) {
+    flags = {"--design", "--profile", "--memory", "--timeline",
+             "--compare"};
+  } else {
+    flags.insert("--compare");
+  }
+
+  apps::ProfiledApp app;
+  try {
+    app = load_app(app_spec);
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    print_usage();
+    return 2;
+  }
+  std::cout << "application: " << app.name << "  verification: "
+            << (app.verified ? "PASS" : "FAIL") << " ("
+            << app.verification_note << ")\n\n";
+
+  if (flags.count("--profile") > 0) {
+    std::cout << app.graph().summary() << "\n";
+  }
+  if (flags.count("--dot") > 0) {
+    std::set<prof::FunctionId> hw;
+    for (const auto& entry : app.calibration) {
+      if (entry.is_kernel) {
+        hw.insert(app.graph().id_of(entry.function));
+      }
+    }
+    std::cout << prof::to_dot(app.graph(), hw) << "\n";
+  }
+  if (flags.count("--memory") > 0) {
+    std::cout << app.profiler->memory_report() << "\n";
+  }
+
+  const sys::AppSchedule schedule = app.schedule();
+  const sys::AppExperiment exp = sys::run_experiment(
+      schedule, sys::PlatformConfig{}, app.environment);
+
+  if (flags.count("--design") > 0) {
+    std::cout << exp.proposed_design.describe(app.graph()) << "\n";
+  }
+  if (flags.count("--json") > 0) {
+    std::cout << core::to_json(exp.proposed_design, schedule.specs)
+              << "\n";
+  }
+  if (flags.count("--validate") > 0) {
+    const auto issues =
+        core::validate_design(exp.proposed_design, schedule.specs);
+    if (issues.empty()) {
+      std::cout << "design validation: clean\n\n";
+    } else {
+      std::cout << "design validation:\n"
+                << core::format_issues(issues) << "\n";
+    }
+  }
+  if (flags.count("--timeline") > 0) {
+    std::cout << sys::render_timeline(exp.proposed) << "\n";
+  }
+  if (frames > 0) {
+    const sys::PipelineResult pipelined = sys::run_designed_pipelined(
+        schedule, exp.proposed_design, sys::PlatformConfig{}, frames);
+    std::cout << "pipelined over " << frames << " frames: makespan "
+              << format_fixed(pipelined.makespan_seconds * 1e3, 2)
+              << " ms, throughput "
+              << format_fixed(pipelined.throughput_fps(), 1)
+              << " fps, bottleneck: " << pipelined.bottleneck_stage
+              << "\n\n";
+  }
+  if (flags.count("--compare") > 0) {
+    Table table{"System comparison"};
+    table.set_header(
+        {"system", "total", "vs SW", "vs baseline", "LUTs", "regs"});
+    const auto row = [&](const std::string& name,
+                         const sys::RunResult& run,
+                         const core::Resources& res) {
+      table.add_row(
+          {name, format_fixed(run.total_seconds * 1e3, 3) + " ms",
+           format_ratio(exp.sw.total_seconds / run.total_seconds),
+           format_ratio(exp.baseline.total_seconds / run.total_seconds),
+           std::to_string(res.luts), std::to_string(res.regs)});
+    };
+    row("software", exp.sw, core::Resources{0, 0});
+    row("baseline", exp.baseline, exp.baseline_resources);
+    row("proposed", exp.proposed, exp.proposed_resources);
+    row("noc-only", exp.noc_only, exp.noc_only_resources);
+    table.render(std::cout);
+    std::cout << "design solution: "
+              << exp.proposed_design.solution_tag() << "   energy saved: "
+              << format_percent(1.0 - exp.energy_ratio_vs_baseline())
+              << "\n";
+  }
+  return app.verified ? 0 : 1;
+}

@@ -1,0 +1,56 @@
+// Domain example: a Canny edge-detection accelerator across image sizes.
+// Shows how the design decisions (shared pairs + small NoC) stay stable
+// while absolute gains grow with the data volume.
+//
+// Build and run:  ./build/examples/image_pipeline
+#include <iostream>
+
+#include "util/table.hpp"
+#include "apps/canny.hpp"
+#include "sys/experiment.hpp"
+
+using namespace hybridic;
+
+int main() {
+  Table table{"Canny accelerator across image sizes"};
+  table.set_header({"image", "edges found", "solution", "baseline ms",
+                    "proposed ms", "speed-up"});
+
+  struct Size {
+    std::uint32_t w, h;
+  };
+  for (const Size size : {Size{80, 60}, Size{160, 120}, Size{320, 240}}) {
+    apps::CannyConfig config;
+    config.width = size.w;
+    config.height = size.h;
+    const apps::ProfiledApp app = apps::run_canny(config);
+    if (!app.verified) {
+      std::cerr << "verification failed at " << size.w << "x" << size.h
+                << ": " << app.verification_note << "\n";
+      return 1;
+    }
+    const sys::AppSchedule schedule = app.schedule();
+    const sys::PlatformConfig platform;
+    const core::DesignInput input =
+        sys::make_design_input(schedule, platform);
+    const core::DesignResult design = core::design_interconnect(input);
+    const sys::RunResult baseline = sys::run_baseline(schedule, platform);
+    const sys::RunResult proposed =
+        sys::run_designed(schedule, design, platform);
+
+    table.add_row(
+        {std::to_string(size.w) + "x" + std::to_string(size.h),
+         app.verification_note.substr(0, app.verification_note.find(' ',
+                                                                    14)),
+         design.solution_tag(),
+         format_fixed(baseline.total_seconds * 1e3, 3),
+         format_fixed(proposed.total_seconds * 1e3, 3),
+         format_ratio(baseline.total_seconds / proposed.total_seconds)});
+  }
+  table.render(std::cout);
+  std::cout << "\nthe design algorithm picks the same hybrid interconnect "
+               "(two shared-memory pairs + a 2-router NoC) at every size; "
+               "the speed-up grows with the frame size because the hidden "
+               "kernel-to-kernel traffic grows\n";
+  return 0;
+}

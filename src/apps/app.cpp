@@ -1,0 +1,31 @@
+#include "apps/app.hpp"
+
+#include "apps/canny.hpp"
+#include "apps/fluid.hpp"
+#include "apps/jpeg.hpp"
+#include "apps/klt.hpp"
+#include "util/error.hpp"
+
+namespace hybridic::apps {
+
+std::vector<std::string> paper_app_names() {
+  return {"canny", "jpeg", "klt", "fluid"};
+}
+
+ProfiledApp run_paper_app(const std::string& name) {
+  if (name == "canny") {
+    return run_canny(CannyConfig{});
+  }
+  if (name == "jpeg") {
+    return run_jpeg(JpegConfig{});
+  }
+  if (name == "klt") {
+    return run_klt(KltConfig{});
+  }
+  if (name == "fluid") {
+    return run_fluid(FluidConfig{});
+  }
+  throw ConfigError{"unknown paper application: " + name};
+}
+
+}  // namespace hybridic::apps

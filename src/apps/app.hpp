@@ -1,0 +1,48 @@
+// Application framework: each of the paper's four applications runs its
+// real algorithm against tracked buffers under the QuadProfiler, producing
+// (a) a verified functional result and (b) the communication profile +
+// calibration the system pipeline consumes.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "prof/quad.hpp"
+#include "sys/experiment.hpp"
+#include "sys/schedule.hpp"
+
+namespace hybridic::apps {
+
+/// A completed profiled application run.
+struct ProfiledApp {
+  std::string name;
+  std::unique_ptr<prof::QuadProfiler> profiler;  ///< Owns the graph.
+  std::vector<sys::CalibrationEntry> calibration;
+  sys::AppEnvironment environment;
+
+  /// Functional self-check outcome (each app verifies its own output).
+  bool verified = false;
+  std::string verification_note;
+
+  [[nodiscard]] const prof::CommGraph& graph() const {
+    return profiler->graph();
+  }
+
+  [[nodiscard]] sys::AppSchedule schedule() const {
+    // Steps follow the observed first-invocation order, so the schedule
+    // reflects the program's real control flow, not declaration order.
+    return sys::build_schedule(name, profiler->graph(), calibration,
+                               profiler->call_order());
+  }
+};
+
+/// Registry of the paper's four applications at their default (paper-shaped)
+/// workload sizes.
+[[nodiscard]] std::vector<std::string> paper_app_names();
+
+/// Run one of the paper's applications by name ("canny", "jpeg", "klt",
+/// "fluid") at its default size. Throws ConfigError for unknown names.
+[[nodiscard]] ProfiledApp run_paper_app(const std::string& name);
+
+}  // namespace hybridic::apps

@@ -1,0 +1,35 @@
+// Canny edge detection (paper application 1).
+//
+// Pipeline (one function per stage, the paper's kernel granularity):
+//   load_image (host)        — synthesize/load the input frame
+//   gaussian_blur (kernel)   — 5x5 separable Gaussian smoothing
+//   sobel_gradient (kernel)  — 3x3 Sobel; gradient magnitude + direction
+//   non_max_suppression (k)  — thin edges along the gradient direction
+//   hysteresis (kernel)      — double threshold + connectivity tracking
+//   store_edges (host)       — consume the edge map
+//
+// The chain communicates kernel→kernel exclusively, so the design
+// algorithm pairs (gaussian_blur, sobel_gradient) and (non_max_suppression,
+// hysteresis) through shared local memories and routes the remaining
+// sobel→nonmax traffic over a small NoC — the paper's "NoC, SM, P" row.
+#pragma once
+
+#include <cstdint>
+
+#include "apps/app.hpp"
+
+namespace hybridic::apps {
+
+struct CannyConfig {
+  std::uint32_t width = 160;
+  std::uint32_t height = 120;
+  float low_threshold = 20.0F;
+  float high_threshold = 60.0F;
+  std::uint64_t seed = 42;
+};
+
+/// Run the full Canny pipeline under the profiler and self-verify the
+/// result (edge pixels exist, all edges survive hysteresis thresholds).
+[[nodiscard]] ProfiledApp run_canny(const CannyConfig& config);
+
+}  // namespace hybridic::apps

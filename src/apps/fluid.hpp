@@ -1,0 +1,34 @@
+// Real-time fluid simulation (paper application 4 — Stam, GDC 2003).
+//
+// Function split (one function per solver stage, iterated over time steps):
+//   init_fields (host) — density/velocity sources
+//   diffuse (kernel)   — Gauss-Seidel diffusion of density and velocity
+//   advect (kernel)    — semi-Lagrangian advection
+//   project (kernel)   — pressure projection (divergence-free velocity)
+//   read_state (host)  — consume the final fields
+//
+// The three kernels exchange fields with *each other* across stages
+// (diffuse→advect, diffuse→project, advect→project, project→advect,
+// advect→diffuse on the next step), so no producer/consumer pair is
+// exclusive: the design algorithm cannot apply shared local memories and
+// resolves the application with a NoC alone — the paper's "NoC" row.
+#pragma once
+
+#include <cstdint>
+
+#include "apps/app.hpp"
+
+namespace hybridic::apps {
+
+struct FluidConfig {
+  std::uint32_t grid = 64;       ///< N x N interior cells.
+  std::uint32_t steps = 3;       ///< Time steps.
+  std::uint32_t gs_iterations = 4;  ///< Gauss-Seidel sweeps.
+  float dt = 0.1F;
+  float diffusion = 0.0002F;
+  std::uint64_t seed = 23;
+};
+
+[[nodiscard]] ProfiledApp run_fluid(const FluidConfig& config);
+
+}  // namespace hybridic::apps

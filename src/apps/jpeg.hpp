@@ -1,0 +1,34 @@
+// JPEG decoder (paper application 2 — the detailed case study of §V-B).
+//
+// Function split mirrors the PowerStone jpeg the paper profiles (Fig. 5):
+//   read_bitstream (host) — encode a synthetic frame, expose streams,
+//                           Huffman tables, the AC block index and the
+//                           output layout table
+//   huff_dc_dec (kernel)  — sequential DC-difference entropy decode
+//   huff_ac_dec (kernel)  — per-block AC entropy decode (duplicable:
+//                           blocks are independent via the offset index)
+//   dquantz_lum (kernel)  — dequantization + un-zigzag (quant ROM in-core)
+//   j_rev_dct (kernel)    — 8x8 inverse DCT + level shift/clamp
+//   write_output (host)   — consume pixels, verify PSNR vs the original
+//
+// The resulting profile reproduces the paper's communication classes:
+// huff_dc {R2,S1}, huff_ac {R3,S1}, dquantz {R1,S1} (paired with j_rev_dct
+// through the shared local memory), j_rev_dct residually {R2,S2}.
+#pragma once
+
+#include <cstdint>
+
+#include "apps/app.hpp"
+
+namespace hybridic::apps {
+
+struct JpegConfig {
+  std::uint32_t width = 96;   ///< Multiple of 8.
+  std::uint32_t height = 96;  ///< Multiple of 8.
+  std::uint64_t seed = 7;
+  double min_psnr_db = 28.0;  ///< Verification threshold.
+};
+
+[[nodiscard]] ProfiledApp run_jpeg(const JpegConfig& config);
+
+}  // namespace hybridic::apps

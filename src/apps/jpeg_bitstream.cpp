@@ -1,0 +1,190 @@
+#include "apps/jpeg_bitstream.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+#include "util/error.hpp"
+
+namespace hybridic::apps::jpegc {
+
+void BitWriter::put(std::uint32_t bits, std::uint32_t count) {
+  sim_assert(count <= 32, "BitWriter::put supports at most 32 bits");
+  for (std::uint32_t i = count; i > 0; --i) {
+    const std::uint32_t b = (bits >> (i - 1)) & 1U;
+    current_ = static_cast<std::uint8_t>((current_ << 1) | b);
+    if (++fill_ == 8) {
+      bytes_.push_back(current_);
+      current_ = 0;
+      fill_ = 0;
+    }
+  }
+}
+
+std::vector<std::uint8_t> BitWriter::finish() {
+  if (fill_ != 0) {
+    current_ = static_cast<std::uint8_t>(
+        (current_ << (8 - fill_)) | ((1U << (8 - fill_)) - 1));
+    bytes_.push_back(current_);
+    current_ = 0;
+    fill_ = 0;
+  }
+  return std::move(bytes_);
+}
+
+namespace {
+
+/// Assign canonical codes and decode tables from per-symbol lengths.
+void finalize(HuffmanCode& code) {
+  const auto n = static_cast<std::uint32_t>(code.lengths.size());
+  code.codes.assign(n, 0);
+  code.sorted_symbols.clear();
+
+  std::vector<std::uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&code](std::uint32_t a, std::uint32_t b) {
+                     if (code.lengths[a] != code.lengths[b]) {
+                       return code.lengths[a] < code.lengths[b];
+                     }
+                     return a < b;
+                   });
+
+  std::uint32_t next_code = 0;
+  std::uint32_t previous_length = 0;
+  for (const std::uint32_t symbol : order) {
+    const std::uint8_t length = code.lengths[symbol];
+    if (length == 0) {
+      continue;
+    }
+    next_code <<= (length - previous_length);
+    if (code.count[length] == 0) {
+      code.first_code[length] = next_code;
+      code.first_index[length] =
+          static_cast<std::uint32_t>(code.sorted_symbols.size());
+    }
+    code.codes[symbol] = next_code;
+    code.sorted_symbols.push_back(symbol);
+    ++code.count[length];
+    ++next_code;
+    previous_length = length;
+  }
+}
+
+}  // namespace
+
+HuffmanCode build_huffman(const std::vector<std::uint64_t>& frequencies) {
+  require(!frequencies.empty(), "Huffman needs a symbol alphabet");
+  const auto n = static_cast<std::uint32_t>(frequencies.size());
+
+  // Package-merge would be exact; for our alphabet sizes a plain Huffman
+  // tree followed by length clamping (then canonical re-normalization via
+  // the Kraft sum) is sufficient and much simpler.
+  struct Node {
+    std::uint64_t weight;
+    std::uint32_t tie;
+    std::int32_t symbol;  // -1 for internal
+    std::int32_t left, right;
+  };
+  std::vector<Node> nodes;
+  using Entry = std::pair<std::pair<std::uint64_t, std::uint32_t>,
+                          std::int32_t>;  // ((weight, tie), node index)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+
+  std::uint32_t used = 0;
+  for (std::uint32_t s = 0; s < n; ++s) {
+    if (frequencies[s] == 0) {
+      continue;
+    }
+    nodes.push_back(Node{frequencies[s], s, static_cast<std::int32_t>(s),
+                         -1, -1});
+    heap.push({{frequencies[s], s},
+               static_cast<std::int32_t>(nodes.size() - 1)});
+    ++used;
+  }
+  require(used > 0, "Huffman needs at least one used symbol");
+
+  HuffmanCode code;
+  code.lengths.assign(n, 0);
+
+  if (used == 1) {
+    code.lengths[static_cast<std::size_t>(nodes[0].symbol)] = 1;
+    finalize(code);
+    return code;
+  }
+
+  std::uint32_t tie = n;
+  while (heap.size() > 1) {
+    const Entry a = heap.top();
+    heap.pop();
+    const Entry b = heap.top();
+    heap.pop();
+    nodes.push_back(Node{a.first.first + b.first.first, tie, -1, a.second,
+                         b.second});
+    heap.push({{a.first.first + b.first.first, tie},
+               static_cast<std::int32_t>(nodes.size() - 1)});
+    ++tie;
+  }
+
+  // Depth-first length assignment.
+  struct Frame {
+    std::int32_t node;
+    std::uint8_t depth;
+  };
+  std::vector<Frame> stack{{heap.top().second, 0}};
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    const Node& node = nodes[static_cast<std::size_t>(f.node)];
+    if (node.symbol >= 0) {
+      code.lengths[static_cast<std::size_t>(node.symbol)] =
+          std::max<std::uint8_t>(f.depth, 1);
+      continue;
+    }
+    stack.push_back({node.left, static_cast<std::uint8_t>(f.depth + 1)});
+    stack.push_back({node.right, static_cast<std::uint8_t>(f.depth + 1)});
+  }
+
+  // Clamp to kMaxCodeLength, then repair the Kraft inequality by
+  // lengthening the shallowest over-budget leaves.
+  for (auto& length : code.lengths) {
+    if (length > kMaxCodeLength) {
+      length = kMaxCodeLength;
+    }
+  }
+  const auto kraft = [&code]() {
+    std::uint64_t sum = 0;
+    for (const std::uint8_t length : code.lengths) {
+      if (length != 0) {
+        sum += 1ULL << (kMaxCodeLength - length);
+      }
+    }
+    return sum;
+  };
+  while (kraft() > (1ULL << kMaxCodeLength)) {
+    // Lengthen the longest code shorter than the cap.
+    std::uint32_t victim = UINT32_MAX;
+    std::uint8_t best = 0;
+    for (std::uint32_t s = 0; s < n; ++s) {
+      if (code.lengths[s] != 0 && code.lengths[s] < kMaxCodeLength &&
+          code.lengths[s] > best) {
+        best = code.lengths[s];
+        victim = s;
+      }
+    }
+    require(victim != UINT32_MAX, "cannot repair Huffman code lengths");
+    ++code.lengths[victim];
+  }
+
+  finalize(code);
+  return code;
+}
+
+HuffmanCode huffman_from_lengths(const std::vector<std::uint8_t>& lengths) {
+  HuffmanCode code;
+  code.lengths = lengths;
+  finalize(code);
+  return code;
+}
+
+}  // namespace hybridic::apps::jpegc

@@ -1,0 +1,114 @@
+// Bit-level I/O and canonical Huffman coding for the mini-JPEG codec.
+//
+// The encoder measures symbol frequencies, builds a canonical
+// length-limited Huffman code, and serializes the code lengths into the
+// stream header; the decoder rebuilds the same code. This gives the
+// huff_dc_dec / huff_ac_dec kernels genuine bit-serial entropy-decoding
+// work, like the PowerStone jpeg the paper profiles.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace hybridic::apps::jpegc {
+
+inline constexpr std::uint32_t kMaxCodeLength = 16;
+
+/// MSB-first bit writer.
+class BitWriter {
+public:
+  void put(std::uint32_t bits, std::uint32_t count);
+  /// Pad to a byte boundary with 1-bits and return the stream.
+  [[nodiscard]] std::vector<std::uint8_t> finish();
+  [[nodiscard]] std::uint64_t bit_position() const {
+    return bytes_.size() * 8 + fill_;
+  }
+
+private:
+  std::vector<std::uint8_t> bytes_;
+  std::uint8_t current_ = 0;
+  std::uint32_t fill_ = 0;
+};
+
+/// MSB-first bit reader over caller-owned bytes (reads through a functor so
+/// tracked buffers can observe every byte touch).
+template <typename ByteAt>
+class BitReader {
+public:
+  BitReader(ByteAt byte_at, std::uint64_t size_bytes)
+      : byte_at_(byte_at), size_bits_(size_bytes * 8) {}
+
+  /// Position in bits from stream start.
+  [[nodiscard]] std::uint64_t position() const { return pos_; }
+  void seek(std::uint64_t bit) { pos_ = bit; }
+
+  std::uint32_t get(std::uint32_t count) {
+    std::uint32_t value = 0;
+    for (std::uint32_t i = 0; i < count; ++i) {
+      value = (value << 1) | bit();
+    }
+    return value;
+  }
+
+  std::uint32_t bit() {
+    if (pos_ >= size_bits_) {
+      return 1;  // Past-the-end reads see pad bits.
+    }
+    const std::uint8_t byte = byte_at_(pos_ / 8);
+    const std::uint32_t b = (byte >> (7 - (pos_ % 8))) & 1U;
+    ++pos_;
+    return b;
+  }
+
+private:
+  ByteAt byte_at_;
+  std::uint64_t size_bits_;
+  std::uint64_t pos_ = 0;
+};
+
+/// A canonical Huffman code over byte symbols, with O(max-length) decode
+/// tables (first_code / first_index per length, JPEG-style).
+struct HuffmanCode {
+  /// Per-symbol code length (0 = symbol unused) — the serialized form.
+  std::vector<std::uint8_t> lengths;
+  /// Encoder view: per-symbol canonical code value.
+  std::vector<std::uint32_t> codes;
+  /// Decoder view.
+  std::vector<std::uint32_t> sorted_symbols;       ///< By (length, symbol).
+  std::uint32_t first_code[kMaxCodeLength + 1] = {};
+  std::uint32_t first_index[kMaxCodeLength + 1] = {};
+  std::uint32_t count[kMaxCodeLength + 1] = {};
+
+  [[nodiscard]] bool has_symbol(std::uint32_t symbol) const {
+    return symbol < lengths.size() && lengths[symbol] != 0;
+  }
+};
+
+/// Build a length-limited (<= 16 bit) canonical code from frequencies.
+/// Symbols with zero frequency get no code. At least one symbol must have
+/// non-zero frequency.
+[[nodiscard]] HuffmanCode build_huffman(
+    const std::vector<std::uint64_t>& frequencies);
+
+/// Rebuild a code from serialized lengths (the decoder side).
+[[nodiscard]] HuffmanCode huffman_from_lengths(
+    const std::vector<std::uint8_t>& lengths);
+
+/// Decode one symbol canonically; `read_bit` returns 0/1.
+/// Returns UINT32_MAX on an invalid prefix.
+template <typename ReadBit>
+[[nodiscard]] std::uint32_t decode_symbol(const HuffmanCode& code,
+                                          ReadBit&& read_bit) {
+  std::uint32_t value = 0;
+  for (std::uint32_t length = 1; length <= kMaxCodeLength; ++length) {
+    value = (value << 1) | read_bit();
+    if (code.count[length] != 0 && value >= code.first_code[length] &&
+        value - code.first_code[length] < code.count[length]) {
+      return code.sorted_symbols[code.first_index[length] + value -
+                                 code.first_code[length]];
+    }
+  }
+  return UINT32_MAX;
+}
+
+}  // namespace hybridic::apps::jpegc

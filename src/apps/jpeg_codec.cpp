@@ -1,0 +1,384 @@
+#include "apps/jpeg_codec.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace hybridic::apps::jpegc {
+
+const std::array<std::uint16_t, kBlockSize>& quant_table() {
+  static const std::array<std::uint16_t, kBlockSize> kTable = {
+      16, 11, 10, 16, 24,  40,  51,  61,   //
+      12, 12, 14, 19, 26,  58,  60,  55,   //
+      14, 13, 16, 24, 40,  57,  69,  56,   //
+      14, 17, 22, 29, 51,  87,  80,  62,   //
+      18, 22, 37, 56, 68,  109, 103, 77,   //
+      24, 35, 55, 64, 81,  104, 113, 92,   //
+      49, 64, 78, 87, 103, 121, 120, 101,  //
+      72, 92, 95, 98, 112, 100, 103, 99};
+  return kTable;
+}
+
+const std::array<std::uint8_t, kBlockSize>& zigzag_order() {
+  static const std::array<std::uint8_t, kBlockSize> kOrder = [] {
+    std::array<std::uint8_t, kBlockSize> order{};
+    std::uint32_t i = 0;
+    for (std::uint32_t s = 0; s < 15; ++s) {  // anti-diagonals
+      if (s % 2 == 0) {  // up-right
+        for (std::int32_t y = static_cast<std::int32_t>(std::min(s, 7U));
+             y >= 0 && static_cast<std::int32_t>(s) - y <= 7; --y) {
+          const std::int32_t x = static_cast<std::int32_t>(s) - y;
+          order[i++] = static_cast<std::uint8_t>(y * 8 + x);
+        }
+      } else {  // down-left
+        for (std::int32_t x = static_cast<std::int32_t>(std::min(s, 7U));
+             x >= 0 && static_cast<std::int32_t>(s) - x <= 7; --x) {
+          const std::int32_t y = static_cast<std::int32_t>(s) - x;
+          order[i++] = static_cast<std::uint8_t>(y * 8 + x);
+        }
+      }
+    }
+    return order;
+  }();
+  return kOrder;
+}
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/// DCT basis, precomputed once.
+const std::array<double, kBlockSize>& dct_basis() {
+  static const std::array<double, kBlockSize> kBasis = [] {
+    std::array<double, kBlockSize> basis{};
+    for (std::uint32_t k = 0; k < kBlockDim; ++k) {
+      for (std::uint32_t n = 0; n < kBlockDim; ++n) {
+        const double ck = k == 0 ? std::sqrt(1.0 / 8.0) : std::sqrt(2.0 / 8.0);
+        basis[k * kBlockDim + n] =
+            ck * std::cos((2.0 * n + 1.0) * k * kPi / 16.0);
+      }
+    }
+    return basis;
+  }();
+  return kBasis;
+}
+
+}  // namespace
+
+void fdct8x8(const float* pixels, float* coefficients) {
+  const auto& basis = dct_basis();
+  double tmp[kBlockSize];
+  // Rows.
+  for (std::uint32_t y = 0; y < kBlockDim; ++y) {
+    for (std::uint32_t k = 0; k < kBlockDim; ++k) {
+      double acc = 0.0;
+      for (std::uint32_t n = 0; n < kBlockDim; ++n) {
+        acc += basis[k * kBlockDim + n] *
+               (static_cast<double>(pixels[y * kBlockDim + n]) - 128.0);
+      }
+      tmp[y * kBlockDim + k] = acc;
+    }
+  }
+  // Columns.
+  for (std::uint32_t x = 0; x < kBlockDim; ++x) {
+    for (std::uint32_t k = 0; k < kBlockDim; ++k) {
+      double acc = 0.0;
+      for (std::uint32_t n = 0; n < kBlockDim; ++n) {
+        acc += basis[k * kBlockDim + n] * tmp[n * kBlockDim + x];
+      }
+      coefficients[k * kBlockDim + x] = static_cast<float>(acc);
+    }
+  }
+}
+
+void idct8x8(const float* coefficients, float* pixels) {
+  const auto& basis = dct_basis();
+  double tmp[kBlockSize];
+  // Columns.
+  for (std::uint32_t x = 0; x < kBlockDim; ++x) {
+    for (std::uint32_t n = 0; n < kBlockDim; ++n) {
+      double acc = 0.0;
+      for (std::uint32_t k = 0; k < kBlockDim; ++k) {
+        acc += basis[k * kBlockDim + n] *
+               static_cast<double>(coefficients[k * kBlockDim + x]);
+      }
+      tmp[n * kBlockDim + x] = acc;
+    }
+  }
+  // Rows, with level un-shift and clamping.
+  for (std::uint32_t y = 0; y < kBlockDim; ++y) {
+    for (std::uint32_t n = 0; n < kBlockDim; ++n) {
+      double acc = 0.0;
+      for (std::uint32_t k = 0; k < kBlockDim; ++k) {
+        acc += basis[k * kBlockDim + n] * tmp[y * kBlockDim + k];
+      }
+      acc += 128.0;
+      pixels[y * kBlockDim + n] =
+          static_cast<float>(acc < 0.0 ? 0.0 : (acc > 255.0 ? 255.0 : acc));
+    }
+  }
+}
+
+std::uint32_t value_category(std::int32_t v) {
+  std::uint32_t magnitude = static_cast<std::uint32_t>(v < 0 ? -v : v);
+  std::uint32_t category = 0;
+  while (magnitude != 0) {
+    ++category;
+    magnitude >>= 1;
+  }
+  return category;
+}
+
+std::uint32_t value_bits(std::int32_t v, std::uint32_t category) {
+  if (category == 0) {
+    return 0;
+  }
+  if (v >= 0) {
+    return static_cast<std::uint32_t>(v);
+  }
+  return static_cast<std::uint32_t>(v + (1 << category) - 1);
+}
+
+std::int32_t value_from_bits(std::uint32_t bits, std::uint32_t category) {
+  if (category == 0) {
+    return 0;
+  }
+  // If the leading bit is 0, the value is negative (JPEG convention).
+  if ((bits >> (category - 1)) == 0) {
+    return static_cast<std::int32_t>(bits) - (1 << category) + 1;
+  }
+  return static_cast<std::int32_t>(bits);
+}
+
+namespace {
+
+/// Quantized zigzag coefficients of every block.
+std::vector<std::int32_t> quantize_image(
+    const std::vector<std::uint8_t>& pixels, std::uint32_t width,
+    std::uint32_t height) {
+  const std::uint32_t blocks_x = width / kBlockDim;
+  const std::uint32_t blocks_y = height / kBlockDim;
+  std::vector<std::int32_t> out(
+      static_cast<std::size_t>(blocks_x) * blocks_y * kBlockSize);
+  const auto& zz = zigzag_order();
+  const auto& qt = quant_table();
+
+  float block[kBlockSize];
+  float coeffs[kBlockSize];
+  for (std::uint32_t by = 0; by < blocks_y; ++by) {
+    for (std::uint32_t bx = 0; bx < blocks_x; ++bx) {
+      for (std::uint32_t y = 0; y < kBlockDim; ++y) {
+        for (std::uint32_t x = 0; x < kBlockDim; ++x) {
+          block[y * kBlockDim + x] = static_cast<float>(
+              pixels[(by * kBlockDim + y) * width + bx * kBlockDim + x]);
+        }
+      }
+      fdct8x8(block, coeffs);
+      const std::size_t base =
+          (static_cast<std::size_t>(by) * blocks_x + bx) * kBlockSize;
+      for (std::uint32_t i = 0; i < kBlockSize; ++i) {
+        const float c = coeffs[zz[i]];
+        const float q = static_cast<float>(qt[zz[i]]);
+        out[base + i] = static_cast<std::int32_t>(std::lround(c / q));
+      }
+    }
+  }
+  return out;
+}
+
+/// AC (run,size) symbol sequence of one block (without value bits).
+template <typename Emit>
+void for_each_ac_symbol(const std::int32_t* zigzag_block, Emit&& emit) {
+  std::uint32_t run = 0;
+  std::int32_t last_nonzero = 0;
+  for (std::int32_t i = 63; i >= 1; --i) {
+    if (zigzag_block[i] != 0) {
+      last_nonzero = i;
+      break;
+    }
+  }
+  for (std::int32_t i = 1; i <= last_nonzero; ++i) {
+    const std::int32_t v = zigzag_block[i];
+    if (v == 0) {
+      if (++run == 16) {
+        emit(kZrl, 0);
+        run = 0;
+      }
+      continue;
+    }
+    const std::uint32_t size = value_category(v);
+    emit((run << 4) | size, v);
+    run = 0;
+  }
+  if (last_nonzero != 63) {
+    emit(kEob, 0);
+  }
+}
+
+}  // namespace
+
+EncodedImage encode_test_image(std::uint32_t width, std::uint32_t height,
+                               std::uint64_t seed) {
+  require(width % kBlockDim == 0 && height % kBlockDim == 0,
+          "jpeg image dimensions must be multiples of 8");
+
+  // Synthetic photographic-ish content: low-frequency gradients, texture
+  // and a few hard edges.
+  std::vector<std::uint8_t> pixels(static_cast<std::size_t>(width) * height);
+  Rng rng{seed};
+  for (std::uint32_t y = 0; y < height; ++y) {
+    for (std::uint32_t x = 0; x < width; ++x) {
+      double v = 128.0 + 60.0 * std::sin(x * 0.043) * std::cos(y * 0.031) +
+                 25.0 * std::sin((x + 2.0 * y) * 0.011);
+      if ((x / 16 + y / 16) % 5 == 0) {
+        v += 45.0;
+      }
+      v += rng.uniform() * 8.0 - 4.0;
+      pixels[y * width + x] = static_cast<std::uint8_t>(
+          v < 0.0 ? 0.0 : (v > 255.0 ? 255.0 : v));
+    }
+  }
+
+  const std::vector<std::int32_t> zz = quantize_image(pixels, width, height);
+  const std::uint32_t blocks =
+      (width / kBlockDim) * (height / kBlockDim);
+
+  // Pass 1: symbol frequencies.
+  std::vector<std::uint64_t> dc_freq(kDcCategories, 0);
+  std::vector<std::uint64_t> ac_freq(kAcSymbols, 0);
+  std::int32_t prev_dc = 0;
+  for (std::uint32_t b = 0; b < blocks; ++b) {
+    const std::int32_t* block = &zz[static_cast<std::size_t>(b) * kBlockSize];
+    const std::int32_t diff = block[0] - prev_dc;
+    prev_dc = block[0];
+    ++dc_freq[value_category(diff)];
+    for_each_ac_symbol(block, [&ac_freq](std::uint32_t symbol,
+                                         std::int32_t /*value*/) {
+      ++ac_freq[symbol];
+    });
+  }
+
+  const HuffmanCode dc_code = build_huffman(dc_freq);
+  const HuffmanCode ac_code = build_huffman(ac_freq);
+
+  // Pass 2: emit bitstreams.
+  EncodedImage enc;
+  enc.width = width;
+  enc.height = height;
+  enc.blocks = blocks;
+  enc.dc_code_lengths = dc_code.lengths;
+  enc.ac_code_lengths = ac_code.lengths;
+  enc.original = pixels;
+
+  BitWriter dc_writer;
+  BitWriter ac_writer;
+  prev_dc = 0;
+  for (std::uint32_t b = 0; b < blocks; ++b) {
+    const std::int32_t* block = &zz[static_cast<std::size_t>(b) * kBlockSize];
+    const std::int32_t diff = block[0] - prev_dc;
+    prev_dc = block[0];
+    const std::uint32_t category = value_category(diff);
+    dc_writer.put(dc_code.codes[category], dc_code.lengths[category]);
+    dc_writer.put(value_bits(diff, category), category);
+
+    enc.ac_block_bit_offset.push_back(
+        static_cast<std::uint32_t>(ac_writer.bit_position()));
+    for_each_ac_symbol(block, [&ac_writer, &ac_code](std::uint32_t symbol,
+                                                     std::int32_t value) {
+      ac_writer.put(ac_code.codes[symbol], ac_code.lengths[symbol]);
+      const std::uint32_t size = symbol & 0x0F;
+      if (size != 0) {
+        ac_writer.put(value_bits(value, size), size);
+      }
+    });
+  }
+  enc.dc_stream = dc_writer.finish();
+  enc.ac_stream = ac_writer.finish();
+  return enc;
+}
+
+std::vector<std::uint8_t> reference_decode(const EncodedImage& enc) {
+  const HuffmanCode dc_code = huffman_from_lengths(enc.dc_code_lengths);
+  const HuffmanCode ac_code = huffman_from_lengths(enc.ac_code_lengths);
+  const auto& zz = zigzag_order();
+  const auto& qt = quant_table();
+  const std::uint32_t blocks_x = enc.width / kBlockDim;
+
+  std::vector<std::uint8_t> pixels(
+      static_cast<std::size_t>(enc.width) * enc.height);
+
+  BitReader dc_reader{[&enc](std::uint64_t i) { return enc.dc_stream[i]; },
+                      enc.dc_stream.size()};
+  BitReader ac_reader{[&enc](std::uint64_t i) { return enc.ac_stream[i]; },
+                      enc.ac_stream.size()};
+
+  std::int32_t prev_dc = 0;
+  float coeffs[kBlockSize];
+  float block[kBlockSize];
+  for (std::uint32_t b = 0; b < enc.blocks; ++b) {
+    std::int32_t zigzag[kBlockSize] = {};
+    // DC.
+    const std::uint32_t category =
+        decode_symbol(dc_code, [&dc_reader] { return dc_reader.bit(); });
+    sim_assert(category != UINT32_MAX, "invalid DC stream");
+    const std::int32_t diff =
+        value_from_bits(dc_reader.get(category), category);
+    prev_dc += diff;
+    zigzag[0] = prev_dc;
+    // AC.
+    ac_reader.seek(enc.ac_block_bit_offset[b]);
+    std::uint32_t position = 1;
+    while (position < kBlockSize) {
+      const std::uint32_t symbol =
+          decode_symbol(ac_code, [&ac_reader] { return ac_reader.bit(); });
+      sim_assert(symbol != UINT32_MAX, "invalid AC stream");
+      if (symbol == kEob) {
+        break;
+      }
+      if (symbol == kZrl) {
+        position += 16;
+        continue;
+      }
+      position += symbol >> 4;
+      const std::uint32_t size = symbol & 0x0F;
+      sim_assert(position < kBlockSize, "AC position overflow");
+      zigzag[position] =
+          value_from_bits(ac_reader.get(size), size);
+      ++position;
+    }
+    // Dequantize + un-zigzag + IDCT.
+    for (std::uint32_t i = 0; i < kBlockSize; ++i) {
+      coeffs[zz[i]] = static_cast<float>(zigzag[i]) *
+                      static_cast<float>(qt[zz[i]]);
+    }
+    idct8x8(coeffs, block);
+    const std::uint32_t bx = b % blocks_x;
+    const std::uint32_t by = b / blocks_x;
+    for (std::uint32_t y = 0; y < kBlockDim; ++y) {
+      for (std::uint32_t x = 0; x < kBlockDim; ++x) {
+        pixels[(by * kBlockDim + y) * enc.width + bx * kBlockDim + x] =
+            static_cast<std::uint8_t>(
+                std::lround(block[y * kBlockDim + x]));
+      }
+    }
+  }
+  return pixels;
+}
+
+double psnr(const std::vector<std::uint8_t>& a,
+            const std::vector<std::uint8_t>& b) {
+  require(a.size() == b.size() && !a.empty(), "psnr needs equal-size images");
+  double mse = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+    mse += d * d;
+  }
+  mse /= static_cast<double>(a.size());
+  if (mse <= 0.0) {
+    return 99.0;
+  }
+  return 10.0 * std::log10(255.0 * 255.0 / mse);
+}
+
+}  // namespace hybridic::apps::jpegc

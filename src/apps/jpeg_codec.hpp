@@ -1,0 +1,82 @@
+// Mini-JPEG codec core: 8x8 DCT, standard luminance quantization, zigzag,
+// and the block-parallel encoder that generates the decoder's input
+// bitstreams (the workload-generator replacement for the PowerStone jpeg
+// input, see DESIGN.md substitution ledger).
+//
+// Stream layout produced by the encoder:
+//  - a DC bitstream: per block, Huffman(category) + category value bits of
+//    the DC difference (sequential, blocks depend on the previous DC);
+//  - an AC bitstream: per block, JPEG-style (run,size) symbols with EOB and
+//    ZRL, independently decodable thanks to a per-block bit-offset index —
+//    which is exactly what makes huff_ac_dec duplicable (case 3).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "apps/jpeg_bitstream.hpp"
+
+namespace hybridic::apps::jpegc {
+
+inline constexpr std::uint32_t kBlockDim = 8;
+inline constexpr std::uint32_t kBlockSize = 64;
+inline constexpr std::uint32_t kAcSymbols = 256;
+inline constexpr std::uint32_t kDcCategories = 12;
+inline constexpr std::uint32_t kEob = 0x00;
+inline constexpr std::uint32_t kZrl = 0xF0;
+
+/// Standard JPEG luminance quantization table (Annex K), row-major.
+[[nodiscard]] const std::array<std::uint16_t, kBlockSize>& quant_table();
+
+/// Zigzag scan order: zigzag_order()[i] = row-major index of coefficient i.
+[[nodiscard]] const std::array<std::uint8_t, kBlockSize>& zigzag_order();
+
+/// Forward 8x8 DCT-II with level shift (input 0..255, output coefficients).
+void fdct8x8(const float* pixels, float* coefficients);
+
+/// Inverse 8x8 DCT with level un-shift (output clamped 0..255).
+void idct8x8(const float* coefficients, float* pixels);
+
+/// Bits needed to represent |v| (JPEG "category"/"size"), 0 for v == 0.
+[[nodiscard]] std::uint32_t value_category(std::int32_t v);
+
+/// JPEG-style value bits for v in its category.
+[[nodiscard]] std::uint32_t value_bits(std::int32_t v, std::uint32_t category);
+
+/// Inverse of value_bits.
+[[nodiscard]] std::int32_t value_from_bits(std::uint32_t bits,
+                                           std::uint32_t category);
+
+/// The encoder output, i.e. the decoder's complete input.
+struct EncodedImage {
+  std::uint32_t width = 0;
+  std::uint32_t height = 0;
+  std::uint32_t blocks = 0;
+
+  std::vector<std::uint8_t> dc_stream;
+  std::vector<std::uint8_t> ac_stream;
+  std::vector<std::uint32_t> ac_block_bit_offset;  ///< Per-block AC start.
+
+  std::vector<std::uint8_t> dc_code_lengths;  ///< Serialized Huffman table.
+  std::vector<std::uint8_t> ac_code_lengths;
+
+  std::vector<std::uint8_t> original;  ///< For PSNR verification only.
+};
+
+/// Synthesize a test image and encode it. Width/height must be multiples
+/// of 8.
+[[nodiscard]] EncodedImage encode_test_image(std::uint32_t width,
+                                             std::uint32_t height,
+                                             std::uint64_t seed);
+
+/// Reference (untracked) decode used by tests to validate the tracked
+/// kernel pipeline produces identical output.
+[[nodiscard]] std::vector<std::uint8_t> reference_decode(
+    const EncodedImage& enc);
+
+/// Peak signal-to-noise ratio between two equal-size images, in dB.
+[[nodiscard]] double psnr(const std::vector<std::uint8_t>& a,
+                          const std::vector<std::uint8_t>& b);
+
+}  // namespace hybridic::apps::jpegc

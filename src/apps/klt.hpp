@@ -1,0 +1,35 @@
+// KLT feature tracker (paper application 3 — "Good Features to Track").
+//
+// Function split:
+//   load_frames (host)       — two synthetic frames, frame2 = shifted frame1
+//   compute_gradients (kernel) — Ix/Iy of frame 1
+//   corner_response (kernel) — min-eigenvalue response over 3x3 windows
+//   select_features (host)   — greedy top-N with minimum separation
+//   track_features (kernel)  — iterative Lucas-Kanade per feature
+//   report_tracks (host)     — consume tracked positions
+//
+// compute_gradients communicates exclusively with corner_response, so the
+// design algorithm resolves this application with a single shared-local-
+// memory pairing and no NoC — the paper's "SM" row in Table IV.
+#pragma once
+
+#include <cstdint>
+
+#include "apps/app.hpp"
+
+namespace hybridic::apps {
+
+struct KltConfig {
+  std::uint32_t width = 128;
+  std::uint32_t height = 96;
+  std::uint32_t feature_count = 48;
+  std::uint32_t window_radius = 4;
+  std::uint32_t iterations = 10;
+  float shift_x = 2.0F;  ///< Ground-truth translation of frame 2.
+  float shift_y = 1.5F;
+  std::uint64_t seed = 11;
+};
+
+[[nodiscard]] ProfiledApp run_klt(const KltConfig& config);
+
+}  // namespace hybridic::apps

@@ -1,0 +1,151 @@
+#include "apps/synthetic.hpp"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "prof/tracked.hpp"
+#include "util/rng.hpp"
+
+namespace hybridic::apps {
+
+ProfiledApp make_synthetic_app(const SyntheticConfig& cfg) {
+  ProfiledApp app;
+  app.name = "synthetic-" + std::to_string(cfg.seed);
+  app.profiler = std::make_unique<prof::QuadProfiler>();
+  prof::QuadProfiler& q = *app.profiler;
+  Rng rng{cfg.seed};
+
+  const std::uint32_t k = cfg.kernel_count;
+
+  // Function ids in program order: source, kernels, sink.
+  const auto fn_source = q.declare("source");
+  std::vector<prof::FunctionId> kernel_fn(k);
+  for (std::uint32_t i = 0; i < k; ++i) {
+    kernel_fn[i] = q.declare("kernel" + std::to_string(i));
+  }
+  const auto fn_sink = q.declare("sink");
+
+  // Random DAG over kernels: edge i -> j for i < j.
+  std::vector<std::vector<std::uint64_t>> edge_bytes(
+      k, std::vector<std::uint64_t>(k, 0));
+  for (std::uint32_t i = 0; i < k; ++i) {
+    for (std::uint32_t j = i + 1; j < k; ++j) {
+      if (rng.chance(cfg.kernel_edge_probability)) {
+        edge_bytes[i][j] =
+            rng.between(cfg.min_edge_bytes, cfg.max_edge_bytes);
+      }
+    }
+  }
+
+  // Host input bytes: kernels without kernel predecessors always get host
+  // input; others get some with probability 1/2.
+  std::vector<std::uint64_t> host_in(k, 0);
+  for (std::uint32_t j = 0; j < k; ++j) {
+    bool has_kernel_input = false;
+    for (std::uint32_t i = 0; i < j; ++i) {
+      has_kernel_input |= edge_bytes[i][j] != 0;
+    }
+    if (!has_kernel_input || rng.chance(0.5)) {
+      host_in[j] = rng.between(cfg.min_edge_bytes, cfg.max_edge_bytes);
+    }
+  }
+
+  // Output buffer of each kernel must cover its largest outgoing edge plus
+  // the sink read for terminal kernels.
+  std::vector<std::uint64_t> out_size(k, 0);
+  std::vector<bool> terminal(k, true);
+  for (std::uint32_t i = 0; i < k; ++i) {
+    for (std::uint32_t j = i + 1; j < k; ++j) {
+      out_size[i] = std::max(out_size[i], edge_bytes[i][j]);
+      if (edge_bytes[i][j] != 0) {
+        terminal[i] = false;
+      }
+    }
+    if (terminal[i] || rng.chance(0.3)) {
+      out_size[i] = std::max(
+          out_size[i], rng.between(cfg.min_edge_bytes, cfg.max_edge_bytes));
+      terminal[i] = true;  // Sink will read this kernel's output.
+    }
+    out_size[i] = std::max<std::uint64_t>(out_size[i], 64);
+  }
+
+  const std::uint64_t source_size =
+      *std::max_element(host_in.begin(), host_in.end()) + 64;
+
+  prof::TrackedBuffer<std::uint8_t> source_buf{q, "source_buf", source_size};
+  std::vector<std::unique_ptr<prof::TrackedBuffer<std::uint8_t>>> out_bufs;
+  for (std::uint32_t i = 0; i < k; ++i) {
+    out_bufs.push_back(std::make_unique<prof::TrackedBuffer<std::uint8_t>>(
+        q, "out" + std::to_string(i), out_size[i]));
+  }
+
+  std::vector<std::uint8_t> scratch(
+      std::max(source_size, *std::max_element(out_size.begin(),
+                                              out_size.end())));
+
+  // ---- source (host): publish input data. ----
+  {
+    prof::ScopedFunction scope{q, fn_source};
+    for (std::size_t i = 0; i < scratch.size() && i < source_size; ++i) {
+      scratch[i] = static_cast<std::uint8_t>(rng.next());
+    }
+    source_buf.write_range(0, source_size, scratch.data());
+    q.add_work(source_size / 8);
+  }
+
+  // ---- kernels in topological (index) order. ----
+  std::vector<std::uint64_t> work(k);
+  for (std::uint32_t j = 0; j < k; ++j) {
+    prof::ScopedFunction scope{q, kernel_fn[j]};
+    if (host_in[j] != 0) {
+      source_buf.read_range(0, host_in[j], scratch.data());
+    }
+    for (std::uint32_t i = 0; i < j; ++i) {
+      if (edge_bytes[i][j] != 0) {
+        out_bufs[i]->read_range(0, edge_bytes[i][j], scratch.data());
+      }
+    }
+    for (std::size_t b = 0; b < out_size[j]; ++b) {
+      scratch[b] = static_cast<std::uint8_t>(rng.next());
+    }
+    out_bufs[j]->write_range(0, out_size[j], scratch.data());
+    work[j] = rng.between(cfg.min_work_units, cfg.max_work_units);
+    q.add_work(work[j]);
+  }
+
+  // ---- sink (host): consume terminal outputs. ----
+  {
+    prof::ScopedFunction scope{q, fn_sink};
+    for (std::uint32_t i = 0; i < k; ++i) {
+      if (terminal[i]) {
+        out_bufs[i]->read_range(0, out_size[i], scratch.data());
+      }
+    }
+    q.add_work(256);
+  }
+
+  // Calibration.
+  app.calibration.push_back(
+      sys::CalibrationEntry{"source", 4.0, 0.0, 0, 0, false, false, false});
+  for (std::uint32_t i = 0; i < k; ++i) {
+    sys::CalibrationEntry entry;
+    entry.function = "kernel" + std::to_string(i);
+    entry.host_cycles_per_work_unit = 8.0 + rng.uniform() * 10.0;
+    entry.kernel_cycles_per_work_unit = 0.5 + rng.uniform() * 2.0;
+    entry.area_luts = static_cast<std::uint32_t>(rng.between(800, 6000));
+    entry.area_regs = static_cast<std::uint32_t>(rng.between(800, 8000));
+    entry.is_kernel = true;
+    entry.duplicable = rng.chance(cfg.duplicable_probability);
+    entry.streaming = rng.chance(cfg.streaming_probability);
+    app.calibration.push_back(entry);
+  }
+  app.calibration.push_back(
+      sys::CalibrationEntry{"sink", 4.0, 0.0, 0, 0, false, false, false});
+
+  app.verified = true;
+  app.verification_note = "synthetic dataflow (no functional semantics)";
+  return app;
+}
+
+}  // namespace hybridic::apps

@@ -1,0 +1,32 @@
+// Synthetic application generator: random communication graphs + kernel
+// specs for property tests and ablation sweeps that need many application
+// shapes beyond the paper's four.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "apps/app.hpp"
+
+namespace hybridic::apps {
+
+struct SyntheticConfig {
+  std::uint32_t kernel_count = 6;
+  std::uint32_t host_function_count = 2;
+  double kernel_edge_probability = 0.35;  ///< Kernel->kernel edges.
+  std::uint64_t min_edge_bytes = 1024;
+  std::uint64_t max_edge_bytes = 64 * 1024;
+  std::uint64_t min_work_units = 5'000;
+  std::uint64_t max_work_units = 200'000;
+  double duplicable_probability = 0.25;
+  double streaming_probability = 0.5;
+  std::uint64_t seed = 1;
+};
+
+/// Generate a synthetic profiled application. The profile is produced by
+/// an actual tracked run of a generated dataflow (so every invariant the
+/// real profiler guarantees also holds here). Acyclic by construction:
+/// function i only feeds functions j > i.
+[[nodiscard]] ProfiledApp make_synthetic_app(const SyntheticConfig& config);
+
+}  // namespace hybridic::apps

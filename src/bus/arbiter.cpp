@@ -1,0 +1,69 @@
+#include "bus/arbiter.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace hybridic::bus {
+
+std::uint32_t PriorityArbiter::select(
+    const std::vector<std::uint32_t>& pending) {
+  sim_assert(!pending.empty(), "arbiter called with no pending masters");
+  return pending.front();
+}
+
+RoundRobinArbiter::RoundRobinArbiter(std::uint32_t master_count)
+    : master_count_(master_count), last_grant_(master_count - 1) {
+  require(master_count > 0, "RoundRobinArbiter needs at least one master");
+}
+
+std::uint32_t RoundRobinArbiter::select(
+    const std::vector<std::uint32_t>& pending) {
+  sim_assert(!pending.empty(), "arbiter called with no pending masters");
+  // First pending master strictly after last_grant_, wrapping around.
+  for (std::uint32_t offset = 1; offset <= master_count_; ++offset) {
+    const std::uint32_t candidate = (last_grant_ + offset) % master_count_;
+    if (std::binary_search(pending.begin(), pending.end(), candidate)) {
+      last_grant_ = candidate;
+      return candidate;
+    }
+  }
+  sim_assert(false, "round-robin arbiter found no candidate");
+  return pending.front();
+}
+
+WeightedRoundRobinArbiter::WeightedRoundRobinArbiter(
+    std::vector<std::uint32_t> weights)
+    : weights_(std::move(weights)),
+      credit_(weights_.size(), 0),
+      last_grant_(static_cast<std::uint32_t>(weights_.size()) - 1) {
+  require(!weights_.empty(), "WRR arbiter needs at least one master");
+  for (const std::uint32_t w : weights_) {
+    require(w > 0, "WRR weights must be positive");
+  }
+}
+
+std::uint32_t WeightedRoundRobinArbiter::select(
+    const std::vector<std::uint32_t>& pending) {
+  sim_assert(!pending.empty(), "arbiter called with no pending masters");
+  const auto n = static_cast<std::uint32_t>(weights_.size());
+  // Keep granting the current master while it has credit; otherwise rotate
+  // to the next pending master and refill its credit.
+  if (std::binary_search(pending.begin(), pending.end(), last_grant_) &&
+      credit_[last_grant_] > 0) {
+    --credit_[last_grant_];
+    return last_grant_;
+  }
+  for (std::uint32_t offset = 1; offset <= n; ++offset) {
+    const std::uint32_t candidate = (last_grant_ + offset) % n;
+    if (std::binary_search(pending.begin(), pending.end(), candidate)) {
+      last_grant_ = candidate;
+      credit_[candidate] = weights_[candidate] - 1;
+      return candidate;
+    }
+  }
+  sim_assert(false, "WRR arbiter found no candidate");
+  return pending.front();
+}
+
+}  // namespace hybridic::bus

@@ -1,0 +1,65 @@
+// Bus arbitration policies.
+//
+// The baseline platform uses a Xilinx-PLB-style shared bus: one transaction
+// at a time, masters arbitrated by fixed priority or round-robin. The
+// arbiter is a pure selection policy over the set of pending masters so it
+// can be unit-tested exhaustively in isolation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace hybridic::bus {
+
+/// Arbitration policy over master indices [0, master_count).
+class Arbiter {
+public:
+  virtual ~Arbiter() = default;
+
+  /// Pick the next master among `pending` (non-empty, strictly increasing
+  /// master indices). Must return one of the given values.
+  [[nodiscard]] virtual std::uint32_t select(
+      const std::vector<std::uint32_t>& pending) = 0;
+};
+
+/// Fixed priority: lowest master index wins (PLB-style static priority).
+class PriorityArbiter final : public Arbiter {
+public:
+  [[nodiscard]] std::uint32_t select(
+      const std::vector<std::uint32_t>& pending) override;
+};
+
+/// Round-robin: the winner is the first pending master strictly after the
+/// previous winner (wrapping), so every master gets fair service.
+class RoundRobinArbiter final : public Arbiter {
+public:
+  explicit RoundRobinArbiter(std::uint32_t master_count);
+
+  [[nodiscard]] std::uint32_t select(
+      const std::vector<std::uint32_t>& pending) override;
+
+  [[nodiscard]] std::uint32_t last_grant() const { return last_grant_; }
+
+private:
+  std::uint32_t master_count_;
+  std::uint32_t last_grant_;
+};
+
+/// Weighted round-robin: masters with larger weights may win several
+/// consecutive grants before yielding (used by QoS-style configurations;
+/// the NoC routers use the same discipline at link level).
+class WeightedRoundRobinArbiter final : public Arbiter {
+public:
+  explicit WeightedRoundRobinArbiter(std::vector<std::uint32_t> weights);
+
+  [[nodiscard]] std::uint32_t select(
+      const std::vector<std::uint32_t>& pending) override;
+
+private:
+  std::vector<std::uint32_t> weights_;
+  std::vector<std::uint32_t> credit_;
+  std::uint32_t last_grant_;
+};
+
+}  // namespace hybridic::bus

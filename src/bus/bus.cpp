@@ -1,0 +1,94 @@
+#include "bus/bus.hpp"
+
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace hybridic::bus {
+
+Bus::Bus(std::string name, sim::Engine& engine, const sim::ClockDomain& clock,
+         BusConfig config, std::unique_ptr<Arbiter> arbiter)
+    : name_(std::move(name)),
+      engine_(&engine),
+      clock_(&clock),
+      config_(config),
+      arbiter_(std::move(arbiter)),
+      queues_(config.master_count) {
+  require(config.width_bytes > 0, "bus width must be non-zero");
+  require(config.max_burst_beats > 0, "bus burst length must be non-zero");
+  require(config.master_count > 0, "bus needs at least one master");
+  require(arbiter_ != nullptr, "bus needs an arbiter");
+}
+
+std::uint64_t Bus::data_beats(Bytes bytes) const {
+  return (bytes.count() + config_.width_bytes - 1) / config_.width_bytes;
+}
+
+std::uint64_t Bus::burst_count(Bytes bytes) const {
+  const std::uint64_t beats = data_beats(bytes);
+  if (beats == 0) {
+    return 1;  // A zero-byte transaction still runs an address phase.
+  }
+  return (beats + config_.max_burst_beats - 1) / config_.max_burst_beats;
+}
+
+Picoseconds Bus::uncontended_time(Bytes bytes) const {
+  const std::uint64_t cycles =
+      config_.arbitration_cycles.count() +
+      burst_count(bytes) * config_.address_cycles.count() + data_beats(bytes);
+  return clock_->span(Cycles{cycles});
+}
+
+double Bus::theta_seconds_per_byte(Bytes bytes) const {
+  require(bytes.count() > 0, "theta needs a non-zero reference size");
+  return uncontended_time(bytes).seconds() /
+         static_cast<double>(bytes.count());
+}
+
+void Bus::submit(BusRequest request) {
+  require(request.master < config_.master_count, "bus master out of range");
+  queues_[request.master].push_back(
+      Pending{std::move(request), engine_->now()});
+  if (!busy_) {
+    try_grant();
+  }
+}
+
+void Bus::try_grant() {
+  std::vector<std::uint32_t> pending;
+  for (std::uint32_t m = 0; m < config_.master_count; ++m) {
+    if (!queues_[m].empty()) {
+      pending.push_back(m);
+    }
+  }
+  if (pending.empty()) {
+    return;
+  }
+  const std::uint32_t winner = arbiter_->select(pending);
+  Pending grant = std::move(queues_[winner].front());
+  queues_[winner].pop_front();
+
+  const Picoseconds start = clock_->align_up(engine_->now());
+  const Picoseconds occupied = uncontended_time(grant.request.bytes);
+  const Picoseconds release = start + occupied;
+  const Picoseconds done = release + grant.request.extra_latency;
+
+  busy_ = true;
+  busy_time_ += occupied;
+  bytes_transferred_ += grant.request.bytes;
+  ++transactions_;
+  wait_summary_.add((start - grant.arrived).seconds());
+
+  // The bus frees at `release`; the requester learns of completion once the
+  // slave-side latency has also elapsed.
+  engine_->schedule_at(release, [this] {
+    busy_ = false;
+    try_grant();
+  });
+  if (grant.request.on_complete) {
+    engine_->schedule_at(
+        done, [cb = std::move(grant.request.on_complete), done] { cb(done); });
+  }
+}
+
+}  // namespace hybridic::bus

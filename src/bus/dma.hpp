@@ -1,0 +1,69 @@
+// DMA engine: moves a block between main memory (SDRAM) and a kernel's
+// local BRAM over the shared bus, splitting the block into bus-sized chunks.
+//
+// In the baseline system (paper §III-A) the host programs a DMA descriptor
+// per kernel invocation: D_in from SDRAM to the kernel BRAM before compute,
+// D_out back after compute. Descriptor setup costs host cycles; the data
+// movement occupies the bus, the SDRAM channel and one BRAM port.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "bus/bus.hpp"
+#include "mem/bram.hpp"
+#include "mem/sdram.hpp"
+#include "sim/engine.hpp"
+#include "util/units.hpp"
+
+namespace hybridic::bus {
+
+/// DMA configuration.
+struct DmaConfig {
+  Cycles setup_cycles{30};       ///< Host cycles to program a descriptor.
+  std::uint32_t chunk_bytes = 4096;  ///< Max bytes per bus transaction.
+};
+
+/// Direction of a DMA block transfer.
+enum class DmaDirection : std::uint8_t {
+  kMemToLocal,  ///< SDRAM -> kernel BRAM (input fetch).
+  kLocalToMem,  ///< kernel BRAM -> SDRAM (result write-back).
+};
+
+/// A DMA engine bound to one bus master id.
+class Dma {
+public:
+  /// `setup_clock` is the clock of the processor programming descriptors
+  /// (the host), which prices DmaConfig::setup_cycles.
+  Dma(std::string name, sim::Engine& engine, Bus& bus, mem::Sdram& sdram,
+      const sim::ClockDomain& setup_clock, DmaConfig config,
+      std::uint32_t bus_master);
+
+  /// Start a block transfer touching `local` (port A, the host-facing port,
+  /// or through the provided access functor when the BRAM port is muxed).
+  /// `on_complete` fires when the last chunk has fully landed.
+  void transfer(DmaDirection direction, Bytes bytes, mem::Bram& local,
+                std::function<void(Picoseconds)> on_complete);
+
+  /// As `transfer`, but the local-memory side is reserved through a caller
+  /// supplied functor (earliest, bytes) -> completion, so muxed ports work.
+  void transfer_via(
+      DmaDirection direction, Bytes bytes,
+      const std::function<Picoseconds(Picoseconds, Bytes)>& local_access,
+      std::function<void(Picoseconds)> on_complete);
+
+  [[nodiscard]] std::uint64_t transfers_started() const { return started_; }
+
+private:
+  std::string name_;
+  sim::Engine* engine_;
+  Bus* bus_;
+  mem::Sdram* sdram_;
+  const sim::ClockDomain* setup_clock_;
+  DmaConfig config_;
+  std::uint32_t bus_master_;
+  std::uint64_t started_ = 0;
+};
+
+}  // namespace hybridic::bus

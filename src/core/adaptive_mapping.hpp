@@ -1,0 +1,47 @@
+// The adaptive mapping function — Equation 3/5 and Table I of the paper.
+//
+//   f : Communication → Interconnect
+//   Communication = {R1,R2,R3} × {S1,S2,S3}
+//   Interconnect  = {K1,K2} × {M1,M2,M3}
+//
+// K1/K2: kernel not/connected to the NoC.
+// M1/M2/M3: local memory connected to the system communication
+// infrastructure only / the NoC only / both.
+//
+// {K1,M2} is infeasible (the kernel's result would be unreachable); Table I
+// never produces it, and `is_feasible` rejects it for completeness.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/comm_classify.hpp"
+
+namespace hybridic::core {
+
+/// Kernel-side NoC connection.
+enum class KernelConn : std::uint8_t { kK1 = 1, kK2 = 2 };
+
+/// Local-memory-side connection.
+enum class MemConn : std::uint8_t { kM1 = 1, kM2 = 2, kM3 = 3 };
+
+/// One kernel's interconnect topology case.
+struct InterconnectClass {
+  KernelConn kernel = KernelConn::kK1;
+  MemConn memory = MemConn::kM1;
+
+  friend constexpr bool operator==(InterconnectClass,
+                                   InterconnectClass) = default;
+};
+
+/// Table I.
+[[nodiscard]] InterconnectClass adaptive_map(CommClass communication);
+
+/// {K1,M2} is the single infeasible interconnect value.
+[[nodiscard]] bool is_feasible(InterconnectClass ic);
+
+[[nodiscard]] std::string to_string(KernelConn k);
+[[nodiscard]] std::string to_string(MemConn m);
+[[nodiscard]] std::string to_string(InterconnectClass ic);
+
+}  // namespace hybridic::core

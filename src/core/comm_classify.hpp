@@ -1,0 +1,39 @@
+// Communication-topology classification — Equation 4 of the paper.
+//
+// Each kernel is classified by where its input comes from and where its
+// output goes:
+//   receive: R1 = kernels only, R2 = host only, R3 = both;
+//   send:    S1 = kernels only, S2 = host only, S3 = both.
+// The cross product {R1,R2,R3}×{S1,S2,S3} is the domain of the adaptive
+// mapping function (Table I).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/kernel_model.hpp"
+
+namespace hybridic::core {
+
+enum class RecvClass : std::uint8_t { kR1 = 1, kR2 = 2, kR3 = 3 };
+enum class SendClass : std::uint8_t { kS1 = 1, kS2 = 2, kS3 = 3 };
+
+/// A kernel's communication topology case.
+struct CommClass {
+  RecvClass recv = RecvClass::kR2;
+  SendClass send = SendClass::kS2;
+
+  friend constexpr bool operator==(CommClass, CommClass) = default;
+};
+
+/// Classify from Eq-1 quantities. A kernel with no input at all (or no
+/// output at all) degrades to the host-only class: its data movement, if
+/// any ever appears, flows through the system infrastructure by default,
+/// which Table I maps to the cheapest interconnect.
+[[nodiscard]] CommClass classify(const KernelQuantities& q);
+
+[[nodiscard]] std::string to_string(RecvClass r);
+[[nodiscard]] std::string to_string(SendClass s);
+[[nodiscard]] std::string to_string(CommClass c);
+
+}  // namespace hybridic::core

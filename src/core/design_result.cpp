@@ -1,0 +1,112 @@
+#include "core/design_result.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace hybridic::core {
+
+std::uint32_t NocPlan::node_of(std::size_t instance, NocNodeKind kind) const {
+  for (const NocAttachment& a : attachments) {
+    if (a.instance == instance && a.kind == kind) {
+      return a.node;
+    }
+  }
+  throw ConfigError{"NocPlan: no attachment for requested instance"};
+}
+
+bool NocPlan::has_node(std::size_t instance, NocNodeKind kind) const {
+  for (const NocAttachment& a : attachments) {
+    if (a.instance == instance && a.kind == kind) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string DesignResult::solution_tag() const {
+  std::string tag;
+  const auto append = [&tag](const char* part) {
+    if (!tag.empty()) {
+      tag += ", ";
+    }
+    tag += part;
+  };
+  if (uses_noc()) {
+    append("NoC");
+  }
+  if (uses_shared_memory()) {
+    append("SM");
+  }
+  if (uses_parallel()) {
+    append("P");
+  }
+  if (tag.empty()) {
+    tag = "Bus";
+  }
+  return tag;
+}
+
+std::string DesignResult::describe(const prof::CommGraph& graph) const {
+  std::ostringstream out;
+  out << "Custom interconnect design (" << solution_tag() << ")\n";
+  out << "Kernel instances:\n";
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    const KernelInstance& inst = instances[i];
+    out << "  [" << i << "] " << inst.name << "  comm="
+        << to_string(inst.comm_class) << " -> map="
+        << to_string(inst.mapping) << "  (share=" << inst.work_share
+        << ")\n";
+  }
+  if (!shared_pairs.empty()) {
+    out << "Shared local memory pairs:\n";
+    for (const SharedMemoryPairing& pair : shared_pairs) {
+      out << "  " << instances[pair.producer_instance].name << " -> "
+          << instances[pair.consumer_instance].name << " : "
+          << format_bytes(pair.bytes) << " via "
+          << (pair.style == mem::SharingStyle::kCrossbar ? "2x2 crossbar"
+                                                         : "direct sharing")
+          << "\n";
+    }
+  }
+  if (noc.has_value()) {
+    out << "NoC: " << noc->mesh_width << "x" << noc->mesh_height
+        << " mesh, " << noc->router_count() << " router(s)\n";
+    for (const NocAttachment& a : noc->attachments) {
+      out << "  node " << a.node << ": " << instances[a.instance].name
+          << (a.kind == NocNodeKind::kKernel ? " (kernel)"
+                                             : " (local memory)")
+          << "\n";
+    }
+  } else {
+    out << "NoC: not instantiated\n";
+  }
+  if (!parallel.duplicated_specs.empty()) {
+    out << "Duplicated kernels (case 3): ";
+    for (std::size_t i = 0; i < parallel.duplicated_specs.size(); ++i) {
+      out << (i == 0 ? "" : ", ") << parallel.duplicated_specs[i];
+    }
+    out << "\n";
+  }
+  if (!parallel.host_pipelined.empty()) {
+    out << "Host-transfer pipelining (case 1): ";
+    for (std::size_t i = 0; i < parallel.host_pipelined.size(); ++i) {
+      out << (i == 0 ? "" : ", ")
+          << instances[parallel.host_pipelined[i]].name;
+    }
+    out << "\n";
+  }
+  if (!parallel.streamed.empty()) {
+    out << "Streamed kernel pairs (case 2): ";
+    for (std::size_t i = 0; i < parallel.streamed.size(); ++i) {
+      const StreamedEdge& e = parallel.streamed[i];
+      out << (i == 0 ? "" : ", ") << instances[e.producer_instance].name
+          << "->" << instances[e.consumer_instance].name;
+    }
+    out << "\n";
+  }
+  (void)graph;
+  return out.str();
+}
+
+}  // namespace hybridic::core

@@ -1,0 +1,118 @@
+// The output of the interconnect design algorithm: a complete, buildable
+// description of the hybrid custom interconnect for one application.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/adaptive_mapping.hpp"
+#include "core/comm_classify.hpp"
+#include "core/kernel_model.hpp"
+#include "mem/crossbar.hpp"
+#include "noc/topology.hpp"
+#include "util/units.hpp"
+
+namespace hybridic::core {
+
+/// A physical kernel instance (duplication may create several instances of
+/// one spec; each instance owns a local memory).
+struct KernelInstance {
+  std::string name;           ///< e.g. "huff_ac_dec#1" for a duplicate.
+  std::size_t spec_index = 0; ///< Index into the design input's specs.
+  prof::FunctionId function = 0;
+  double work_share = 1.0;    ///< Fraction of the function's work/data.
+  KernelQuantities quantities;      ///< Eq-1 terms (full function volumes).
+  KernelQuantities residual;        ///< After shared-memory exclusions.
+  CommClass comm_class;             ///< Classified on the residual.
+  InterconnectClass mapping;        ///< Table-I result.
+};
+
+/// A shared-local-memory pairing (§IV-A1).
+struct SharedMemoryPairing {
+  std::size_t producer_instance = 0;
+  std::size_t consumer_instance = 0;
+  Bytes bytes{0};              ///< D_ij moved through the shared memory.
+  mem::SharingStyle style = mem::SharingStyle::kCrossbar;
+};
+
+/// What sits behind one NoC router.
+enum class NocNodeKind : std::uint8_t { kKernel, kLocalMemory };
+
+/// One attachment to the NoC.
+struct NocAttachment {
+  std::size_t instance = 0;
+  NocNodeKind kind = NocNodeKind::kKernel;
+  std::uint32_t node = 0;  ///< Mesh node id after placement.
+};
+
+/// The NoC part of the design, if any.
+struct NocPlan {
+  std::uint32_t mesh_width = 0;
+  std::uint32_t mesh_height = 0;
+  std::vector<NocAttachment> attachments;
+
+  [[nodiscard]] std::uint32_t router_count() const {
+    return static_cast<std::uint32_t>(attachments.size());
+  }
+  /// Mesh node hosting instance `i`'s kernel (or memory); throws if absent.
+  [[nodiscard]] std::uint32_t node_of(std::size_t instance,
+                                      NocNodeKind kind) const;
+  [[nodiscard]] bool has_node(std::size_t instance, NocNodeKind kind) const;
+};
+
+/// Case-2 streaming between a producer and consumer instance.
+struct StreamedEdge {
+  std::size_t producer_instance = 0;
+  std::size_t consumer_instance = 0;
+};
+
+/// Parallel-processing decisions (§IV-A3).
+struct ParallelPlan {
+  std::vector<std::size_t> host_pipelined;       ///< Case 1, instance ids.
+  std::vector<StreamedEdge> streamed;            ///< Case 2.
+  std::vector<std::size_t> duplicated_specs;     ///< Case 3, spec indices.
+};
+
+/// Analytical timing estimate attached to the design (Eq. 2 and Δ terms).
+struct DesignEstimate {
+  double baseline_seconds = 0.0;
+  double delta_shared_memory_seconds = 0.0;
+  double delta_noc_seconds = 0.0;
+  double delta_parallel_seconds = 0.0;
+  double delta_duplication_seconds = 0.0;
+
+  [[nodiscard]] double proposed_seconds() const {
+    const double t = baseline_seconds - delta_shared_memory_seconds -
+                     delta_noc_seconds - delta_parallel_seconds -
+                     delta_duplication_seconds;
+    return t > 0.0 ? t : 0.0;
+  }
+};
+
+/// The complete design.
+struct DesignResult {
+  std::vector<KernelInstance> instances;
+  std::vector<SharedMemoryPairing> shared_pairs;
+  std::optional<NocPlan> noc;
+  ParallelPlan parallel;
+  DesignEstimate estimate;
+
+  [[nodiscard]] bool uses_noc() const { return noc.has_value(); }
+  [[nodiscard]] bool uses_shared_memory() const {
+    return !shared_pairs.empty();
+  }
+  [[nodiscard]] bool uses_parallel() const {
+    return !parallel.host_pipelined.empty() || !parallel.streamed.empty() ||
+           !parallel.duplicated_specs.empty();
+  }
+
+  /// Table-IV style solution tag, e.g. "NoC, SM, P".
+  [[nodiscard]] std::string solution_tag() const;
+
+  /// Human-readable description of the whole design (the Fig. 6 analogue).
+  [[nodiscard]] std::string describe(const prof::CommGraph& graph) const;
+};
+
+}  // namespace hybridic::core

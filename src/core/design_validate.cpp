@@ -1,0 +1,138 @@
+#include "core/design_validate.hpp"
+
+#include <cmath>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace hybridic::core {
+
+namespace {
+
+void error(std::vector<ValidationIssue>& issues, std::string message) {
+  issues.push_back(ValidationIssue{Severity::kError, std::move(message)});
+}
+
+void warning(std::vector<ValidationIssue>& issues, std::string message) {
+  issues.push_back(
+      ValidationIssue{Severity::kWarning, std::move(message)});
+}
+
+}  // namespace
+
+std::vector<ValidationIssue> validate_design(
+    const DesignResult& design, const std::vector<KernelSpec>& specs,
+    const ValidationContext& context) {
+  std::vector<ValidationIssue> issues;
+
+  // Instances reference real specs; shares sum to one per spec.
+  std::map<std::size_t, double> share_sum;
+  for (std::size_t i = 0; i < design.instances.size(); ++i) {
+    const KernelInstance& inst = design.instances[i];
+    if (inst.spec_index >= specs.size()) {
+      error(issues, "instance '" + inst.name +
+                        "' references spec " +
+                        std::to_string(inst.spec_index) +
+                        " but only " + std::to_string(specs.size()) +
+                        " specs exist");
+      continue;
+    }
+    share_sum[inst.spec_index] += inst.work_share;
+    if (!is_feasible(inst.mapping)) {
+      error(issues, "instance '" + inst.name +
+                        "' carries the infeasible {K1,M2} mapping");
+    }
+    if (specs[inst.spec_index].hw_compute_cycles.count() == 0) {
+      warning(issues, "kernel '" + inst.name +
+                          "' has zero compute cycles (calibration?)");
+    }
+    if (inst.quantities.total_in() > context.bram_capacity) {
+      warning(issues,
+              "kernel '" + inst.name + "' input volume (" +
+                  format_bytes(inst.quantities.total_in()) +
+                  ") exceeds its BRAM capacity (" +
+                  format_bytes(context.bram_capacity) +
+                  "): execution will need input chunking");
+    }
+  }
+  for (const auto& [spec, sum] : share_sum) {
+    if (std::fabs(sum - 1.0) > 1e-9) {
+      error(issues, "work shares of spec " + std::to_string(spec) +
+                        " sum to " + std::to_string(sum) +
+                        " instead of 1");
+    }
+  }
+
+  // Shared pairs.
+  for (const SharedMemoryPairing& pair : design.shared_pairs) {
+    if (pair.producer_instance >= design.instances.size() ||
+        pair.consumer_instance >= design.instances.size()) {
+      error(issues, "shared pair references a missing instance");
+      continue;
+    }
+    const KernelInstance& consumer =
+        design.instances[pair.consumer_instance];
+    const bool consumer_host_traffic =
+        consumer.quantities.host_in.count() > 0 ||
+        consumer.quantities.host_out.count() > 0;
+    if (pair.style == mem::SharingStyle::kDirect &&
+        consumer_host_traffic) {
+      error(issues,
+            "pair (" + design.instances[pair.producer_instance].name +
+                " -> " + consumer.name +
+                ") shares directly although the consumer has host "
+                "traffic; a crossbar is required (paper §IV-A1)");
+    }
+  }
+
+  // NoC plan.
+  if (design.noc.has_value()) {
+    const NocPlan& plan = *design.noc;
+    const std::uint32_t nodes = plan.mesh_width * plan.mesh_height;
+    if (nodes > context.max_mesh_nodes) {
+      warning(issues, "NoC mesh has " + std::to_string(nodes) +
+                          " nodes, above the configured maximum of " +
+                          std::to_string(context.max_mesh_nodes));
+    }
+    std::set<std::uint32_t> used;
+    for (const NocAttachment& a : plan.attachments) {
+      if (a.instance >= design.instances.size()) {
+        error(issues, "NoC attachment references a missing instance");
+        continue;
+      }
+      if (a.node >= nodes) {
+        error(issues, "NoC attachment of '" +
+                          design.instances[a.instance].name +
+                          "' is placed off the mesh (node " +
+                          std::to_string(a.node) + ")");
+      }
+      if (!used.insert(a.node).second) {
+        error(issues, "two NoC attachments share router " +
+                          std::to_string(a.node) +
+                          " (one component per router)");
+      }
+    }
+  }
+
+  return issues;
+}
+
+bool is_valid(const std::vector<ValidationIssue>& issues) {
+  for (const ValidationIssue& issue : issues) {
+    if (issue.severity == Severity::kError) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string format_issues(const std::vector<ValidationIssue>& issues) {
+  std::ostringstream out;
+  for (const ValidationIssue& issue : issues) {
+    out << (issue.severity == Severity::kError ? "error: " : "warning: ")
+        << issue.message << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace hybridic::core

@@ -1,0 +1,55 @@
+// Design validation: sanity-checks a DesignResult against the platform's
+// physical constraints before it is built/simulated. Catches issues the
+// constructive algorithm cannot produce on its own but hand-edited or
+// deserialized designs might carry.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/design_result.hpp"
+#include "core/kernel_model.hpp"
+#include "util/units.hpp"
+
+namespace hybridic::core {
+
+enum class Severity : std::uint8_t { kWarning, kError };
+
+struct ValidationIssue {
+  Severity severity = Severity::kWarning;
+  std::string message;
+};
+
+/// Physical constraints the validator checks against.
+struct ValidationContext {
+  Bytes bram_capacity{64 * 1024};
+  std::uint32_t max_mesh_nodes = 64;
+};
+
+/// Validate `design` (built from `specs`). Returns all issues found;
+/// an empty vector means the design is clean.
+///
+/// Errors:
+///  - instance referencing a missing spec,
+///  - infeasible {K1,M2} mapping,
+///  - duplicated-instance work shares not summing to 1 per spec,
+///  - NoC attachments off the mesh or sharing a router,
+///  - a shared pair whose endpoints are also NoC-paired for the same edge,
+///  - direct (crossbar-less) sharing although the consumer has host
+///    traffic.
+/// Warnings:
+///  - kernel input volume exceeding the BRAM capacity (needs chunking),
+///  - a NoC bigger than the configured maximum,
+///  - kernels with zero compute cycles.
+[[nodiscard]] std::vector<ValidationIssue> validate_design(
+    const DesignResult& design, const std::vector<KernelSpec>& specs,
+    const ValidationContext& context = {});
+
+/// True when no issue of severity kError exists.
+[[nodiscard]] bool is_valid(const std::vector<ValidationIssue>& issues);
+
+/// Render issues one per line ("error: ..." / "warning: ...").
+[[nodiscard]] std::string format_issues(
+    const std::vector<ValidationIssue>& issues);
+
+}  // namespace hybridic::core

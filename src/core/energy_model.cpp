@@ -1,0 +1,17 @@
+#include "core/energy_model.hpp"
+
+namespace hybridic::core {
+
+double system_power_watts(Resources resources, const PowerModel& model) {
+  return model.static_watts +
+         model.watts_per_kilo_lut * static_cast<double>(resources.luts) /
+             1000.0 +
+         model.watts_per_kilo_reg * static_cast<double>(resources.regs) /
+             1000.0;
+}
+
+double energy_joules(double watts, double seconds) {
+  return watts * seconds;
+}
+
+}  // namespace hybridic::core

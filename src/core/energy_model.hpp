@@ -1,0 +1,28 @@
+// Activity-based power/energy model (the XPower-Analyzer substitute).
+//
+// The paper observes that power is "almost identical" between the baseline
+// and the proposed system (the interconnect adds a few percent of logic),
+// so energy savings track execution-time savings. This model reproduces
+// that mechanism: static power dominates, dynamic power scales with
+// occupied LUTs/registers, and energy = power × simulated execution time.
+#pragma once
+
+#include "core/resource_model.hpp"
+
+namespace hybridic::core {
+
+/// Power-model coefficients (Virtex-5 class device).
+struct PowerModel {
+  double static_watts = 1.6;         ///< Device static + PowerPC + DDR I/O.
+  double watts_per_kilo_lut = 0.021; ///< Dynamic, at design activity.
+  double watts_per_kilo_reg = 0.012;
+};
+
+/// Total power of a system occupying `resources`.
+[[nodiscard]] double system_power_watts(Resources resources,
+                                        const PowerModel& model);
+
+/// Energy for a run of `seconds` at `watts`.
+[[nodiscard]] double energy_joules(double watts, double seconds);
+
+}  // namespace hybridic::core

@@ -1,0 +1,53 @@
+// Algorithm 1 — the automated custom-interconnect design strategy.
+//
+// Input: the application's kernel candidates (L_hw) plus its quantitative
+// data-communication profile (the QUAD graph, G). Output: the hybrid custom
+// interconnect — duplication decisions, shared-local-memory pairings, NoC
+// attachments with adaptive mapping (Table I) and mesh placement, and the
+// parallel-processing decisions — together with the analytical time
+// estimate from the §IV-A models.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/design_result.hpp"
+#include "core/kernel_model.hpp"
+#include "core/perf_model.hpp"
+#include "prof/comm_graph.hpp"
+#include "util/units.hpp"
+
+namespace hybridic::core {
+
+/// Everything Algorithm 1 needs.
+struct DesignInput {
+  const prof::CommGraph* graph = nullptr;
+  std::vector<KernelSpec> kernels;  ///< L_hw (line 1 already performed).
+  Frequency kernel_clock = Frequency::megahertz(100);
+  Theta theta;  ///< Measured average sec/byte of the system infrastructure.
+
+  double stream_overhead_seconds = 15e-6;       ///< O for cases 1 & 2.
+  double duplication_overhead_seconds = 30e-6;  ///< O for case 3.
+
+  /// LUT budget available for duplicated kernels ("resource is available",
+  /// line 3). Zero disables duplication by exhaustion.
+  std::uint32_t duplication_area_budget_luts = 20000;
+
+  // Ablation switches (all true reproduces the paper's algorithm; the
+  // NoC-only comparison system of Table IV disables the first two).
+  bool enable_shared_memory = true;
+  bool enable_adaptive_mapping = true;
+  bool enable_parallel = true;
+  bool enable_duplication = true;
+
+  /// Refine the deterministic greedy/hill-climb NoC placement with
+  /// simulated annealing (useful above ~10 attachments). Deterministic
+  /// for a fixed seed.
+  bool anneal_placement = false;
+  std::uint64_t placement_seed = 1;
+};
+
+/// Run Algorithm 1. Throws ConfigError on inconsistent input.
+[[nodiscard]] DesignResult design_interconnect(const DesignInput& input);
+
+}  // namespace hybridic::core

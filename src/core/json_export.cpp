@@ -1,0 +1,138 @@
+#include "core/json_export.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace hybridic::core {
+
+namespace {
+
+std::string quoted(const std::string& s) {
+  std::string out = "\"";
+  for (const char ch : s) {
+    if (ch == '"' || ch == '\\') {
+      out += '\\';
+    }
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+template <typename T, typename Render>
+void render_array(std::ostringstream& out, const std::vector<T>& items,
+                  const char* indent, Render&& render) {
+  out << "[";
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n") << indent;
+    render(items[i]);
+  }
+  if (!items.empty()) {
+    out << "\n" << indent + 2;
+  }
+  out << "]";
+}
+
+}  // namespace
+
+std::string to_json(const DesignResult& design,
+                    const std::vector<KernelSpec>& specs) {
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"solution\": " << quoted(design.solution_tag()) << ",\n";
+
+  out << "  \"instances\": ";
+  render_array(out, design.instances, "    ",
+               [&out, &specs](const KernelInstance& inst) {
+                 require(inst.spec_index < specs.size(),
+                         "to_json: instance references missing spec");
+                 out << "{\"name\": " << quoted(inst.name)
+                     << ", \"spec\": " << quoted(specs[inst.spec_index].name)
+                     << ", \"function\": " << inst.function
+                     << ", \"work_share\": " << inst.work_share
+                     << ", \"comm_class\": "
+                     << quoted(to_string(inst.comm_class))
+                     << ", \"mapping\": {\"kernel\": "
+                     << quoted(to_string(inst.mapping.kernel))
+                     << ", \"memory\": "
+                     << quoted(to_string(inst.mapping.memory)) << "}}";
+               });
+  out << ",\n";
+
+  out << "  \"shared_memory_pairs\": ";
+  render_array(out, design.shared_pairs, "    ",
+               [&out, &design](const SharedMemoryPairing& pair) {
+                 out << "{\"producer\": "
+                     << quoted(design.instances[pair.producer_instance]
+                                   .name)
+                     << ", \"consumer\": "
+                     << quoted(design.instances[pair.consumer_instance]
+                                   .name)
+                     << ", \"bytes\": " << pair.bytes.count()
+                     << ", \"style\": "
+                     << quoted(pair.style == mem::SharingStyle::kCrossbar
+                                   ? "crossbar"
+                                   : "direct")
+                     << "}";
+               });
+  out << ",\n";
+
+  out << "  \"noc\": ";
+  if (design.noc.has_value()) {
+    out << "{\"mesh\": {\"width\": " << design.noc->mesh_width
+        << ", \"height\": " << design.noc->mesh_height
+        << "}, \"attachments\": ";
+    render_array(out, design.noc->attachments, "    ",
+                 [&out, &design](const NocAttachment& a) {
+                   out << "{\"instance\": "
+                       << quoted(design.instances[a.instance].name)
+                       << ", \"kind\": "
+                       << quoted(a.kind == NocNodeKind::kKernel
+                                     ? "kernel"
+                                     : "local_memory")
+                       << ", \"node\": " << a.node << "}";
+                 });
+    out << "}";
+  } else {
+    out << "null";
+  }
+  out << ",\n";
+
+  out << "  \"parallel\": {\"host_pipelined\": ";
+  render_array(out, design.parallel.host_pipelined, "    ",
+               [&out, &design](std::size_t i) {
+                 out << quoted(design.instances[i].name);
+               });
+  out << ", \"streamed\": ";
+  render_array(out, design.parallel.streamed, "    ",
+               [&out, &design](const StreamedEdge& e) {
+                 out << "{\"producer\": "
+                     << quoted(
+                            design.instances[e.producer_instance].name)
+                     << ", \"consumer\": "
+                     << quoted(
+                            design.instances[e.consumer_instance].name)
+                     << "}";
+               });
+  out << ", \"duplicated_specs\": ";
+  render_array(out, design.parallel.duplicated_specs, "    ",
+               [&out, &specs](std::size_t s) {
+                 out << quoted(specs[s].name);
+               });
+  out << "},\n";
+
+  out << "  \"estimate\": {\"baseline_s\": "
+      << design.estimate.baseline_seconds
+      << ", \"proposed_s\": " << design.estimate.proposed_seconds()
+      << ", \"deltas\": {\"shared_memory_s\": "
+      << design.estimate.delta_shared_memory_seconds
+      << ", \"noc_s\": " << design.estimate.delta_noc_seconds
+      << ", \"parallel_s\": " << design.estimate.delta_parallel_seconds
+      << ", \"duplication_s\": "
+      << design.estimate.delta_duplication_seconds << "}}\n";
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace hybridic::core

@@ -1,0 +1,29 @@
+// JSON serialization of a DesignResult — the machine-readable form a
+// downstream RTL-generation or floorplanning toolchain would consume.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/design_result.hpp"
+#include "core/kernel_model.hpp"
+
+namespace hybridic::core {
+
+/// Serialize `design` (built from `specs`) to pretty-printed JSON.
+/// Schema (stable):
+/// {
+///   "solution": "NoC, SM, P",
+///   "instances": [{name, spec, function, work_share, comm_class,
+///                  mapping:{kernel, memory}}...],
+///   "shared_memory_pairs": [{producer, consumer, bytes, style}...],
+///   "noc": {mesh:{width,height}, attachments:[{instance,kind,node}...]}
+///          | null,
+///   "parallel": {host_pipelined:[...], streamed:[{producer,consumer}...],
+///                duplicated_specs:[...]},
+///   "estimate": {baseline_s, proposed_s, deltas:{...}}
+/// }
+[[nodiscard]] std::string to_json(const DesignResult& design,
+                                  const std::vector<KernelSpec>& specs);
+
+}  // namespace hybridic::core

@@ -1,0 +1,36 @@
+#include "core/kernel_model.hpp"
+
+namespace hybridic::core {
+
+KernelQuantities derive_quantities(
+    const prof::CommGraph& graph, prof::FunctionId kernel,
+    const std::set<prof::FunctionId>& hw_set,
+    const std::set<std::pair<prof::FunctionId, prof::FunctionId>>&
+        excluded_edges) {
+  KernelQuantities q;
+  for (const prof::CommEdge& edge : graph.edges()) {
+    if (edge.producer == edge.consumer) {
+      continue;  // In-place/self communication never leaves the kernel.
+    }
+    if (excluded_edges.count({edge.producer, edge.consumer}) > 0) {
+      continue;
+    }
+    if (edge.consumer == kernel) {
+      if (hw_set.count(edge.producer) > 0) {
+        q.kernel_in += edge_volume(edge);
+      } else {
+        q.host_in += edge_volume(edge);
+      }
+    }
+    if (edge.producer == kernel) {
+      if (hw_set.count(edge.consumer) > 0) {
+        q.kernel_out += edge_volume(edge);
+      } else {
+        q.host_out += edge_volume(edge);
+      }
+    }
+  }
+  return q;
+}
+
+}  // namespace hybridic::core

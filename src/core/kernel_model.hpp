@@ -1,0 +1,63 @@
+// Kernel model — Equation 1 of the paper:
+//
+//   HW_i(τ_i, D^H_in, D^K_in, D^H_out, D^K_out)
+//
+// τ_i is the kernel's computation time; the four D terms split the kernel's
+// input/output volume by whether the other endpoint is the host (a software
+// function) or another HW kernel. The terms are derived mechanically from
+// the profiled communication graph once the HW set is fixed.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "prof/comm_graph.hpp"
+#include "util/units.hpp"
+
+namespace hybridic::core {
+
+/// Static description of one kernel candidate (the entries of L_hw).
+struct KernelSpec {
+  std::string name;
+  prof::FunctionId function = 0;
+  Cycles hw_compute_cycles{0};  ///< τ_i at the kernel clock (100 MHz).
+  Cycles sw_compute_cycles{0};  ///< Same work on the host (400 MHz).
+  std::uint32_t area_luts = 0;  ///< Synthesized kernel area.
+  std::uint32_t area_regs = 0;
+  bool duplicable = false;      ///< Case-3 candidate (data-parallel).
+  bool streaming = false;       ///< Case-1/2 candidate (stream processing).
+};
+
+/// Equation-1 quantities for one kernel, derived from the profile.
+struct KernelQuantities {
+  Bytes host_in{0};     ///< D^H_in  — input produced by host functions.
+  Bytes kernel_in{0};   ///< D^K_in  — input produced by other kernels.
+  Bytes host_out{0};    ///< D^H_out — output consumed by host functions.
+  Bytes kernel_out{0};  ///< D^K_out — output consumed by other kernels.
+
+  [[nodiscard]] Bytes total_in() const { return host_in + kernel_in; }
+  [[nodiscard]] Bytes total_out() const { return host_out + kernel_out; }
+  [[nodiscard]] Bytes total() const { return total_in() + total_out(); }
+};
+
+/// Design-facing volume of a profiled edge: the unique bytes (UMA count at
+/// byte granularity). A datum is fetched into a kernel's local memory once,
+/// however many times the consumer then touches it, so unique bytes — not
+/// raw access bytes — is what moves across the interconnect.
+[[nodiscard]] inline Bytes edge_volume(const prof::CommEdge& edge) {
+  return Bytes{edge.unique_addresses};
+}
+
+/// Compute Eq-1 D terms for `kernel` given the set of functions mapped to
+/// hardware. Self-edges are local and excluded. Edges listed in
+/// `excluded_edges` (producer, consumer) are skipped — used after the
+/// shared-local-memory step removes pair traffic from the NoC problem.
+[[nodiscard]] KernelQuantities derive_quantities(
+    const prof::CommGraph& graph, prof::FunctionId kernel,
+    const std::set<prof::FunctionId>& hw_set,
+    const std::set<std::pair<prof::FunctionId, prof::FunctionId>>&
+        excluded_edges = {});
+
+}  // namespace hybridic::core

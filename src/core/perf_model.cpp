@@ -1,0 +1,55 @@
+#include "core/perf_model.hpp"
+
+#include <algorithm>
+
+namespace hybridic::core {
+
+KernelTimes baseline_kernel_times(const KernelQuantities& q,
+                                  double tau_seconds, Theta theta) {
+  KernelTimes times;
+  times.compute_seconds = tau_seconds;
+  times.communication_seconds =
+      theta.transfer_seconds(q.total_in() + q.total_out());
+  return times;
+}
+
+double baseline_total_seconds(const std::vector<KernelTimes>& kernels) {
+  double total = 0.0;
+  for (const KernelTimes& k : kernels) {
+    total += k.total();
+  }
+  return total;
+}
+
+double delta_shared_memory(Bytes d_ij, Theta theta) {
+  return 2.0 * theta.transfer_seconds(d_ij);
+}
+
+double delta_noc(const std::vector<KernelQuantities>& kernels, Theta theta) {
+  double total = 0.0;
+  for (const KernelQuantities& q : kernels) {
+    total += theta.transfer_seconds(q.kernel_in + q.kernel_out);
+  }
+  return total;
+}
+
+double delta_pipeline_host(const KernelQuantities& q, double tau_seconds,
+                           Theta theta, double overhead_seconds) {
+  const double in_half = theta.transfer_seconds(q.host_in) / 2.0;
+  const double out_half = theta.transfer_seconds(q.host_out) / 2.0;
+  const double tau_half = tau_seconds / 2.0;
+  return std::min(in_half, tau_half) + std::min(out_half, tau_half) -
+         overhead_seconds;
+}
+
+double delta_pipeline_kernels(double tau_i_seconds, double tau_j_seconds,
+                              double overhead_seconds) {
+  return std::min(tau_i_seconds / 2.0, tau_j_seconds / 2.0) -
+         overhead_seconds;
+}
+
+double delta_duplication(double tau_seconds, double overhead_seconds) {
+  return tau_seconds / 2.0 - overhead_seconds;
+}
+
+}  // namespace hybridic::core

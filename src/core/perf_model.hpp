@@ -1,0 +1,72 @@
+// Analytical performance model — Equation 2 and the Δ reductions of §IV-A.
+//
+//   T_b = Σ τ_i + Σ (D_in(i) + D_out(i)) · θ                        (Eq. 2)
+//   Δc   = 2 · D_ij · θ                      (shared local memory)
+//   Δn   = Σ (D^K_in(i) + D^K_out(i)) · θ    (NoC hides kernel↔kernel)
+//   Δp1  = min(D^H_in/2·θ, τ/2) + min(D^H_out/2·θ, τ/2) − O   (case 1)
+//   Δp2  = min(τ_i/2, τ_j/2) − O                               (case 2)
+//   Δdp  = τ_i/2 − O                                           (case 3)
+//
+// θ is the average time to move one byte over the system communication
+// infrastructure; the executor measures it from the simulated bus, and the
+// designer uses it to rank solutions before committing to one.
+#pragma once
+
+#include <vector>
+
+#include "core/kernel_model.hpp"
+#include "util/units.hpp"
+
+namespace hybridic::core {
+
+/// Seconds per byte over the baseline communication infrastructure.
+struct Theta {
+  double seconds_per_byte = 0.0;
+
+  [[nodiscard]] double transfer_seconds(Bytes bytes) const {
+    return seconds_per_byte * static_cast<double>(bytes.count());
+  }
+};
+
+/// One kernel's contribution to Eq. 2 (times in seconds).
+struct KernelTimes {
+  double compute_seconds = 0.0;
+  double communication_seconds = 0.0;
+
+  [[nodiscard]] double total() const {
+    return compute_seconds + communication_seconds;
+  }
+};
+
+/// Baseline execution time of `kernel` (compute + both bus trips).
+[[nodiscard]] KernelTimes baseline_kernel_times(const KernelQuantities& q,
+                                                double tau_seconds,
+                                                Theta theta);
+
+/// Eq. 2 over all kernels.
+[[nodiscard]] double baseline_total_seconds(
+    const std::vector<KernelTimes>& kernels);
+
+/// Δc — time saved by sharing local memories for an exclusive pair moving
+/// D_ij bytes (one trip kernel→host plus one trip host→kernel avoided).
+[[nodiscard]] double delta_shared_memory(Bytes d_ij, Theta theta);
+
+/// Δn — time saved by delivering all kernel↔kernel traffic over the NoC.
+[[nodiscard]] double delta_noc(const std::vector<KernelQuantities>& kernels,
+                               Theta theta);
+
+/// Δp1 — case-1 host-transfer pipelining for one kernel.
+[[nodiscard]] double delta_pipeline_host(const KernelQuantities& q,
+                                         double tau_seconds, Theta theta,
+                                         double overhead_seconds);
+
+/// Δp2 — case-2 producer/consumer streaming between two kernels.
+[[nodiscard]] double delta_pipeline_kernels(double tau_i_seconds,
+                                            double tau_j_seconds,
+                                            double overhead_seconds);
+
+/// Δdp — case-3 duplication of a data-parallel kernel.
+[[nodiscard]] double delta_duplication(double tau_seconds,
+                                       double overhead_seconds);
+
+}  // namespace hybridic::core

@@ -1,0 +1,108 @@
+#include "core/resource_model.hpp"
+
+#include "util/error.hpp"
+
+namespace hybridic::core {
+
+ComponentCost component_cost(Component c) {
+  // Paper Table II (xc5vfx130t, ISE 13.2).
+  switch (c) {
+    case Component::kBus:
+      return ComponentCost{1048, 188, 345.8};
+    case Component::kCrossbar:
+      return ComponentCost{201, 200, 0.0};
+    case Component::kRouter:
+      return ComponentCost{309, 353, 150.0};
+    case Component::kNaAccelerator:
+      return ComponentCost{396, 426, 422.5};
+    case Component::kNaLocalMemory:
+      return ComponentCost{60, 114, 874.2};
+    case Component::kPortMux:
+      // Not listed in Table II; estimated as a fraction of the crossbar
+      // (a 3:1 beat-level selector), documented in EXPERIMENTS.md.
+      return ComponentCost{48, 20, 0.0};
+  }
+  throw ConfigError{"unknown component"};
+}
+
+std::string to_string(Component c) {
+  switch (c) {
+    case Component::kBus:
+      return "Bus";
+    case Component::kCrossbar:
+      return "Crossbar";
+    case Component::kRouter:
+      return "NoC Router";
+    case Component::kNaAccelerator:
+      return "NA HW Accelerator";
+    case Component::kNaLocalMemory:
+      return "NA local memory";
+    case Component::kPortMux:
+      return "Port mux";
+  }
+  return "?";
+}
+
+namespace {
+
+Resources cost_of(Component c, std::uint64_t count) {
+  const ComponentCost unit = component_cost(c);
+  return Resources{unit.luts * count, unit.regs * count};
+}
+
+}  // namespace
+
+std::uint32_t mux_count(const DesignResult& design) {
+  // A BRAM needs a mux when three clients contend for its two ports:
+  // the kernel core (always), the host bus (memory in M1/M3) and the NoC
+  // adapter (memory in M2/M3). M3 therefore implies three clients.
+  std::uint32_t count = 0;
+  for (const KernelInstance& inst : design.instances) {
+    if (inst.mapping.memory == MemConn::kM3) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+Resources interconnect_resources(const DesignResult& design) {
+  Resources total;
+  std::uint64_t crossbars = 0;
+  for (const SharedMemoryPairing& pair : design.shared_pairs) {
+    if (pair.style == mem::SharingStyle::kCrossbar) {
+      ++crossbars;
+    }
+  }
+  total += cost_of(Component::kCrossbar, crossbars);
+
+  if (design.noc.has_value()) {
+    std::uint64_t kernel_nas = 0;
+    std::uint64_t memory_nas = 0;
+    for (const NocAttachment& a : design.noc->attachments) {
+      if (a.kind == NocNodeKind::kKernel) {
+        ++kernel_nas;
+      } else {
+        ++memory_nas;
+      }
+    }
+    total += cost_of(Component::kRouter, design.noc->router_count());
+    total += cost_of(Component::kNaAccelerator, kernel_nas);
+    total += cost_of(Component::kNaLocalMemory, memory_nas);
+  }
+  total += cost_of(Component::kPortMux, mux_count(design));
+  return total;
+}
+
+Resources kernel_resources(const DesignResult& design,
+                           const std::vector<KernelSpec>& specs) {
+  Resources total;
+  for (const KernelInstance& inst : design.instances) {
+    require(inst.spec_index < specs.size(),
+            "design instance references missing spec");
+    total += Resources{specs[inst.spec_index].area_luts,
+                       specs[inst.spec_index].area_regs};
+  }
+  return total;
+}
+
+}  // namespace hybridic::core

@@ -1,0 +1,66 @@
+// FPGA resource model — Table II of the paper, plus system-level totals
+// (Table IV / Fig. 8).
+//
+// Component costs are the paper's measured LUT/register counts on the
+// xc5vfx130t. System totals combine the per-application base infrastructure
+// and kernel areas (calibration constants, src/apps) with the interconnect
+// components the design instantiates.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/design_result.hpp"
+
+namespace hybridic::core {
+
+/// Interconnect building blocks (Table II rows + the port multiplexer).
+enum class Component : std::uint8_t {
+  kBus,
+  kCrossbar,
+  kRouter,
+  kNaAccelerator,
+  kNaLocalMemory,
+  kPortMux,
+};
+
+/// LUT/register/frequency cost of one component instance.
+struct ComponentCost {
+  std::uint32_t luts = 0;
+  std::uint32_t regs = 0;
+  double fmax_mhz = 0.0;  ///< 0 = not applicable (pure combinational).
+};
+
+/// Table II.
+[[nodiscard]] ComponentCost component_cost(Component c);
+[[nodiscard]] std::string to_string(Component c);
+
+/// Aggregate LUT/register totals.
+struct Resources {
+  std::uint64_t luts = 0;
+  std::uint64_t regs = 0;
+
+  Resources& operator+=(Resources other) {
+    luts += other.luts;
+    regs += other.regs;
+    return *this;
+  }
+  friend Resources operator+(Resources a, Resources b) {
+    return Resources{a.luts + b.luts, a.regs + b.regs};
+  }
+};
+
+/// Resources of the custom interconnect a design instantiates: crossbars
+/// for shared pairs, one router + NA per NoC attachment, and port muxes
+/// where a BRAM ends up with three clients.
+[[nodiscard]] Resources interconnect_resources(const DesignResult& design);
+
+/// Resources of the kernels themselves (instance areas; duplication counts
+/// twice). `specs` must be the design input's kernel list.
+[[nodiscard]] Resources kernel_resources(
+    const DesignResult& design, const std::vector<KernelSpec>& specs);
+
+/// Number of port multiplexers the design needs (three-client BRAMs).
+[[nodiscard]] std::uint32_t mux_count(const DesignResult& design);
+
+}  // namespace hybridic::core

@@ -1,0 +1,86 @@
+// HybridIC — umbrella header.
+//
+// Pulls in the full public API: the QUAD-style profiler, the hybrid
+// interconnect design algorithm (Algorithm 1 of Pham-Quoc et al., 2014),
+// the platform simulation substrates and the experiment pipeline.
+//
+// Typical flow:
+//   prof::QuadProfiler     — profile your application (prof/tracked.hpp)
+//   sys::build_schedule    — attach kernel calibration (sys/schedule.hpp)
+//   core::design_interconnect — run Algorithm 1
+//   sys::run_baseline / run_designed — simulate and compare
+//   sys::run_experiment    — all of the above for every system variant
+#pragma once
+
+// Utilities.
+#include "util/csv.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+// Simulation engine.
+#include "sim/clock.hpp"
+#include "sim/engine.hpp"
+#include "sim/event.hpp"
+#include "sim/stats.hpp"
+
+// Platform substrates.
+#include "bus/arbiter.hpp"
+#include "bus/bus.hpp"
+#include "bus/dma.hpp"
+#include "mem/bram.hpp"
+#include "mem/crossbar.hpp"
+#include "mem/full_crossbar.hpp"
+#include "mem/mux.hpp"
+#include "mem/port.hpp"
+#include "mem/sdram.hpp"
+#include "noc/adapter.hpp"
+#include "noc/network.hpp"
+#include "noc/router.hpp"
+#include "noc/routing.hpp"
+#include "noc/topology.hpp"
+
+// Data-communication profiling (QUAD equivalent).
+#include "prof/comm_graph.hpp"
+#include "prof/dot_export.hpp"
+#include "prof/quad.hpp"
+#include "prof/shadow_memory.hpp"
+#include "prof/tracked.hpp"
+
+// The paper's contribution.
+#include "core/adaptive_mapping.hpp"
+#include "core/comm_classify.hpp"
+#include "core/design_result.hpp"
+#include "core/design_validate.hpp"
+#include "core/energy_model.hpp"
+#include "core/interconnect_design.hpp"
+#include "core/json_export.hpp"
+#include "core/kernel_model.hpp"
+#include "core/noc_placement.hpp"
+#include "core/perf_model.hpp"
+#include "core/resource_model.hpp"
+
+// System assembly and execution.
+#include "sys/crossbar_system.hpp"
+#include "sys/executor.hpp"
+#include "sys/experiment.hpp"
+#include "sys/pipeline_executor.hpp"
+#include "sys/platform.hpp"
+#include "sys/schedule.hpp"
+#include "sys/timeline.hpp"
+
+// Extensions: runtime reconfigurability (the paper's future work) and
+// NoC observability.
+#include "noc/vcd_trace.hpp"
+#include "reconfig/bitstream_model.hpp"
+#include "reconfig/multi_app.hpp"
+
+// The paper's applications.
+#include "apps/app.hpp"
+#include "apps/canny.hpp"
+#include "apps/fluid.hpp"
+#include "apps/jpeg.hpp"
+#include "apps/klt.hpp"
+#include "apps/synthetic.hpp"

@@ -1,0 +1,23 @@
+#include "mem/crossbar.hpp"
+
+#include "util/error.hpp"
+
+namespace hybridic::mem {
+
+Crossbar2x2::Crossbar2x2(std::string name, Bram& memory0, Bram& memory1)
+    : name_(std::move(name)), memories_{&memory0, &memory1} {}
+
+Picoseconds Crossbar2x2::access(std::uint32_t side, std::uint32_t target,
+                                Picoseconds earliest, Bytes bytes) {
+  require(side < 2 && target < 2, "Crossbar2x2 side/target must be 0 or 1");
+  ++routed_;
+  // Kernel-side clients use port B; port A stays with the host/bus.
+  return memories_[target]->access(BramPort::kB, earliest, bytes);
+}
+
+Bram& Crossbar2x2::memory(std::uint32_t index) {
+  require(index < 2, "Crossbar2x2 memory index must be 0 or 1");
+  return *memories_[index];
+}
+
+}  // namespace hybridic::mem

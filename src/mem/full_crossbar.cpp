@@ -1,0 +1,34 @@
+#include "mem/full_crossbar.hpp"
+
+#include "util/error.hpp"
+
+namespace hybridic::mem {
+
+FullCrossbar::FullCrossbar(std::string name, std::vector<Bram*> memories)
+    : name_(std::move(name)), memories_(std::move(memories)) {
+  require(!memories_.empty(), "full crossbar needs at least one memory");
+  for (const Bram* memory : memories_) {
+    require(memory != nullptr, "full crossbar memory must not be null");
+  }
+}
+
+Picoseconds FullCrossbar::access(std::uint32_t source, std::uint32_t target,
+                                 Picoseconds earliest, Bytes bytes) {
+  require(target < memories_.size(), "full crossbar target out of range");
+  (void)source;  // Any source reaches any target; contention is per target.
+  ++routed_;
+  return memories_[target]->access(BramPort::kB, earliest, bytes);
+}
+
+std::uint64_t FullCrossbar::estimate_luts(std::uint32_t kernel_ports,
+                                          std::uint32_t memory_ports) {
+  // 2x2 = 4 crosspoints = 201 LUTs -> ~50.25 LUTs per crosspoint.
+  return static_cast<std::uint64_t>(kernel_ports) * memory_ports * 201 / 4;
+}
+
+std::uint64_t FullCrossbar::estimate_regs(std::uint32_t kernel_ports,
+                                          std::uint32_t memory_ports) {
+  return static_cast<std::uint64_t>(kernel_ports) * memory_ports * 200 / 4;
+}
+
+}  // namespace hybridic::mem

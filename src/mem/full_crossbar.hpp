@@ -1,0 +1,53 @@
+// Full N-port crossbar — the fourth interconnect class of the paper's
+// related-work taxonomy (§II-A group 4, the Betkaoui-style "GPEs connected
+// with memory modules through a full crossbar").
+//
+// Any kernel-side port can reach any memory-side port; distinct targets
+// transfer concurrently, while accesses to the same memory serialize on
+// that memory's port. Switching adds no cycles (like the 2x2 crossbar),
+// but the area grows with the port product — which is exactly why the
+// paper prefers the hybrid solution for larger systems.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mem/bram.hpp"
+#include "sim/clock.hpp"
+#include "util/units.hpp"
+
+namespace hybridic::mem {
+
+/// N kernel ports x M memory ports, each memory being a caller-owned BRAM
+/// whose port B the crossbar drives.
+class FullCrossbar {
+public:
+  FullCrossbar(std::string name, std::vector<Bram*> memories);
+
+  /// Route an access from kernel side `source` to memory `target`;
+  /// returns the completion time (pure BRAM port time, zero switch cost).
+  Picoseconds access(std::uint32_t source, std::uint32_t target,
+                     Picoseconds earliest, Bytes bytes);
+
+  [[nodiscard]] std::uint32_t ports() const {
+    return static_cast<std::uint32_t>(memories_.size());
+  }
+  [[nodiscard]] std::uint64_t routed_accesses() const { return routed_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// LUT/register estimate: the paper's 2x2 crossbar (201/200) scaled by
+  /// the crosspoint count (N*M / 4) — the quadratic growth that makes
+  /// full crossbars uneconomical beyond a handful of ports.
+  [[nodiscard]] static std::uint64_t estimate_luts(std::uint32_t kernel_ports,
+                                                   std::uint32_t memory_ports);
+  [[nodiscard]] static std::uint64_t estimate_regs(std::uint32_t kernel_ports,
+                                                   std::uint32_t memory_ports);
+
+private:
+  std::string name_;
+  std::vector<Bram*> memories_;
+  std::uint64_t routed_ = 0;
+};
+
+}  // namespace hybridic::mem

@@ -1,0 +1,31 @@
+#include "mem/mux.hpp"
+
+#include "util/error.hpp"
+
+namespace hybridic::mem {
+
+PortMux::PortMux(std::string name, const sim::ClockDomain& clock, Bram& memory,
+                 BramPort port, std::uint32_t client_count)
+    : name_(std::move(name)),
+      clock_(&clock),
+      memory_(&memory),
+      port_(port),
+      client_count_(client_count) {
+  require(client_count >= 2, "PortMux needs at least two clients");
+}
+
+Picoseconds PortMux::access(std::uint32_t client, Picoseconds earliest,
+                            Bytes bytes) {
+  require(client < client_count_, "PortMux client out of range");
+  Picoseconds start = earliest;
+  if (client != last_client_) {
+    if (last_client_ != UINT32_MAX) {
+      start += clock_->span(Cycles{1});
+      ++switches_;
+    }
+    last_client_ = client;
+  }
+  return memory_->access(port_, start, bytes);
+}
+
+}  // namespace hybridic::mem

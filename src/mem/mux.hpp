@@ -1,0 +1,44 @@
+// Port multiplexer.
+//
+// BRAM has only two physical ports; when three clients need access (the
+// host bus, the NoC adapter and the kernel core — the duplicated
+// huff_ac_dec kernels in the paper's Fig. 6), a multiplexer time-shares one
+// physical port. Switching costs one cycle of the port's clock when the
+// granted client changes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mem/bram.hpp"
+#include "sim/clock.hpp"
+#include "util/units.hpp"
+
+namespace hybridic::mem {
+
+/// N-way multiplexer in front of one BRAM port.
+class PortMux {
+public:
+  PortMux(std::string name, const sim::ClockDomain& clock, Bram& memory,
+          BramPort port, std::uint32_t client_count);
+
+  /// Access through client `client`; pays a 1-cycle switch penalty when the
+  /// previous grant belonged to a different client.
+  Picoseconds access(std::uint32_t client, Picoseconds earliest, Bytes bytes);
+
+  [[nodiscard]] std::uint64_t switches() const { return switches_; }
+  [[nodiscard]] std::uint32_t client_count() const { return client_count_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+private:
+  std::string name_;
+  const sim::ClockDomain* clock_;
+  Bram* memory_;
+  BramPort port_;
+  std::uint32_t client_count_;
+  std::uint32_t last_client_ = UINT32_MAX;
+  std::uint64_t switches_ = 0;
+};
+
+}  // namespace hybridic::mem

@@ -1,0 +1,28 @@
+#include "mem/sdram.hpp"
+
+#include <algorithm>
+
+namespace hybridic::mem {
+
+Sdram::Sdram(std::string name, const sim::ClockDomain& clock,
+             SdramConfig config)
+    : name_(std::move(name)),
+      clock_(&clock),
+      config_(config),
+      channel_(name_ + ".chan", clock, config.width_bytes) {}
+
+Picoseconds Sdram::access(Picoseconds earliest, Bytes bytes) {
+  // The access latency is paid before the beats stream out; the channel is
+  // held for latency + data so back-to-back bursts cannot overlap inside
+  // the controller. Port::reserve serializes the data window; shifting the
+  // earliest-start by the latency serializes the latency window with it.
+  const Picoseconds latency = clock_->span(config_.access_latency);
+  const Picoseconds start = std::max(earliest, channel_.free_at());
+  return channel_.reserve(start + latency, bytes);
+}
+
+Picoseconds Sdram::burst_time(Bytes bytes) const {
+  return channel_.transfer_time(bytes) + clock_->span(config_.access_latency);
+}
+
+}  // namespace hybridic::mem

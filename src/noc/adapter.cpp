@@ -1,0 +1,103 @@
+#include "noc/adapter.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace hybridic::noc {
+
+Adapter::Adapter(std::string name, std::uint32_t node, AdapterKind kind,
+                 std::uint32_t max_packet_payload_bytes)
+    : name_(std::move(name)),
+      node_(node),
+      kind_(kind),
+      max_packet_payload_bytes_(max_packet_payload_bytes) {
+  require(max_packet_payload_bytes >= kFlitPayloadBytes,
+          "packet payload must hold at least one flit");
+}
+
+void Adapter::enqueue_message(std::uint32_t destination,
+                              std::uint64_t message_id, Bytes bytes) {
+  std::uint64_t remaining = bytes.count();
+  do {
+    const std::uint64_t chunk =
+        std::min<std::uint64_t>(remaining, max_packet_payload_bytes_);
+    enqueue_packet(destination, message_id, payload_flits(chunk));
+    remaining -= chunk;
+  } while (remaining > 0);
+  ++messages_sent_;
+}
+
+void Adapter::expect_message(std::uint64_t message_id, Bytes bytes,
+                             DeliveryCallback on_delivered) {
+  Reassembly reassembly;
+  reassembly.expected_payload_flits = payload_flits(bytes.count());
+  reassembly.on_delivered = std::move(on_delivered);
+  reassembly.bytes = bytes;
+  const bool inserted =
+      rx_.emplace(message_id, std::move(reassembly)).second;
+  sim_assert(inserted, "duplicate message id in adapter reassembly");
+}
+
+void Adapter::enqueue_packet(std::uint32_t destination,
+                             std::uint64_t message_id,
+                             std::uint64_t payload_flit_count) {
+  const std::uint64_t packet_id = next_packet_id_++;
+  Flit head;
+  head.packet_id = packet_id;
+  head.message_id = message_id;
+  head.source = node_;
+  head.destination = destination;
+  head.kind =
+      payload_flit_count == 0 ? FlitKind::kHeadTail : FlitKind::kHead;
+  head.sequence = 0;
+  tx_queue_.push_back(head);
+
+  for (std::uint64_t i = 0; i < payload_flit_count; ++i) {
+    Flit body = head;
+    body.sequence = static_cast<std::uint32_t>(i + 1);
+    body.kind =
+        i + 1 == payload_flit_count ? FlitKind::kTail : FlitKind::kBody;
+    tx_queue_.push_back(body);
+  }
+}
+
+const Flit* Adapter::pending_flit() const {
+  return tx_queue_.empty() ? nullptr : &tx_queue_.front();
+}
+
+Flit Adapter::consume_pending(Picoseconds now) {
+  sim_assert(!tx_queue_.empty(), "consume_pending with empty tx queue");
+  Flit flit = tx_queue_.front();
+  tx_queue_.pop_front();
+  flit.injected_at_ps = now.count();
+  ++flits_injected_;
+  return flit;
+}
+
+void Adapter::deliver(const Flit& flit, Picoseconds now) {
+  auto it = rx_.find(flit.message_id);
+  sim_assert(it != rx_.end(),
+             "flit delivered for unknown message (network wiring bug)");
+  Reassembly& reassembly = it->second;
+  if (flit.kind == FlitKind::kBody || flit.kind == FlitKind::kTail) {
+    ++reassembly.received_payload_flits;
+  } else if (flit.kind == FlitKind::kHeadTail) {
+    reassembly.head_tail_seen = true;
+  }
+  const bool complete =
+      reassembly.received_payload_flits >= reassembly.expected_payload_flits &&
+      (reassembly.expected_payload_flits > 0 || reassembly.head_tail_seen);
+  if (complete) {
+    ++messages_received_;
+    Reassembly done = std::move(reassembly);
+    rx_.erase(it);
+    if (done.on_delivered) {
+      done.on_delivered(flit.message_id, done.bytes, now);
+    }
+  }
+}
+
+bool Adapter::busy() const { return !tx_queue_.empty() || !rx_.empty(); }
+
+}  // namespace hybridic::noc

@@ -1,0 +1,103 @@
+// Network adapters (NAs).
+//
+// Paper Table II distinguishes the "NA HW Accelerator" (396/426 LUT/reg),
+// which packetizes a kernel's output stream, from the lighter "NA local
+// memory" (60/114), which only sinks packets into a BRAM port. Functionally
+// an adapter:
+//  - splits an outgoing message into packets of bounded payload,
+//  - injects one flit per NoC cycle into the local router port,
+//  - reassembles incoming packets and fires a delivery callback when the
+//    whole message has arrived.
+//
+// Message ids are allocated by the Network, which pairs the sender's
+// enqueue_message() with expect_message() on the destination adapter.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "noc/flit.hpp"
+#include "noc/topology.hpp"
+#include "util/units.hpp"
+
+namespace hybridic::noc {
+
+/// Adapter flavor — affects the resource model, not the protocol.
+enum class AdapterKind : std::uint8_t { kAccelerator, kLocalMemory };
+
+/// Completed message notification: (message_id, bytes, delivery_time).
+using DeliveryCallback =
+    std::function<void(std::uint64_t, Bytes, Picoseconds)>;
+
+/// Per-node network adapter.
+class Adapter {
+public:
+  Adapter(std::string name, std::uint32_t node, AdapterKind kind,
+          std::uint32_t max_packet_payload_bytes);
+
+  /// Packetize `bytes` for `message_id` towards `destination` into the
+  /// transmit queue. Called by the Network.
+  void enqueue_message(std::uint32_t destination, std::uint64_t message_id,
+                       Bytes bytes);
+
+  /// Register reassembly state for an incoming message. Called by the
+  /// Network on the destination adapter when the sender enqueues.
+  void expect_message(std::uint64_t message_id, Bytes bytes,
+                      DeliveryCallback on_delivered);
+
+  /// Next flit to inject this cycle, if any (does not consume).
+  [[nodiscard]] const Flit* pending_flit() const;
+
+  /// Consume the flit returned by pending_flit(), stamping injection time.
+  Flit consume_pending(Picoseconds now);
+
+  /// Sink a flit ejected at this node. Fires the registered delivery
+  /// callback when the final payload flit of a message lands.
+  void deliver(const Flit& flit, Picoseconds now);
+
+  /// True while the adapter still has flits to inject or partial messages
+  /// in reassembly.
+  [[nodiscard]] bool busy() const;
+
+  [[nodiscard]] std::uint32_t node() const { return node_; }
+  [[nodiscard]] AdapterKind kind() const { return kind_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::uint64_t messages_sent() const { return messages_sent_; }
+  [[nodiscard]] std::uint64_t messages_received() const {
+    return messages_received_;
+  }
+  [[nodiscard]] std::uint64_t flits_injected() const {
+    return flits_injected_;
+  }
+  [[nodiscard]] std::size_t tx_backlog() const { return tx_queue_.size(); }
+
+private:
+  struct Reassembly {
+    std::uint64_t expected_payload_flits = 0;
+    std::uint64_t received_payload_flits = 0;
+    bool head_tail_seen = false;
+    DeliveryCallback on_delivered;
+    Bytes bytes{0};
+  };
+
+  void enqueue_packet(std::uint32_t destination, std::uint64_t message_id,
+                      std::uint64_t payload_flit_count);
+
+  std::string name_;
+  std::uint32_t node_;
+  AdapterKind kind_;
+  std::uint32_t max_packet_payload_bytes_;
+
+  std::deque<Flit> tx_queue_;
+  std::unordered_map<std::uint64_t, Reassembly> rx_;
+
+  std::uint64_t messages_sent_ = 0;
+  std::uint64_t messages_received_ = 0;
+  std::uint64_t flits_injected_ = 0;
+  std::uint64_t next_packet_id_ = 1;
+};
+
+}  // namespace hybridic::noc

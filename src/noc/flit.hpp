@@ -1,0 +1,44 @@
+// Flit-level data units for the wormhole NoC.
+//
+// The NoC follows the architecture of Heisswolf et al. (the router the paper
+// adapts, Table II: 309 LUTs / 353 registers @150 MHz): wormhole switching
+// with 32-bit flits and weighted-round-robin output arbitration. A message
+// is split into packets; a packet is HEAD + payload flits, the last marked
+// TAIL (or a single HEAD_TAIL for header-only packets).
+#pragma once
+
+#include <cstdint>
+
+namespace hybridic::noc {
+
+/// Position of a flit inside its packet.
+enum class FlitKind : std::uint8_t { kHead, kBody, kTail, kHeadTail };
+
+/// One 32-bit flit. The simulator does not carry payload bits — only the
+/// bookkeeping needed for routing, reassembly and statistics.
+struct Flit {
+  std::uint64_t packet_id = 0;   ///< Unique per packet.
+  std::uint64_t message_id = 0;  ///< Messages may span several packets.
+  std::uint32_t source = 0;      ///< Source node id.
+  std::uint32_t destination = 0; ///< Destination node id.
+  FlitKind kind = FlitKind::kHead;
+  std::uint32_t sequence = 0;    ///< Flit index within the packet.
+  std::uint64_t injected_at_ps = 0;  ///< For latency statistics.
+
+  [[nodiscard]] bool is_head() const {
+    return kind == FlitKind::kHead || kind == FlitKind::kHeadTail;
+  }
+  [[nodiscard]] bool is_tail() const {
+    return kind == FlitKind::kTail || kind == FlitKind::kHeadTail;
+  }
+};
+
+/// Bytes of application payload carried per body flit (32-bit phits).
+inline constexpr std::uint32_t kFlitPayloadBytes = 4;
+
+/// Payload flits needed for `bytes` of application data.
+[[nodiscard]] constexpr std::uint64_t payload_flits(std::uint64_t bytes) {
+  return (bytes + kFlitPayloadBytes - 1) / kFlitPayloadBytes;
+}
+
+}  // namespace hybridic::noc

@@ -1,0 +1,274 @@
+#include "noc/network.hpp"
+
+#include <array>
+#include <sstream>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace hybridic::noc {
+
+Network::Network(std::string name, sim::Engine& engine,
+                 const sim::ClockDomain& clock, Mesh2D mesh,
+                 NetworkConfig config)
+    : name_(std::move(name)),
+      engine_(&engine),
+      clock_(&clock),
+      mesh_(mesh),
+      config_(config),
+      routing_(make_routing(config.routing)),
+      adapters_(mesh.node_count()),
+      in_route_(mesh.node_count()) {
+  routers_.reserve(mesh_.node_count());
+  for (std::uint32_t id = 0; id < mesh_.node_count(); ++id) {
+    routers_.emplace_back(id, config_.router);
+  }
+  ticking_handle_ = engine_->add_ticking(*this, clock);
+}
+
+Adapter& Network::attach_adapter(std::uint32_t node, std::string name,
+                                 AdapterKind kind) {
+  require(node < mesh_.node_count(), "adapter node outside mesh");
+  require(adapters_[node] == nullptr, "node already has an adapter");
+  adapters_[node] = std::make_unique<Adapter>(
+      std::move(name), node, kind, config_.max_packet_payload_bytes);
+  return *adapters_[node];
+}
+
+Router& Network::router(std::uint32_t node) {
+  require(node < routers_.size(), "router node outside mesh");
+  return routers_[node];
+}
+
+Adapter* Network::adapter(std::uint32_t node) {
+  require(node < adapters_.size(), "adapter node outside mesh");
+  return adapters_[node].get();
+}
+
+std::uint64_t Network::send(std::uint32_t source, std::uint32_t destination,
+                            Bytes bytes, DeliveryCallback on_delivered) {
+  require(source < mesh_.node_count() && destination < mesh_.node_count(),
+          "NoC send outside mesh");
+  require(adapters_[source] != nullptr, "NoC send from node with no adapter");
+  require(adapters_[destination] != nullptr,
+          "NoC send to node with no adapter");
+  const std::uint64_t id = next_message_id_++;
+
+  if (source == destination) {
+    // Degenerate loopback: delivered on the next NoC edge without touching
+    // the fabric.
+    const Picoseconds when = clock_->align_up(engine_->now());
+    engine_->schedule_at(
+        when, [cb = std::move(on_delivered), id, bytes, when] {
+          if (cb) {
+            cb(id, bytes, when);
+          }
+        });
+    return id;
+  }
+
+  const Picoseconds sent_at = engine_->now();
+  ++inflight_;
+  adapters_[destination]->expect_message(
+      id, bytes,
+      [this, cb = std::move(on_delivered), sent_at](
+          std::uint64_t message_id, Bytes message_bytes, Picoseconds now) {
+        --inflight_;
+        ++stats_.messages_delivered;
+        stats_.message_latency_seconds.add((now - sent_at).seconds());
+        if (cb) {
+          cb(message_id, message_bytes, now);
+        }
+      });
+  adapters_[source]->enqueue_message(destination, id, bytes);
+  engine_->activate(ticking_handle_);
+  return id;
+}
+
+bool Network::tick(Picoseconds now) {
+  for (Router& router_ref : routers_) {
+    move_router_flits(router_ref, now);
+  }
+  for (auto& adapter_ptr : adapters_) {
+    if (adapter_ptr == nullptr || adapter_ptr->pending_flit() == nullptr) {
+      continue;
+    }
+    Router& local_router = routers_[adapter_ptr->node()];
+    if (local_router.can_accept(PortDir::kLocal)) {
+      const Flit flit = adapter_ptr->consume_pending(now);
+      local_router.accept(
+          PortDir::kLocal, flit,
+          now + clock_->span(Cycles{config_.router.pipeline_cycles}));
+    }
+  }
+  if (tick_observer_) {
+    tick_observer_(now);
+  }
+  return inflight_ > 0;
+}
+
+std::string Network::stats_report() const {
+  std::ostringstream out;
+  out << "NoC " << mesh_.width() << "x" << mesh_.height() << " ("
+      << routing_->name() << "): " << stats_.messages_delivered
+      << " messages, " << stats_.flits_ejected << " flits ejected\n";
+  if (stats_.flit_latency_seconds.count() > 0) {
+    out << "flit latency: mean "
+        << stats_.flit_latency_seconds.mean() * 1e9 << " ns, max "
+        << stats_.flit_latency_seconds.max() * 1e9 << " ns\n";
+  }
+  if (stats_.message_latency_seconds.count() > 0) {
+    out << "message latency: mean "
+        << stats_.message_latency_seconds.mean() * 1e6 << " us, max "
+        << stats_.message_latency_seconds.max() * 1e6 << " us\n";
+  }
+  for (const Router& r : routers_) {
+    if (r.flits_forwarded() == 0 && r.occupancy() == 0) {
+      continue;
+    }
+    const Coord c = mesh_.coord_of(r.id());
+    out << "  router (" << c.x << "," << c.y << "): "
+        << r.flits_forwarded() << " flits forwarded, occupancy "
+        << r.occupancy() << "\n";
+  }
+  return out.str();
+}
+
+void Network::move_router_flits(Router& router_ref, Picoseconds now) {
+  std::array<bool, kPortCount> input_moved{};
+  auto& routes = in_route_[router_ref.id()];
+
+  for (std::uint32_t out_idx = 0; out_idx < kPortCount; ++out_idx) {
+    const auto out = static_cast<PortDir>(out_idx);
+
+    if (router_ref.output_locked(out)) {
+      // Wormhole continuation: only the owning input may use this output.
+      const PortDir in = router_ref.lock_owner(out);
+      const auto in_idx = static_cast<std::size_t>(in);
+      if (input_moved[in_idx]) {
+        continue;
+      }
+      const Flit* front = router_ref.ready_front(in, now);
+      if (front == nullptr) {
+        continue;
+      }
+      sim_assert(routes[in_idx] == out,
+                 "locked output does not match input route state");
+      if (try_forward(router_ref, out, in, now)) {
+        input_moved[in_idx] = true;
+      }
+      continue;
+    }
+
+    // Free output: arbitrate among input ports whose ready HEAD flit routes
+    // here and whose downstream can take a flit right now.
+    std::array<bool, kPortCount> candidates{};
+    bool any = false;
+    for (std::uint32_t in_idx = 0; in_idx < kPortCount; ++in_idx) {
+      if (input_moved[in_idx]) {
+        continue;
+      }
+      const auto in = static_cast<PortDir>(in_idx);
+      const Flit* front = router_ref.ready_front(in, now);
+      if (front == nullptr || !front->is_head()) {
+        continue;
+      }
+      if (routing_->route(mesh_, router_ref.id(), front->destination) != out) {
+        continue;
+      }
+      candidates[in_idx] = true;
+      any = true;
+    }
+    if (!any) {
+      continue;
+    }
+    // Filter candidates by downstream space before arbitration so a blocked
+    // winner does not burn the grant.
+    if (out != PortDir::kLocal) {
+      const auto neighbor_id = mesh_.neighbor(router_ref.id(), out);
+      if (!neighbor_id.has_value() ||
+          !routers_[*neighbor_id].can_accept(opposite(out))) {
+        continue;
+      }
+    }
+    const std::optional<PortDir> winner =
+        router_ref.arbitrate(out, candidates);
+    if (!winner.has_value()) {
+      continue;
+    }
+    const auto win_idx = static_cast<std::size_t>(*winner);
+    const Flit* head = router_ref.ready_front(*winner, now);
+    sim_assert(head != nullptr && head->is_head(), "arbitration state skew");
+    routes[win_idx] = out;
+    if (!head->is_tail()) {
+      router_ref.lock_output(out, *winner);
+    }
+    if (try_forward(router_ref, out, *winner, now)) {
+      input_moved[win_idx] = true;
+    }
+  }
+}
+
+bool Network::try_forward(Router& router_ref, PortDir out, PortDir in,
+                          Picoseconds now) {
+  const Flit* front = router_ref.ready_front(in, now);
+  if (front == nullptr) {
+    return false;
+  }
+  if (out == PortDir::kLocal) {
+    const Flit flit = router_ref.pop(in);
+    router_ref.count_forward();
+    if (flit.is_tail()) {
+      if (router_ref.output_locked(out) &&
+          router_ref.lock_owner(out) == in) {
+        router_ref.unlock_output(out);
+      }
+      in_route_[router_ref.id()][static_cast<std::size_t>(in)].reset();
+    }
+    eject_flit_stats(flit, now);
+    Adapter* sink = adapters_[router_ref.id()].get();
+    sim_assert(sink != nullptr, "flit ejected at node without adapter");
+    sink->deliver(flit, now);
+    return true;
+  }
+
+  const auto neighbor_id = mesh_.neighbor(router_ref.id(), out);
+  sim_assert(neighbor_id.has_value(), "route points off the mesh edge");
+  Router& next = routers_[*neighbor_id];
+  const PortDir next_in = opposite(out);
+  if (!next.can_accept(next_in)) {
+    return false;
+  }
+  const Flit flit = router_ref.pop(in);
+  router_ref.count_forward();
+  if (flit.is_tail()) {
+    if (router_ref.output_locked(out) && router_ref.lock_owner(out) == in) {
+      router_ref.unlock_output(out);
+    }
+    in_route_[router_ref.id()][static_cast<std::size_t>(in)].reset();
+  }
+  next.accept(next_in, flit,
+              now + clock_->span(Cycles{config_.router.pipeline_cycles}));
+  return true;
+}
+
+void Network::eject_flit_stats(const Flit& flit, Picoseconds now) {
+  ++stats_.flits_ejected;
+  stats_.flit_latency_seconds.add(
+      (now - Picoseconds{flit.injected_at_ps}).seconds());
+}
+
+Picoseconds Network::ideal_latency(Bytes bytes, std::uint32_t hops) const {
+  const std::uint64_t packets =
+      bytes.count() == 0
+          ? 1
+          : (bytes.count() + config_.max_packet_payload_bytes - 1) /
+                config_.max_packet_payload_bytes;
+  const std::uint64_t total_flits = payload_flits(bytes.count()) + packets;
+  const std::uint64_t cycles =
+      total_flits +
+      static_cast<std::uint64_t>(config_.router.pipeline_cycles) * (hops + 1);
+  return clock_->span(Cycles{cycles});
+}
+
+}  // namespace hybridic::noc

@@ -1,0 +1,110 @@
+// The assembled NoC: a 2-D mesh of wormhole routers plus per-node network
+// adapters, driven cycle-by-cycle at the NoC clock (150 MHz in the paper).
+//
+// The Network implements sim::Ticking and suspends itself whenever no flit
+// is in flight, so an idle NoC adds no simulation cost.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "noc/adapter.hpp"
+#include "noc/router.hpp"
+#include "noc/routing.hpp"
+#include "noc/topology.hpp"
+#include "sim/clock.hpp"
+#include "sim/engine.hpp"
+#include "sim/stats.hpp"
+#include "util/units.hpp"
+
+namespace hybridic::noc {
+
+/// Network-level configuration.
+struct NetworkConfig {
+  RouterConfig router;
+  std::uint32_t max_packet_payload_bytes = 256;
+  std::string routing = "XY";
+};
+
+/// Aggregate NoC statistics.
+struct NetworkStats {
+  std::uint64_t flits_ejected = 0;
+  std::uint64_t messages_delivered = 0;
+  sim::Summary flit_latency_seconds;
+  sim::Summary message_latency_seconds;
+};
+
+/// A mesh NoC instance bound to a simulation engine and clock domain.
+class Network : public sim::Ticking {
+public:
+  Network(std::string name, sim::Engine& engine,
+          const sim::ClockDomain& clock, Mesh2D mesh, NetworkConfig config);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Attach an adapter at mesh node `node`. Each node hosts at most one.
+  Adapter& attach_adapter(std::uint32_t node, std::string name,
+                          AdapterKind kind);
+
+  /// Send `bytes` from the adapter at `source` to the adapter at
+  /// `destination`; `on_delivered` fires when the last flit lands. Returns
+  /// the message id. Both nodes must have adapters attached.
+  std::uint64_t send(std::uint32_t source, std::uint32_t destination,
+                     Bytes bytes, DeliveryCallback on_delivered);
+
+  /// One NoC clock edge: move flits through routers, then inject from
+  /// adapters. Returns true while traffic remains.
+  bool tick(Picoseconds now) override;
+
+  /// Lower-bound latency for a `bytes` message over `hops` hops on an idle
+  /// network (serialization + per-hop pipeline), for analytical estimates.
+  [[nodiscard]] Picoseconds ideal_latency(Bytes bytes,
+                                          std::uint32_t hops) const;
+
+  [[nodiscard]] const Mesh2D& mesh() const { return mesh_; }
+  [[nodiscard]] const NetworkStats& stats() const { return stats_; }
+  [[nodiscard]] Router& router(std::uint32_t node);
+  [[nodiscard]] Adapter* adapter(std::uint32_t node);
+  [[nodiscard]] const sim::ClockDomain& clock() const { return *clock_; }
+  [[nodiscard]] std::uint64_t inflight_messages() const { return inflight_; }
+
+  /// Called after every NoC tick with the tick time — used by tracers.
+  using TickObserver = std::function<void(Picoseconds)>;
+  void set_tick_observer(TickObserver observer) {
+    tick_observer_ = std::move(observer);
+  }
+
+  /// Human-readable per-router statistics (forwarded flits, occupancy)
+  /// plus network-level latency summaries.
+  [[nodiscard]] std::string stats_report() const;
+
+private:
+  void move_router_flits(Router& router, Picoseconds now);
+  bool try_forward(Router& router, PortDir out, PortDir in, Picoseconds now);
+  void eject_flit_stats(const Flit& flit, Picoseconds now);
+
+  std::string name_;
+  sim::Engine* engine_;
+  const sim::ClockDomain* clock_;
+  Mesh2D mesh_;
+  NetworkConfig config_;
+  std::unique_ptr<Routing> routing_;
+
+  std::vector<Router> routers_;
+  std::vector<std::unique_ptr<Adapter>> adapters_;  // indexed by node id
+  /// Per-input current output assignment for in-flight packets.
+  std::vector<std::array<std::optional<PortDir>, kPortCount>> in_route_;
+
+  std::size_t ticking_handle_ = 0;
+  std::uint64_t next_message_id_ = 1;
+  std::uint64_t inflight_ = 0;
+  NetworkStats stats_;
+  TickObserver tick_observer_;
+};
+
+}  // namespace hybridic::noc

@@ -1,0 +1,90 @@
+#include "noc/router.hpp"
+
+#include "util/error.hpp"
+
+namespace hybridic::noc {
+
+Router::Router(std::uint32_t id, RouterConfig config)
+    : id_(id), config_(config) {
+  require(config.buffer_flits > 0, "router buffer depth must be non-zero");
+  require(config.pipeline_cycles > 0, "router pipeline must be >= 1 cycle");
+  for (const std::uint32_t w : config.wrr_weights) {
+    require(w > 0, "router WRR weights must be positive");
+  }
+}
+
+bool Router::can_accept(PortDir port) const {
+  return inputs_[static_cast<std::size_t>(port)].size() <
+         config_.buffer_flits;
+}
+
+void Router::accept(PortDir port, const Flit& flit, Picoseconds ready_at) {
+  auto& buffer = inputs_[static_cast<std::size_t>(port)];
+  sim_assert(buffer.size() < config_.buffer_flits,
+             "router input buffer overflow (backpressure violated)");
+  buffer.push_back(BufferedFlit{flit, ready_at});
+}
+
+const Flit* Router::ready_front(PortDir port, Picoseconds now) const {
+  const auto& buffer = inputs_[static_cast<std::size_t>(port)];
+  if (buffer.empty() || buffer.front().ready_at > now) {
+    return nullptr;
+  }
+  return &buffer.front().flit;
+}
+
+Flit Router::pop(PortDir port) {
+  auto& buffer = inputs_[static_cast<std::size_t>(port)];
+  sim_assert(!buffer.empty(), "pop from empty router input buffer");
+  Flit flit = buffer.front().flit;
+  buffer.pop_front();
+  return flit;
+}
+
+bool Router::output_locked(PortDir out) const {
+  return outputs_[static_cast<std::size_t>(out)].locked;
+}
+
+PortDir Router::lock_owner(PortDir out) const {
+  return outputs_[static_cast<std::size_t>(out)].owner;
+}
+
+void Router::lock_output(PortDir out, PortDir owner_input) {
+  auto& state = outputs_[static_cast<std::size_t>(out)];
+  sim_assert(!state.locked, "double lock on router output");
+  state.locked = true;
+  state.owner = owner_input;
+}
+
+void Router::unlock_output(PortDir out) {
+  outputs_[static_cast<std::size_t>(out)].locked = false;
+}
+
+std::optional<PortDir> Router::arbitrate(
+    PortDir out, const std::array<bool, kPortCount>& candidates) {
+  auto& state = outputs_[static_cast<std::size_t>(out)];
+  // Continue granting the same input while it has WRR credit.
+  if (state.credit > 0 && candidates[state.last_winner]) {
+    --state.credit;
+    return static_cast<PortDir>(state.last_winner);
+  }
+  for (std::uint32_t offset = 1; offset <= kPortCount; ++offset) {
+    const std::uint32_t idx = (state.last_winner + offset) % kPortCount;
+    if (candidates[idx]) {
+      state.last_winner = idx;
+      state.credit = config_.wrr_weights[idx] - 1;
+      return static_cast<PortDir>(idx);
+    }
+  }
+  return std::nullopt;
+}
+
+std::uint32_t Router::occupancy() const {
+  std::uint32_t total = 0;
+  for (const auto& buffer : inputs_) {
+    total += static_cast<std::uint32_t>(buffer.size());
+  }
+  return total;
+}
+
+}  // namespace hybridic::noc

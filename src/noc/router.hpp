@@ -1,0 +1,95 @@
+// Input-buffered wormhole router with weighted-round-robin output
+// arbitration, modelled after the scalable QoS router of Heisswolf et al.
+// that the paper adapts (Table II: 309 LUTs / 353 registers, 150 MHz).
+//
+// Switching discipline:
+//  - 5 ports (N/E/S/W/Local), one flit per port per cycle in each direction;
+//  - wormhole: a HEAD flit that wins an output locks that output for its
+//    packet until the TAIL passes, so packets never interleave on a link;
+//  - arbitration: weighted round-robin over the input ports competing for
+//    a free output;
+//  - credit-style backpressure: a flit only advances when the downstream
+//    input buffer has a free slot;
+//  - per-hop pipeline latency of `pipeline_cycles` before a buffered flit
+//    becomes eligible to advance.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "noc/flit.hpp"
+#include "noc/routing.hpp"
+#include "noc/topology.hpp"
+#include "util/units.hpp"
+
+namespace hybridic::noc {
+
+/// Router micro-architecture parameters.
+struct RouterConfig {
+  std::uint32_t buffer_flits = 8;     ///< Input FIFO depth per port.
+  std::uint32_t pipeline_cycles = 2;  ///< Per-hop latency (route + traverse).
+  std::array<std::uint32_t, kPortCount> wrr_weights{1, 1, 1, 1, 1};
+};
+
+/// A flit with its in-buffer readiness timestamp.
+struct BufferedFlit {
+  Flit flit;
+  Picoseconds ready_at{0};
+};
+
+/// One mesh router. The Network drives `tick` and performs inter-router
+/// flit movement through `accept`/`take_front`.
+class Router {
+public:
+  Router(std::uint32_t id, RouterConfig config);
+
+  /// True when input `port` has a free buffer slot.
+  [[nodiscard]] bool can_accept(PortDir port) const;
+
+  /// Push a flit into input `port`; it becomes eligible to advance at
+  /// `ready_at` (arrival time + pipeline latency, set by the Network).
+  void accept(PortDir port, const Flit& flit, Picoseconds ready_at);
+
+  /// Front flit of input `port` if present and ready at `now`.
+  [[nodiscard]] const Flit* ready_front(PortDir port, Picoseconds now) const;
+
+  /// Pop the front flit of input `port`.
+  Flit pop(PortDir port);
+
+  /// Output-lock bookkeeping for wormhole switching.
+  [[nodiscard]] bool output_locked(PortDir out) const;
+  [[nodiscard]] PortDir lock_owner(PortDir out) const;
+  void lock_output(PortDir out, PortDir owner_input);
+  void unlock_output(PortDir out);
+
+  /// Weighted-round-robin winner among `candidates` (input ports bitmask
+  /// encoded as bool array) for output `out`. Updates WRR state.
+  [[nodiscard]] std::optional<PortDir> arbitrate(
+      PortDir out, const std::array<bool, kPortCount>& candidates);
+
+  [[nodiscard]] std::uint32_t id() const { return id_; }
+  [[nodiscard]] const RouterConfig& config() const { return config_; }
+  [[nodiscard]] std::uint64_t flits_forwarded() const { return forwarded_; }
+  void count_forward() { ++forwarded_; }
+
+  /// Total flits currently buffered across all inputs.
+  [[nodiscard]] std::uint32_t occupancy() const;
+
+private:
+  struct OutputState {
+    bool locked = false;
+    PortDir owner = PortDir::kLocal;
+    std::uint32_t last_winner = kPortCount - 1;  ///< WRR pointer.
+    std::uint32_t credit = 0;
+  };
+
+  std::uint32_t id_;
+  RouterConfig config_;
+  std::array<std::deque<BufferedFlit>, kPortCount> inputs_;
+  std::array<OutputState, kPortCount> outputs_;
+  std::uint64_t forwarded_ = 0;
+};
+
+}  // namespace hybridic::noc

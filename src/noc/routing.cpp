@@ -1,0 +1,77 @@
+#include "noc/routing.hpp"
+
+#include "util/error.hpp"
+
+namespace hybridic::noc {
+
+PortDir XyRouting::route(const Mesh2D& mesh, std::uint32_t current,
+                         std::uint32_t destination) const {
+  const Coord c = mesh.coord_of(current);
+  const Coord d = mesh.coord_of(destination);
+  if (c.x < d.x) {
+    return PortDir::kEast;
+  }
+  if (c.x > d.x) {
+    return PortDir::kWest;
+  }
+  if (c.y < d.y) {
+    return PortDir::kNorth;
+  }
+  if (c.y > d.y) {
+    return PortDir::kSouth;
+  }
+  return PortDir::kLocal;
+}
+
+PortDir YxRouting::route(const Mesh2D& mesh, std::uint32_t current,
+                         std::uint32_t destination) const {
+  const Coord c = mesh.coord_of(current);
+  const Coord d = mesh.coord_of(destination);
+  if (c.y < d.y) {
+    return PortDir::kNorth;
+  }
+  if (c.y > d.y) {
+    return PortDir::kSouth;
+  }
+  if (c.x < d.x) {
+    return PortDir::kEast;
+  }
+  if (c.x > d.x) {
+    return PortDir::kWest;
+  }
+  return PortDir::kLocal;
+}
+
+PortDir WestFirstRouting::route(const Mesh2D& mesh, std::uint32_t current,
+                                std::uint32_t destination) const {
+  const Coord c = mesh.coord_of(current);
+  const Coord d = mesh.coord_of(destination);
+  if (c.x > d.x) {
+    return PortDir::kWest;  // All westward movement happens first.
+  }
+  if (c.y < d.y) {
+    return PortDir::kNorth;
+  }
+  if (c.y > d.y) {
+    return PortDir::kSouth;
+  }
+  if (c.x < d.x) {
+    return PortDir::kEast;
+  }
+  return PortDir::kLocal;
+}
+
+std::unique_ptr<Routing> make_routing(const std::string& name) {
+  if (name == "XY" || name == "xy") {
+    return std::make_unique<XyRouting>();
+  }
+  if (name == "YX" || name == "yx") {
+    return std::make_unique<YxRouting>();
+  }
+  if (name == "WestFirst" || name == "westfirst" || name == "WF") {
+    return std::make_unique<WestFirstRouting>();
+  }
+  throw ConfigError{"unknown routing algorithm: " + name};
+}
+
+}  // namespace hybridic::noc

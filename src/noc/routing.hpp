@@ -1,0 +1,58 @@
+// Deterministic routing algorithms for the 2-D mesh.
+//
+// XY dimension-order routing is deadlock-free on a mesh and is what FPGA
+// mesh NoCs (including the router family the paper adapts) ship by default.
+// YX is provided as an alternative for tests and ablations.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "noc/topology.hpp"
+
+namespace hybridic::noc {
+
+/// Routing decision: which output port a flit at `current` takes to reach
+/// `destination`.
+class Routing {
+public:
+  virtual ~Routing() = default;
+
+  [[nodiscard]] virtual PortDir route(const Mesh2D& mesh,
+                                      std::uint32_t current,
+                                      std::uint32_t destination) const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Dimension-order XY: correct X first, then Y, then eject.
+class XyRouting final : public Routing {
+public:
+  [[nodiscard]] PortDir route(const Mesh2D& mesh, std::uint32_t current,
+                              std::uint32_t destination) const override;
+  [[nodiscard]] std::string name() const override { return "XY"; }
+};
+
+/// Dimension-order YX: correct Y first, then X, then eject.
+class YxRouting final : public Routing {
+public:
+  [[nodiscard]] PortDir route(const Mesh2D& mesh, std::uint32_t current,
+                              std::uint32_t destination) const override;
+  [[nodiscard]] std::string name() const override { return "YX"; }
+};
+
+/// West-first turn model (deterministic variant): all westward hops are
+/// taken first; afterwards the packet corrects Y, then moves east. Since
+/// no turn ever enters the west direction after leaving it, the routing
+/// is deadlock-free, and every path is still minimal.
+class WestFirstRouting final : public Routing {
+public:
+  [[nodiscard]] PortDir route(const Mesh2D& mesh, std::uint32_t current,
+                              std::uint32_t destination) const override;
+  [[nodiscard]] std::string name() const override { return "WestFirst"; }
+};
+
+[[nodiscard]] std::unique_ptr<Routing> make_routing(const std::string& name);
+
+}  // namespace hybridic::noc

@@ -1,0 +1,33 @@
+#include "noc/topology.hpp"
+
+#include <cmath>
+
+namespace hybridic::noc {
+
+std::string to_string(PortDir d) {
+  switch (d) {
+    case PortDir::kNorth:
+      return "N";
+    case PortDir::kEast:
+      return "E";
+    case PortDir::kSouth:
+      return "S";
+    case PortDir::kWest:
+      return "W";
+    case PortDir::kLocal:
+      return "L";
+  }
+  return "?";
+}
+
+Mesh2D Mesh2D::fitting(std::uint32_t nodes) {
+  require(nodes > 0, "mesh must host at least one node");
+  std::uint32_t width = 1;
+  while (width * width < nodes) {
+    ++width;
+  }
+  std::uint32_t height = (nodes + width - 1) / width;
+  return Mesh2D{width, height};
+}
+
+}  // namespace hybridic::noc

@@ -1,0 +1,83 @@
+#include "noc/vcd_trace.hpp"
+
+namespace hybridic::noc {
+
+VcdTracer::VcdTracer(Network& network) : network_(&network) {
+  const std::uint32_t nodes = network.mesh().node_count();
+  last_occupancy_.assign(nodes, UINT32_MAX);  // Force first dump.
+  last_forwarded_.assign(nodes, UINT64_MAX);
+  network_->set_tick_observer(
+      [this](Picoseconds now) { sample(now); });
+}
+
+VcdTracer::~VcdTracer() {
+  if (network_ != nullptr) {
+    network_->set_tick_observer({});
+  }
+}
+
+std::string VcdTracer::identifier(std::size_t index) {
+  // VCD identifiers: printable ASCII 33..126, little-endian base-94.
+  std::string id;
+  do {
+    id += static_cast<char>(33 + index % 94);
+    index /= 94;
+  } while (index != 0);
+  return id;
+}
+
+void VcdTracer::sample(Picoseconds now) {
+  ++samples_;
+  bool time_emitted = false;
+  const auto emit_time = [this, now, &time_emitted] {
+    if (!time_emitted) {
+      body_ << '#' << now.count() << '\n';
+      time_emitted = true;
+    }
+  };
+  const std::uint32_t nodes = network_->mesh().node_count();
+  for (std::uint32_t n = 0; n < nodes; ++n) {
+    const Router& router = network_->router(n);
+    const std::uint32_t occupancy = router.occupancy();
+    if (occupancy != last_occupancy_[n]) {
+      emit_time();
+      body_ << 'b';
+      for (int bit = 7; bit >= 0; --bit) {
+        body_ << ((occupancy >> bit) & 1U);
+      }
+      body_ << ' ' << identifier(2 * n) << '\n';
+      last_occupancy_[n] = occupancy;
+    }
+    const std::uint64_t forwarded = router.flits_forwarded();
+    if (forwarded != last_forwarded_[n]) {
+      emit_time();
+      body_ << 'b';
+      for (int bit = 31; bit >= 0; --bit) {
+        body_ << ((forwarded >> bit) & 1U);
+      }
+      body_ << ' ' << identifier(2 * n + 1) << '\n';
+      last_forwarded_[n] = forwarded;
+    }
+  }
+  first_sample_ = false;
+}
+
+std::string VcdTracer::finish() {
+  std::ostringstream header;
+  header << "$timescale 1ps $end\n";
+  header << "$scope module noc $end\n";
+  const std::uint32_t nodes = network_->mesh().node_count();
+  for (std::uint32_t n = 0; n < nodes; ++n) {
+    const Coord c = network_->mesh().coord_of(n);
+    header << "$var wire 8 " << identifier(2 * n) << " r" << c.x << "_"
+           << c.y << "_occupancy $end\n";
+    header << "$var wire 32 " << identifier(2 * n + 1) << " r" << c.x
+           << "_" << c.y << "_forwarded $end\n";
+  }
+  header << "$upscope $end\n$enddefinitions $end\n";
+  network_->set_tick_observer({});
+  network_ = nullptr;
+  return header.str() + body_.str();
+}
+
+}  // namespace hybridic::noc

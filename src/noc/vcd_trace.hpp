@@ -1,0 +1,43 @@
+// VCD (Value Change Dump) tracing of NoC activity: per-router input-buffer
+// occupancy and cumulative forwarded-flit counts sampled every NoC cycle,
+// viewable in GTKWave or any VCD viewer.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "noc/network.hpp"
+
+namespace hybridic::noc {
+
+/// Collects a VCD trace from a Network. Attach before traffic starts; the
+/// tracer samples on every NoC tick via the network's tick observer.
+class VcdTracer {
+public:
+  /// Attaches to `network` (replaces any previous observer).
+  explicit VcdTracer(Network& network);
+
+  VcdTracer(const VcdTracer&) = delete;
+  VcdTracer& operator=(const VcdTracer&) = delete;
+  ~VcdTracer();
+
+  /// Finish the trace and return the VCD document.
+  [[nodiscard]] std::string finish();
+
+  [[nodiscard]] std::uint64_t samples() const { return samples_; }
+
+private:
+  void sample(Picoseconds now);
+  [[nodiscard]] static std::string identifier(std::size_t index);
+
+  Network* network_;
+  std::ostringstream body_;
+  std::vector<std::uint32_t> last_occupancy_;
+  std::vector<std::uint64_t> last_forwarded_;
+  std::uint64_t samples_ = 0;
+  bool first_sample_ = true;
+};
+
+}  // namespace hybridic::noc

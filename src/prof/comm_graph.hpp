@@ -1,0 +1,83 @@
+// Quantitative data-communication graph — the output of the profiler.
+//
+// Matches what the QUAD toolset reports (paper §III-B): for every ordered
+// (producer function, consumer function) pair, the exact number of bytes
+// transferred and the number of Unique Memory Addresses (UMAs) involved.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace hybridic::prof {
+
+/// Dense function identifier assigned by the profiler.
+using FunctionId = std::uint32_t;
+
+/// One directed communication edge.
+struct CommEdge {
+  FunctionId producer = 0;
+  FunctionId consumer = 0;
+  Bytes bytes{0};
+  std::uint64_t unique_addresses = 0;
+};
+
+/// Per-function profile record.
+struct FunctionProfile {
+  std::string name;
+  std::uint64_t work_units = 0;  ///< Explicit op count from instrumentation.
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t calls = 0;
+};
+
+/// The communication graph: functions + weighted directed edges.
+class CommGraph {
+public:
+  /// Register a function; names must be unique.
+  FunctionId add_function(std::string name);
+
+  /// Look up a function id by name; throws ConfigError if unknown.
+  [[nodiscard]] FunctionId id_of(const std::string& name) const;
+  [[nodiscard]] bool has_function(const std::string& name) const;
+
+  [[nodiscard]] const FunctionProfile& function(FunctionId id) const;
+  [[nodiscard]] FunctionProfile& function_mutable(FunctionId id);
+  [[nodiscard]] std::uint32_t function_count() const {
+    return static_cast<std::uint32_t>(functions_.size());
+  }
+
+  /// Accumulate `bytes`/`umas` onto edge producer->consumer.
+  void add_transfer(FunctionId producer, FunctionId consumer, Bytes bytes,
+                    std::uint64_t new_unique_addresses);
+
+  /// All edges with non-zero byte counts, ordered by (producer, consumer).
+  [[nodiscard]] std::vector<CommEdge> edges() const;
+
+  /// Bytes flowing producer->consumer (zero if no edge).
+  [[nodiscard]] Bytes bytes_between(FunctionId producer,
+                                    FunctionId consumer) const;
+
+  /// Total bytes produced by `f` for consumers in `consumers` set semantics:
+  /// convenience reducers used by the kernel model.
+  [[nodiscard]] Bytes total_out(FunctionId f) const;
+  [[nodiscard]] Bytes total_in(FunctionId f) const;
+
+  /// Human-readable summary table.
+  [[nodiscard]] std::string summary() const;
+
+private:
+  struct EdgeData {
+    std::uint64_t bytes = 0;
+    std::uint64_t unique_addresses = 0;
+  };
+
+  std::vector<FunctionProfile> functions_;
+  std::map<std::string, FunctionId> by_name_;
+  std::map<std::pair<FunctionId, FunctionId>, EdgeData> edges_;
+};
+
+}  // namespace hybridic::prof

@@ -1,0 +1,33 @@
+#include "prof/dot_export.hpp"
+
+#include <sstream>
+
+#include "util/units.hpp"
+
+namespace hybridic::prof {
+
+std::string to_dot(const CommGraph& graph,
+                   const std::set<FunctionId>& hw_functions) {
+  std::ostringstream out;
+  out << "digraph comm {\n";
+  out << "  rankdir=LR;\n";
+  for (FunctionId id = 0; id < graph.function_count(); ++id) {
+    const FunctionProfile& fn = graph.function(id);
+    const bool is_hw = hw_functions.count(id) > 0;
+    out << "  f" << id << " [label=\"" << fn.name << "\" shape="
+        << (is_hw ? "box" : "ellipse")
+        << (is_hw ? " style=filled fillcolor=lightblue" : "") << "];\n";
+  }
+  for (const CommEdge& edge : graph.edges()) {
+    if (edge.producer == edge.consumer) {
+      continue;  // Self-communication is local to the function.
+    }
+    out << "  f" << edge.producer << " -> f" << edge.consumer << " [label=\""
+        << format_bytes(edge.bytes) << " / " << edge.unique_addresses
+        << " UMA\"];\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace hybridic::prof

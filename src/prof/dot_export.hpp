@@ -1,0 +1,17 @@
+// Graphviz DOT export of the communication graph — the machine-readable
+// equivalent of the paper's Fig. 5.
+#pragma once
+
+#include <set>
+#include <string>
+
+#include "prof/comm_graph.hpp"
+
+namespace hybridic::prof {
+
+/// Render the graph in DOT format. Functions in `hw_functions` (the kernel
+/// candidates) are drawn as boxes; edge labels carry bytes and UMA counts.
+[[nodiscard]] std::string to_dot(const CommGraph& graph,
+                                 const std::set<FunctionId>& hw_functions);
+
+}  // namespace hybridic::prof

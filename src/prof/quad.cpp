@@ -1,0 +1,112 @@
+#include "prof/quad.hpp"
+
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace hybridic::prof {
+
+FunctionId QuadProfiler::declare(std::string name) {
+  const FunctionId id = graph_.add_function(std::move(name));
+  write_footprint_.emplace_back();
+  read_footprint_.emplace_back();
+  return id;
+}
+
+void QuadProfiler::enter(FunctionId function) {
+  require(function < graph_.function_count(),
+          "enter() with undeclared function");
+  stack_.push_back(function);
+  if (graph_.function_mutable(function).calls == 0) {
+    first_call_order_.push_back(function);
+  }
+  ++graph_.function_mutable(function).calls;
+}
+
+void QuadProfiler::leave() {
+  require(!stack_.empty(), "leave() without matching enter()");
+  stack_.pop_back();
+}
+
+FunctionId QuadProfiler::current() const {
+  require(!stack_.empty(), "profiled memory access outside any function");
+  return stack_.back();
+}
+
+std::uint64_t QuadProfiler::allocate(std::uint64_t bytes,
+                                     std::uint64_t alignment) {
+  require(alignment > 0, "allocation alignment must be non-zero");
+  next_addr_ = (next_addr_ + alignment - 1) / alignment * alignment;
+  const std::uint64_t base = next_addr_;
+  next_addr_ += bytes == 0 ? alignment : bytes;
+  return base;
+}
+
+void QuadProfiler::record_write(std::uint64_t addr, std::uint64_t size) {
+  const FunctionId writer = current();
+  shadow_.write(addr, size, writer);
+  graph_.function_mutable(writer).writes += size;
+  auto& footprint = write_footprint_[writer];
+  for (std::uint64_t a = addr; a < addr + size; ++a) {
+    footprint.insert(a);
+  }
+}
+
+void QuadProfiler::record_read(std::uint64_t addr, std::uint64_t size) {
+  const FunctionId consumer = current();
+  graph_.function_mutable(consumer).reads += size;
+  auto& footprint = read_footprint_[consumer];
+  for (std::uint64_t a = addr; a < addr + size; ++a) {
+    footprint.insert(a);
+  }
+  shadow_.scan(addr, size,
+               [this, consumer](std::uint64_t run_start, std::uint64_t length,
+                                FunctionId producer) {
+                 if (producer == kNoWriter) {
+                   return;  // Uninitialized data: no communication edge.
+                 }
+                 auto& addresses = uma_[{producer, consumer}];
+                 std::uint64_t fresh = 0;
+                 for (std::uint64_t a = run_start; a < run_start + length;
+                      ++a) {
+                   if (addresses.insert(a).second) {
+                     ++fresh;
+                   }
+                 }
+                 graph_.add_transfer(producer, consumer, Bytes{length},
+                                     fresh);
+               });
+}
+
+void QuadProfiler::add_work(std::uint64_t units) {
+  graph_.function_mutable(current()).work_units += units;
+}
+
+std::uint64_t QuadProfiler::unique_bytes_written(FunctionId function) const {
+  require(function < write_footprint_.size(),
+          "footprint query for undeclared function");
+  return write_footprint_[function].size();
+}
+
+std::uint64_t QuadProfiler::unique_bytes_read(FunctionId function) const {
+  require(function < read_footprint_.size(),
+          "footprint query for undeclared function");
+  return read_footprint_[function].size();
+}
+
+std::string QuadProfiler::memory_report() const {
+  Table table{"Memory profile"};
+  table.set_header({"function", "calls", "work", "bytes read",
+                    "unique read", "bytes written", "unique written"});
+  for (FunctionId id = 0; id < graph_.function_count(); ++id) {
+    const FunctionProfile& fn = graph_.function(id);
+    table.add_row({fn.name, std::to_string(fn.calls),
+                   std::to_string(fn.work_units),
+                   std::to_string(fn.reads),
+                   std::to_string(unique_bytes_read(id)),
+                   std::to_string(fn.writes),
+                   std::to_string(unique_bytes_written(id))});
+  }
+  return table.to_string();
+}
+
+}  // namespace hybridic::prof

@@ -1,0 +1,109 @@
+// QuadProfiler — the in-process equivalent of the QUAD toolset the paper
+// uses (§III-B). Applications run their real algorithms against tracked
+// buffers; the profiler attributes every read to the function that last
+// wrote each byte, producing the quantitative communication graph
+// (bytes + unique memory addresses per producer→consumer pair) that drives
+// the interconnect design algorithm.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "prof/comm_graph.hpp"
+#include "prof/shadow_memory.hpp"
+#include "util/units.hpp"
+
+namespace hybridic::prof {
+
+/// The profiling runtime. Single-threaded by design — a profiled run is a
+/// deterministic re-execution of the application.
+class QuadProfiler {
+public:
+  QuadProfiler() = default;
+  QuadProfiler(const QuadProfiler&) = delete;
+  QuadProfiler& operator=(const QuadProfiler&) = delete;
+
+  /// Declare a function; returns its id. Names must be unique.
+  FunctionId declare(std::string name);
+
+  /// Enter/leave the dynamic scope of a function. Nested calls allowed.
+  void enter(FunctionId function);
+  void leave();
+
+  /// Currently executing function; throws if no scope is open.
+  [[nodiscard]] FunctionId current() const;
+
+  /// Reserve `bytes` of tracked virtual address space.
+  [[nodiscard]] std::uint64_t allocate(std::uint64_t bytes,
+                                       std::uint64_t alignment = 64);
+
+  /// Record a write of [addr, addr+size) by the current function.
+  void record_write(std::uint64_t addr, std::uint64_t size);
+
+  /// Record a read of [addr, addr+size) by the current function; attributes
+  /// each byte to its last writer.
+  void record_read(std::uint64_t addr, std::uint64_t size);
+
+  /// Add explicit computational work units to the current function (the
+  /// op count used to calibrate kernel compute times).
+  void add_work(std::uint64_t units);
+
+  [[nodiscard]] const CommGraph& graph() const { return graph_; }
+  [[nodiscard]] const ShadowMemory& shadow() const { return shadow_; }
+
+  /// Depth of the current call stack (0 outside any function).
+  [[nodiscard]] std::size_t call_depth() const { return stack_.size(); }
+
+  // ---- Memory-footprint analysis (QUAD's flat memory profile). ----
+
+  /// Unique bytes ever written by `function` (its produced footprint).
+  [[nodiscard]] std::uint64_t unique_bytes_written(
+      FunctionId function) const;
+
+  /// Unique bytes ever read by `function` (its consumed footprint).
+  [[nodiscard]] std::uint64_t unique_bytes_read(FunctionId function) const;
+
+  /// Flat per-function memory profile: calls, work, raw and unique bytes.
+  [[nodiscard]] std::string memory_report() const;
+
+  /// Functions in first-invocation order — the observed program order the
+  /// schedule builder uses (functions never entered are absent).
+  [[nodiscard]] const std::vector<FunctionId>& call_order() const {
+    return first_call_order_;
+  }
+
+private:
+  CommGraph graph_;
+  ShadowMemory shadow_;
+  std::vector<FunctionId> stack_;
+  std::vector<std::unordered_set<std::uint64_t>> write_footprint_;
+  std::vector<std::unordered_set<std::uint64_t>> read_footprint_;
+  std::vector<FunctionId> first_call_order_;
+  std::uint64_t next_addr_ = 0x1000;
+
+  /// Per-edge sets for UMA counting.
+  std::map<std::pair<FunctionId, FunctionId>,
+           std::unordered_set<std::uint64_t>>
+      uma_;
+};
+
+/// RAII scope for QuadProfiler::enter/leave.
+class ScopedFunction {
+public:
+  ScopedFunction(QuadProfiler& profiler, FunctionId function)
+      : profiler_(&profiler) {
+    profiler_->enter(function);
+  }
+  ~ScopedFunction() { profiler_->leave(); }
+
+  ScopedFunction(const ScopedFunction&) = delete;
+  ScopedFunction& operator=(const ScopedFunction&) = delete;
+
+private:
+  QuadProfiler* profiler_;
+};
+
+}  // namespace hybridic::prof

@@ -1,0 +1,59 @@
+// Byte-granular shadow memory: remembers, for every tracked address, which
+// function wrote it last. This is the core mechanism behind QUAD-style
+// producer→consumer attribution: a read observes the last writer of each
+// byte it touches.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "prof/comm_graph.hpp"
+
+namespace hybridic::prof {
+
+/// Sentinel: byte has never been written by a tracked function.
+inline constexpr FunctionId kNoWriter = 0xFFFFFFFFu;
+
+/// Paged sparse map from 64-bit address to last-writer function id.
+class ShadowMemory {
+public:
+  static constexpr std::uint64_t kPageBytes = 4096;
+
+  /// Record that `writer` wrote [addr, addr+size).
+  void write(std::uint64_t addr, std::uint64_t size, FunctionId writer);
+
+  /// Last writer of a single byte (kNoWriter if untouched).
+  [[nodiscard]] FunctionId last_writer(std::uint64_t addr) const;
+
+  /// Visit [addr, addr+size) as maximal runs of a single producer:
+  /// callback(run_start, run_length, producer). Runs with kNoWriter are
+  /// reported too so the caller can decide how to treat untouched bytes.
+  template <typename Callback>
+  void scan(std::uint64_t addr, std::uint64_t size, Callback&& callback) const {
+    std::uint64_t pos = addr;
+    const std::uint64_t end = addr + size;
+    while (pos < end) {
+      const FunctionId producer = last_writer(pos);
+      std::uint64_t run_end = pos + 1;
+      while (run_end < end && last_writer(run_end) == producer) {
+        ++run_end;
+      }
+      callback(pos, run_end - pos, producer);
+      pos = run_end;
+    }
+  }
+
+  [[nodiscard]] std::size_t page_count() const { return pages_.size(); }
+
+private:
+  using Page = std::array<FunctionId, kPageBytes>;
+
+  Page& page_for(std::uint64_t addr);
+  [[nodiscard]] const Page* page_of(std::uint64_t addr) const;
+
+  std::unordered_map<std::uint64_t, std::unique_ptr<Page>> pages_;
+};
+
+}  // namespace hybridic::prof

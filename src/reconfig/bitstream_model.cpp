@@ -1,0 +1,23 @@
+#include "reconfig/bitstream_model.hpp"
+
+#include <cmath>
+
+namespace hybridic::reconfig {
+
+Bytes bitstream_bytes(core::Resources region, const ReconfigParams& params) {
+  // Registers ride along in the same frames as their LUTs; the LUT count
+  // is the size driver. An empty region still costs the fixed overhead.
+  const double payload =
+      static_cast<double>(region.luts) * params.bitstream_bytes_per_lut;
+  return Bytes{params.bitstream_overhead_bytes +
+               static_cast<std::uint64_t>(std::llround(payload))};
+}
+
+double reconfiguration_seconds(core::Resources region,
+                               const ReconfigParams& params) {
+  const Bytes size = bitstream_bytes(region, params);
+  return params.driver_overhead_seconds +
+         static_cast<double>(size.count()) / params.icap_bytes_per_second;
+}
+
+}  // namespace hybridic::reconfig

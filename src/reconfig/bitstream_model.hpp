@@ -1,0 +1,39 @@
+// Partial-reconfiguration cost model — the paper's stated next step
+// ("Runtime reconfigurability ... such that each application can dispose
+// of its best interconnect", §VI).
+//
+// Models a Virtex-5-class partial-reconfiguration flow: the interconnect
+// region's logic is covered by configuration frames; the partial
+// bitstream streams into the device through ICAP at a fixed throughput.
+#pragma once
+
+#include <cstdint>
+
+#include "core/resource_model.hpp"
+#include "util/units.hpp"
+
+namespace hybridic::reconfig {
+
+/// Device/flow parameters.
+struct ReconfigParams {
+  /// Configuration payload attributable to one LUT of reconfigured area
+  /// (frame bytes amortized over the LUTs a frame column covers).
+  double bitstream_bytes_per_lut = 12.0;
+  /// Fixed bitstream overhead (headers, sync words, pad frames).
+  std::uint64_t bitstream_overhead_bytes = 16 * 1024;
+  /// ICAP: 32 bit @ 100 MHz on Virtex-5.
+  double icap_bytes_per_second = 400e6;
+  /// Software driver overhead per reconfiguration (host-side).
+  double driver_overhead_seconds = 250e-6;
+};
+
+/// Size of the partial bitstream covering `region` (the custom
+/// interconnect's logic).
+[[nodiscard]] Bytes bitstream_bytes(core::Resources region,
+                                    const ReconfigParams& params);
+
+/// Wall-clock time to swap the interconnect region.
+[[nodiscard]] double reconfiguration_seconds(core::Resources region,
+                                             const ReconfigParams& params);
+
+}  // namespace hybridic::reconfig

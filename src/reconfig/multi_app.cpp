@@ -1,0 +1,130 @@
+#include "reconfig/multi_app.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "core/interconnect_design.hpp"
+#include "sys/executor.hpp"
+#include "util/error.hpp"
+
+namespace hybridic::reconfig {
+
+std::string to_string(Strategy s) {
+  switch (s) {
+    case Strategy::kBusOnly:
+      return "bus-only";
+    case Strategy::kStaticUnion:
+      return "static union";
+    case Strategy::kPerAppReconfig:
+      return "per-app reconfig";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Per-distinct-application design + measured timing, computed once.
+struct AppPlan {
+  core::DesignResult design;
+  core::Resources interconnect_area;
+  double proposed_seconds = 0.0;
+  double baseline_seconds = 0.0;
+};
+
+AppPlan plan_for(const sys::AppSchedule& schedule,
+                 const sys::PlatformConfig& platform) {
+  AppPlan plan;
+  const core::DesignInput input =
+      sys::make_design_input(schedule, platform);
+  plan.design = core::design_interconnect(input);
+  plan.interconnect_area = core::interconnect_resources(plan.design);
+  plan.proposed_seconds =
+      sys::run_designed(schedule, plan.design, platform).total_seconds;
+  plan.baseline_seconds =
+      sys::run_baseline(schedule, platform).total_seconds;
+  return plan;
+}
+
+}  // namespace
+
+ScenarioResult evaluate_scenario(const std::vector<WorkloadPhase>& phases,
+                                 Strategy strategy,
+                                 const sys::PlatformConfig& platform,
+                                 const ReconfigParams& params) {
+  require(!phases.empty(), "scenario needs at least one phase");
+
+  // Design each distinct application once.
+  std::map<std::string, AppPlan> plans;
+  for (const WorkloadPhase& phase : phases) {
+    require(phase.schedule != nullptr, "phase without schedule");
+    require(phase.iterations > 0, "phase with zero iterations");
+    if (plans.find(phase.name) == plans.end()) {
+      plans.emplace(phase.name, plan_for(*phase.schedule, platform));
+    }
+  }
+
+  ScenarioResult result;
+  result.strategy = strategy;
+
+  // Provisioned area.
+  switch (strategy) {
+    case Strategy::kBusOnly:
+      result.provisioned_interconnect = core::Resources{0, 0};
+      break;
+    case Strategy::kStaticUnion: {
+      // Every distinct design coexists in the fabric.
+      for (const auto& [name, plan] : plans) {
+        result.provisioned_interconnect += plan.interconnect_area;
+      }
+      break;
+    }
+    case Strategy::kPerAppReconfig: {
+      // The region must fit the largest single design.
+      for (const auto& [name, plan] : plans) {
+        result.provisioned_interconnect.luts =
+            std::max(result.provisioned_interconnect.luts,
+                     plan.interconnect_area.luts);
+        result.provisioned_interconnect.regs =
+            std::max(result.provisioned_interconnect.regs,
+                     plan.interconnect_area.regs);
+      }
+      break;
+    }
+  }
+
+  // Walk the phases.
+  std::string active_design;  // Which design currently occupies the region.
+  for (const WorkloadPhase& phase : phases) {
+    const AppPlan& plan = plans.at(phase.name);
+    PhaseOutcome outcome;
+    outcome.name = phase.name;
+    outcome.iterations = phase.iterations;
+
+    switch (strategy) {
+      case Strategy::kBusOnly:
+        outcome.per_iteration_seconds = plan.baseline_seconds;
+        break;
+      case Strategy::kStaticUnion:
+        outcome.per_iteration_seconds = plan.proposed_seconds;
+        break;
+      case Strategy::kPerAppReconfig:
+        outcome.per_iteration_seconds = plan.proposed_seconds;
+        if (active_design != phase.name) {
+          // Swap the whole provisioned region (its frames are rewritten
+          // regardless of how much of it the incoming design fills).
+          outcome.reconfiguration_seconds = reconfiguration_seconds(
+              result.provisioned_interconnect, params);
+          active_design = phase.name;
+        }
+        break;
+    }
+
+    result.compute_total_seconds +=
+        outcome.per_iteration_seconds * phase.iterations;
+    result.reconfig_total_seconds += outcome.reconfiguration_seconds;
+    result.phases.push_back(std::move(outcome));
+  }
+  return result;
+}
+
+}  // namespace hybridic::reconfig

@@ -1,0 +1,74 @@
+// Multi-application scenarios with runtime-reconfigurable interconnects —
+// the quantitative version of the paper's future-work claim that each
+// application should "dispose of its best interconnect".
+//
+// A scenario is a sequence of workload phases (application + iteration
+// count). Three provisioning strategies are compared:
+//
+//  - kBusOnly:        the conventional baseline for every phase; no custom
+//                     interconnect area, no reconfiguration.
+//  - kStaticUnion:    one fixed fabric provisioned with every phase's
+//                     custom interconnect simultaneously; per-phase
+//                     performance of the proposed system, no swap cost,
+//                     but the union's area.
+//  - kPerAppReconfig: the interconnect region is partially reconfigured to
+//                     each phase's optimal design; area is the largest
+//                     single design, but every design switch pays the
+//                     ICAP swap time (reconfig/bitstream_model.hpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/design_result.hpp"
+#include "reconfig/bitstream_model.hpp"
+#include "sys/experiment.hpp"
+#include "sys/schedule.hpp"
+
+namespace hybridic::reconfig {
+
+/// One phase: an application run `iterations` times back to back.
+struct WorkloadPhase {
+  std::string name;                     ///< Dedup key for designs.
+  const sys::AppSchedule* schedule = nullptr;
+  std::uint32_t iterations = 1;
+};
+
+enum class Strategy : std::uint8_t {
+  kBusOnly,
+  kStaticUnion,
+  kPerAppReconfig,
+};
+
+[[nodiscard]] std::string to_string(Strategy s);
+
+/// Per-phase outcome.
+struct PhaseOutcome {
+  std::string name;
+  std::uint32_t iterations = 1;
+  double per_iteration_seconds = 0.0;
+  double reconfiguration_seconds = 0.0;  ///< Paid entering this phase.
+};
+
+/// Scenario-level result.
+struct ScenarioResult {
+  Strategy strategy = Strategy::kBusOnly;
+  double compute_total_seconds = 0.0;
+  double reconfig_total_seconds = 0.0;
+  core::Resources provisioned_interconnect;  ///< Fabric area reserved.
+  std::vector<PhaseOutcome> phases;
+
+  [[nodiscard]] double total_seconds() const {
+    return compute_total_seconds + reconfig_total_seconds;
+  }
+};
+
+/// Evaluate a scenario under a strategy. Schedules must stay alive for
+/// the duration of the call (they reference their profiler's graph).
+[[nodiscard]] ScenarioResult evaluate_scenario(
+    const std::vector<WorkloadPhase>& phases, Strategy strategy,
+    const sys::PlatformConfig& platform,
+    const ReconfigParams& params = {});
+
+}  // namespace hybridic::reconfig

@@ -1,0 +1,80 @@
+#include "sim/engine.hpp"
+
+#include "util/error.hpp"
+
+namespace hybridic::sim {
+
+void Engine::schedule_at(Picoseconds when, std::function<void()> action) {
+  sim_assert(when >= now_, "cannot schedule an event in the past");
+  queue_.schedule(when, std::move(action));
+}
+
+void Engine::schedule_after(Picoseconds delay, std::function<void()> action) {
+  queue_.schedule(now_ + delay, std::move(action));
+}
+
+std::size_t Engine::add_ticking(Ticking& component, const ClockDomain& domain) {
+  ticking_.push_back(TickingSlot{&component, &domain, false});
+  return ticking_.size() - 1;
+}
+
+void Engine::activate(std::size_t handle) {
+  sim_assert(handle < ticking_.size(), "invalid ticking handle");
+  if (!ticking_[handle].scheduled) {
+    schedule_tick(handle);
+  }
+}
+
+void Engine::schedule_tick(std::size_t handle) {
+  TickingSlot& slot = ticking_[handle];
+  slot.scheduled = true;
+  // Ticks land strictly after `now` so a component activated at its own edge
+  // time still sees causally-ordered inputs.
+  const Picoseconds edge =
+      slot.domain->edge(slot.domain->next_edge_index(now_ + Picoseconds{1}));
+  queue_.schedule(edge, [this, handle] {
+    TickingSlot& s = ticking_[handle];
+    s.scheduled = false;
+    if (s.component->tick(now_)) {
+      if (!s.scheduled) {
+        schedule_tick(handle);
+      }
+    }
+  });
+}
+
+Picoseconds Engine::run(Picoseconds limit) {
+  while (!queue_.empty() && queue_.next_time() <= limit) {
+    Event event = queue_.pop();
+    now_ = event.time;
+    event.action();
+    ++events_executed_;
+  }
+  return now_;
+}
+
+bool Engine::run_until(const std::function<bool()>& predicate,
+                       Picoseconds limit) {
+  if (predicate()) {
+    return true;
+  }
+  while (!queue_.empty() && queue_.next_time() <= limit) {
+    Event event = queue_.pop();
+    now_ = event.time;
+    event.action();
+    ++events_executed_;
+    if (predicate()) {
+      return true;
+    }
+  }
+  return predicate();
+}
+
+void Engine::reset() {
+  queue_.clear();
+  ticking_.clear();
+  now_ = Picoseconds{0};
+  events_executed_ = 0;
+}
+
+}  // namespace hybridic::sim

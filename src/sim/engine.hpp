@@ -1,0 +1,84 @@
+// The simulation engine: owns the event queue and the global clock, and
+// drives registered ticking components.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/clock.hpp"
+#include "sim/event.hpp"
+#include "util/units.hpp"
+
+namespace hybridic::sim {
+
+/// Periodically-ticked behaviour attached to a clock domain. The engine only
+/// schedules ticks for components that have asked to be active, so idle
+/// fabrics cost nothing (important when simulating multi-millisecond runs).
+class Ticking {
+public:
+  virtual ~Ticking() = default;
+
+  /// One rising clock edge in the component's domain. Return true while the
+  /// component still has work; returning false suspends ticking until
+  /// `Engine::activate` is called for it again.
+  virtual bool tick(Picoseconds now) = 0;
+};
+
+/// Discrete-event simulation engine with support for clocked components.
+class Engine {
+public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Current simulation time.
+  [[nodiscard]] Picoseconds now() const { return now_; }
+
+  /// Schedule a one-shot action at absolute time `when` (>= now).
+  void schedule_at(Picoseconds when, std::function<void()> action);
+
+  /// Schedule a one-shot action `delay` after now.
+  void schedule_after(Picoseconds delay, std::function<void()> action);
+
+  /// Register a clocked component; returns a handle used with `activate`.
+  std::size_t add_ticking(Ticking& component, const ClockDomain& domain);
+
+  /// Wake a suspended clocked component; its next tick lands on the next
+  /// clock edge of its domain. Safe to call redundantly.
+  void activate(std::size_t handle);
+
+  /// Run until no events remain or `limit` is reached.
+  /// Returns the final simulation time.
+  Picoseconds run(Picoseconds limit = Picoseconds{UINT64_MAX});
+
+  /// Run until `predicate` returns true (checked after every event) or the
+  /// queue drains. Returns true if the predicate fired.
+  bool run_until(const std::function<bool()>& predicate,
+                 Picoseconds limit = Picoseconds{UINT64_MAX});
+
+  /// Number of events executed so far.
+  [[nodiscard]] std::uint64_t events_executed() const {
+    return events_executed_;
+  }
+
+  /// Drop all state so the engine can host a fresh simulation.
+  void reset();
+
+private:
+  struct TickingSlot {
+    Ticking* component = nullptr;
+    const ClockDomain* domain = nullptr;
+    bool scheduled = false;
+  };
+
+  void schedule_tick(std::size_t handle);
+
+  EventQueue queue_;
+  std::vector<TickingSlot> ticking_;
+  Picoseconds now_{0};
+  std::uint64_t events_executed_ = 0;
+};
+
+}  // namespace hybridic::sim

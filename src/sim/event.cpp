@@ -1,0 +1,30 @@
+#include "sim/event.hpp"
+
+#include "util/error.hpp"
+
+namespace hybridic::sim {
+
+void EventQueue::schedule(Picoseconds when, std::function<void()> action) {
+  heap_.push(Event{when, next_sequence_++, std::move(action)});
+}
+
+Picoseconds EventQueue::next_time() const {
+  sim_assert(!heap_.empty(), "next_time() on empty EventQueue");
+  return heap_.top().time;
+}
+
+Event EventQueue::pop() {
+  sim_assert(!heap_.empty(), "pop() on empty EventQueue");
+  // priority_queue::top() returns const&; moving requires a copy-pop.
+  Event event = heap_.top();
+  heap_.pop();
+  return event;
+}
+
+void EventQueue::clear() {
+  while (!heap_.empty()) {
+    heap_.pop();
+  }
+}
+
+}  // namespace hybridic::sim

@@ -1,0 +1,60 @@
+// Event and event-queue primitives for the discrete-event simulation core.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace hybridic::sim {
+
+/// Scheduled callback. Events at equal times run in scheduling order
+/// (FIFO tie-break via a monotonically increasing sequence number), which
+/// keeps the simulation fully deterministic.
+struct Event {
+  Picoseconds time;
+  std::uint64_t sequence;
+  std::function<void()> action;
+};
+
+/// Min-heap of events ordered by (time, sequence).
+class EventQueue {
+public:
+  /// Schedule `action` at absolute time `when`.
+  void schedule(Picoseconds when, std::function<void()> action);
+
+  /// True when no events remain.
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+
+  /// Time of the earliest pending event; queue must not be empty.
+  [[nodiscard]] Picoseconds next_time() const;
+
+  /// Pop and return the earliest event; queue must not be empty.
+  Event pop();
+
+  /// Drop all pending events.
+  void clear();
+
+  [[nodiscard]] std::uint64_t total_scheduled() const {
+    return next_sequence_;
+  }
+
+private:
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) {
+        return a.time > b.time;
+      }
+      return a.sequence > b.sequence;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::uint64_t next_sequence_ = 0;
+};
+
+}  // namespace hybridic::sim

@@ -1,0 +1,67 @@
+#include "sim/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace hybridic::sim {
+
+void Summary::add(double sample) {
+  ++count_;
+  const double delta = sample - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (sample - mean_);
+  min_ = std::min(min_, sample);
+  max_ = std::max(max_, sample);
+}
+
+double Summary::variance() const {
+  return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+}
+
+double Summary::stddev() const { return std::sqrt(variance()); }
+
+void Summary::reset() { *this = Summary{}; }
+
+Histogram::Histogram(double bucket_width, std::size_t bucket_count)
+    : width_(bucket_width), counts_(bucket_count, 0) {
+  require(bucket_width > 0.0, "Histogram bucket width must be positive");
+  require(bucket_count > 0, "Histogram needs at least one bucket");
+}
+
+void Histogram::add(double sample) {
+  ++total_;
+  if (sample < 0.0) {
+    ++counts_[0];
+    return;
+  }
+  const auto index = static_cast<std::size_t>(sample / width_);
+  if (index >= counts_.size()) {
+    ++overflow_;
+  } else {
+    ++counts_[index];
+  }
+}
+
+std::uint64_t Histogram::bucket(std::size_t index) const {
+  sim_assert(index < counts_.size(), "Histogram bucket out of range");
+  return counts_[index];
+}
+
+double Histogram::quantile(double q) const {
+  if (total_ == 0) {
+    return 0.0;
+  }
+  const double target = q * static_cast<double>(total_);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    cumulative += static_cast<double>(counts_[i]);
+    if (cumulative >= target) {
+      return (static_cast<double>(i) + 0.5) * width_;
+    }
+  }
+  return static_cast<double>(counts_.size()) * width_;
+}
+
+}  // namespace hybridic::sim

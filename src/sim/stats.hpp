@@ -1,0 +1,62 @@
+// Lightweight statistics collection: counters and streaming summaries
+// used by the fabrics (bus, NoC) and by benchmark harnesses.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace hybridic::sim {
+
+/// Streaming min/max/mean/stddev via Welford's algorithm.
+class Summary {
+public:
+  void add(double sample);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  [[nodiscard]] double min() const {
+    return count_ > 0 ? min_ : 0.0;
+  }
+  [[nodiscard]] double max() const {
+    return count_ > 0 ? max_ : 0.0;
+  }
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+
+  void reset();
+
+private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-bucket histogram for latency distributions.
+class Histogram {
+public:
+  /// Buckets: [0,width), [width,2*width), ..., plus an overflow bucket.
+  Histogram(double bucket_width, std::size_t bucket_count);
+
+  void add(double sample);
+
+  [[nodiscard]] std::uint64_t bucket(std::size_t index) const;
+  [[nodiscard]] std::size_t bucket_count() const { return counts_.size(); }
+  [[nodiscard]] std::uint64_t overflow() const { return overflow_; }
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  [[nodiscard]] double bucket_width() const { return width_; }
+
+  /// Approximate p-quantile (q in [0,1]) from bucket midpoints.
+  [[nodiscard]] double quantile(double q) const;
+
+private:
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace hybridic::sim

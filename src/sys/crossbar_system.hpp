@@ -1,0 +1,29 @@
+// The full-crossbar comparison system — the paper's §II-A group-4
+// interconnect class, added as a fourth evaluated variant.
+//
+// Every kernel's local memory hangs off one full N-port crossbar; a
+// producer streams its output directly into the consumer's BRAM during
+// its own compute (zero switch latency, per-memory-port bandwidth).
+// Host↔kernel traffic stays on the system bus. Performance-wise this is
+// close to the NoC (transfers hide behind compute); area-wise the
+// crosspoint count grows with the square of the kernel count — the trade
+// the hybrid design avoids.
+#pragma once
+
+#include "core/resource_model.hpp"
+#include "sys/executor.hpp"
+#include "sys/platform.hpp"
+#include "sys/schedule.hpp"
+
+namespace hybridic::sys {
+
+/// Run the schedule on a full-crossbar system.
+[[nodiscard]] RunResult run_crossbar_system(const AppSchedule& schedule,
+                                            PlatformConfig config);
+
+/// Interconnect area of the full-crossbar system for `kernel_count`
+/// kernels (kernels x memories crosspoints).
+[[nodiscard]] core::Resources crossbar_system_resources(
+    std::uint32_t kernel_count);
+
+}  // namespace hybridic::sys

@@ -1,0 +1,65 @@
+// Shared internals of the system executors (run_designed,
+// run_crossbar_system): pending-operation bookkeeping around the
+// event-driven fabrics. Not part of the public API.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "bus/dma.hpp"
+#include "sys/platform.hpp"
+#include "util/error.hpp"
+
+namespace hybridic::sys::detail {
+
+inline Picoseconds from_seconds(double seconds) {
+  return Picoseconds{static_cast<std::uint64_t>(
+      std::llround(std::max(0.0, seconds) * 1e12))};
+}
+
+inline Bytes scale_bytes(Bytes bytes, double share) {
+  return Bytes{static_cast<std::uint64_t>(
+      std::llround(static_cast<double>(bytes.count()) * share))};
+}
+
+/// Completion marker for an asynchronous fabric operation.
+struct Pending {
+  bool done = false;
+  Picoseconds at{0};
+};
+
+/// Issue a DMA block transfer at (or after) `when`; zero bytes complete
+/// immediately at the requested time (no fabric involvement).
+inline void issue_dma(Platform& platform, Picoseconds when,
+                      bus::DmaDirection dir, Bytes bytes, mem::Bram& bram,
+                      Pending& op) {
+  if (bytes.count() == 0) {
+    op.done = true;
+    op.at = when;
+    return;
+  }
+  const Picoseconds at = std::max(when, platform.engine().now());
+  platform.engine().schedule_at(at, [&platform, dir, bytes, &bram, &op] {
+    platform.dma().transfer(dir, bytes, bram, [&op](Picoseconds done_at) {
+      op.done = true;
+      op.at = done_at;
+    });
+  });
+}
+
+inline void wait_all(Platform& platform, const std::vector<Pending*>& ops) {
+  platform.engine().run_until([&ops] {
+    for (const Pending* op : ops) {
+      if (!op->done) {
+        return false;
+      }
+    }
+    return true;
+  });
+  for (const Pending* op : ops) {
+    sim_assert(op->done, "fabric operation never completed (deadlock?)");
+  }
+}
+
+}  // namespace hybridic::sys::detail

@@ -1,0 +1,87 @@
+// Experiment facade: given an application schedule (profile + calibrated
+// kernels), run the full paper pipeline — design the hybrid interconnect,
+// execute the SW / baseline / proposed / NoC-only systems, and collect the
+// resource and energy numbers every table and figure needs.
+#pragma once
+
+#include <string>
+
+#include "core/design_result.hpp"
+#include "core/energy_model.hpp"
+#include "core/interconnect_design.hpp"
+#include "core/resource_model.hpp"
+#include "sys/executor.hpp"
+#include "sys/platform.hpp"
+#include "sys/schedule.hpp"
+
+namespace hybridic::sys {
+
+/// Per-application constants that are not part of the schedule: the area of
+/// the base system infrastructure (host interface, PLB, I/O) on top of
+/// which kernels and interconnect are counted.
+struct AppEnvironment {
+  core::Resources base_infrastructure{3200, 2600};
+  core::PowerModel power;
+};
+
+/// Everything the benches report for one application.
+struct AppExperiment {
+  std::string app_name;
+
+  core::DesignResult proposed_design;
+  core::DesignResult noc_only_design;
+
+  RunResult sw;
+  RunResult baseline;
+  RunResult proposed;
+  RunResult noc_only;
+
+  core::Resources baseline_resources;
+  core::Resources proposed_resources;
+  core::Resources noc_only_resources;
+  core::Resources kernel_area;           ///< Proposed system's kernels.
+  core::Resources interconnect_area;     ///< Proposed custom interconnect.
+
+  double baseline_power_watts = 0.0;
+  double proposed_power_watts = 0.0;
+  double baseline_energy_joules = 0.0;
+  double proposed_energy_joules = 0.0;
+
+  // Derived ratios (the paper's headline numbers).
+  [[nodiscard]] double baseline_app_speedup_vs_sw() const {
+    return sw.total_seconds / baseline.total_seconds;
+  }
+  [[nodiscard]] double baseline_kernel_speedup_vs_sw() const {
+    return sw.kernel_compute_seconds / baseline.kernel_seconds();
+  }
+  [[nodiscard]] double proposed_app_speedup_vs_sw() const {
+    return sw.total_seconds / proposed.total_seconds;
+  }
+  [[nodiscard]] double proposed_kernel_speedup_vs_sw() const {
+    return sw.kernel_compute_seconds / proposed.kernel_seconds();
+  }
+  [[nodiscard]] double proposed_app_speedup_vs_baseline() const {
+    return baseline.total_seconds / proposed.total_seconds;
+  }
+  [[nodiscard]] double proposed_kernel_speedup_vs_baseline() const {
+    return baseline.kernel_seconds() / proposed.kernel_seconds();
+  }
+  [[nodiscard]] double baseline_comm_comp_ratio() const {
+    return baseline.kernel_comm_seconds / baseline.kernel_compute_seconds;
+  }
+  [[nodiscard]] double energy_ratio_vs_baseline() const {
+    return proposed_energy_joules / baseline_energy_joules;
+  }
+};
+
+/// Run the full pipeline for one application.
+[[nodiscard]] AppExperiment run_experiment(const AppSchedule& schedule,
+                                           const PlatformConfig& platform,
+                                           const AppEnvironment& env);
+
+/// Build the DesignInput Algorithm 1 consumes for `schedule` on `platform`
+/// (θ measured from the simulated bus, overheads from the config).
+[[nodiscard]] core::DesignInput make_design_input(
+    const AppSchedule& schedule, const PlatformConfig& platform);
+
+}  // namespace hybridic::sys

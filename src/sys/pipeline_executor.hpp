@@ -1,0 +1,61 @@
+// Multi-frame pipelined execution — the throughput view of the paper's
+// streaming motivation (§IV-A3, case 2 generalized across frames).
+//
+// With the custom interconnect, consecutive frames can overlap: while
+// frame f's consumer kernel computes, frame f+1's producer kernel is
+// already running, because kernel→kernel data no longer round-trips
+// through the host. This executor models a workload of N identical frames
+// as a software pipeline over the kernel instances and reports latency,
+// makespan, throughput and the bottleneck stage.
+//
+// Timing model: per-stage service times come from the same fabric models
+// as the single-frame executors (bus θ for host transfers, NoC ideal
+// latency for kernel transfers, shared memory free), but scheduling is
+// reservation-based (each resource is a busy-until cursor) rather than
+// event-driven — the right fidelity for steady-state throughput.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/design_result.hpp"
+#include "sys/platform.hpp"
+#include "sys/schedule.hpp"
+
+namespace hybridic::sys {
+
+/// Result of a pipelined multi-frame run.
+struct PipelineResult {
+  std::string system_name;
+  std::uint32_t frames = 0;
+  double first_frame_seconds = 0.0;   ///< Latency of frame 0.
+  double makespan_seconds = 0.0;      ///< Last frame completion.
+  double bottleneck_stage_seconds = 0.0;
+  std::string bottleneck_stage;
+
+  /// Steady-state frames per second.
+  [[nodiscard]] double throughput_fps() const {
+    if (frames <= 1 || makespan_seconds <= first_frame_seconds) {
+      return frames / std::max(makespan_seconds, 1e-18);
+    }
+    return static_cast<double>(frames - 1) /
+           (makespan_seconds - first_frame_seconds);
+  }
+};
+
+/// Run `frames` identical frames through the designed system with
+/// cross-frame pipelining. Host steps serialize on the host; each kernel
+/// instance serializes on itself; the bus serializes host transfers.
+[[nodiscard]] PipelineResult run_designed_pipelined(
+    const AppSchedule& schedule, const core::DesignResult& design,
+    const PlatformConfig& config, std::uint32_t frames);
+
+/// The baseline has no cross-frame overlap (every transfer serializes on
+/// the single bus and the host orchestrates frame by frame): N frames
+/// cost N times one frame. Provided for symmetric reporting.
+[[nodiscard]] PipelineResult run_baseline_frames(
+    const AppSchedule& schedule, const PlatformConfig& config,
+    std::uint32_t frames);
+
+}  // namespace hybridic::sys

@@ -1,0 +1,71 @@
+// Application schedule: the function-level execution model the executors
+// replay on a platform.
+//
+// Matching the paper's model (Eq. 2 sums once over kernels), a schedule has
+// one step per application function in program order. Kernel steps carry
+// both a software cycle count (execution on the 400 MHz host, for the SW
+// reference) and a hardware cycle count (τ_i on the 100 MHz fabric); data
+// volumes come from the profiled communication graph.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/kernel_model.hpp"
+#include "prof/comm_graph.hpp"
+#include "util/units.hpp"
+
+namespace hybridic::sys {
+
+/// One function-level step.
+struct ScheduleStep {
+  std::string name;
+  prof::FunctionId function = 0;
+  bool is_kernel = false;
+  Cycles sw_cycles{0};         ///< Work on the host.
+  Cycles hw_cycles{0};         ///< τ on the kernel fabric (kernels only).
+  std::size_t spec_index = 0;  ///< Into AppSchedule::specs (kernels only).
+};
+
+/// The whole application, ready to execute on any system variant.
+struct AppSchedule {
+  std::string app_name;
+  const prof::CommGraph* graph = nullptr;
+  std::vector<core::KernelSpec> specs;  ///< L_hw for the designer.
+  std::vector<ScheduleStep> steps;      ///< Program order.
+
+  /// Step index of `function`; throws if absent.
+  [[nodiscard]] std::size_t step_of(prof::FunctionId function) const;
+};
+
+/// Calibration constants used to derive a schedule from a profile run.
+struct CalibrationEntry {
+  std::string function;
+  double host_cycles_per_work_unit = 4.0;
+  double kernel_cycles_per_work_unit = 1.0;  ///< Kernels only.
+  std::uint32_t area_luts = 0;               ///< Kernels only.
+  std::uint32_t area_regs = 0;
+  bool is_kernel = false;
+  bool duplicable = false;
+  bool streaming = false;
+};
+
+/// Build a schedule from a completed profile. Functions appear in the
+/// order they were declared to the profiler, which the applications keep
+/// aligned with program order. Every calibration entry must name a
+/// profiled function.
+[[nodiscard]] AppSchedule build_schedule(
+    std::string app_name, const prof::CommGraph& graph,
+    const std::vector<CalibrationEntry>& calibration);
+
+/// As above, but steps follow an explicit program order (typically the
+/// profiler's observed first-invocation order, QuadProfiler::call_order()).
+/// Profiled functions missing from `order` are appended afterwards in id
+/// order; ids in `order` must be unique and valid.
+[[nodiscard]] AppSchedule build_schedule(
+    std::string app_name, const prof::CommGraph& graph,
+    const std::vector<CalibrationEntry>& calibration,
+    const std::vector<prof::FunctionId>& order);
+
+}  // namespace hybridic::sys

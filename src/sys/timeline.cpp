@@ -1,0 +1,78 @@
+#include "sys/timeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/table.hpp"
+
+namespace hybridic::sys {
+
+std::string render_timeline(const RunResult& result,
+                            const TimelineOptions& options) {
+  std::ostringstream out;
+  out << "timeline: " << result.system_name << "  total "
+      << format_fixed(result.total_seconds * 1e3, 3) << " ms\n";
+  if (result.steps.empty() || result.total_seconds <= 0.0) {
+    return out.str();
+  }
+
+  std::size_t label_width = 4;
+  for (const StepTiming& step : result.steps) {
+    label_width = std::max(label_width, step.name.size());
+  }
+
+  const double scale =
+      static_cast<double>(options.width_chars) / result.total_seconds;
+  const auto column = [scale](double seconds) {
+    return static_cast<std::uint32_t>(std::lround(seconds * scale));
+  };
+
+  for (const StepTiming& step : result.steps) {
+    if (!options.show_host_steps && !step.is_kernel) {
+      continue;
+    }
+    const std::uint32_t start = column(step.start_seconds);
+    const std::uint32_t end =
+        std::max(column(step.done_seconds), start + 1);
+    // Within [start, end): communication first (fetch), then compute.
+    // The renderer splits proportionally since phases interleave.
+    const double span = step.done_seconds - step.start_seconds;
+    const double comm_fraction =
+        span > 0.0 ? std::min(1.0, step.comm_seconds / span) : 0.0;
+    const auto comm_cols = static_cast<std::uint32_t>(
+        std::lround(comm_fraction * (end - start)));
+
+    out << step.name << std::string(label_width - step.name.size(), ' ')
+        << " |" << std::string(start, ' ');
+    const char work = step.is_kernel ? '#' : '=';
+    for (std::uint32_t c = start; c < end; ++c) {
+      out << (c < start + comm_cols ? '.' : work);
+    }
+    out << std::string(options.width_chars - std::min(options.width_chars,
+                                                      end),
+                       ' ')
+        << "| " << format_fixed((step.done_seconds - step.start_seconds) *
+                                    1e3,
+                                3)
+        << " ms\n";
+  }
+  out << std::string(label_width, ' ') << "  ('#' kernel compute, '='"
+      << " host, '.' exposed communication)\n";
+  return out.str();
+}
+
+std::string timeline_csv(const RunResult& result) {
+  std::ostringstream out;
+  out << "step,name,kind,start_s,done_s,compute_s,comm_s\n";
+  for (std::size_t i = 0; i < result.steps.size(); ++i) {
+    const StepTiming& step = result.steps[i];
+    out << i << ',' << step.name << ','
+        << (step.is_kernel ? "kernel" : "host") << ','
+        << step.start_seconds << ',' << step.done_seconds << ','
+        << step.compute_seconds << ',' << step.comm_seconds << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace hybridic::sys

@@ -1,0 +1,26 @@
+// Execution-timeline rendering: turns a RunResult's per-step timings into
+// an ASCII Gantt chart and a CSV trace, for inspecting where a system
+// variant spends its time (which communication got hidden, which did not).
+#pragma once
+
+#include <string>
+
+#include "sys/executor.hpp"
+
+namespace hybridic::sys {
+
+/// Options for the ASCII renderer.
+struct TimelineOptions {
+  std::uint32_t width_chars = 72;  ///< Chart area width.
+  bool show_host_steps = true;
+};
+
+/// Render `result` as an ASCII Gantt chart: one row per step, '#' for the
+/// kernel-compute window and '.' for exposed communication.
+[[nodiscard]] std::string render_timeline(const RunResult& result,
+                                          const TimelineOptions& options = {});
+
+/// CSV trace: step,name,kind,start_s,done_s,compute_s,comm_s.
+[[nodiscard]] std::string timeline_csv(const RunResult& result);
+
+}  // namespace hybridic::sys

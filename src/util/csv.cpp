@@ -1,0 +1,47 @@
+#include "util/csv.hpp"
+
+namespace hybridic {
+
+namespace {
+
+std::string escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) {
+    return field;
+  }
+  std::string quoted = "\"";
+  for (const char ch : field) {
+    if (ch == '"') {
+      quoted += "\"\"";
+    } else {
+      quoted += ch;
+    }
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : out_(path) {
+  if (out_) {
+    write_row(header);
+  }
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& row) {
+  write_row(row);
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& row) {
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (i != 0) {
+      out_ << ',';
+    }
+    out_ << escape(row[i]);
+  }
+  out_ << '\n';
+}
+
+}  // namespace hybridic

@@ -1,0 +1,27 @@
+// CSV writer for machine-readable benchmark output (one file per figure so
+// external plotting can regenerate the paper's charts).
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace hybridic {
+
+/// Streams rows to a CSV file; quotes fields containing separators.
+class CsvWriter {
+public:
+  /// Opens `path` for writing and emits the header row.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  void add_row(const std::vector<std::string>& row);
+
+  [[nodiscard]] bool ok() const { return static_cast<bool>(out_); }
+
+private:
+  void write_row(const std::vector<std::string>& row);
+
+  std::ofstream out_;
+};
+
+}  // namespace hybridic

@@ -1,0 +1,38 @@
+// Error types for HybridIC. Construction/configuration errors throw;
+// simulation-hot paths use assertions and never throw.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace hybridic {
+
+/// Invalid configuration supplied by the user (bad topology size, unknown
+/// component name, inconsistent application description, ...).
+class ConfigError : public std::runtime_error {
+public:
+  explicit ConfigError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Internal invariant violated during simulation; indicates a bug in the
+/// library rather than in user input.
+class SimulationError : public std::logic_error {
+public:
+  explicit SimulationError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Throw a ConfigError unless `condition` holds.
+inline void require(bool condition, const std::string& message) {
+  if (!condition) {
+    throw ConfigError{message};
+  }
+}
+
+/// Throw a SimulationError unless `condition` holds.
+inline void sim_assert(bool condition, const std::string& message) {
+  if (!condition) {
+    throw SimulationError{message};
+  }
+}
+
+}  // namespace hybridic

@@ -1,0 +1,31 @@
+#include "util/log.hpp"
+
+namespace hybridic {
+
+LogLevel& log_level() {
+  static LogLevel level = LogLevel::kSilent;
+  return level;
+}
+
+namespace detail {
+
+void emit(LogLevel level, std::string_view message) {
+  const char* prefix = "";
+  switch (level) {
+    case LogLevel::kInfo:
+      prefix = "[info ] ";
+      break;
+    case LogLevel::kDebug:
+      prefix = "[debug] ";
+      break;
+    case LogLevel::kTrace:
+      prefix = "[trace] ";
+      break;
+    case LogLevel::kSilent:
+      return;
+  }
+  std::clog << prefix << message << '\n';
+}
+
+}  // namespace detail
+}  // namespace hybridic

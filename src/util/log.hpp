@@ -1,0 +1,47 @@
+// Minimal leveled logging. Off by default; benches and examples raise the
+// level for narrative output, tests keep it silent.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string_view>
+
+namespace hybridic {
+
+enum class LogLevel { kSilent = 0, kInfo = 1, kDebug = 2, kTrace = 3 };
+
+/// Process-wide log level (simulation is single-threaded per run).
+LogLevel& log_level();
+
+namespace detail {
+void emit(LogLevel level, std::string_view message);
+}
+
+template <typename... Args>
+void log_info(Args&&... args) {
+  if (log_level() >= LogLevel::kInfo) {
+    std::ostringstream oss;
+    (oss << ... << args);
+    detail::emit(LogLevel::kInfo, oss.str());
+  }
+}
+
+template <typename... Args>
+void log_debug(Args&&... args) {
+  if (log_level() >= LogLevel::kDebug) {
+    std::ostringstream oss;
+    (oss << ... << args);
+    detail::emit(LogLevel::kDebug, oss.str());
+  }
+}
+
+template <typename... Args>
+void log_trace(Args&&... args) {
+  if (log_level() >= LogLevel::kTrace) {
+    std::ostringstream oss;
+    (oss << ... << args);
+    detail::emit(LogLevel::kTrace, oss.str());
+  }
+}
+
+}  // namespace hybridic

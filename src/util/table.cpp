@@ -1,0 +1,123 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace hybridic {
+
+void Table::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void Table::set_alignment(std::vector<Align> alignment) {
+  alignment_ = std::move(alignment);
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  require(header_.empty() || row.size() == header_.size(),
+          "Table row width does not match header width");
+  rows_.push_back(Row{std::move(row), false});
+}
+
+void Table::add_separator() { rows_.push_back(Row{{}, true}); }
+
+namespace {
+
+void render_line(std::ostream& os, const std::vector<std::size_t>& widths,
+                 char fill, char junction) {
+  os << junction;
+  for (const std::size_t w : widths) {
+    for (std::size_t i = 0; i < w + 2; ++i) {
+      os << fill;
+    }
+    os << junction;
+  }
+  os << '\n';
+}
+
+void render_cells(std::ostream& os, const std::vector<std::string>& cells,
+                  const std::vector<std::size_t>& widths,
+                  const std::vector<Align>& alignment) {
+  os << '|';
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    const std::string& text = c < cells.size() ? cells[c] : std::string{};
+    const Align align = c < alignment.size()
+                            ? alignment[c]
+                            : (c == 0 ? Align::kLeft : Align::kRight);
+    const std::size_t pad = widths[c] - text.size();
+    os << ' ';
+    if (align == Align::kRight) {
+      os << std::string(pad, ' ') << text;
+    } else {
+      os << text << std::string(pad, ' ');
+    }
+    os << " |";
+  }
+  os << '\n';
+}
+
+}  // namespace
+
+void Table::render(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const Row& row : rows_) {
+    if (row.separator) {
+      continue;
+    }
+    widths.resize(std::max(widths.size(), row.cells.size()), 0);
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  if (!title_.empty()) {
+    os << "== " << title_ << " ==\n";
+  }
+  render_line(os, widths, '-', '+');
+  if (!header_.empty()) {
+    render_cells(os, header_, widths, alignment_);
+    render_line(os, widths, '=', '+');
+  }
+  for (const Row& row : rows_) {
+    if (row.separator) {
+      render_line(os, widths, '-', '+');
+    } else {
+      render_cells(os, row.cells, widths, alignment_);
+    }
+  }
+  render_line(os, widths, '-', '+');
+}
+
+std::string Table::to_string() const {
+  std::ostringstream oss;
+  render(oss);
+  return oss.str();
+}
+
+std::string format_ratio(double value) {
+  std::array<char, 32> buf{};
+  std::snprintf(buf.data(), buf.size(), "%.2fx", value);
+  return std::string{buf.data()};
+}
+
+std::string format_percent(double fraction) {
+  std::array<char, 32> buf{};
+  std::snprintf(buf.data(), buf.size(), "%.1f%%", fraction * 100.0);
+  return std::string{buf.data()};
+}
+
+std::string format_fixed(double value, int decimals) {
+  std::array<char, 48> buf{};
+  std::snprintf(buf.data(), buf.size(), "%.*f", decimals, value);
+  return std::string{buf.data()};
+}
+
+}  // namespace hybridic

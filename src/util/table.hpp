@@ -1,0 +1,58 @@
+// ASCII table rendering for benchmark/report output.
+//
+// The paper's evaluation is a set of tables and figures; every bench binary
+// renders its results through this printer so the output format is uniform.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hybridic {
+
+/// Column alignment for table cells.
+enum class Align { kLeft, kRight };
+
+/// A simple monospace table with a title, a header row and data rows.
+class Table {
+public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  /// Set the header row; defines the column count.
+  void set_header(std::vector<std::string> header);
+
+  /// Set per-column alignment (defaults to left for col 0, right otherwise).
+  void set_alignment(std::vector<Align> alignment);
+
+  /// Append a data row; must match the header width.
+  void add_row(std::vector<std::string> row);
+
+  /// Append a horizontal separator between row groups.
+  void add_separator();
+
+  /// Render to a stream with box-drawing rules.
+  void render(std::ostream& os) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator = false;
+  };
+
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<Align> alignment_;
+  std::vector<Row> rows_;
+};
+
+/// Format helpers used by the bench reports.
+[[nodiscard]] std::string format_ratio(double value);        // "3.72x"
+[[nodiscard]] std::string format_percent(double fraction);   // "66.5%"
+[[nodiscard]] std::string format_fixed(double value, int decimals);
+
+}  // namespace hybridic

@@ -1,0 +1,46 @@
+#include "util/units.hpp"
+
+#include <array>
+#include <cstdio>
+
+namespace hybridic {
+
+std::string format_time(Picoseconds t) {
+  std::array<char, 64> buf{};
+  const std::uint64_t ps = t.count();
+  if (ps < 1'000ULL) {
+    std::snprintf(buf.data(), buf.size(), "%llu ps",
+                  static_cast<unsigned long long>(ps));
+  } else if (ps < 1'000'000ULL) {
+    std::snprintf(buf.data(), buf.size(), "%.2f ns",
+                  static_cast<double>(ps) / 1e3);
+  } else if (ps < 1'000'000'000ULL) {
+    std::snprintf(buf.data(), buf.size(), "%.2f us",
+                  static_cast<double>(ps) / 1e6);
+  } else if (ps < 1'000'000'000'000ULL) {
+    std::snprintf(buf.data(), buf.size(), "%.3f ms",
+                  static_cast<double>(ps) / 1e9);
+  } else {
+    std::snprintf(buf.data(), buf.size(), "%.4f s",
+                  static_cast<double>(ps) / 1e12);
+  }
+  return std::string{buf.data()};
+}
+
+std::string format_bytes(Bytes b) {
+  std::array<char, 64> buf{};
+  const std::uint64_t n = b.count();
+  if (n < 1024ULL) {
+    std::snprintf(buf.data(), buf.size(), "%llu B",
+                  static_cast<unsigned long long>(n));
+  } else if (n < 1024ULL * 1024ULL) {
+    std::snprintf(buf.data(), buf.size(), "%.1f KiB",
+                  static_cast<double>(n) / 1024.0);
+  } else {
+    std::snprintf(buf.data(), buf.size(), "%.2f MiB",
+                  static_cast<double>(n) / (1024.0 * 1024.0));
+  }
+  return std::string{buf.data()};
+}
+
+}  // namespace hybridic

@@ -1,0 +1,213 @@
+// Functional and profile-shape tests of the four paper applications.
+#include "apps/app.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/canny.hpp"
+#include "apps/fluid.hpp"
+#include "apps/jpeg.hpp"
+#include "apps/klt.hpp"
+#include "util/error.hpp"
+
+namespace hybridic::apps {
+namespace {
+
+TEST(Registry, ListsFourPaperApps) {
+  const auto names = paper_app_names();
+  ASSERT_EQ(names.size(), 4U);
+  EXPECT_EQ(names[0], "canny");
+  EXPECT_EQ(names[3], "fluid");
+}
+
+TEST(Registry, UnknownNameRejected) {
+  EXPECT_THROW(run_paper_app("doom"), ConfigError);
+}
+
+TEST(Canny, VerifiesAndProfiles) {
+  CannyConfig config;
+  config.width = 64;
+  config.height = 48;
+  const ProfiledApp app = run_canny(config);
+  EXPECT_TRUE(app.verified) << app.verification_note;
+  const prof::CommGraph& g = app.graph();
+  // The pipeline chain must appear in the profile.
+  const auto blur = g.id_of("gaussian_blur");
+  const auto sobel = g.id_of("sobel_gradient");
+  const auto nms = g.id_of("non_max_suppression");
+  const auto hyst = g.id_of("hysteresis");
+  EXPECT_GT(g.bytes_between(g.id_of("load_image"), blur).count(), 0U);
+  EXPECT_GT(g.bytes_between(blur, sobel).count(), 0U);
+  EXPECT_GT(g.bytes_between(sobel, nms).count(), 0U);
+  EXPECT_GT(g.bytes_between(nms, hyst).count(), 0U);
+  EXPECT_GT(g.bytes_between(hyst, g.id_of("store_edges")).count(), 0U);
+  // No backwards edges in this feed-forward pipeline.
+  EXPECT_EQ(g.bytes_between(sobel, blur).count(), 0U);
+}
+
+TEST(Canny, EdgeCountScalesWithThreshold) {
+  CannyConfig lenient;
+  lenient.width = 64;
+  lenient.height = 48;
+  lenient.low_threshold = 10.0F;
+  lenient.high_threshold = 30.0F;
+  CannyConfig strict = lenient;
+  strict.low_threshold = 60.0F;
+  strict.high_threshold = 120.0F;
+  const ProfiledApp a = run_canny(lenient);
+  const ProfiledApp b = run_canny(strict);
+  // More permissive thresholds keep at least as many edge pixels; compare
+  // through the work done in store_edges' producer edge (edge map size is
+  // equal, so compare verification notes indirectly via work units).
+  const auto& ga = a.graph();
+  const auto& gb = b.graph();
+  EXPECT_EQ(ga.function(ga.id_of("hysteresis")).work_units >=
+                gb.function(gb.id_of("hysteresis")).work_units,
+            true);
+}
+
+TEST(Jpeg, TrackedPipelineMatchesReferenceDecoder) {
+  JpegConfig config;
+  config.width = 48;
+  config.height = 48;
+  const ProfiledApp app = run_jpeg(config);
+  EXPECT_TRUE(app.verified) << app.verification_note;
+}
+
+TEST(Jpeg, ProfileMatchesPaperFigureFive) {
+  JpegConfig config;
+  config.width = 48;
+  config.height = 48;
+  const ProfiledApp app = run_jpeg(config);
+  const prof::CommGraph& g = app.graph();
+  const auto host = g.id_of("read_bitstream");
+  const auto dc = g.id_of("huff_dc_dec");
+  const auto ac = g.id_of("huff_ac_dec");
+  const auto dq = g.id_of("dquantz_lum");
+  const auto idct = g.id_of("j_rev_dct");
+  const auto out = g.id_of("write_output");
+
+  // Paper §V-B: huff_dc consumes from the host only and sends to kernels
+  // only; dquantz sends to j_rev_dct only; j_rev_dct consumes from the
+  // host and dquantz.
+  EXPECT_GT(g.bytes_between(host, dc).count(), 0U);
+  EXPECT_GT(g.bytes_between(dc, ac).count(), 0U);
+  EXPECT_GT(g.bytes_between(ac, dq).count(), 0U);
+  EXPECT_GT(g.bytes_between(dq, idct).count(), 0U);
+  EXPECT_GT(g.bytes_between(host, idct).count(), 0U);
+  EXPECT_GT(g.bytes_between(idct, out).count(), 0U);
+  // dquantz receives from kernels only (its quant table is core ROM).
+  EXPECT_EQ(g.bytes_between(host, dq).count(), 0U);
+  // huff_dc never writes back to the host.
+  EXPECT_EQ(g.bytes_between(dc, out).count(), 0U);
+}
+
+TEST(Jpeg, LargerImagesMoveMoreData) {
+  JpegConfig small;
+  small.width = 32;
+  small.height = 32;
+  JpegConfig large;
+  large.width = 64;
+  large.height = 64;
+  const ProfiledApp a = run_jpeg(small);
+  const ProfiledApp b = run_jpeg(large);
+  const auto& ga = a.graph();
+  const auto& gb = b.graph();
+  EXPECT_GT(gb.bytes_between(gb.id_of("huff_ac_dec"),
+                             gb.id_of("dquantz_lum"))
+                .count(),
+            ga.bytes_between(ga.id_of("huff_ac_dec"),
+                             ga.id_of("dquantz_lum"))
+                .count());
+}
+
+TEST(Klt, TracksTheGroundTruthShift) {
+  KltConfig config;
+  config.width = 96;
+  config.height = 72;
+  config.feature_count = 24;
+  const ProfiledApp app = run_klt(config);
+  EXPECT_TRUE(app.verified) << app.verification_note;
+}
+
+TEST(Klt, GradientCornerPairIsExclusive) {
+  KltConfig config;
+  config.width = 96;
+  config.height = 72;
+  const ProfiledApp app = run_klt(config);
+  const prof::CommGraph& g = app.graph();
+  const auto grad = g.id_of("compute_gradients");
+  const auto corner = g.id_of("corner_response");
+  const auto track = g.id_of("track_features");
+  // compute_gradients' only consumer is corner_response (the SM pair).
+  for (const prof::CommEdge& edge : g.edges()) {
+    if (edge.producer == grad && edge.consumer != grad) {
+      EXPECT_EQ(edge.consumer, corner);
+    }
+    if (edge.consumer == corner && edge.producer != corner) {
+      EXPECT_EQ(edge.producer, grad);
+    }
+  }
+  // track_features reads only host-produced data.
+  for (const prof::CommEdge& edge : g.edges()) {
+    if (edge.consumer == track && edge.producer != track) {
+      EXPECT_TRUE(edge.producer == g.id_of("load_frames") ||
+                  edge.producer == g.id_of("select_features"));
+    }
+  }
+}
+
+TEST(Fluid, ConservesAndProjects) {
+  FluidConfig config;
+  config.grid = 32;
+  config.steps = 2;
+  const ProfiledApp app = run_fluid(config);
+  EXPECT_TRUE(app.verified) << app.verification_note;
+}
+
+TEST(Fluid, KernelsInterleaveNonExclusively) {
+  FluidConfig config;
+  config.grid = 32;
+  config.steps = 2;
+  const ProfiledApp app = run_fluid(config);
+  const prof::CommGraph& g = app.graph();
+  const auto diffuse = g.id_of("diffuse");
+  const auto advect = g.id_of("advect");
+  const auto project = g.id_of("project");
+  // Each kernel talks to both other kernels — no exclusive pair exists,
+  // which is what forces the NoC-only solution for this app.
+  EXPECT_GT(g.bytes_between(diffuse, advect).count(), 0U);
+  EXPECT_GT(g.bytes_between(diffuse, project).count(), 0U);
+  EXPECT_GT(g.bytes_between(project, advect).count(), 0U);
+  EXPECT_GT(g.bytes_between(advect, project).count(), 0U);
+}
+
+TEST(AllApps, ProfilesAreDeterministic) {
+  for (const auto& name : paper_app_names()) {
+    const ProfiledApp a = run_paper_app(name);
+    const ProfiledApp b = run_paper_app(name);
+    const auto ea = a.graph().edges();
+    const auto eb = b.graph().edges();
+    ASSERT_EQ(ea.size(), eb.size()) << name;
+    for (std::size_t i = 0; i < ea.size(); ++i) {
+      EXPECT_EQ(ea[i].bytes, eb[i].bytes) << name;
+      EXPECT_EQ(ea[i].unique_addresses, eb[i].unique_addresses) << name;
+    }
+  }
+}
+
+TEST(AllApps, CalibrationCoversEveryKernel) {
+  for (const auto& name : paper_app_names()) {
+    const ProfiledApp app = run_paper_app(name);
+    const sys::AppSchedule schedule = app.schedule();
+    EXPECT_GE(schedule.specs.size(), 3U) << name;
+    for (const auto& spec : schedule.specs) {
+      EXPECT_GT(spec.hw_compute_cycles.count(), 0U)
+          << name << "/" << spec.name;
+      EXPECT_GT(spec.sw_compute_cycles.count(), 0U);
+      EXPECT_GT(spec.area_luts, 0U);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hybridic::apps

@@ -1,0 +1,136 @@
+#include "bus/arbiter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "util/error.hpp"
+
+namespace hybridic::bus {
+namespace {
+
+TEST(PriorityArbiter, LowestIndexWins) {
+  PriorityArbiter arb;
+  EXPECT_EQ(arb.select({0, 1, 2}), 0U);
+  EXPECT_EQ(arb.select({2, 3}), 2U);
+  EXPECT_EQ(arb.select({7}), 7U);
+}
+
+TEST(PriorityArbiter, StarvesLowPriorityByDesign) {
+  PriorityArbiter arb;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(arb.select({0, 5}), 0U);
+  }
+}
+
+TEST(RoundRobinArbiter, RotatesThroughAllMasters) {
+  RoundRobinArbiter arb{4};
+  EXPECT_EQ(arb.select({0, 1, 2, 3}), 0U);
+  EXPECT_EQ(arb.select({0, 1, 2, 3}), 1U);
+  EXPECT_EQ(arb.select({0, 1, 2, 3}), 2U);
+  EXPECT_EQ(arb.select({0, 1, 2, 3}), 3U);
+  EXPECT_EQ(arb.select({0, 1, 2, 3}), 0U);
+}
+
+TEST(RoundRobinArbiter, SkipsIdleMasters) {
+  RoundRobinArbiter arb{4};
+  EXPECT_EQ(arb.select({1, 3}), 1U);
+  EXPECT_EQ(arb.select({1, 3}), 3U);
+  EXPECT_EQ(arb.select({1, 3}), 1U);
+}
+
+TEST(RoundRobinArbiter, SingleMasterAlwaysWins) {
+  RoundRobinArbiter arb{4};
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(arb.select({2}), 2U);
+  }
+}
+
+TEST(RoundRobinArbiter, FairnessOverManyGrants) {
+  RoundRobinArbiter arb{3};
+  std::map<std::uint32_t, int> grants;
+  for (int i = 0; i < 300; ++i) {
+    ++grants[arb.select({0, 1, 2})];
+  }
+  EXPECT_EQ(grants[0], 100);
+  EXPECT_EQ(grants[1], 100);
+  EXPECT_EQ(grants[2], 100);
+}
+
+TEST(RoundRobinArbiter, ZeroMastersRejected) {
+  EXPECT_THROW(RoundRobinArbiter{0}, ConfigError);
+}
+
+TEST(WeightedRoundRobinArbiter, WeightsControlShare) {
+  WeightedRoundRobinArbiter arb{{3, 1}};
+  std::map<std::uint32_t, int> grants;
+  for (int i = 0; i < 400; ++i) {
+    ++grants[arb.select({0, 1})];
+  }
+  EXPECT_EQ(grants[0], 300);
+  EXPECT_EQ(grants[1], 100);
+}
+
+TEST(WeightedRoundRobinArbiter, EqualWeightsBehaveLikeRoundRobin) {
+  WeightedRoundRobinArbiter arb{{1, 1, 1}};
+  EXPECT_EQ(arb.select({0, 1, 2}), 0U);
+  EXPECT_EQ(arb.select({0, 1, 2}), 1U);
+  EXPECT_EQ(arb.select({0, 1, 2}), 2U);
+}
+
+TEST(WeightedRoundRobinArbiter, IdleMasterDoesNotBankCredit) {
+  WeightedRoundRobinArbiter arb{{4, 1}};
+  // Master 0 absent: master 1 wins every time.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(arb.select({1}), 1U);
+  }
+  // Master 0 returns and gets its weighted share again.
+  std::map<std::uint32_t, int> grants;
+  for (int i = 0; i < 100; ++i) {
+    ++grants[arb.select({0, 1})];
+  }
+  EXPECT_EQ(grants[0], 80);
+  EXPECT_EQ(grants[1], 20);
+}
+
+TEST(WeightedRoundRobinArbiter, InvalidWeightsRejected) {
+  EXPECT_THROW(WeightedRoundRobinArbiter{std::vector<std::uint32_t>{}},
+               ConfigError);
+  EXPECT_THROW(WeightedRoundRobinArbiter(std::vector<std::uint32_t>{1, 0}),
+               ConfigError);
+}
+
+/// Property: any arbiter must return one of the pending masters.
+class ArbiterContract
+    : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(ArbiterContract, AlwaysSelectsPendingMaster) {
+  const std::uint32_t masters = GetParam();
+  RoundRobinArbiter rr{masters};
+  WeightedRoundRobinArbiter wrr{
+      std::vector<std::uint32_t>(masters, 2)};
+  PriorityArbiter prio;
+  for (std::uint32_t trial = 0; trial < 50; ++trial) {
+    std::vector<std::uint32_t> pending;
+    for (std::uint32_t m = 0; m < masters; ++m) {
+      if ((trial >> (m % 8)) & 1U) {
+        pending.push_back(m);
+      }
+    }
+    if (pending.empty()) {
+      continue;
+    }
+    for (Arbiter* arb :
+         std::initializer_list<Arbiter*>{&rr, &wrr, &prio}) {
+      const std::uint32_t winner = arb->select(pending);
+      EXPECT_TRUE(std::binary_search(pending.begin(), pending.end(),
+                                     winner));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(MasterCounts, ArbiterContract,
+                         ::testing::Values(1, 2, 3, 5, 8));
+
+}  // namespace
+}  // namespace hybridic::bus

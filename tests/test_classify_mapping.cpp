@@ -1,0 +1,159 @@
+// Exhaustive tests of the communication classification (Eq. 4) and the
+// adaptive mapping function (Table I / Eq. 5).
+#include <gtest/gtest.h>
+
+#include "core/adaptive_mapping.hpp"
+#include "core/comm_classify.hpp"
+
+namespace hybridic::core {
+namespace {
+
+KernelQuantities quantities(std::uint64_t host_in, std::uint64_t kernel_in,
+                            std::uint64_t host_out,
+                            std::uint64_t kernel_out) {
+  KernelQuantities q;
+  q.host_in = Bytes{host_in};
+  q.kernel_in = Bytes{kernel_in};
+  q.host_out = Bytes{host_out};
+  q.kernel_out = Bytes{kernel_out};
+  return q;
+}
+
+TEST(Classify, ReceiveClasses) {
+  EXPECT_EQ(classify(quantities(0, 10, 1, 0)).recv, RecvClass::kR1);
+  EXPECT_EQ(classify(quantities(10, 0, 1, 0)).recv, RecvClass::kR2);
+  EXPECT_EQ(classify(quantities(10, 10, 1, 0)).recv, RecvClass::kR3);
+}
+
+TEST(Classify, SendClasses) {
+  EXPECT_EQ(classify(quantities(1, 0, 0, 10)).send, SendClass::kS1);
+  EXPECT_EQ(classify(quantities(1, 0, 10, 0)).send, SendClass::kS2);
+  EXPECT_EQ(classify(quantities(1, 0, 10, 10)).send, SendClass::kS3);
+}
+
+TEST(Classify, NoTrafficDegradesToHostOnly) {
+  const CommClass c = classify(quantities(0, 0, 0, 0));
+  EXPECT_EQ(c.recv, RecvClass::kR2);
+  EXPECT_EQ(c.send, SendClass::kS2);
+}
+
+TEST(Classify, ToStringReadable) {
+  EXPECT_EQ(to_string(CommClass{RecvClass::kR3, SendClass::kS1}),
+            "{R3,S1}");
+}
+
+/// Table I, row by row — the exact published mapping.
+struct TableRow {
+  RecvClass recv;
+  SendClass send;
+  KernelConn kernel;
+  MemConn memory;
+};
+
+class TableOne : public ::testing::TestWithParam<TableRow> {};
+
+TEST_P(TableOne, MatchesPaper) {
+  const TableRow row = GetParam();
+  const InterconnectClass ic =
+      adaptive_map(CommClass{row.recv, row.send});
+  EXPECT_EQ(ic.kernel, row.kernel)
+      << to_string(CommClass{row.recv, row.send});
+  EXPECT_EQ(ic.memory, row.memory)
+      << to_string(CommClass{row.recv, row.send});
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllNineCases, TableOne,
+    ::testing::Values(
+        // {R1,S1} -> {K2,M2}
+        TableRow{RecvClass::kR1, SendClass::kS1, KernelConn::kK2,
+                 MemConn::kM2},
+        // {R1,S2}, {R3,S2} -> {K1,M3}
+        TableRow{RecvClass::kR1, SendClass::kS2, KernelConn::kK1,
+                 MemConn::kM3},
+        TableRow{RecvClass::kR3, SendClass::kS2, KernelConn::kK1,
+                 MemConn::kM3},
+        // {R1,S3}, {R3,S1}, {R3,S3} -> {K2,M3}
+        TableRow{RecvClass::kR1, SendClass::kS3, KernelConn::kK2,
+                 MemConn::kM3},
+        TableRow{RecvClass::kR3, SendClass::kS1, KernelConn::kK2,
+                 MemConn::kM3},
+        TableRow{RecvClass::kR3, SendClass::kS3, KernelConn::kK2,
+                 MemConn::kM3},
+        // {R2,S1}, {R2,S3} -> {K2,M1}
+        TableRow{RecvClass::kR2, SendClass::kS1, KernelConn::kK2,
+                 MemConn::kM1},
+        TableRow{RecvClass::kR2, SendClass::kS3, KernelConn::kK2,
+                 MemConn::kM1},
+        // {R2,S2} -> {K1,M1}
+        TableRow{RecvClass::kR2, SendClass::kS2, KernelConn::kK1,
+                 MemConn::kM1}));
+
+TEST(AdaptiveMapping, NeverProducesInfeasibleCase) {
+  for (const RecvClass r :
+       {RecvClass::kR1, RecvClass::kR2, RecvClass::kR3}) {
+    for (const SendClass s :
+         {SendClass::kS1, SendClass::kS2, SendClass::kS3}) {
+      EXPECT_TRUE(is_feasible(adaptive_map(CommClass{r, s})))
+          << to_string(CommClass{r, s});
+    }
+  }
+}
+
+TEST(AdaptiveMapping, KernelOnNocIffSendsToKernels) {
+  // Structural property of Table I: K2 exactly when S1 or S3.
+  for (const RecvClass r :
+       {RecvClass::kR1, RecvClass::kR2, RecvClass::kR3}) {
+    for (const SendClass s :
+         {SendClass::kS1, SendClass::kS2, SendClass::kS3}) {
+      const InterconnectClass ic = adaptive_map(CommClass{r, s});
+      const bool sends_to_kernels = s != SendClass::kS2;
+      EXPECT_EQ(ic.kernel == KernelConn::kK2, sends_to_kernels);
+    }
+  }
+}
+
+TEST(AdaptiveMapping, MemoryOnNocIffReceivesFromKernels) {
+  // Structural property of Table I: M2/M3 exactly when R1 or R3.
+  for (const RecvClass r :
+       {RecvClass::kR1, RecvClass::kR2, RecvClass::kR3}) {
+    for (const SendClass s :
+         {SendClass::kS1, SendClass::kS2, SendClass::kS3}) {
+      const InterconnectClass ic = adaptive_map(CommClass{r, s});
+      const bool receives_from_kernels = r != RecvClass::kR2;
+      const bool memory_on_noc =
+          ic.memory == MemConn::kM2 || ic.memory == MemConn::kM3;
+      EXPECT_EQ(memory_on_noc, receives_from_kernels);
+    }
+  }
+}
+
+TEST(AdaptiveMapping, MemoryOffBusOnlyForPureKernelKernel) {
+  // M2 (NoC only) is reserved for {R1,S1}: no host traffic at all.
+  for (const RecvClass r :
+       {RecvClass::kR1, RecvClass::kR2, RecvClass::kR3}) {
+    for (const SendClass s :
+         {SendClass::kS1, SendClass::kS2, SendClass::kS3}) {
+      const InterconnectClass ic = adaptive_map(CommClass{r, s});
+      if (ic.memory == MemConn::kM2) {
+        EXPECT_EQ(r, RecvClass::kR1);
+        EXPECT_EQ(s, SendClass::kS1);
+      }
+    }
+  }
+}
+
+TEST(InterconnectFeasibility, OnlyK1M2Infeasible) {
+  EXPECT_FALSE(is_feasible({KernelConn::kK1, MemConn::kM2}));
+  EXPECT_TRUE(is_feasible({KernelConn::kK1, MemConn::kM1}));
+  EXPECT_TRUE(is_feasible({KernelConn::kK2, MemConn::kM2}));
+  EXPECT_TRUE(is_feasible({KernelConn::kK1, MemConn::kM3}));
+}
+
+TEST(InterconnectToString, Readable) {
+  EXPECT_EQ(to_string(InterconnectClass{KernelConn::kK2, MemConn::kM3}),
+            "{K2,M3}");
+}
+
+}  // namespace
+}  // namespace hybridic::core

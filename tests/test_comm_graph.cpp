@@ -1,0 +1,104 @@
+#include "prof/comm_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "prof/dot_export.hpp"
+#include "util/error.hpp"
+
+namespace hybridic::prof {
+namespace {
+
+TEST(CommGraph, DuplicateFunctionNameRejected) {
+  CommGraph graph;
+  (void)graph.add_function("f");
+  EXPECT_THROW(graph.add_function("f"), ConfigError);
+}
+
+TEST(CommGraph, LookupByName) {
+  CommGraph graph;
+  const FunctionId a = graph.add_function("a");
+  const FunctionId b = graph.add_function("b");
+  EXPECT_EQ(graph.id_of("a"), a);
+  EXPECT_EQ(graph.id_of("b"), b);
+  EXPECT_TRUE(graph.has_function("a"));
+  EXPECT_FALSE(graph.has_function("zzz"));
+  EXPECT_THROW((void)graph.id_of("zzz"), ConfigError);
+}
+
+TEST(CommGraph, TransfersAccumulate) {
+  CommGraph graph;
+  const FunctionId a = graph.add_function("a");
+  const FunctionId b = graph.add_function("b");
+  graph.add_transfer(a, b, Bytes{100}, 100);
+  graph.add_transfer(a, b, Bytes{28}, 10);
+  EXPECT_EQ(graph.bytes_between(a, b).count(), 128U);
+  const auto edges = graph.edges();
+  ASSERT_EQ(edges.size(), 1U);
+  EXPECT_EQ(edges[0].unique_addresses, 110U);
+}
+
+TEST(CommGraph, EdgesOrderedAndNonZero) {
+  CommGraph graph;
+  const FunctionId a = graph.add_function("a");
+  const FunctionId b = graph.add_function("b");
+  const FunctionId c = graph.add_function("c");
+  graph.add_transfer(b, c, Bytes{5}, 5);
+  graph.add_transfer(a, b, Bytes{3}, 3);
+  graph.add_transfer(a, c, Bytes{0}, 0);  // Zero edge suppressed.
+  const auto edges = graph.edges();
+  ASSERT_EQ(edges.size(), 2U);
+  EXPECT_EQ(edges[0].producer, a);
+  EXPECT_EQ(edges[1].producer, b);
+}
+
+TEST(CommGraph, TotalsSumOverPeers) {
+  CommGraph graph;
+  const FunctionId a = graph.add_function("a");
+  const FunctionId b = graph.add_function("b");
+  const FunctionId c = graph.add_function("c");
+  graph.add_transfer(a, b, Bytes{10}, 10);
+  graph.add_transfer(a, c, Bytes{20}, 20);
+  graph.add_transfer(b, a, Bytes{5}, 5);
+  EXPECT_EQ(graph.total_out(a).count(), 30U);
+  EXPECT_EQ(graph.total_in(a).count(), 5U);
+  EXPECT_EQ(graph.total_in(c).count(), 20U);
+}
+
+TEST(CommGraph, OutOfRangeIdsRejected) {
+  CommGraph graph;
+  const FunctionId a = graph.add_function("a");
+  EXPECT_THROW(graph.add_transfer(a, 5, Bytes{1}, 1), ConfigError);
+  EXPECT_THROW((void)graph.function(9), ConfigError);
+}
+
+TEST(CommGraph, SummaryContainsEdges) {
+  CommGraph graph;
+  const FunctionId a = graph.add_function("prod");
+  const FunctionId b = graph.add_function("cons");
+  graph.add_transfer(a, b, Bytes{42}, 42);
+  const std::string summary = graph.summary();
+  EXPECT_NE(summary.find("prod"), std::string::npos);
+  EXPECT_NE(summary.find("cons"), std::string::npos);
+  EXPECT_NE(summary.find("42"), std::string::npos);
+}
+
+TEST(DotExport, MarksHwFunctionsAndEdges) {
+  CommGraph graph;
+  const FunctionId host = graph.add_function("main");
+  const FunctionId kernel = graph.add_function("huff_ac_dec");
+  graph.add_transfer(host, kernel, Bytes{1024}, 1024);
+  graph.add_transfer(kernel, kernel, Bytes{64}, 64);  // self: skipped
+  const std::string dot = to_dot(graph, {kernel});
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("huff_ac_dec"), std::string::npos);
+  EXPECT_NE(dot.find("shape=box"), std::string::npos);
+  EXPECT_NE(dot.find("shape=ellipse"), std::string::npos);
+  EXPECT_NE(dot.find("f0 -> f1"), std::string::npos);
+  EXPECT_EQ(dot.find("f1 -> f1"), std::string::npos);
+  EXPECT_NE(dot.find("1024 UMA"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hybridic::prof

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "mem/crossbar.hpp"
+#include "mem/mux.hpp"
+#include "util/error.hpp"
+
+namespace hybridic::mem {
+namespace {
+
+const sim::ClockDomain kClock{"kernel", Frequency::megahertz(100)};
+
+class CrossbarTest : public ::testing::Test {
+protected:
+  Bram mem0_{"m0", kClock, Bytes{4096}, 4};
+  Bram mem1_{"m1", kClock, Bytes{4096}, 4};
+  Crossbar2x2 xbar_{"x", mem0_, mem1_};
+};
+
+TEST_F(CrossbarTest, ZeroLatencyRouting) {
+  // Access through the crossbar costs exactly the BRAM port time — the
+  // paper's "no communication overhead" property.
+  const Picoseconds direct = mem0_.transfer_time(Bytes{64});
+  const Picoseconds routed =
+      xbar_.access(0, 0, Picoseconds{0}, Bytes{64});
+  EXPECT_EQ(routed, direct);
+}
+
+TEST_F(CrossbarTest, BothSidesReachBothMemories) {
+  (void)xbar_.access(0, 1, Picoseconds{0}, Bytes{8});
+  (void)xbar_.access(1, 0, Picoseconds{0}, Bytes{8});
+  EXPECT_EQ(mem1_.bytes_through(BramPort::kB).count(), 8U);
+  EXPECT_EQ(mem0_.bytes_through(BramPort::kB).count(), 8U);
+  EXPECT_EQ(xbar_.routed_accesses(), 2U);
+}
+
+TEST_F(CrossbarTest, ContentionOnSameMemorySerializes) {
+  const Picoseconds a = xbar_.access(0, 0, Picoseconds{0}, Bytes{400});
+  const Picoseconds b = xbar_.access(1, 0, Picoseconds{0}, Bytes{4});
+  EXPECT_GT(b, a);
+}
+
+TEST_F(CrossbarTest, HostPortUnaffected) {
+  (void)xbar_.access(0, 0, Picoseconds{0}, Bytes{4000});
+  // Host uses port A; crossbar clients use port B.
+  const Picoseconds host = mem0_.access(BramPort::kA, Picoseconds{0},
+                                        Bytes{4});
+  EXPECT_EQ(host.count(), 10'000U);
+}
+
+TEST_F(CrossbarTest, OutOfRangeRejected) {
+  EXPECT_THROW((void)xbar_.access(2, 0, Picoseconds{0}, Bytes{4}), ConfigError);
+  EXPECT_THROW((void)xbar_.access(0, 2, Picoseconds{0}, Bytes{4}), ConfigError);
+  EXPECT_THROW((void)xbar_.memory(5), ConfigError);
+}
+
+class MuxTest : public ::testing::Test {
+protected:
+  Bram mem_{"m", kClock, Bytes{4096}, 4};
+  PortMux mux_{"mux", kClock, mem_, BramPort::kB, 3};
+};
+
+TEST_F(MuxTest, FirstAccessPaysNoSwitch) {
+  const Picoseconds done = mux_.access(0, Picoseconds{0}, Bytes{4});
+  EXPECT_EQ(done.count(), 10'000U);
+  EXPECT_EQ(mux_.switches(), 0U);
+}
+
+TEST_F(MuxTest, SwitchingClientsCostsOneCycle) {
+  (void)mux_.access(0, Picoseconds{0}, Bytes{4});
+  const Picoseconds done = mux_.access(1, Picoseconds{10'000}, Bytes{4});
+  // One switch cycle + port serialization.
+  EXPECT_EQ(done.count(), 30'000U);
+  EXPECT_EQ(mux_.switches(), 1U);
+}
+
+TEST_F(MuxTest, SameClientBackToBackNoSwitch) {
+  (void)mux_.access(2, Picoseconds{0}, Bytes{4});
+  (void)mux_.access(2, Picoseconds{0}, Bytes{4});
+  EXPECT_EQ(mux_.switches(), 0U);
+}
+
+TEST_F(MuxTest, InvalidClientRejected) {
+  EXPECT_THROW((void)mux_.access(3, Picoseconds{0}, Bytes{4}), ConfigError);
+}
+
+TEST(Mux, NeedsAtLeastTwoClients) {
+  Bram mem{"m", kClock, Bytes{64}, 4};
+  EXPECT_THROW(PortMux("mux", kClock, mem, BramPort::kA, 1), ConfigError);
+}
+
+}  // namespace
+}  // namespace hybridic::mem

@@ -1,0 +1,102 @@
+// Tests of the full-crossbar component and the crossbar comparison
+// system (§II-A group 4).
+#include <gtest/gtest.h>
+
+#include "apps/app.hpp"
+#include "mem/full_crossbar.hpp"
+#include "sys/crossbar_system.hpp"
+#include "util/error.hpp"
+
+namespace hybridic {
+namespace {
+
+const sim::ClockDomain kKernelClock{"kernel", Frequency::megahertz(100)};
+
+TEST(FullCrossbar, DistinctTargetsTransferConcurrently) {
+  mem::Bram m0{"m0", kKernelClock, Bytes{64 * 1024}, 4};
+  mem::Bram m1{"m1", kKernelClock, Bytes{64 * 1024}, 4};
+  mem::FullCrossbar xbar{"x", {&m0, &m1}};
+  const Picoseconds a = xbar.access(0, 0, Picoseconds{0}, Bytes{4000});
+  const Picoseconds b = xbar.access(1, 1, Picoseconds{0}, Bytes{4000});
+  EXPECT_EQ(a, b);  // No shared bottleneck.
+}
+
+TEST(FullCrossbar, SameTargetSerializes) {
+  mem::Bram m0{"m0", kKernelClock, Bytes{64 * 1024}, 4};
+  mem::FullCrossbar xbar{"x", {&m0}};
+  const Picoseconds a = xbar.access(0, 0, Picoseconds{0}, Bytes{4000});
+  const Picoseconds b = xbar.access(1, 0, Picoseconds{0}, Bytes{4});
+  EXPECT_GT(b, a);
+  EXPECT_EQ(xbar.routed_accesses(), 2U);
+}
+
+TEST(FullCrossbar, Validation) {
+  EXPECT_THROW(mem::FullCrossbar("x", {}), ConfigError);
+  mem::Bram m0{"m0", kKernelClock, Bytes{64}, 4};
+  mem::FullCrossbar xbar{"x", {&m0}};
+  EXPECT_THROW(xbar.access(0, 3, Picoseconds{0}, Bytes{4}), ConfigError);
+}
+
+TEST(FullCrossbar, AreaGrowsQuadratically) {
+  const std::uint64_t two = mem::FullCrossbar::estimate_luts(2, 2);
+  const std::uint64_t four = mem::FullCrossbar::estimate_luts(4, 4);
+  const std::uint64_t eight = mem::FullCrossbar::estimate_luts(8, 8);
+  EXPECT_EQ(two, 201U);  // Matches the paper's 2x2 cost.
+  EXPECT_EQ(four, 4 * two);
+  EXPECT_EQ(eight, 16 * two);
+}
+
+TEST(CrossbarSystem, BeatsBaselineOnKernelHeavyApps) {
+  for (const auto& name : {"canny", "jpeg", "fluid"}) {
+    const apps::ProfiledApp app = apps::run_paper_app(name);
+    const sys::AppSchedule schedule = app.schedule();
+    const sys::PlatformConfig config;
+    const sys::RunResult baseline = sys::run_baseline(schedule, config);
+    const sys::RunResult xbar =
+        sys::run_crossbar_system(schedule, config);
+    EXPECT_LT(xbar.total_seconds, baseline.total_seconds) << name;
+    EXPECT_EQ(xbar.system_name, "crossbar");
+  }
+}
+
+TEST(CrossbarSystem, PerformsLikeTheNocWithinTolerance) {
+  // Both fabrics hide kernel traffic behind producer compute.
+  const apps::ProfiledApp app = apps::run_paper_app("fluid");
+  const sys::AppSchedule schedule = app.schedule();
+  const sys::PlatformConfig config;
+  core::DesignInput input = sys::make_design_input(schedule, config);
+  input.enable_shared_memory = false;
+  input.enable_adaptive_mapping = false;
+  const core::DesignResult noc_only = core::design_interconnect(input);
+  const sys::RunResult noc =
+      sys::run_designed(schedule, noc_only, config, "noc-only");
+  const sys::RunResult xbar = sys::run_crossbar_system(schedule, config);
+  EXPECT_NEAR(xbar.total_seconds / noc.total_seconds, 1.0, 0.35);
+}
+
+TEST(CrossbarSystem, AreaExceedsHybridForLargerSystems) {
+  const apps::ProfiledApp app = apps::run_paper_app("jpeg");
+  const sys::AppSchedule schedule = app.schedule();
+  const core::DesignResult hybrid = core::design_interconnect(
+      sys::make_design_input(schedule, sys::PlatformConfig{}));
+  const core::Resources hybrid_area =
+      core::interconnect_resources(hybrid);
+  // An 8-kernel full crossbar already dwarfs jpeg's hybrid interconnect.
+  const core::Resources xbar8 = sys::crossbar_system_resources(8);
+  EXPECT_GT(xbar8.luts, hybrid_area.luts / 2);
+  // And it grows without bound while the hybrid tracks the application.
+  EXPECT_GT(sys::crossbar_system_resources(16).luts, hybrid_area.luts);
+}
+
+TEST(CrossbarSystem, RequiresKernels) {
+  prof::CommGraph graph;
+  (void)graph.add_function("host_only");
+  const sys::AppSchedule schedule =
+      sys::build_schedule("empty", graph, {});
+  EXPECT_THROW(
+      sys::run_crossbar_system(schedule, sys::PlatformConfig{}),
+      ConfigError);
+}
+
+}  // namespace
+}  // namespace hybridic

@@ -1,0 +1,234 @@
+#include "sys/executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/synthetic.hpp"
+#include "core/interconnect_design.hpp"
+#include "sys/experiment.hpp"
+
+namespace hybridic::sys {
+namespace {
+
+/// A simple three-kernel chain application used by most tests here:
+/// host -> k1 -> k2 -> k3 -> host with known volumes and cycle counts.
+struct Chain {
+  Chain() {
+    host = graph.add_function("host");
+    k1 = graph.add_function("k1");
+    k2 = graph.add_function("k2");
+    k3 = graph.add_function("k3");
+    sink = graph.add_function("sink");
+    graph.function_mutable(host).work_units = 10'000;
+    graph.function_mutable(k1).work_units = 50'000;
+    graph.function_mutable(k2).work_units = 50'000;
+    graph.function_mutable(k3).work_units = 50'000;
+    graph.function_mutable(sink).work_units = 5'000;
+    graph.add_transfer(host, k1, Bytes{40'000}, 40'000);
+    graph.add_transfer(k1, k2, Bytes{40'000}, 40'000);
+    graph.add_transfer(k2, k3, Bytes{40'000}, 40'000);
+    graph.add_transfer(k3, sink, Bytes{40'000}, 40'000);
+
+    schedule = build_schedule(
+        "chain", graph,
+        {{"k1", 8.0, 1.0, 1000, 1000, true, false, false},
+         {"k2", 8.0, 1.0, 1000, 1000, true, false, false},
+         {"k3", 8.0, 1.0, 1000, 1000, true, false, false}});
+  }
+
+  prof::CommGraph graph;
+  prof::FunctionId host, k1, k2, k3, sink;
+  AppSchedule schedule;
+};
+
+TEST(RunSoftware, SumsAllCyclesOnHost) {
+  Chain chain;
+  PlatformConfig config;
+  const RunResult result = run_software(chain.schedule, config);
+  // (10000 + 5000) * 4 CPW host fns + 3 * 50000 * 8 kernels, at 400 MHz.
+  const double expected =
+      (15'000 * 4.0 + 3 * 50'000 * 8.0) / 400e6;
+  EXPECT_NEAR(result.total_seconds, expected, 1e-12);
+  EXPECT_GT(result.kernel_compute_seconds, 0.0);
+  EXPECT_GT(result.host_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(result.kernel_comm_seconds, 0.0);
+  EXPECT_EQ(result.steps.size(), 5U);
+}
+
+TEST(RunBaseline, SequentialAndSlowerThanComputeAlone) {
+  Chain chain;
+  PlatformConfig config;
+  const RunResult result = run_baseline(chain.schedule, config);
+  // Kernel compute: 3 * 50000 cycles at 100 MHz = 1.5 ms.
+  EXPECT_NEAR(result.kernel_compute_seconds, 1.5e-3, 1e-6);
+  // Communication is strictly positive: every kernel round-trips its data.
+  EXPECT_GT(result.kernel_comm_seconds, 0.0);
+  // Steps are strictly ordered in time.
+  for (std::size_t i = 1; i < result.steps.size(); ++i) {
+    EXPECT_GE(result.steps[i].start_seconds,
+              result.steps[i - 1].done_seconds - 1e-12);
+  }
+  EXPECT_GT(result.total_seconds, result.kernel_compute_seconds);
+}
+
+TEST(RunBaseline, CommTimeTracksDataVolume) {
+  // Two single-kernel apps, identical compute, 4x different data volume.
+  prof::CommGraph graph4;
+  const auto h = graph4.add_function("host");
+  const auto k = graph4.add_function("k1");
+  graph4.function_mutable(k).work_units = 50'000;
+  graph4.add_transfer(h, k, Bytes{160'000}, 160'000);
+  const AppSchedule sched4 = build_schedule(
+      "big", graph4, {{"k1", 8.0, 1.0, 100, 100, true, false, false}});
+
+  prof::CommGraph graph1;
+  const auto h1 = graph1.add_function("host");
+  const auto ka = graph1.add_function("k1");
+  graph1.function_mutable(ka).work_units = 50'000;
+  graph1.add_transfer(h1, ka, Bytes{40'000}, 40'000);
+  const AppSchedule sched1 = build_schedule(
+      "small", graph1, {{"k1", 8.0, 1.0, 100, 100, true, false, false}});
+
+  PlatformConfig config;
+  const RunResult r4 = run_baseline(sched4, config);
+  const RunResult r1 = run_baseline(sched1, config);
+  EXPECT_NEAR(r4.kernel_comm_seconds / r1.kernel_comm_seconds, 4.0, 0.3);
+}
+
+TEST(RunDesigned, ProposedNoSlowerThanBaseline) {
+  Chain chain;
+  PlatformConfig config;
+  core::DesignInput input = make_design_input(chain.schedule, config);
+  const core::DesignResult design = core::design_interconnect(input);
+  const RunResult baseline = run_baseline(chain.schedule, config);
+  const RunResult proposed =
+      run_designed(chain.schedule, design, config);
+  EXPECT_LE(proposed.total_seconds, baseline.total_seconds * 1.001);
+  EXPECT_EQ(proposed.system_name, "proposed");
+}
+
+TEST(RunDesigned, SharedMemoryRemovesChainTraffic) {
+  Chain chain;
+  PlatformConfig config;
+  core::DesignInput input = make_design_input(chain.schedule, config);
+  const core::DesignResult design = core::design_interconnect(input);
+  // The chain pairs (k1,k2) and leaves k2->k3 on the NoC.
+  EXPECT_FALSE(design.shared_pairs.empty());
+  const RunResult baseline = run_baseline(chain.schedule, config);
+  const RunResult proposed =
+      run_designed(chain.schedule, design, config);
+  EXPECT_LT(proposed.kernel_comm_seconds,
+            baseline.kernel_comm_seconds * 0.7);
+}
+
+TEST(RunDesigned, NocOnlyVariantRuns) {
+  Chain chain;
+  PlatformConfig config;
+  core::DesignInput input = make_design_input(chain.schedule, config);
+  input.enable_shared_memory = false;
+  input.enable_adaptive_mapping = false;
+  const core::DesignResult design = core::design_interconnect(input);
+  const RunResult result =
+      run_designed(chain.schedule, design, config, "noc-only");
+  EXPECT_EQ(result.system_name, "noc-only");
+  EXPECT_GT(result.total_seconds, 0.0);
+  const RunResult baseline = run_baseline(chain.schedule, config);
+  EXPECT_LE(result.total_seconds, baseline.total_seconds * 1.001);
+}
+
+TEST(RunDesigned, DesignWithoutNocStillExecutes) {
+  // Only one kernel-pair: everything resolves to shared memory.
+  prof::CommGraph graph;
+  const auto h = graph.add_function("host");
+  const auto a = graph.add_function("a");
+  const auto b = graph.add_function("b");
+  graph.function_mutable(a).work_units = 10'000;
+  graph.function_mutable(b).work_units = 10'000;
+  graph.add_transfer(h, a, Bytes{1000}, 1000);
+  graph.add_transfer(a, b, Bytes{50'000}, 50'000);
+  graph.add_transfer(b, h, Bytes{1000}, 1000);
+  const AppSchedule schedule = build_schedule(
+      "pair", graph,
+      {{"a", 8.0, 1.0, 100, 100, true, false, false},
+       {"b", 8.0, 1.0, 100, 100, true, false, false}});
+  PlatformConfig config;
+  core::DesignInput input = make_design_input(schedule, config);
+  const core::DesignResult design = core::design_interconnect(input);
+  EXPECT_FALSE(design.uses_noc());
+  ASSERT_EQ(design.shared_pairs.size(), 1U);
+  const RunResult proposed = run_designed(schedule, design, config);
+  const RunResult baseline = run_baseline(schedule, config);
+  // The 50 KB pair transfer vanished: proposed strictly faster.
+  EXPECT_LT(proposed.total_seconds, baseline.total_seconds);
+}
+
+TEST(RunDesigned, DuplicationShortensKernelSpan) {
+  prof::CommGraph graph;
+  const auto h = graph.add_function("host");
+  const auto big = graph.add_function("big");
+  const auto post = graph.add_function("post");
+  graph.function_mutable(big).work_units = 400'000;
+  graph.function_mutable(post).work_units = 10'000;
+  graph.add_transfer(h, big, Bytes{10'000}, 10'000);
+  graph.add_transfer(big, post, Bytes{10'000}, 10'000);
+  graph.add_transfer(post, h, Bytes{1'000}, 1'000);
+  const AppSchedule schedule = build_schedule(
+      "dup", graph,
+      {{"big", 8.0, 1.0, 1000, 1000, true, true, false},
+       {"post", 8.0, 1.0, 1000, 1000, true, false, false}});
+  PlatformConfig config;
+  core::DesignInput with = make_design_input(schedule, config);
+  const core::DesignResult dup_design = core::design_interconnect(with);
+  ASSERT_FALSE(dup_design.parallel.duplicated_specs.empty());
+
+  core::DesignInput without = with;
+  without.enable_duplication = false;
+  const core::DesignResult plain_design =
+      core::design_interconnect(without);
+
+  const RunResult dup = run_designed(schedule, dup_design, config);
+  const RunResult plain = run_designed(schedule, plain_design, config);
+  // 400k kernel cycles = 4 ms; halving saves ~2 ms minus overhead.
+  EXPECT_LT(dup.total_seconds, plain.total_seconds - 1e-3);
+}
+
+TEST(RunDesigned, TimesAreInternallyConsistent) {
+  Chain chain;
+  PlatformConfig config;
+  core::DesignInput input = make_design_input(chain.schedule, config);
+  const core::DesignResult design = core::design_interconnect(input);
+  const RunResult r = run_designed(chain.schedule, design, config);
+  double sum = r.host_seconds + r.kernel_compute_seconds;
+  EXPECT_LE(sum, r.total_seconds + 1e-9);
+  for (const StepTiming& step : r.steps) {
+    EXPECT_GE(step.done_seconds, step.start_seconds);
+    EXPECT_GE(step.compute_seconds, 0.0);
+    EXPECT_GE(step.comm_seconds, 0.0);
+  }
+}
+
+/// Property: on synthetic apps of many shapes, the proposed system is
+/// never slower than the baseline (modulo rounding), and all runs finish.
+class ExecutorProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExecutorProperties, ProposedDominatesBaseline) {
+  apps::SyntheticConfig sc;
+  sc.seed = GetParam();
+  sc.kernel_count = 5;
+  const apps::ProfiledApp app = apps::make_synthetic_app(sc);
+  const AppSchedule schedule = app.schedule();
+  PlatformConfig config;
+  core::DesignInput input = make_design_input(schedule, config);
+  const core::DesignResult design = core::design_interconnect(input);
+  const RunResult baseline = run_baseline(schedule, config);
+  const RunResult proposed = run_designed(schedule, design, config);
+  EXPECT_GT(baseline.total_seconds, 0.0);
+  EXPECT_GT(proposed.total_seconds, 0.0);
+  EXPECT_LE(proposed.total_seconds, baseline.total_seconds * 1.02)
+      << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExecutorProperties,
+                         ::testing::Values(3, 9, 17, 23, 31, 57));
+
+}  // namespace
+}  // namespace hybridic::sys

@@ -1,0 +1,204 @@
+// End-to-end pipeline tests: profile -> design -> simulate, asserting the
+// qualitative properties the paper's evaluation reports.
+#include "sys/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "apps/app.hpp"
+
+namespace hybridic::sys {
+namespace {
+
+/// Shared fixture: run every paper app once (the runs are deterministic).
+class PaperExperiments : public ::testing::Test {
+protected:
+  static void SetUpTestSuite() {
+    experiments_ = new std::map<std::string, AppExperiment>();
+    for (const auto& name : apps::paper_app_names()) {
+      const apps::ProfiledApp app = apps::run_paper_app(name);
+      ASSERT_TRUE(app.verified) << name << ": " << app.verification_note;
+      const AppSchedule schedule = app.schedule();
+      experiments_->emplace(
+          name, run_experiment(schedule, PlatformConfig{},
+                               app.environment));
+    }
+  }
+
+  static void TearDownTestSuite() {
+    delete experiments_;
+    experiments_ = nullptr;
+  }
+
+  [[nodiscard]] static const AppExperiment& get(const std::string& name) {
+    return experiments_->at(name);
+  }
+
+  static std::map<std::string, AppExperiment>* experiments_;
+};
+
+std::map<std::string, AppExperiment>* PaperExperiments::experiments_ =
+    nullptr;
+
+TEST_F(PaperExperiments, BaselineAcceleratesMostApps) {
+  // Fig. 4: the baseline beats software for canny, klt and fluid...
+  EXPECT_GT(get("canny").baseline_app_speedup_vs_sw(), 1.0);
+  EXPECT_GT(get("klt").baseline_app_speedup_vs_sw(), 1.0);
+  EXPECT_GT(get("fluid").baseline_app_speedup_vs_sw(), 1.0);
+}
+
+TEST_F(PaperExperiments, JpegBaselineSlowerThanSoftware) {
+  // ...but loses on jpeg because communication dominates (paper §V-A).
+  EXPECT_LT(get("jpeg").baseline_app_speedup_vs_sw(), 1.0);
+  EXPECT_GT(get("jpeg").baseline_comm_comp_ratio(), 3.0);
+}
+
+TEST_F(PaperExperiments, CommunicationDominatesBaselines) {
+  // Fig. 4's core observation: kernel communication time exceeds
+  // computation time on average (paper: ~2.09x).
+  double ratio_sum = 0.0;
+  for (const auto& name : apps::paper_app_names()) {
+    ratio_sum += get(name).baseline_comm_comp_ratio();
+  }
+  EXPECT_GT(ratio_sum / 4.0, 1.5);
+  EXPECT_LT(ratio_sum / 4.0, 3.0);
+}
+
+TEST_F(PaperExperiments, ProposedBeatsBaselineEverywhere) {
+  for (const auto& name : apps::paper_app_names()) {
+    EXPECT_GT(get(name).proposed_app_speedup_vs_baseline(), 1.0) << name;
+    EXPECT_GT(get(name).proposed_kernel_speedup_vs_baseline(), 1.0)
+        << name;
+  }
+}
+
+TEST_F(PaperExperiments, JpegGainsTheMostFromTheCustomInterconnect) {
+  // Table III: jpeg has the largest proposed-vs-baseline speed-up.
+  const double jpeg = get("jpeg").proposed_app_speedup_vs_baseline();
+  for (const auto& name : apps::paper_app_names()) {
+    if (name != "jpeg") {
+      EXPECT_GT(jpeg, get(name).proposed_app_speedup_vs_baseline())
+          << name;
+    }
+  }
+  EXPECT_GT(jpeg, 2.0);
+}
+
+TEST_F(PaperExperiments, SolutionsMatchTableFour) {
+  EXPECT_EQ(get("canny").proposed_design.solution_tag(), "NoC, SM, P");
+  EXPECT_EQ(get("jpeg").proposed_design.solution_tag(), "NoC, SM, P");
+  EXPECT_EQ(get("klt").proposed_design.solution_tag(), "SM");
+  EXPECT_EQ(get("fluid").proposed_design.solution_tag(), "NoC");
+}
+
+TEST_F(PaperExperiments, JpegDesignMatchesFigureSix) {
+  const core::DesignResult& design = get("jpeg").proposed_design;
+  // huff_ac_dec is duplicated: five kernel instances in total.
+  EXPECT_EQ(design.instances.size(), 5U);
+  EXPECT_EQ(design.parallel.duplicated_specs.size(), 1U);
+  // Exactly one shared-memory pair: dquantz_lum -> j_rev_dct, with a
+  // crossbar because j_rev_dct also talks to the host.
+  ASSERT_EQ(design.shared_pairs.size(), 1U);
+  EXPECT_EQ(design.instances[design.shared_pairs[0].producer_instance].name,
+            "dquantz_lum");
+  EXPECT_EQ(design.instances[design.shared_pairs[0].consumer_instance].name,
+            "j_rev_dct");
+  EXPECT_EQ(design.shared_pairs[0].style, mem::SharingStyle::kCrossbar);
+  // Six NoC routers: huff_dc kernel, 2x huff_ac kernel + memory, dquantz
+  // memory.
+  ASSERT_TRUE(design.uses_noc());
+  EXPECT_EQ(design.noc->router_count(), 6U);
+}
+
+TEST_F(PaperExperiments, ResourceOrderingMatchesTableFour) {
+  for (const auto& name : apps::paper_app_names()) {
+    const AppExperiment& exp = get(name);
+    // baseline < ours <= NoC-only in LUTs and registers.
+    EXPECT_LT(exp.baseline_resources.luts, exp.proposed_resources.luts)
+        << name;
+    EXPECT_LE(exp.proposed_resources.luts, exp.noc_only_resources.luts)
+        << name;
+    EXPECT_LE(exp.proposed_resources.regs, exp.noc_only_resources.regs)
+        << name;
+  }
+}
+
+TEST_F(PaperExperiments, BaselineResourcesNearPaperTotals) {
+  // Calibrated to Table IV (exact for registers, close for LUTs).
+  const std::map<std::string, std::pair<std::uint64_t, std::uint64_t>>
+      expected{{"canny", {9926, 12707}},
+               {"jpeg", {11755, 11910}},
+               {"klt", {4721, 5430}},
+               {"fluid", {19125, 28793}}};
+  for (const auto& [name, totals] : expected) {
+    EXPECT_EQ(get(name).baseline_resources.luts, totals.first) << name;
+    EXPECT_EQ(get(name).baseline_resources.regs, totals.second) << name;
+  }
+}
+
+TEST_F(PaperExperiments, HybridSavesResourcesVsNocOnly) {
+  // Table IV headline: up to ~33% LUT savings vs the NoC-only system.
+  bool some_app_saves_a_lot = false;
+  for (const auto& name : apps::paper_app_names()) {
+    const AppExperiment& exp = get(name);
+    const double saving =
+        1.0 - static_cast<double>(exp.proposed_resources.luts) /
+                  static_cast<double>(exp.noc_only_resources.luts);
+    if (saving > 0.15) {
+      some_app_saves_a_lot = true;
+    }
+  }
+  EXPECT_TRUE(some_app_saves_a_lot);
+}
+
+TEST_F(PaperExperiments, NocOnlyPerformanceComparableToHybrid) {
+  // The paper: the hybrid achieves "the same performance" as NoC-only
+  // while using fewer resources.
+  for (const auto& name : apps::paper_app_names()) {
+    const AppExperiment& exp = get(name);
+    EXPECT_NEAR(exp.noc_only.total_seconds / exp.proposed.total_seconds,
+                1.0, 0.15)
+        << name;
+  }
+}
+
+TEST_F(PaperExperiments, EnergySavedInEveryApp) {
+  // Fig. 9: the proposed system consumes less energy everywhere, with the
+  // maximum saving on jpeg (paper: 66.5%).
+  for (const auto& name : apps::paper_app_names()) {
+    EXPECT_LT(get(name).energy_ratio_vs_baseline(), 1.0) << name;
+  }
+  EXPECT_LT(get("jpeg").energy_ratio_vs_baseline(), 0.45);
+  // Power itself is nearly identical (slightly higher for ours).
+  for (const auto& name : apps::paper_app_names()) {
+    const AppExperiment& exp = get(name);
+    EXPECT_GT(exp.proposed_power_watts, exp.baseline_power_watts);
+    EXPECT_LT(exp.proposed_power_watts / exp.baseline_power_watts, 1.25);
+  }
+}
+
+TEST_F(PaperExperiments, KernelSpeedupsExceedAppSpeedups) {
+  // Amdahl: the host part dilutes kernel gains at app level.
+  for (const auto& name : apps::paper_app_names()) {
+    const AppExperiment& exp = get(name);
+    EXPECT_GE(exp.proposed_kernel_speedup_vs_baseline() + 0.05,
+              exp.proposed_app_speedup_vs_baseline())
+        << name;
+  }
+}
+
+TEST_F(PaperExperiments, AnalyticalEstimateTracksMeasurement) {
+  // The Eq-2/Δ estimate should land within a factor ~2 of the simulated
+  // kernel-level times (it ignores contention and burst effects).
+  for (const auto& name : apps::paper_app_names()) {
+    const AppExperiment& exp = get(name);
+    const double estimated = exp.proposed_design.estimate.baseline_seconds;
+    const double measured = exp.baseline.kernel_seconds();
+    EXPECT_GT(estimated, measured * 0.5) << name;
+    EXPECT_LT(estimated, measured * 2.0) << name;
+  }
+}
+
+}  // namespace
+}  // namespace hybridic::sys

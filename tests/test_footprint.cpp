@@ -1,0 +1,122 @@
+// Tests of the profiler's memory-footprint analysis (QUAD's flat memory
+// profile) and of the WestFirst routing extension.
+#include <gtest/gtest.h>
+
+#include "noc/routing.hpp"
+#include "prof/quad.hpp"
+#include "util/error.hpp"
+
+namespace hybridic {
+namespace {
+
+TEST(Footprint, UniqueWrittenBytesDedupe) {
+  prof::QuadProfiler q;
+  const auto f = q.declare("f");
+  const std::uint64_t addr = q.allocate(64);
+  q.enter(f);
+  q.record_write(addr, 32);
+  q.record_write(addr, 32);       // Same range again.
+  q.record_write(addr + 16, 32);  // Half-overlapping.
+  q.leave();
+  EXPECT_EQ(q.unique_bytes_written(f), 48U);
+  EXPECT_EQ(q.graph().function(f).writes, 96U);  // Raw count still 96.
+}
+
+TEST(Footprint, UniqueReadBytesDedupe) {
+  prof::QuadProfiler q;
+  const auto w = q.declare("w");
+  const auto r = q.declare("r");
+  const std::uint64_t addr = q.allocate(128);
+  q.enter(w);
+  q.record_write(addr, 128);
+  q.leave();
+  q.enter(r);
+  for (int i = 0; i < 5; ++i) {
+    q.record_read(addr, 100);
+  }
+  q.leave();
+  EXPECT_EQ(q.unique_bytes_read(r), 100U);
+  EXPECT_EQ(q.unique_bytes_read(w), 0U);
+  EXPECT_EQ(q.unique_bytes_written(r), 0U);
+}
+
+TEST(Footprint, QueryUndeclaredThrows) {
+  prof::QuadProfiler q;
+  EXPECT_THROW((void)q.unique_bytes_written(0), ConfigError);
+  EXPECT_THROW((void)q.unique_bytes_read(3), ConfigError);
+}
+
+TEST(Footprint, MemoryReportListsAllFunctions) {
+  prof::QuadProfiler q;
+  const auto a = q.declare("alpha");
+  const auto b = q.declare("beta");
+  const std::uint64_t addr = q.allocate(16);
+  q.enter(a);
+  q.record_write(addr, 16);
+  q.add_work(7);
+  q.leave();
+  q.enter(b);
+  q.record_read(addr, 16);
+  q.leave();
+  const std::string report = q.memory_report();
+  EXPECT_NE(report.find("alpha"), std::string::npos);
+  EXPECT_NE(report.find("beta"), std::string::npos);
+  EXPECT_NE(report.find("16"), std::string::npos);
+  EXPECT_NE(report.find("7"), std::string::npos);
+}
+
+TEST(WestFirst, AllWestHopsComeFirst) {
+  const noc::Mesh2D mesh{5, 5};
+  const noc::WestFirstRouting wf;
+  // From (4,0) to (0,4): must move west four times before any north hop.
+  std::uint32_t current = mesh.id_of({4, 0});
+  const std::uint32_t dest = mesh.id_of({0, 4});
+  int west_hops = 0;
+  while (wf.route(mesh, current, dest) == noc::PortDir::kWest) {
+    current = *mesh.neighbor(current, noc::PortDir::kWest);
+    ++west_hops;
+  }
+  EXPECT_EQ(west_hops, 4);
+  EXPECT_EQ(wf.route(mesh, current, dest), noc::PortDir::kNorth);
+}
+
+TEST(WestFirst, EastboundCorrectsYFirst) {
+  const noc::Mesh2D mesh{5, 5};
+  const noc::WestFirstRouting wf;
+  // From (0,0) to (3,2): north first, then east.
+  EXPECT_EQ(wf.route(mesh, mesh.id_of({0, 0}), mesh.id_of({3, 2})),
+            noc::PortDir::kNorth);
+  EXPECT_EQ(wf.route(mesh, mesh.id_of({0, 2}), mesh.id_of({3, 2})),
+            noc::PortDir::kEast);
+}
+
+TEST(WestFirst, NeverTurnsIntoWestAfterLeavingIt) {
+  // Turn-model property: once a packet has made a non-west move, the
+  // route function never returns west again along the remaining path.
+  const noc::Mesh2D mesh{6, 6};
+  const noc::WestFirstRouting wf;
+  for (std::uint32_t src = 0; src < mesh.node_count(); ++src) {
+    for (std::uint32_t dst = 0; dst < mesh.node_count(); ++dst) {
+      std::uint32_t current = src;
+      bool left_west_phase = false;
+      while (current != dst) {
+        const noc::PortDir dir = wf.route(mesh, current, dst);
+        if (dir == noc::PortDir::kWest) {
+          ASSERT_FALSE(left_west_phase)
+              << "west turn after non-west move, " << src << "->" << dst;
+        } else {
+          left_west_phase = true;
+        }
+        current = *mesh.neighbor(current, dir);
+      }
+    }
+  }
+}
+
+TEST(WestFirst, RegisteredInFactory) {
+  EXPECT_EQ(noc::make_routing("WestFirst")->name(), "WestFirst");
+  EXPECT_EQ(noc::make_routing("WF")->name(), "WestFirst");
+}
+
+}  // namespace
+}  // namespace hybridic

@@ -1,0 +1,189 @@
+// Golden regression tests: the default-config applications are fully
+// deterministic, so their profiles and designs are pinned to exact values.
+// If an intentional change shifts these, update them consciously — they
+// are the repository's reproduction anchors (see EXPERIMENTS.md).
+#include <gtest/gtest.h>
+
+#include "apps/app.hpp"
+#include "apps/jpeg.hpp"
+#include "sys/experiment.hpp"
+
+namespace hybridic {
+namespace {
+
+TEST(Golden, JpegDefaultProfileEdges) {
+  const apps::ProfiledApp app = apps::run_jpeg(apps::JpegConfig{});
+  const prof::CommGraph& g = app.graph();
+  const auto bytes = [&g](const char* p, const char* c) {
+    return g.bytes_between(g.id_of(p), g.id_of(c)).count();
+  };
+  EXPECT_EQ(bytes("read_bitstream", "huff_dc_dec"), 109U);
+  EXPECT_EQ(bytes("read_bitstream", "huff_ac_dec"), 994U);
+  EXPECT_EQ(bytes("read_bitstream", "j_rev_dct"), 576U);
+  EXPECT_EQ(bytes("huff_dc_dec", "huff_ac_dec"), 576U);
+  EXPECT_EQ(bytes("huff_ac_dec", "dquantz_lum"), 36864U);
+  EXPECT_EQ(bytes("dquantz_lum", "j_rev_dct"), 36864U);
+  EXPECT_EQ(bytes("j_rev_dct", "write_output"), 9216U);
+}
+
+TEST(Golden, PaperDesignShapes) {
+  struct Expectation {
+    const char* app;
+    const char* solution;
+    std::size_t instances;
+    std::size_t shared_pairs;
+    std::uint32_t routers;  // 0 = no NoC
+  };
+  const Expectation expectations[] = {
+      {"canny", "NoC, SM, P", 4, 2, 2},
+      {"jpeg", "NoC, SM, P", 5, 1, 6},
+      {"klt", "SM", 3, 1, 0},
+      {"fluid", "NoC", 3, 0, 6},
+  };
+  const sys::PlatformConfig platform;
+  for (const Expectation& e : expectations) {
+    const apps::ProfiledApp app = apps::run_paper_app(e.app);
+    const sys::AppSchedule schedule = app.schedule();
+    const core::DesignResult design = core::design_interconnect(
+        sys::make_design_input(schedule, platform));
+    EXPECT_EQ(design.solution_tag(), e.solution) << e.app;
+    EXPECT_EQ(design.instances.size(), e.instances) << e.app;
+    EXPECT_EQ(design.shared_pairs.size(), e.shared_pairs) << e.app;
+    EXPECT_EQ(design.uses_noc() ? design.noc->router_count() : 0,
+              e.routers)
+        << e.app;
+  }
+}
+
+TEST(Golden, PaperSpeedupAnchors) {
+  // Wide tolerance: these pin the *shape* (see EXPERIMENTS.md), and must
+  // not silently drift.
+  const apps::ProfiledApp jpeg = apps::run_paper_app("jpeg");
+  const sys::AppExperiment exp = sys::run_experiment(
+      jpeg.schedule(), sys::PlatformConfig{}, jpeg.environment);
+  EXPECT_NEAR(exp.baseline_app_speedup_vs_sw(), 0.82, 0.05);
+  EXPECT_NEAR(exp.baseline_comm_comp_ratio(), 3.63, 0.2);
+  EXPECT_NEAR(exp.proposed_app_speedup_vs_baseline(), 3.8, 0.5);
+  EXPECT_NEAR(exp.energy_ratio_vs_baseline(), 0.30, 0.06);
+}
+
+TEST(Golden, CannySharedPairStyles) {
+  const apps::ProfiledApp app = apps::run_paper_app("canny");
+  const sys::AppSchedule schedule = app.schedule();
+  const core::DesignResult design = core::design_interconnect(
+      sys::make_design_input(schedule, sys::PlatformConfig{}));
+  ASSERT_EQ(design.shared_pairs.size(), 2U);
+  // (gaussian_blur -> sobel_gradient) shares directly (sobel never talks
+  // to the host); (non_max_suppression -> hysteresis) needs the crossbar.
+  bool direct_seen = false;
+  bool crossbar_seen = false;
+  for (const core::SharedMemoryPairing& pair : design.shared_pairs) {
+    const std::string producer =
+        design.instances[pair.producer_instance].name;
+    if (producer == "gaussian_blur") {
+      EXPECT_EQ(pair.style, mem::SharingStyle::kDirect);
+      direct_seen = true;
+    }
+    if (producer == "non_max_suppression") {
+      EXPECT_EQ(pair.style, mem::SharingStyle::kCrossbar);
+      crossbar_seen = true;
+    }
+  }
+  EXPECT_TRUE(direct_seen);
+  EXPECT_TRUE(crossbar_seen);
+}
+
+TEST(Golden, ScheduleFollowsCallOrderNotDeclarationOrder) {
+  // A function declared first but called second must come second in the
+  // derived schedule.
+  prof::QuadProfiler q;
+  const auto late = q.declare("called_second");
+  const auto early = q.declare("called_first");
+  q.enter(early);
+  q.add_work(10);
+  q.leave();
+  q.enter(late);
+  q.add_work(10);
+  q.leave();
+  const sys::AppSchedule schedule =
+      sys::build_schedule("order", q.graph(), {}, q.call_order());
+  ASSERT_EQ(schedule.steps.size(), 2U);
+  EXPECT_EQ(schedule.steps[0].name, "called_first");
+  EXPECT_EQ(schedule.steps[1].name, "called_second");
+  // Never-called functions append at the end.
+  prof::QuadProfiler q2;
+  (void)q2.declare("never_called");
+  const auto only = q2.declare("only");
+  q2.enter(only);
+  q2.leave();
+  const sys::AppSchedule s2 =
+      sys::build_schedule("order2", q2.graph(), {}, q2.call_order());
+  ASSERT_EQ(s2.steps.size(), 2U);
+  EXPECT_EQ(s2.steps[0].name, "only");
+  EXPECT_EQ(s2.steps[1].name, "never_called");
+}
+
+TEST(Golden, CannyDefaultProfileVolumes) {
+  const apps::ProfiledApp app = apps::run_paper_app("canny");
+  const prof::CommGraph& g = app.graph();
+  const auto uma = [&g](const char* p, const char* c) {
+    for (const prof::CommEdge& edge : g.edges()) {
+      if (edge.producer == g.id_of(p) && edge.consumer == g.id_of(c)) {
+        return edge.unique_addresses;
+      }
+    }
+    return std::uint64_t{0};
+  };
+  // 160x120 frame: float image 76,800 unique bytes into the blur; the
+  // sobel stage emits magnitude (float) + direction (byte) = 93,220
+  // unique bytes consumed by non-max suppression (border excluded).
+  EXPECT_EQ(uma("load_image", "gaussian_blur"), 76800U);
+  EXPECT_EQ(uma("gaussian_blur", "sobel_gradient"), 76800U);
+  EXPECT_EQ(uma("sobel_gradient", "non_max_suppression"), 93220U);
+  EXPECT_EQ(uma("hysteresis", "store_edges"), 19200U);
+}
+
+TEST(Golden, FluidProfileIsSymmetricallyCoupled) {
+  const apps::ProfiledApp app = apps::run_paper_app("fluid");
+  const prof::CommGraph& g = app.graph();
+  // 66x66 padded float grids: all three kernels exchange full fields.
+  const auto volume = [&g](const char* p, const char* c) {
+    return core::edge_volume(prof::CommEdge{
+        g.id_of(p), g.id_of(c), g.bytes_between(g.id_of(p), g.id_of(c)),
+        0});
+  };
+  (void)volume;
+  const std::uint64_t field = 66 * 66 * 4;
+  for (const prof::CommEdge& edge : g.edges()) {
+    if (edge.producer == edge.consumer) {
+      continue;
+    }
+    // Every kernel-to-kernel edge moves at least one half-field and at
+    // most three full fields of unique data.
+    const bool kernel_edge =
+        g.function(edge.producer).name != "init_fields" &&
+        g.function(edge.consumer).name != "read_state";
+    if (kernel_edge) {
+      EXPECT_GE(edge.unique_addresses, field / 2)
+          << g.function(edge.producer).name << "->"
+          << g.function(edge.consumer).name;
+      // At most the velocity pair + density + pressure/divergence
+      // scratch: four full fields of unique data.
+      EXPECT_LE(edge.unique_addresses, 4 * field)
+          << g.function(edge.producer).name << "->"
+          << g.function(edge.consumer).name;
+    }
+  }
+}
+
+TEST(Golden, DuplicateCallOrderRejected) {
+  prof::QuadProfiler q;
+  const auto f = q.declare("f");
+  EXPECT_THROW((void)sys::build_schedule("bad", q.graph(), {}, {f, f}),
+               ConfigError);
+  EXPECT_THROW((void)sys::build_schedule("bad", q.graph(), {}, {7}),
+               ConfigError);
+}
+
+}  // namespace
+}  // namespace hybridic

@@ -1,0 +1,151 @@
+// Cross-cutting invariants over the whole pipeline, checked on every
+// paper application and a set of synthetic shapes.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "apps/app.hpp"
+#include "apps/synthetic.hpp"
+#include "core/interconnect_design.hpp"
+#include "sys/experiment.hpp"
+
+namespace hybridic {
+namespace {
+
+/// Profile the app set once for the whole suite (runs are deterministic
+/// and read-only afterwards).
+class Invariants : public ::testing::Test {
+protected:
+  static void SetUpTestSuite() {
+    apps_ = new std::vector<apps::ProfiledApp>();
+    for (const auto& name : apps::paper_app_names()) {
+      apps_->push_back(apps::run_paper_app(name));
+    }
+    for (const std::uint64_t seed : {111ULL, 222ULL}) {
+      apps::SyntheticConfig config;
+      config.seed = seed;
+      apps_->push_back(apps::make_synthetic_app(config));
+    }
+  }
+  static void TearDownTestSuite() {
+    delete apps_;
+    apps_ = nullptr;
+  }
+  [[nodiscard]] static const std::vector<apps::ProfiledApp>& all_apps() {
+    return *apps_;
+  }
+
+private:
+  static std::vector<apps::ProfiledApp>* apps_;
+};
+
+std::vector<apps::ProfiledApp>* Invariants::apps_ = nullptr;
+
+TEST_F(Invariants, UmaNeverExceedsRawBytes) {
+  for (const apps::ProfiledApp& app : all_apps()) {
+    for (const prof::CommEdge& edge : app.graph().edges()) {
+      EXPECT_LE(edge.unique_addresses, edge.bytes.count())
+          << app.name << ": "
+          << app.graph().function(edge.producer).name << "->"
+          << app.graph().function(edge.consumer).name;
+    }
+  }
+}
+
+TEST_F(Invariants, KernelInOutVolumesBalance) {
+  // Σ D^K_out over kernels == Σ D^K_in over kernels: every kernel-to-
+  // kernel byte is produced exactly once and consumed exactly once at
+  // the Eq-1 level.
+  for (const apps::ProfiledApp& app : all_apps()) {
+    const sys::AppSchedule schedule = app.schedule();
+    std::set<prof::FunctionId> hw;
+    for (const auto& spec : schedule.specs) {
+      hw.insert(spec.function);
+    }
+    std::uint64_t out_total = 0;
+    std::uint64_t in_total = 0;
+    for (const auto& spec : schedule.specs) {
+      const core::KernelQuantities q =
+          core::derive_quantities(*schedule.graph, spec.function, hw);
+      out_total += q.kernel_out.count();
+      in_total += q.kernel_in.count();
+    }
+    EXPECT_EQ(out_total, in_total) << app.name;
+  }
+}
+
+TEST_F(Invariants, SharedPairExclusivityHoldsInEveryDesign) {
+  for (const apps::ProfiledApp& app : all_apps()) {
+    const sys::AppSchedule schedule = app.schedule();
+    const core::DesignResult design = core::design_interconnect(
+        sys::make_design_input(schedule, sys::PlatformConfig{}));
+    std::set<prof::FunctionId> hw;
+    for (const auto& spec : schedule.specs) {
+      hw.insert(spec.function);
+    }
+    for (const core::SharedMemoryPairing& pair : design.shared_pairs) {
+      const prof::FunctionId p =
+          design.instances[pair.producer_instance].function;
+      const prof::FunctionId c =
+          design.instances[pair.consumer_instance].function;
+      const core::KernelQuantities qp =
+          core::derive_quantities(*schedule.graph, p, hw);
+      const core::KernelQuantities qc =
+          core::derive_quantities(*schedule.graph, c, hw);
+      // §IV-A1 line 9: the pair covers ALL of the producer's kernel
+      // output and ALL of the consumer's kernel input.
+      EXPECT_EQ(qp.kernel_out, pair.bytes) << app.name;
+      EXPECT_EQ(qc.kernel_in, pair.bytes) << app.name;
+    }
+  }
+}
+
+TEST_F(Invariants, SystemOrderingHoldsEverywhere) {
+  for (const apps::ProfiledApp& app : all_apps()) {
+    const sys::AppSchedule schedule = app.schedule();
+    const sys::AppExperiment exp = sys::run_experiment(
+        schedule, sys::PlatformConfig{}, app.environment);
+    // Proposed never slower than baseline; NoC-only within a whisker of
+    // proposed; resource ordering baseline <= proposed <= NoC-only.
+    EXPECT_LE(exp.proposed.total_seconds,
+              exp.baseline.total_seconds * 1.02)
+        << app.name;
+    EXPECT_LE(exp.proposed_resources.luts, exp.noc_only_resources.luts)
+        << app.name;
+    EXPECT_LE(exp.baseline_resources.luts, exp.proposed_resources.luts)
+        << app.name;
+    // Energy consistency: ratio = (P_ours * T_ours) / (P_base * T_base).
+    const double expected_ratio =
+        (exp.proposed_power_watts * exp.proposed.total_seconds) /
+        (exp.baseline_power_watts * exp.baseline.total_seconds);
+    EXPECT_NEAR(exp.energy_ratio_vs_baseline(), expected_ratio, 1e-12)
+        << app.name;
+  }
+}
+
+TEST_F(Invariants, StepTimingsAreConsistent) {
+  for (const apps::ProfiledApp& app : all_apps()) {
+    const sys::AppSchedule schedule = app.schedule();
+    const sys::PlatformConfig config;
+    const core::DesignResult design = core::design_interconnect(
+        sys::make_design_input(schedule, config));
+    for (const sys::RunResult& run :
+         {sys::run_baseline(schedule, config),
+          sys::run_designed(schedule, design, config)}) {
+      double last_done = 0.0;
+      for (const sys::StepTiming& step : run.steps) {
+        EXPECT_GE(step.done_seconds, step.start_seconds) << app.name;
+        EXPECT_GE(step.compute_seconds, 0.0);
+        EXPECT_GE(step.comm_seconds, 0.0);
+        last_done = std::max(last_done, step.done_seconds);
+      }
+      EXPECT_NEAR(run.total_seconds, std::max(last_done,
+                                              run.total_seconds),
+                  1e-12);
+      EXPECT_GE(run.total_seconds, last_done - 1e-12) << app.name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hybridic

@@ -1,0 +1,261 @@
+#include "apps/jpeg_codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "apps/jpeg_bitstream.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace hybridic::apps::jpegc {
+namespace {
+
+TEST(BitIo, WriterReaderRoundTrip) {
+  BitWriter writer;
+  writer.put(0b101, 3);
+  writer.put(0b0011, 4);
+  writer.put(0xABCD, 16);
+  const std::vector<std::uint8_t> bytes = writer.finish();
+  BitReader reader{[&bytes](std::uint64_t i) { return bytes[i]; },
+                   bytes.size()};
+  EXPECT_EQ(reader.get(3), 0b101U);
+  EXPECT_EQ(reader.get(4), 0b0011U);
+  EXPECT_EQ(reader.get(16), 0xABCDU);
+}
+
+TEST(BitIo, PositionAndSeek) {
+  BitWriter writer;
+  writer.put(0xFF, 8);
+  writer.put(0x00, 8);
+  const auto bytes = writer.finish();
+  BitReader reader{[&bytes](std::uint64_t i) { return bytes[i]; },
+                   bytes.size()};
+  EXPECT_EQ(reader.position(), 0U);
+  (void)reader.get(5);
+  EXPECT_EQ(reader.position(), 5U);
+  reader.seek(8);
+  EXPECT_EQ(reader.get(8), 0U);
+}
+
+TEST(BitIo, PastEndReadsPadBits) {
+  BitWriter writer;
+  writer.put(0, 1);
+  const auto bytes = writer.finish();
+  BitReader reader{[&bytes](std::uint64_t i) { return bytes[i]; },
+                   bytes.size()};
+  reader.seek(bytes.size() * 8);
+  EXPECT_EQ(reader.bit(), 1U);  // pad
+}
+
+TEST(BitIo, FinishPadsWithOnes) {
+  BitWriter writer;
+  writer.put(0, 3);
+  const auto bytes = writer.finish();
+  ASSERT_EQ(bytes.size(), 1U);
+  EXPECT_EQ(bytes[0], 0b00011111);
+}
+
+TEST(Huffman, SingleSymbolGetsOneBitCode) {
+  std::vector<std::uint64_t> freq(4, 0);
+  freq[2] = 10;
+  const HuffmanCode code = build_huffman(freq);
+  EXPECT_EQ(code.lengths[2], 1U);
+  EXPECT_FALSE(code.has_symbol(0));
+  EXPECT_TRUE(code.has_symbol(2));
+}
+
+TEST(Huffman, FrequentSymbolsGetShorterCodes) {
+  std::vector<std::uint64_t> freq{1000, 10, 10, 10};
+  const HuffmanCode code = build_huffman(freq);
+  EXPECT_LE(code.lengths[0], code.lengths[1]);
+  EXPECT_LE(code.lengths[0], code.lengths[3]);
+}
+
+TEST(Huffman, KraftInequalityHolds) {
+  Rng rng{5};
+  std::vector<std::uint64_t> freq(256);
+  for (auto& f : freq) {
+    f = rng.below(1000);
+  }
+  const HuffmanCode code = build_huffman(freq);
+  std::uint64_t kraft = 0;
+  for (const std::uint8_t len : code.lengths) {
+    if (len != 0) {
+      ASSERT_LE(len, kMaxCodeLength);
+      kraft += 1ULL << (kMaxCodeLength - len);
+    }
+  }
+  EXPECT_LE(kraft, 1ULL << kMaxCodeLength);
+}
+
+TEST(Huffman, CodesArePrefixFree) {
+  std::vector<std::uint64_t> freq{50, 30, 10, 5, 3, 2};
+  const HuffmanCode code = build_huffman(freq);
+  for (std::uint32_t a = 0; a < 6; ++a) {
+    for (std::uint32_t b = 0; b < 6; ++b) {
+      if (a == b || code.lengths[a] == 0 || code.lengths[b] == 0 ||
+          code.lengths[a] > code.lengths[b]) {
+        continue;
+      }
+      const std::uint32_t shifted =
+          code.codes[b] >> (code.lengths[b] - code.lengths[a]);
+      EXPECT_NE(shifted, code.codes[a])
+          << "code " << a << " prefixes " << b;
+    }
+  }
+}
+
+TEST(Huffman, EncodeDecodeRoundTrip) {
+  Rng rng{17};
+  std::vector<std::uint64_t> freq(32);
+  for (auto& f : freq) {
+    f = 1 + rng.below(100);
+  }
+  const HuffmanCode code = build_huffman(freq);
+  const HuffmanCode decoder = huffman_from_lengths(code.lengths);
+
+  std::vector<std::uint32_t> symbols;
+  BitWriter writer;
+  for (int i = 0; i < 500; ++i) {
+    const auto symbol = static_cast<std::uint32_t>(rng.below(32));
+    symbols.push_back(symbol);
+    writer.put(code.codes[symbol], code.lengths[symbol]);
+  }
+  const auto bytes = writer.finish();
+  BitReader reader{[&bytes](std::uint64_t i) { return bytes[i]; },
+                   bytes.size()};
+  for (const std::uint32_t expected : symbols) {
+    const std::uint32_t got =
+        decode_symbol(decoder, [&reader] { return reader.bit(); });
+    ASSERT_EQ(got, expected);
+  }
+}
+
+TEST(Huffman, EmptyFrequenciesRejected) {
+  EXPECT_THROW((void)build_huffman({}), ConfigError);
+  EXPECT_THROW((void)build_huffman({0, 0, 0}), ConfigError);
+}
+
+TEST(ValueCoding, CategoryMatchesJpegDefinition) {
+  EXPECT_EQ(value_category(0), 0U);
+  EXPECT_EQ(value_category(1), 1U);
+  EXPECT_EQ(value_category(-1), 1U);
+  EXPECT_EQ(value_category(2), 2U);
+  EXPECT_EQ(value_category(3), 2U);
+  EXPECT_EQ(value_category(-3), 2U);
+  EXPECT_EQ(value_category(255), 8U);
+  EXPECT_EQ(value_category(-1024), 11U);
+}
+
+TEST(ValueCoding, RoundTripAllSmallValues) {
+  for (std::int32_t v = -300; v <= 300; ++v) {
+    const std::uint32_t category = value_category(v);
+    const std::uint32_t bits = value_bits(v, category);
+    EXPECT_EQ(value_from_bits(bits, category), v) << v;
+  }
+}
+
+TEST(Zigzag, IsAPermutationStartingAtDc) {
+  const auto& zz = zigzag_order();
+  std::set<std::uint8_t> seen(zz.begin(), zz.end());
+  EXPECT_EQ(seen.size(), kBlockSize);
+  EXPECT_EQ(zz[0], 0U);   // DC first
+  EXPECT_EQ(zz[1], 1U);   // then (0,1)
+  EXPECT_EQ(zz[2], 8U);   // then (1,0)
+  EXPECT_EQ(zz[63], 63U); // ends at (7,7)
+}
+
+TEST(QuantTable, IsTheStandardLuminanceTable) {
+  const auto& qt = quant_table();
+  EXPECT_EQ(qt[0], 16U);
+  EXPECT_EQ(qt[1], 11U);
+  EXPECT_EQ(qt[63], 99U);
+}
+
+TEST(Dct, RoundTripIsNearIdentity) {
+  Rng rng{3};
+  float pixels[kBlockSize];
+  float coeffs[kBlockSize];
+  float back[kBlockSize];
+  for (auto& p : pixels) {
+    p = static_cast<float>(rng.below(256));
+  }
+  fdct8x8(pixels, coeffs);
+  idct8x8(coeffs, back);
+  for (std::uint32_t i = 0; i < kBlockSize; ++i) {
+    EXPECT_NEAR(back[i], pixels[i], 0.51F) << i;  // clamped rounding
+  }
+}
+
+TEST(Dct, FlatBlockIsPureDc) {
+  float pixels[kBlockSize];
+  float coeffs[kBlockSize];
+  for (auto& p : pixels) {
+    p = 200.0F;
+  }
+  fdct8x8(pixels, coeffs);
+  EXPECT_NEAR(coeffs[0], (200.0F - 128.0F) * 8.0F, 1e-3F);
+  for (std::uint32_t i = 1; i < kBlockSize; ++i) {
+    EXPECT_NEAR(coeffs[i], 0.0F, 1e-3F);
+  }
+}
+
+TEST(Encoder, ProducesDecodableStreams) {
+  const EncodedImage enc = encode_test_image(32, 32, 99);
+  EXPECT_EQ(enc.blocks, 16U);
+  EXPECT_EQ(enc.ac_block_bit_offset.size(), 16U);
+  EXPECT_FALSE(enc.dc_stream.empty());
+  EXPECT_FALSE(enc.ac_stream.empty());
+  const std::vector<std::uint8_t> decoded = reference_decode(enc);
+  EXPECT_EQ(decoded.size(), enc.original.size());
+  EXPECT_GT(psnr(decoded, enc.original), 28.0);
+}
+
+TEST(Encoder, OffsetsAreMonotonic) {
+  const EncodedImage enc = encode_test_image(48, 48, 2);
+  for (std::size_t b = 1; b < enc.ac_block_bit_offset.size(); ++b) {
+    EXPECT_GE(enc.ac_block_bit_offset[b], enc.ac_block_bit_offset[b - 1]);
+  }
+}
+
+TEST(Encoder, NonMultipleOf8Rejected) {
+  EXPECT_THROW((void)encode_test_image(30, 32, 1), ConfigError);
+}
+
+TEST(Encoder, DeterministicForSeed) {
+  const EncodedImage a = encode_test_image(32, 32, 7);
+  const EncodedImage b = encode_test_image(32, 32, 7);
+  EXPECT_EQ(a.ac_stream, b.ac_stream);
+  EXPECT_EQ(a.dc_stream, b.dc_stream);
+  const EncodedImage c = encode_test_image(32, 32, 8);
+  EXPECT_NE(a.original, c.original);
+}
+
+TEST(Psnr, IdenticalImagesAreNearLossless) {
+  const std::vector<std::uint8_t> img{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(psnr(img, img), 99.0);
+  EXPECT_THROW((void)psnr(img, {1, 2}), ConfigError);
+}
+
+/// Property: encode->reference-decode holds reasonable PSNR across sizes
+/// and seeds.
+class CodecQuality
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t,
+                                                 std::uint64_t>> {};
+
+TEST_P(CodecQuality, PsnrAboveFloor) {
+  const auto& [dim, seed] = GetParam();
+  const EncodedImage enc = encode_test_image(dim, dim, seed);
+  const std::vector<std::uint8_t> decoded = reference_decode(enc);
+  EXPECT_GT(psnr(decoded, enc.original), 28.0)
+      << dim << "x" << dim << " seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CodecQuality,
+    ::testing::Combine(::testing::Values(16U, 32U, 64U),
+                       ::testing::Values(1ULL, 2ULL, 3ULL)));
+
+}  // namespace
+}  // namespace hybridic::apps::jpegc

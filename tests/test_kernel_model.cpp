@@ -1,0 +1,91 @@
+#include "core/kernel_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hybridic::core {
+namespace {
+
+/// A small fixed scenario: host h, kernels k1, k2, k3.
+/// h -> k1 (100), k1 -> k2 (200), k2 -> k3 (300), k3 -> h (50),
+/// k1 -> k1 (999, self), h -> k3 (25).
+class KernelModelTest : public ::testing::Test {
+protected:
+  KernelModelTest() {
+    h_ = graph_.add_function("h");
+    k1_ = graph_.add_function("k1");
+    k2_ = graph_.add_function("k2");
+    k3_ = graph_.add_function("k3");
+    graph_.add_transfer(h_, k1_, Bytes{100}, 100);
+    graph_.add_transfer(k1_, k2_, Bytes{200}, 200);
+    graph_.add_transfer(k2_, k3_, Bytes{300}, 300);
+    graph_.add_transfer(k3_, h_, Bytes{50}, 50);
+    graph_.add_transfer(k1_, k1_, Bytes{999}, 999);
+    graph_.add_transfer(h_, k3_, Bytes{25}, 25);
+    hw_ = {k1_, k2_, k3_};
+  }
+
+  prof::CommGraph graph_;
+  prof::FunctionId h_, k1_, k2_, k3_;
+  std::set<prof::FunctionId> hw_;
+};
+
+TEST_F(KernelModelTest, SplitsByEndpointKind) {
+  const KernelQuantities q1 = derive_quantities(graph_, k1_, hw_);
+  EXPECT_EQ(q1.host_in.count(), 100U);
+  EXPECT_EQ(q1.kernel_in.count(), 0U);
+  EXPECT_EQ(q1.host_out.count(), 0U);
+  EXPECT_EQ(q1.kernel_out.count(), 200U);
+
+  const KernelQuantities q2 = derive_quantities(graph_, k2_, hw_);
+  EXPECT_EQ(q2.kernel_in.count(), 200U);
+  EXPECT_EQ(q2.kernel_out.count(), 300U);
+  EXPECT_EQ(q2.host_in.count(), 0U);
+  EXPECT_EQ(q2.host_out.count(), 0U);
+
+  const KernelQuantities q3 = derive_quantities(graph_, k3_, hw_);
+  EXPECT_EQ(q3.host_in.count(), 25U);
+  EXPECT_EQ(q3.kernel_in.count(), 300U);
+  EXPECT_EQ(q3.host_out.count(), 50U);
+}
+
+TEST_F(KernelModelTest, SelfEdgesExcluded) {
+  const KernelQuantities q1 = derive_quantities(graph_, k1_, hw_);
+  // The 999-byte self edge must not appear anywhere.
+  EXPECT_EQ(q1.total().count(), 300U);
+}
+
+TEST_F(KernelModelTest, TotalsAreSums) {
+  const KernelQuantities q3 = derive_quantities(graph_, k3_, hw_);
+  EXPECT_EQ(q3.total_in().count(), 325U);
+  EXPECT_EQ(q3.total_out().count(), 50U);
+  EXPECT_EQ(q3.total().count(), 375U);
+}
+
+TEST_F(KernelModelTest, ExclusionsRemoveEdges) {
+  const KernelQuantities q2 = derive_quantities(
+      graph_, k2_, hw_, {{k1_, k2_}});
+  EXPECT_EQ(q2.kernel_in.count(), 0U);
+  EXPECT_EQ(q2.kernel_out.count(), 300U);
+  // The exclusion applies symmetrically to the producer's view.
+  const KernelQuantities q1 = derive_quantities(
+      graph_, k1_, hw_, {{k1_, k2_}});
+  EXPECT_EQ(q1.kernel_out.count(), 0U);
+}
+
+TEST_F(KernelModelTest, ShrinkingHwSetMovesTrafficToHost) {
+  // With k2 demoted to software, k1's output becomes host-bound.
+  const std::set<prof::FunctionId> hw{k1_, k3_};
+  const KernelQuantities q1 = derive_quantities(graph_, k1_, hw);
+  EXPECT_EQ(q1.host_out.count(), 200U);
+  EXPECT_EQ(q1.kernel_out.count(), 0U);
+}
+
+TEST(EdgeVolume, UsesUniqueBytes) {
+  prof::CommEdge edge;
+  edge.bytes = Bytes{1000};
+  edge.unique_addresses = 250;
+  EXPECT_EQ(edge_volume(edge).count(), 250U);
+}
+
+}  // namespace
+}  // namespace hybridic::core

@@ -1,0 +1,103 @@
+#include "core/perf_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/design_result.hpp"
+
+namespace hybridic::core {
+namespace {
+
+constexpr Theta kTheta{10e-9};  // 10 ns per byte.
+
+KernelQuantities make_quantities(std::uint64_t host_in,
+                                 std::uint64_t kernel_in,
+                                 std::uint64_t host_out,
+                                 std::uint64_t kernel_out) {
+  KernelQuantities q;
+  q.host_in = Bytes{host_in};
+  q.kernel_in = Bytes{kernel_in};
+  q.host_out = Bytes{host_out};
+  q.kernel_out = Bytes{kernel_out};
+  return q;
+}
+
+TEST(Theta, TransferSecondsLinear) {
+  EXPECT_DOUBLE_EQ(kTheta.transfer_seconds(Bytes{1000}), 10e-6);
+  EXPECT_DOUBLE_EQ(kTheta.transfer_seconds(Bytes{0}), 0.0);
+}
+
+TEST(BaselineModel, Equation2SingleKernel) {
+  // τ = 1 ms, D_in + D_out = 100 KB -> comm = 1 ms.
+  const KernelQuantities q = make_quantities(50'000, 10'000, 30'000, 10'000);
+  const KernelTimes times = baseline_kernel_times(q, 1e-3, kTheta);
+  EXPECT_DOUBLE_EQ(times.compute_seconds, 1e-3);
+  EXPECT_DOUBLE_EQ(times.communication_seconds, 1e-3);
+  EXPECT_DOUBLE_EQ(times.total(), 2e-3);
+}
+
+TEST(BaselineModel, Equation2Sums) {
+  std::vector<KernelTimes> kernels{
+      {1e-3, 2e-3}, {0.5e-3, 0.25e-3}, {2e-3, 0.0}};
+  EXPECT_DOUBLE_EQ(baseline_total_seconds(kernels), 5.75e-3);
+}
+
+TEST(DeltaSharedMemory, TwoBusTripsSaved) {
+  // Δc = 2 * D_ij * θ.
+  EXPECT_DOUBLE_EQ(delta_shared_memory(Bytes{1000}, kTheta), 20e-6);
+}
+
+TEST(DeltaNoc, SumsKernelTrafficBothDirections) {
+  std::vector<KernelQuantities> kernels{
+      make_quantities(100, 1000, 0, 2000),
+      make_quantities(0, 2000, 100, 0),
+  };
+  // Δn = Σ (D^K_in + D^K_out) θ = (3000 + 2000) * 10 ns = 50 us.
+  EXPECT_DOUBLE_EQ(delta_noc(kernels, kTheta), 50e-6);
+}
+
+TEST(DeltaPipelineHost, BoundedByHalfCompute) {
+  // Large transfers, small τ: each min() saturates at τ/2.
+  const KernelQuantities q = make_quantities(1'000'000, 0, 1'000'000, 0);
+  const double tau = 1e-3;
+  const double overhead = 10e-6;
+  EXPECT_DOUBLE_EQ(delta_pipeline_host(q, tau, kTheta, overhead),
+                   tau / 2 + tau / 2 - overhead);
+}
+
+TEST(DeltaPipelineHost, BoundedByHalfTransfer) {
+  // Small transfers, large τ: each min() saturates at D/2 * θ.
+  const KernelQuantities q = make_quantities(1000, 0, 500, 0);
+  const double delta = delta_pipeline_host(q, 1.0, kTheta, 0.0);
+  EXPECT_DOUBLE_EQ(delta, 5e-6 + 2.5e-6);
+}
+
+TEST(DeltaPipelineHost, CanBeNegativeWhenOverheadDominates) {
+  const KernelQuantities q = make_quantities(10, 0, 10, 0);
+  EXPECT_LT(delta_pipeline_host(q, 1e-6, kTheta, 1e-3), 0.0);
+}
+
+TEST(DeltaPipelineKernels, MinOfHalves) {
+  EXPECT_DOUBLE_EQ(delta_pipeline_kernels(2e-3, 6e-3, 1e-4),
+                   1e-3 - 1e-4);
+  EXPECT_DOUBLE_EQ(delta_pipeline_kernels(6e-3, 2e-3, 0.0), 1e-3);
+}
+
+TEST(DeltaDuplication, HalfTauMinusOverhead) {
+  EXPECT_DOUBLE_EQ(delta_duplication(4e-3, 1e-4), 2e-3 - 1e-4);
+  EXPECT_LT(delta_duplication(1e-6, 1e-3), 0.0);
+}
+
+TEST(DesignEstimateConsistency, ProposedNeverNegative) {
+  // Even if the deltas (incorrectly) exceed the baseline, the estimate
+  // clamps at zero rather than going negative.
+  DesignEstimate est;
+  est.baseline_seconds = 1e-3;
+  est.delta_noc_seconds = 2e-3;
+  EXPECT_DOUBLE_EQ(est.proposed_seconds(), 0.0);
+  est.delta_noc_seconds = 0.4e-3;
+  est.delta_shared_memory_seconds = 0.1e-3;
+  EXPECT_DOUBLE_EQ(est.proposed_seconds(), 0.5e-3);
+}
+
+}  // namespace
+}  // namespace hybridic::core

@@ -1,0 +1,120 @@
+#include "sys/pipeline_executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/app.hpp"
+#include "core/interconnect_design.hpp"
+#include "sys/experiment.hpp"
+
+namespace hybridic::sys {
+namespace {
+
+/// Shared fixture: the Canny pipeline (a clean 4-stage kernel chain).
+class PipelineTest : public ::testing::Test {
+protected:
+  static void SetUpTestSuite() {
+    app_ = new apps::ProfiledApp(apps::run_paper_app("canny"));
+    schedule_ = new AppSchedule(app_->schedule());
+    const core::DesignInput input =
+        make_design_input(*schedule_, PlatformConfig{});
+    design_ = new core::DesignResult(core::design_interconnect(input));
+  }
+  static void TearDownTestSuite() {
+    delete design_;
+    delete schedule_;
+    delete app_;
+  }
+
+  static apps::ProfiledApp* app_;
+  static AppSchedule* schedule_;
+  static core::DesignResult* design_;
+  PlatformConfig config_;
+};
+
+apps::ProfiledApp* PipelineTest::app_ = nullptr;
+AppSchedule* PipelineTest::schedule_ = nullptr;
+core::DesignResult* PipelineTest::design_ = nullptr;
+
+TEST_F(PipelineTest, SingleFrameMatchesLatency) {
+  const PipelineResult one =
+      run_designed_pipelined(*schedule_, *design_, config_, 1);
+  EXPECT_EQ(one.frames, 1U);
+  EXPECT_DOUBLE_EQ(one.first_frame_seconds, one.makespan_seconds);
+  EXPECT_GT(one.first_frame_seconds, 0.0);
+}
+
+TEST_F(PipelineTest, PipeliningBeatsSerialRepetition) {
+  const std::uint32_t frames = 16;
+  const PipelineResult pipelined =
+      run_designed_pipelined(*schedule_, *design_, config_, frames);
+  // Serial repetition of the designed system's single-frame latency.
+  const double serial = pipelined.first_frame_seconds * frames;
+  EXPECT_LT(pipelined.makespan_seconds, serial * 0.95);
+}
+
+TEST_F(PipelineTest, ThroughputApproachesBottleneckBound) {
+  const PipelineResult result =
+      run_designed_pipelined(*schedule_, *design_, config_, 64);
+  const double bound = 1.0 / result.bottleneck_stage_seconds;
+  // Steady-state throughput sits at the bottleneck bound (small slack for
+  // the finite-horizon measurement).
+  EXPECT_LE(result.throughput_fps(), bound * 1.05);
+  EXPECT_GE(result.throughput_fps(), bound * 0.80);
+}
+
+TEST_F(PipelineTest, MakespanGrowsLinearlyInSteadyState) {
+  const PipelineResult a =
+      run_designed_pipelined(*schedule_, *design_, config_, 32);
+  const PipelineResult b =
+      run_designed_pipelined(*schedule_, *design_, config_, 64);
+  const double slope_a =
+      (a.makespan_seconds - a.first_frame_seconds) / (a.frames - 1);
+  const double slope_b =
+      (b.makespan_seconds - b.first_frame_seconds) / (b.frames - 1);
+  EXPECT_NEAR(slope_a, slope_b, slope_a * 0.05);
+}
+
+TEST_F(PipelineTest, BottleneckIsARealStage) {
+  const PipelineResult result =
+      run_designed_pipelined(*schedule_, *design_, config_, 8);
+  bool known = result.bottleneck_stage == "host" ||
+               result.bottleneck_stage == "bus";
+  for (const auto& spec : schedule_->specs) {
+    known = known || result.bottleneck_stage == spec.name;
+  }
+  EXPECT_TRUE(known) << result.bottleneck_stage;
+  EXPECT_GT(result.bottleneck_stage_seconds, 0.0);
+}
+
+TEST_F(PipelineTest, BaselineFramesAreFullySerial) {
+  const PipelineResult base =
+      run_baseline_frames(*schedule_, config_, 10);
+  EXPECT_DOUBLE_EQ(base.makespan_seconds,
+                   base.first_frame_seconds * 10);
+  const PipelineResult pipelined =
+      run_designed_pipelined(*schedule_, *design_, config_, 10);
+  EXPECT_LT(pipelined.makespan_seconds, base.makespan_seconds);
+}
+
+TEST_F(PipelineTest, ZeroFramesRejected) {
+  EXPECT_THROW((void)run_designed_pipelined(*schedule_, *design_, config_, 0),
+               ConfigError);
+  EXPECT_THROW((void)run_baseline_frames(*schedule_, config_, 0), ConfigError);
+}
+
+TEST(PipelineFluid, HandlesCyclicGraphs) {
+  // Fluid's backward (next-iteration) edges cross frames in the pipeline
+  // model; the run must complete and stay monotone.
+  const apps::ProfiledApp app = apps::run_paper_app("fluid");
+  const AppSchedule schedule = app.schedule();
+  const PlatformConfig config;
+  const core::DesignResult design = core::design_interconnect(
+      make_design_input(schedule, config));
+  const PipelineResult result =
+      run_designed_pipelined(schedule, design, config, 8);
+  EXPECT_GT(result.makespan_seconds, result.first_frame_seconds);
+  EXPECT_GT(result.throughput_fps(), 0.0);
+}
+
+}  // namespace
+}  // namespace hybridic::sys

@@ -1,0 +1,180 @@
+#include "prof/quad.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace hybridic::prof {
+namespace {
+
+TEST(QuadProfiler, DeclareAssignsSequentialIds) {
+  QuadProfiler q;
+  EXPECT_EQ(q.declare("a"), 0U);
+  EXPECT_EQ(q.declare("b"), 1U);
+  EXPECT_EQ(q.graph().function_count(), 2U);
+}
+
+TEST(QuadProfiler, ProducerConsumerAttribution) {
+  QuadProfiler q;
+  const FunctionId producer = q.declare("producer");
+  const FunctionId consumer = q.declare("consumer");
+  const std::uint64_t addr = q.allocate(64);
+
+  q.enter(producer);
+  q.record_write(addr, 64);
+  q.leave();
+
+  q.enter(consumer);
+  q.record_read(addr, 64);
+  q.leave();
+
+  const CommGraph& graph = q.graph();
+  EXPECT_EQ(graph.bytes_between(producer, consumer).count(), 64U);
+  const auto edges = graph.edges();
+  ASSERT_EQ(edges.size(), 1U);
+  EXPECT_EQ(edges[0].unique_addresses, 64U);
+}
+
+TEST(QuadProfiler, RepeatedReadsCountBytesOnceForUma) {
+  QuadProfiler q;
+  const FunctionId p = q.declare("p");
+  const FunctionId c = q.declare("c");
+  const std::uint64_t addr = q.allocate(16);
+  q.enter(p);
+  q.record_write(addr, 16);
+  q.leave();
+  q.enter(c);
+  q.record_read(addr, 16);
+  q.record_read(addr, 16);
+  q.record_read(addr, 8);
+  q.leave();
+  const auto edges = q.graph().edges();
+  ASSERT_EQ(edges.size(), 1U);
+  EXPECT_EQ(edges[0].bytes.count(), 40U);          // every access counted
+  EXPECT_EQ(edges[0].unique_addresses, 16U);       // but 16 unique bytes
+}
+
+TEST(QuadProfiler, ReadOfUnwrittenMemoryCreatesNoEdge) {
+  QuadProfiler q;
+  const FunctionId f = q.declare("f");
+  const std::uint64_t addr = q.allocate(32);
+  q.enter(f);
+  q.record_read(addr, 32);
+  q.leave();
+  EXPECT_TRUE(q.graph().edges().empty());
+  EXPECT_EQ(q.graph().function(f).reads, 32U);
+}
+
+TEST(QuadProfiler, SelfCommunicationRecorded) {
+  QuadProfiler q;
+  const FunctionId f = q.declare("f");
+  const std::uint64_t addr = q.allocate(8);
+  q.enter(f);
+  q.record_write(addr, 8);
+  q.record_read(addr, 8);
+  q.leave();
+  EXPECT_EQ(q.graph().bytes_between(f, f).count(), 8U);
+}
+
+TEST(QuadProfiler, PartialOverwriteSplitsAttribution) {
+  QuadProfiler q;
+  const FunctionId a = q.declare("a");
+  const FunctionId b = q.declare("b");
+  const FunctionId c = q.declare("c");
+  const std::uint64_t addr = q.allocate(16);
+  q.enter(a);
+  q.record_write(addr, 16);
+  q.leave();
+  q.enter(b);
+  q.record_write(addr + 8, 8);
+  q.leave();
+  q.enter(c);
+  q.record_read(addr, 16);
+  q.leave();
+  EXPECT_EQ(q.graph().bytes_between(a, c).count(), 8U);
+  EXPECT_EQ(q.graph().bytes_between(b, c).count(), 8U);
+}
+
+TEST(QuadProfiler, NestedScopesAttributeToInnermost) {
+  QuadProfiler q;
+  const FunctionId outer = q.declare("outer");
+  const FunctionId inner = q.declare("inner");
+  const FunctionId reader = q.declare("reader");
+  const std::uint64_t addr = q.allocate(4);
+  q.enter(outer);
+  q.enter(inner);
+  q.record_write(addr, 4);
+  q.leave();
+  EXPECT_EQ(q.current(), outer);
+  q.leave();
+  q.enter(reader);
+  q.record_read(addr, 4);
+  q.leave();
+  EXPECT_EQ(q.graph().bytes_between(inner, reader).count(), 4U);
+  EXPECT_EQ(q.graph().bytes_between(outer, reader).count(), 0U);
+}
+
+TEST(QuadProfiler, CallCountsTracked) {
+  QuadProfiler q;
+  const FunctionId f = q.declare("f");
+  for (int i = 0; i < 3; ++i) {
+    q.enter(f);
+    q.leave();
+  }
+  EXPECT_EQ(q.graph().function(f).calls, 3U);
+}
+
+TEST(QuadProfiler, WorkUnitsAccumulate) {
+  QuadProfiler q;
+  const FunctionId f = q.declare("f");
+  q.enter(f);
+  q.add_work(10);
+  q.add_work(5);
+  q.leave();
+  EXPECT_EQ(q.graph().function(f).work_units, 15U);
+}
+
+TEST(QuadProfiler, AccessOutsideScopeThrows) {
+  QuadProfiler q;
+  (void)q.declare("f");
+  EXPECT_THROW(q.record_write(0x1000, 4), ConfigError);
+  EXPECT_THROW(q.record_read(0x1000, 4), ConfigError);
+  EXPECT_THROW(q.add_work(1), ConfigError);
+  EXPECT_THROW(q.leave(), ConfigError);
+  EXPECT_THROW((void)q.current(), ConfigError);
+}
+
+TEST(QuadProfiler, EnterUndeclaredThrows) {
+  QuadProfiler q;
+  EXPECT_THROW(q.enter(4), ConfigError);
+}
+
+TEST(QuadProfiler, AllocationsDoNotOverlap) {
+  QuadProfiler q;
+  const std::uint64_t a = q.allocate(100);
+  const std::uint64_t b = q.allocate(100);
+  EXPECT_GE(b, a + 100);
+  const std::uint64_t c = q.allocate(0);
+  const std::uint64_t d = q.allocate(8);
+  EXPECT_GT(d, c);
+}
+
+TEST(QuadProfiler, AllocationAlignment) {
+  QuadProfiler q;
+  (void)q.allocate(3, 1);
+  const std::uint64_t aligned = q.allocate(16, 64);
+  EXPECT_EQ(aligned % 64, 0U);
+}
+
+TEST(ScopedFunctionTest, RaiiEnterLeave) {
+  QuadProfiler q;
+  const FunctionId f = q.declare("f");
+  {
+    ScopedFunction scope{q, f};
+    EXPECT_EQ(q.call_depth(), 1U);
+  }
+  EXPECT_EQ(q.call_depth(), 0U);
+}
+
+}  // namespace
+}  // namespace hybridic::prof

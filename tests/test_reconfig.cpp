@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "apps/app.hpp"
+#include "reconfig/bitstream_model.hpp"
+#include "reconfig/multi_app.hpp"
+#include "util/error.hpp"
+
+namespace hybridic::reconfig {
+namespace {
+
+TEST(BitstreamModel, SizeScalesWithArea) {
+  const ReconfigParams params;
+  const Bytes small = bitstream_bytes(core::Resources{1000, 800}, params);
+  const Bytes large = bitstream_bytes(core::Resources{4000, 3200}, params);
+  EXPECT_GT(large, small);
+  // Fixed overhead present even for an empty region.
+  EXPECT_EQ(bitstream_bytes(core::Resources{0, 0}, params).count(),
+            params.bitstream_overhead_bytes);
+}
+
+TEST(BitstreamModel, TimeIsDriverPlusIcapStreaming) {
+  ReconfigParams params;
+  params.driver_overhead_seconds = 1e-3;
+  params.icap_bytes_per_second = 1e6;
+  params.bitstream_overhead_bytes = 0;
+  params.bitstream_bytes_per_lut = 10.0;
+  // 100 LUTs -> 1000 bytes -> 1 ms streaming + 1 ms driver.
+  EXPECT_NEAR(
+      reconfiguration_seconds(core::Resources{100, 0}, params), 2e-3,
+      1e-9);
+}
+
+TEST(StrategyNames, Readable) {
+  EXPECT_EQ(to_string(Strategy::kBusOnly), "bus-only");
+  EXPECT_EQ(to_string(Strategy::kStaticUnion), "static union");
+  EXPECT_EQ(to_string(Strategy::kPerAppReconfig), "per-app reconfig");
+}
+
+/// Shared fixture: a two-application scenario (canny + jpeg).
+class ScenarioTest : public ::testing::Test {
+protected:
+  static void SetUpTestSuite() {
+    canny_ = new apps::ProfiledApp(apps::run_paper_app("canny"));
+    jpeg_ = new apps::ProfiledApp(apps::run_paper_app("jpeg"));
+    canny_schedule_ = new sys::AppSchedule(canny_->schedule());
+    jpeg_schedule_ = new sys::AppSchedule(jpeg_->schedule());
+  }
+  static void TearDownTestSuite() {
+    delete canny_schedule_;
+    delete jpeg_schedule_;
+    delete canny_;
+    delete jpeg_;
+  }
+
+  [[nodiscard]] static std::vector<WorkloadPhase> alternating(
+      std::uint32_t repeats) {
+    std::vector<WorkloadPhase> phases;
+    for (std::uint32_t i = 0; i < repeats; ++i) {
+      phases.push_back(WorkloadPhase{"canny", canny_schedule_, 1});
+      phases.push_back(WorkloadPhase{"jpeg", jpeg_schedule_, 1});
+    }
+    return phases;
+  }
+
+  static apps::ProfiledApp* canny_;
+  static apps::ProfiledApp* jpeg_;
+  static sys::AppSchedule* canny_schedule_;
+  static sys::AppSchedule* jpeg_schedule_;
+  sys::PlatformConfig platform_;
+};
+
+apps::ProfiledApp* ScenarioTest::canny_ = nullptr;
+apps::ProfiledApp* ScenarioTest::jpeg_ = nullptr;
+sys::AppSchedule* ScenarioTest::canny_schedule_ = nullptr;
+sys::AppSchedule* ScenarioTest::jpeg_schedule_ = nullptr;
+
+TEST_F(ScenarioTest, EmptyScenarioRejected) {
+  EXPECT_THROW((void)evaluate_scenario({}, Strategy::kBusOnly, platform_),
+               ConfigError);
+}
+
+TEST_F(ScenarioTest, BusOnlyHasNoInterconnectAndNoReconfig) {
+  const ScenarioResult result =
+      evaluate_scenario(alternating(2), Strategy::kBusOnly, platform_);
+  EXPECT_EQ(result.provisioned_interconnect.luts, 0U);
+  EXPECT_DOUBLE_EQ(result.reconfig_total_seconds, 0.0);
+  EXPECT_GT(result.compute_total_seconds, 0.0);
+}
+
+TEST_F(ScenarioTest, CustomInterconnectsBeatBusOnly) {
+  const auto phases = alternating(2);
+  const double bus =
+      evaluate_scenario(phases, Strategy::kBusOnly, platform_)
+          .total_seconds();
+  const double static_union =
+      evaluate_scenario(phases, Strategy::kStaticUnion, platform_)
+          .total_seconds();
+  EXPECT_LT(static_union, bus);
+}
+
+TEST_F(ScenarioTest, StaticUnionCostsMoreAreaThanReconfig) {
+  const auto phases = alternating(1);
+  const ScenarioResult s =
+      evaluate_scenario(phases, Strategy::kStaticUnion, platform_);
+  const ScenarioResult r =
+      evaluate_scenario(phases, Strategy::kPerAppReconfig, platform_);
+  // The union provisions both interconnects; reconfiguration only the
+  // larger of the two.
+  EXPECT_GT(s.provisioned_interconnect.luts,
+            r.provisioned_interconnect.luts);
+  // But reconfiguration pays swap time.
+  EXPECT_GT(r.reconfig_total_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(s.reconfig_total_seconds, 0.0);
+}
+
+TEST_F(ScenarioTest, ReconfigPaysPerDesignSwitchOnly) {
+  // Grouped: canny x3 then jpeg x3 -> 2 swaps. Alternating x3 -> 6 swaps.
+  std::vector<WorkloadPhase> grouped{
+      WorkloadPhase{"canny", canny_schedule_, 3},
+      WorkloadPhase{"jpeg", jpeg_schedule_, 3}};
+  const ScenarioResult g =
+      evaluate_scenario(grouped, Strategy::kPerAppReconfig, platform_);
+  const ScenarioResult a = evaluate_scenario(
+      alternating(3), Strategy::kPerAppReconfig, platform_);
+  EXPECT_GT(a.reconfig_total_seconds, g.reconfig_total_seconds * 2.5);
+  // Same compute time either way.
+  EXPECT_NEAR(a.compute_total_seconds, g.compute_total_seconds, 1e-9);
+}
+
+TEST_F(ScenarioTest, RepeatedSamePhaseNeedsOneConfiguration) {
+  std::vector<WorkloadPhase> phases{
+      WorkloadPhase{"canny", canny_schedule_, 1},
+      WorkloadPhase{"canny", canny_schedule_, 1},
+      WorkloadPhase{"canny", canny_schedule_, 1}};
+  const ScenarioResult result =
+      evaluate_scenario(phases, Strategy::kPerAppReconfig, platform_);
+  std::uint32_t swaps = 0;
+  for (const PhaseOutcome& phase : result.phases) {
+    if (phase.reconfiguration_seconds > 0.0) {
+      ++swaps;
+    }
+  }
+  EXPECT_EQ(swaps, 1U);
+}
+
+TEST_F(ScenarioTest, ReconfigAmortizesWithIterations) {
+  // With enough iterations per phase, per-app reconfig approaches the
+  // static union's total time.
+  std::vector<WorkloadPhase> heavy{
+      WorkloadPhase{"canny", canny_schedule_, 50},
+      WorkloadPhase{"jpeg", jpeg_schedule_, 50}};
+  const ScenarioResult s =
+      evaluate_scenario(heavy, Strategy::kStaticUnion, platform_);
+  const ScenarioResult r =
+      evaluate_scenario(heavy, Strategy::kPerAppReconfig, platform_);
+  EXPECT_LT(r.total_seconds() / s.total_seconds(), 1.02);
+}
+
+TEST_F(ScenarioTest, PhaseValidation) {
+  std::vector<WorkloadPhase> bad{WorkloadPhase{"x", nullptr, 1}};
+  EXPECT_THROW((void)evaluate_scenario(bad, Strategy::kBusOnly, platform_),
+               ConfigError);
+  std::vector<WorkloadPhase> zero{
+      WorkloadPhase{"canny", canny_schedule_, 0}};
+  EXPECT_THROW((void)evaluate_scenario(zero, Strategy::kBusOnly, platform_),
+               ConfigError);
+}
+
+}  // namespace
+}  // namespace hybridic::reconfig

@@ -1,0 +1,78 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace hybridic {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a{123};
+  Rng b{123};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a{1};
+  Rng b{2};
+  int differences = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (a.next() != b.next()) {
+      ++differences;
+    }
+  }
+  EXPECT_GT(differences, 45);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng{7};
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.below(17), 17U);
+  }
+}
+
+TEST(Rng, BetweenInclusive) {
+  Rng rng{9};
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t v = rng.between(3, 7);
+    EXPECT_GE(v, 3U);
+    EXPECT_LE(v, 7U);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5U);  // All values hit over 2000 draws.
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng{11};
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceRespectsProbability) {
+  Rng rng{13};
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    hits += rng.chance(0.25) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / 10000.0, 0.25, 0.02);
+}
+
+TEST(Rng, SatisfiesUniformRandomBitGenerator) {
+  static_assert(Rng::min() == 0);
+  static_assert(Rng::max() == UINT64_MAX);
+  Rng rng{5};
+  EXPECT_NE(rng(), rng());
+}
+
+}  // namespace
+}  // namespace hybridic

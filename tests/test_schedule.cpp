@@ -1,0 +1,89 @@
+#include "sys/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace hybridic::sys {
+namespace {
+
+class ScheduleTest : public ::testing::Test {
+protected:
+  ScheduleTest() {
+    host_ = graph_.add_function("host");
+    k1_ = graph_.add_function("k1");
+    k2_ = graph_.add_function("k2");
+    graph_.function_mutable(host_).work_units = 1000;
+    graph_.function_mutable(k1_).work_units = 2000;
+    graph_.function_mutable(k2_).work_units = 4000;
+    graph_.add_transfer(host_, k1_, Bytes{100}, 100);
+    graph_.add_transfer(k1_, k2_, Bytes{100}, 100);
+  }
+
+  prof::CommGraph graph_;
+  prof::FunctionId host_, k1_, k2_;
+};
+
+TEST_F(ScheduleTest, OneStepPerFunctionInDeclarationOrder) {
+  const AppSchedule schedule = build_schedule(
+      "app", graph_,
+      {{"k1", 8.0, 1.0, 100, 100, true, false, false},
+       {"k2", 8.0, 0.5, 100, 100, true, false, false}});
+  ASSERT_EQ(schedule.steps.size(), 3U);
+  EXPECT_EQ(schedule.steps[0].name, "host");
+  EXPECT_EQ(schedule.steps[1].name, "k1");
+  EXPECT_EQ(schedule.steps[2].name, "k2");
+  EXPECT_EQ(schedule.app_name, "app");
+}
+
+TEST_F(ScheduleTest, CyclesScaleWithWorkAndCalibration) {
+  const AppSchedule schedule = build_schedule(
+      "app", graph_,
+      {{"k1", 8.0, 1.5, 100, 100, true, false, false}});
+  const ScheduleStep& k1 = schedule.steps[1];
+  EXPECT_EQ(k1.sw_cycles.count(), 16'000U);   // 2000 * 8
+  EXPECT_EQ(k1.hw_cycles.count(), 3'000U);    // 2000 * 1.5
+  // Uncalibrated host function falls back to the default CPW of 4.
+  EXPECT_EQ(schedule.steps[0].sw_cycles.count(), 4'000U);
+}
+
+TEST_F(ScheduleTest, KernelEntriesProduceSpecs) {
+  const AppSchedule schedule = build_schedule(
+      "app", graph_,
+      {{"k1", 8.0, 1.0, 123, 456, true, true, true},
+       {"k2", 8.0, 1.0, 7, 8, true, false, false}});
+  ASSERT_EQ(schedule.specs.size(), 2U);
+  EXPECT_EQ(schedule.specs[0].name, "k1");
+  EXPECT_EQ(schedule.specs[0].area_luts, 123U);
+  EXPECT_EQ(schedule.specs[0].area_regs, 456U);
+  EXPECT_TRUE(schedule.specs[0].duplicable);
+  EXPECT_TRUE(schedule.specs[0].streaming);
+  EXPECT_FALSE(schedule.specs[1].duplicable);
+  EXPECT_TRUE(schedule.steps[1].is_kernel);
+  EXPECT_FALSE(schedule.steps[0].is_kernel);
+  EXPECT_EQ(schedule.steps[1].spec_index, 0U);
+  EXPECT_EQ(schedule.steps[2].spec_index, 1U);
+}
+
+TEST_F(ScheduleTest, HostOnlyCalibrationDoesNotCreateSpec) {
+  const AppSchedule schedule = build_schedule(
+      "app", graph_, {{"host", 2.0, 0.0, 0, 0, false, false, false}});
+  EXPECT_TRUE(schedule.specs.empty());
+  EXPECT_EQ(schedule.steps[0].sw_cycles.count(), 2'000U);
+}
+
+TEST_F(ScheduleTest, UnknownFunctionInCalibrationRejected) {
+  EXPECT_THROW(build_schedule("app", graph_,
+                              {{"ghost", 1.0, 1.0, 0, 0, true, false,
+                                false}}),
+               ConfigError);
+}
+
+TEST_F(ScheduleTest, StepLookupByFunction) {
+  const AppSchedule schedule = build_schedule("app", graph_, {});
+  EXPECT_EQ(schedule.step_of(k2_), 2U);
+  EXPECT_THROW((void)schedule.step_of(99), ConfigError);
+}
+
+}  // namespace
+}  // namespace hybridic::sys

@@ -1,0 +1,86 @@
+#include "prof/shadow_memory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace hybridic::prof {
+namespace {
+
+TEST(ShadowMemory, UntouchedIsNoWriter) {
+  ShadowMemory shadow;
+  EXPECT_EQ(shadow.last_writer(0x1234), kNoWriter);
+  EXPECT_EQ(shadow.page_count(), 0U);
+}
+
+TEST(ShadowMemory, WriteThenRead) {
+  ShadowMemory shadow;
+  shadow.write(100, 10, 7);
+  EXPECT_EQ(shadow.last_writer(100), 7U);
+  EXPECT_EQ(shadow.last_writer(109), 7U);
+  EXPECT_EQ(shadow.last_writer(110), kNoWriter);
+  EXPECT_EQ(shadow.last_writer(99), kNoWriter);
+}
+
+TEST(ShadowMemory, OverwriteChangesProducer) {
+  ShadowMemory shadow;
+  shadow.write(0, 16, 1);
+  shadow.write(4, 4, 2);
+  EXPECT_EQ(shadow.last_writer(3), 1U);
+  EXPECT_EQ(shadow.last_writer(4), 2U);
+  EXPECT_EQ(shadow.last_writer(7), 2U);
+  EXPECT_EQ(shadow.last_writer(8), 1U);
+}
+
+TEST(ShadowMemory, WritesSpanPages) {
+  ShadowMemory shadow;
+  const std::uint64_t start = ShadowMemory::kPageBytes - 8;
+  shadow.write(start, 16, 3);
+  EXPECT_EQ(shadow.last_writer(start), 3U);
+  EXPECT_EQ(shadow.last_writer(ShadowMemory::kPageBytes), 3U);
+  EXPECT_EQ(shadow.last_writer(start + 15), 3U);
+  EXPECT_EQ(shadow.page_count(), 2U);
+}
+
+TEST(ShadowMemory, ScanReportsRuns) {
+  ShadowMemory shadow;
+  shadow.write(0, 4, 1);
+  shadow.write(4, 4, 2);
+  // Bytes 8..11 untouched.
+  struct Run {
+    std::uint64_t start, length;
+    FunctionId producer;
+  };
+  std::vector<Run> runs;
+  shadow.scan(0, 12, [&runs](std::uint64_t s, std::uint64_t l,
+                             FunctionId p) {
+    runs.push_back(Run{s, l, p});
+  });
+  ASSERT_EQ(runs.size(), 3U);
+  EXPECT_EQ(runs[0].producer, 1U);
+  EXPECT_EQ(runs[0].length, 4U);
+  EXPECT_EQ(runs[1].producer, 2U);
+  EXPECT_EQ(runs[1].length, 4U);
+  EXPECT_EQ(runs[2].producer, kNoWriter);
+  EXPECT_EQ(runs[2].length, 4U);
+}
+
+TEST(ShadowMemory, ScanCoversExactRange) {
+  ShadowMemory shadow;
+  shadow.write(10, 100, 5);
+  std::uint64_t covered = 0;
+  shadow.scan(0, 200, [&covered](std::uint64_t, std::uint64_t l,
+                                 FunctionId) { covered += l; });
+  EXPECT_EQ(covered, 200U);
+}
+
+TEST(ShadowMemory, LargeSparseAddressesStayCheap) {
+  ShadowMemory shadow;
+  shadow.write(0, 8, 1);
+  shadow.write(1ULL << 40, 8, 2);
+  EXPECT_EQ(shadow.page_count(), 2U);
+  EXPECT_EQ(shadow.last_writer(1ULL << 40), 2U);
+}
+
+}  // namespace
+}  // namespace hybridic::prof

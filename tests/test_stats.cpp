@@ -1,0 +1,87 @@
+#include "sim/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace hybridic::sim {
+namespace {
+
+TEST(Summary, EmptyIsZero) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0U);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(Summary, BasicMoments) {
+  Summary s;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.add(v);
+  }
+  EXPECT_EQ(s.count(), 8U);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // Sample variance.
+}
+
+TEST(Summary, SingleSample) {
+  Summary s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(Summary, ResetClears) {
+  Summary s;
+  s.add(1.0);
+  s.reset();
+  EXPECT_EQ(s.count(), 0U);
+}
+
+TEST(Histogram, InvalidConfigThrows) {
+  EXPECT_THROW(Histogram(0.0, 4), ConfigError);
+  EXPECT_THROW(Histogram(1.0, 0), ConfigError);
+}
+
+TEST(Histogram, BucketsSamplesCorrectly) {
+  Histogram h{1.0, 4};
+  h.add(0.5);
+  h.add(1.5);
+  h.add(1.9);
+  h.add(3.99);
+  h.add(100.0);  // overflow
+  EXPECT_EQ(h.bucket(0), 1U);
+  EXPECT_EQ(h.bucket(1), 2U);
+  EXPECT_EQ(h.bucket(2), 0U);
+  EXPECT_EQ(h.bucket(3), 1U);
+  EXPECT_EQ(h.overflow(), 1U);
+  EXPECT_EQ(h.total(), 5U);
+}
+
+TEST(Histogram, NegativeSamplesLandInFirstBucket) {
+  Histogram h{1.0, 2};
+  h.add(-3.0);
+  EXPECT_EQ(h.bucket(0), 1U);
+}
+
+TEST(Histogram, QuantileApproximation) {
+  Histogram h{1.0, 10};
+  for (int i = 0; i < 100; ++i) {
+    h.add(static_cast<double>(i % 10) + 0.5);
+  }
+  EXPECT_NEAR(h.quantile(0.5), 4.5, 1.0);
+  EXPECT_NEAR(h.quantile(0.95), 9.5, 1.0);
+  EXPECT_DOUBLE_EQ(Histogram(1.0, 2).quantile(0.5), 0.0);  // empty
+}
+
+TEST(Histogram, OutOfRangeBucketThrows) {
+  Histogram h{1.0, 2};
+  EXPECT_THROW((void)h.bucket(2), SimulationError);
+}
+
+}  // namespace
+}  // namespace hybridic::sim

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace hybridic {
+namespace {
+
+TEST(Table, RendersHeaderAndRows) {
+  Table table{"demo"};
+  table.set_header({"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"beta", "22"});
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("== demo =="), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+  EXPECT_NE(out.find("name"), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  Table table{"t"};
+  table.set_header({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), ConfigError);
+}
+
+TEST(Table, SeparatorRendered) {
+  Table table{"t"};
+  table.set_header({"a"});
+  table.add_row({"x"});
+  table.add_separator();
+  table.add_row({"y"});
+  EXPECT_EQ(table.row_count(), 3U);  // two rows + separator marker
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find('x'), std::string::npos);
+  EXPECT_NE(out.find('y'), std::string::npos);
+}
+
+TEST(Table, AlignmentPadsCorrectly) {
+  Table table{""};
+  table.set_header({"l", "r"});
+  table.set_alignment({Align::kLeft, Align::kRight});
+  table.add_row({"ab", "1"});
+  table.add_row({"c", "22"});
+  const std::string out = table.to_string();
+  // Right-aligned column: "1" should be preceded by a space pad.
+  EXPECT_NE(out.find("|  1 |"), std::string::npos);
+  EXPECT_NE(out.find("| 22 |"), std::string::npos);
+}
+
+TEST(Table, NoTitleSkipsTitleLine) {
+  Table table{""};
+  table.set_header({"a"});
+  table.add_row({"v"});
+  // A titled table starts with "== <title> =="; an untitled one starts
+  // with the top rule directly.
+  EXPECT_EQ(table.to_string().rfind("+", 0), 0U);
+  EXPECT_EQ(table.to_string().find("== "), std::string::npos);
+}
+
+TEST(Formatters, Ratio) {
+  EXPECT_EQ(format_ratio(3.72), "3.72x");
+  EXPECT_EQ(format_ratio(1.0), "1.00x");
+}
+
+TEST(Formatters, Percent) {
+  EXPECT_EQ(format_percent(0.665), "66.5%");
+  EXPECT_EQ(format_percent(0.0), "0.0%");
+}
+
+TEST(Formatters, Fixed) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(2.0, 0), "2");
+}
+
+class CsvFile : public ::testing::Test {
+protected:
+  std::string path_ = ::testing::TempDir() + "hybridic_csv_test.csv";
+
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  [[nodiscard]] std::string contents() const {
+    std::ifstream in(path_);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+  }
+};
+
+TEST_F(CsvFile, WritesHeaderAndRows) {
+  {
+    CsvWriter csv(path_, {"app", "speedup"});
+    ASSERT_TRUE(csv.ok());
+    csv.add_row({"jpeg", "2.87"});
+  }
+  EXPECT_EQ(contents(), "app,speedup\njpeg,2.87\n");
+}
+
+TEST_F(CsvFile, QuotesSpecialCharacters) {
+  {
+    CsvWriter csv(path_, {"field"});
+    csv.add_row({"with,comma"});
+    csv.add_row({"with\"quote"});
+  }
+  const std::string out = contents();
+  EXPECT_NE(out.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(out.find("\"with\"\"quote\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hybridic

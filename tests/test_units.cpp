@@ -1,0 +1,115 @@
+#include "util/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hybridic {
+namespace {
+
+TEST(Picoseconds, DefaultIsZero) { EXPECT_EQ(Picoseconds{}.count(), 0U); }
+
+TEST(Picoseconds, Arithmetic) {
+  const Picoseconds a{1500};
+  const Picoseconds b{500};
+  EXPECT_EQ((a + b).count(), 2000U);
+  EXPECT_EQ((a - b).count(), 1000U);
+  EXPECT_EQ((a * 3).count(), 4500U);
+  EXPECT_EQ((3 * a).count(), 4500U);
+}
+
+TEST(Picoseconds, CompoundAssignment) {
+  Picoseconds t{100};
+  t += Picoseconds{50};
+  EXPECT_EQ(t.count(), 150U);
+  t -= Picoseconds{150};
+  EXPECT_EQ(t.count(), 0U);
+}
+
+TEST(Picoseconds, Ordering) {
+  EXPECT_LT(Picoseconds{1}, Picoseconds{2});
+  EXPECT_EQ(Picoseconds{7}, Picoseconds{7});
+  EXPECT_GT(Picoseconds{9}, Picoseconds{2});
+}
+
+TEST(Picoseconds, UnitConversions) {
+  const Picoseconds one_ms{1'000'000'000ULL};
+  EXPECT_DOUBLE_EQ(one_ms.milliseconds(), 1.0);
+  EXPECT_DOUBLE_EQ(one_ms.microseconds(), 1000.0);
+  EXPECT_DOUBLE_EQ(one_ms.seconds(), 1e-3);
+}
+
+TEST(Frequency, PeriodOfCommonClocks) {
+  EXPECT_EQ(Frequency::megahertz(400).period().count(), 2500U);
+  EXPECT_EQ(Frequency::megahertz(100).period().count(), 10000U);
+  EXPECT_EQ(Frequency::megahertz(150).period().count(), 6667U);  // rounded
+}
+
+TEST(Frequency, ZeroThrows) {
+  EXPECT_THROW(Frequency{0}, std::invalid_argument);
+}
+
+TEST(Frequency, MegahertzValue) {
+  EXPECT_DOUBLE_EQ(Frequency::megahertz(150).megahertz_value(), 150.0);
+}
+
+TEST(Bytes, Arithmetic) {
+  Bytes b{100};
+  b += Bytes{28};
+  EXPECT_EQ(b.count(), 128U);
+  EXPECT_EQ((Bytes{1} + Bytes{2}).count(), 3U);
+  EXPECT_EQ((Bytes{5} - Bytes{2}).count(), 3U);
+  EXPECT_DOUBLE_EQ(Bytes{2048}.kib(), 2.0);
+}
+
+TEST(Cycles, Arithmetic) {
+  EXPECT_EQ((Cycles{3} + Cycles{4}).count(), 7U);
+  EXPECT_EQ((Cycles{3} * 4).count(), 12U);
+  Cycles c{1};
+  c += Cycles{9};
+  EXPECT_EQ(c.count(), 10U);
+}
+
+TEST(Conversions, CyclesToTime) {
+  // 100 cycles at 100 MHz = 1 us.
+  const Picoseconds t =
+      cycles_to_time(Cycles{100}, Frequency::megahertz(100));
+  EXPECT_EQ(t.count(), 1'000'000U);
+}
+
+TEST(Conversions, TimeToCyclesRoundsUp) {
+  const Frequency clk = Frequency::megahertz(100);  // 10 ns period
+  EXPECT_EQ(time_to_cycles(Picoseconds{10'000}, clk).count(), 1U);
+  EXPECT_EQ(time_to_cycles(Picoseconds{10'001}, clk).count(), 2U);
+  EXPECT_EQ(time_to_cycles(Picoseconds{19'999}, clk).count(), 2U);
+}
+
+TEST(Formatting, Time) {
+  EXPECT_EQ(format_time(Picoseconds{500}), "500 ps");
+  EXPECT_EQ(format_time(Picoseconds{2'500}), "2.50 ns");
+  EXPECT_EQ(format_time(Picoseconds{1'500'000}), "1.50 us");
+  EXPECT_EQ(format_time(Picoseconds{2'000'000'000ULL}), "2.000 ms");
+  EXPECT_EQ(format_time(Picoseconds{1'500'000'000'000ULL}), "1.5000 s");
+}
+
+TEST(Formatting, Bytes) {
+  EXPECT_EQ(format_bytes(Bytes{512}), "512 B");
+  EXPECT_EQ(format_bytes(Bytes{2048}), "2.0 KiB");
+  EXPECT_EQ(format_bytes(Bytes{3 * 1024 * 1024}), "3.00 MiB");
+}
+
+/// Property sweep: cycles->time->cycles round trip is exact for clock
+/// frequencies whose period divides 1 second in picoseconds.
+class ClockRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ClockRoundTrip, Exact) {
+  const Frequency clk = Frequency::megahertz(GetParam());
+  for (std::uint64_t n : {1ULL, 7ULL, 100ULL, 12345ULL}) {
+    const Picoseconds t = cycles_to_time(Cycles{n}, clk);
+    EXPECT_EQ(time_to_cycles(t, clk).count(), n) << "at " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(CommonClocks, ClockRoundTrip,
+                         ::testing::Values(100, 200, 400, 500, 125, 250));
+
+}  // namespace
+}  // namespace hybridic
