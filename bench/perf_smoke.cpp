@@ -1,0 +1,166 @@
+// Performance smoke test for the allocation-free simulation core: runs the
+// three micro-workloads (profiler shadow scan, NoC traffic, bus
+// transactions) plus one end-to-end paper application, and writes the
+// measured throughput to BENCH_PR1.json so CI can archive the numbers.
+//
+// This is deliberately NOT a google-benchmark binary: it runs each workload
+// a fixed number of times, reports wall-clock medians, and always exits 0 —
+// it records performance, it does not gate on it.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "apps/app.hpp"
+#include "bus/bus.hpp"
+#include "noc/network.hpp"
+#include "prof/shadow_memory.hpp"
+#include "sim/engine.hpp"
+#include "sys/experiment.hpp"
+
+namespace {
+
+using namespace hybridic;
+using Clock = std::chrono::steady_clock;
+
+double median_seconds(std::vector<double>& samples) {
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+/// Repeats `body` and returns the median wall-clock seconds per run.
+template <typename Body>
+double time_runs(int runs, Body&& body) {
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(runs));
+  for (int i = 0; i < runs; ++i) {
+    const auto start = Clock::now();
+    body();
+    const std::chrono::duration<double> elapsed = Clock::now() - start;
+    samples.push_back(elapsed.count());
+  }
+  return median_seconds(samples);
+}
+
+/// Shadow-memory scan throughput over a fragmented region (many producer
+/// runs), the workload the page-granular scan targets.
+double shadow_scan_mb_per_sec() {
+  prof::ShadowMemory shadow;
+  constexpr std::uint64_t kChunks = 4096;
+  constexpr std::uint64_t kChunkBytes = 128;
+  constexpr std::uint64_t kSpan = kChunks * kChunkBytes;
+  for (std::uint64_t i = 0; i < kChunks; ++i) {
+    shadow.write(i * kChunkBytes, kChunkBytes,
+                 static_cast<prof::FunctionId>(i % 4));
+  }
+  constexpr int kScansPerRun = 200;
+  const double sec = time_runs(9, [&shadow] {
+    std::uint64_t total = 0;
+    for (int s = 0; s < kScansPerRun; ++s) {
+      shadow.scan(0, kSpan,
+                  [&total](std::uint64_t, std::uint64_t len,
+                           prof::FunctionId) { total += len; });
+    }
+    if (total != kScansPerRun * kSpan) {
+      std::cerr << "shadow scan covered wrong byte count\n";
+    }
+  });
+  return static_cast<double>(kScansPerRun * kSpan) / sec / 1e6;
+}
+
+/// NoC all-to-all on a 4x4 mesh; reports simulation events per wall second.
+double noc_events_per_sec(std::uint64_t& events_out) {
+  constexpr std::uint32_t kDim = 4;
+  const sim::ClockDomain noc_clock{"noc", Frequency::megahertz(150)};
+  std::uint64_t events = 0;
+  const double sec = time_runs(9, [&noc_clock, &events] {
+    sim::Engine engine;
+    noc::Network network{"noc", engine, noc_clock, noc::Mesh2D{kDim, kDim},
+                         noc::NetworkConfig{}};
+    for (std::uint32_t n = 0; n < kDim * kDim; ++n) {
+      network.attach_adapter(n, "n" + std::to_string(n),
+                             noc::AdapterKind::kAccelerator);
+    }
+    for (std::uint32_t src = 0; src < kDim * kDim; ++src) {
+      for (std::uint32_t dst = 0; dst < kDim * kDim; ++dst) {
+        if (src != dst) {
+          network.send(src, dst, Bytes{256}, {});
+        }
+      }
+    }
+    engine.run();
+    events = engine.events_executed();
+  });
+  events_out = events;
+  return static_cast<double>(events) / sec;
+}
+
+/// Bus transaction burst; reports completed transactions per wall second.
+double bus_transactions_per_sec() {
+  const sim::ClockDomain bus_clock{"bus", Frequency::megahertz(100)};
+  constexpr int kRequests = 4096;
+  std::uint64_t transactions = 0;
+  const double sec = time_runs(9, [&bus_clock, &transactions] {
+    sim::Engine engine;
+    bus::Bus plb{"plb", engine, bus_clock,
+                 bus::BusConfig{8, 16, Cycles{2}, Cycles{1}, 2},
+                 std::make_unique<bus::PriorityArbiter>()};
+    for (int i = 0; i < kRequests; ++i) {
+      plb.submit(bus::BusRequest{static_cast<std::uint32_t>(i % 2),
+                                 Bytes{128}, Picoseconds{0}, {}});
+    }
+    engine.run();
+    transactions = plb.transactions();
+  });
+  return static_cast<double>(transactions) / sec;
+}
+
+/// End-to-end paper pipeline (profile + design + simulate) for one app.
+double end_to_end_ms(const std::string& app_name) {
+  return time_runs(3, [&app_name] {
+           const apps::ProfiledApp app = apps::run_paper_app(app_name);
+           const sys::AppExperiment experiment = sys::run_experiment(
+               app.schedule(), sys::PlatformConfig{}, app.environment);
+           if (experiment.proposed.total_seconds <= 0.0) {
+             std::cerr << "experiment produced zero runtime\n";
+           }
+         }) *
+         1e3;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "perf_smoke: profiler / NoC / bus micro-workloads + one "
+               "end-to-end app\n";
+
+  const double scan_mb_s = shadow_scan_mb_per_sec();
+  std::cout << "  shadow scan:      " << scan_mb_s << " MB/s\n";
+
+  std::uint64_t noc_events = 0;
+  const double noc_ev_s = noc_events_per_sec(noc_events);
+  std::cout << "  noc all-to-all:   " << noc_ev_s << " events/s ("
+            << noc_events << " events per run)\n";
+
+  const double bus_tx_s = bus_transactions_per_sec();
+  std::cout << "  bus transactions: " << bus_tx_s << " tx/s\n";
+
+  const double jpeg_ms = end_to_end_ms("jpeg");
+  std::cout << "  end-to-end jpeg:  " << jpeg_ms << " ms\n";
+
+  std::ofstream json{"BENCH_PR1.json"};
+  json << "{\n"
+       << "  \"bench\": \"perf_smoke\",\n"
+       << "  \"pr\": 1,\n"
+       << "  \"shadow_scan_mb_per_sec\": " << scan_mb_s << ",\n"
+       << "  \"noc_events_per_sec\": " << noc_ev_s << ",\n"
+       << "  \"noc_events_per_run\": " << noc_events << ",\n"
+       << "  \"bus_transactions_per_sec\": " << bus_tx_s << ",\n"
+       << "  \"end_to_end_jpeg_ms\": " << jpeg_ms << "\n"
+       << "}\n";
+  std::cout << "wrote BENCH_PR1.json\n";
+  return 0;
+}

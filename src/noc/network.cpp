@@ -1,5 +1,6 @@
 #include "noc/network.hpp"
 
+#include <algorithm>
 #include <array>
 #include <sstream>
 #include <utility>
@@ -32,6 +33,9 @@ Adapter& Network::attach_adapter(std::uint32_t node, std::string name,
   require(adapters_[node] == nullptr, "node already has an adapter");
   adapters_[node] = std::make_unique<Adapter>(
       std::move(name), node, kind, config_.max_packet_payload_bytes);
+  adapter_nodes_.insert(
+      std::lower_bound(adapter_nodes_.begin(), adapter_nodes_.end(), node),
+      node);
   return *adapters_[node];
 }
 
@@ -86,19 +90,26 @@ std::uint64_t Network::send(std::uint32_t source, std::uint32_t destination,
 }
 
 bool Network::tick(Picoseconds now) {
+  // Batched advancement: only routers holding flits do any per-tick work;
+  // idle routers cost one counter load. Iteration stays in node-id order so
+  // arbitration outcomes are identical to the full sweep.
   for (Router& router_ref : routers_) {
-    move_router_flits(router_ref, now);
+    if (router_ref.busy()) {
+      move_router_flits(router_ref, now);
+    }
   }
-  for (auto& adapter_ptr : adapters_) {
-    if (adapter_ptr == nullptr || adapter_ptr->pending_flit() == nullptr) {
+  for (const std::uint32_t node : adapter_nodes_) {
+    Adapter& adapter_ref = *adapters_[node];
+    if (adapter_ref.pending_flit() == nullptr) {
       continue;
     }
-    Router& local_router = routers_[adapter_ptr->node()];
+    Router& local_router = routers_[node];
     if (local_router.can_accept(PortDir::kLocal)) {
-      const Flit flit = adapter_ptr->consume_pending(now);
+      const Flit flit = adapter_ref.consume_pending(now);
       local_router.accept(
           PortDir::kLocal, flit,
-          now + clock_->span(Cycles{config_.router.pipeline_cycles}));
+          now + clock_->span(Cycles{config_.router.pipeline_cycles}),
+          flit.is_head() ? route_from(node, flit) : PortDir::kLocal);
     }
   }
   if (tick_observer_) {
@@ -138,6 +149,18 @@ void Network::move_router_flits(Router& router_ref, Picoseconds now) {
   std::array<bool, kPortCount> input_moved{};
   auto& routes = in_route_[router_ref.id()];
 
+  // One readiness/routing probe per input per tick; every output considered
+  // this tick shares the probes instead of re-walking the input buffers.
+  std::array<const Flit*, kPortCount> fronts{};
+  std::array<PortDir, kPortCount> head_route{};
+  for (std::uint32_t in_idx = 0; in_idx < kPortCount; ++in_idx) {
+    const auto in = static_cast<PortDir>(in_idx);
+    fronts[in_idx] = router_ref.ready_front(in, now);
+    if (fronts[in_idx] != nullptr && fronts[in_idx]->is_head()) {
+      head_route[in_idx] = router_ref.front_route(in);
+    }
+  }
+
   for (std::uint32_t out_idx = 0; out_idx < kPortCount; ++out_idx) {
     const auto out = static_cast<PortDir>(out_idx);
 
@@ -145,11 +168,7 @@ void Network::move_router_flits(Router& router_ref, Picoseconds now) {
       // Wormhole continuation: only the owning input may use this output.
       const PortDir in = router_ref.lock_owner(out);
       const auto in_idx = static_cast<std::size_t>(in);
-      if (input_moved[in_idx]) {
-        continue;
-      }
-      const Flit* front = router_ref.ready_front(in, now);
-      if (front == nullptr) {
+      if (input_moved[in_idx] || fronts[in_idx] == nullptr) {
         continue;
       }
       sim_assert(routes[in_idx] == out,
@@ -168,12 +187,9 @@ void Network::move_router_flits(Router& router_ref, Picoseconds now) {
       if (input_moved[in_idx]) {
         continue;
       }
-      const auto in = static_cast<PortDir>(in_idx);
-      const Flit* front = router_ref.ready_front(in, now);
-      if (front == nullptr || !front->is_head()) {
-        continue;
-      }
-      if (routing_->route(mesh_, router_ref.id(), front->destination) != out) {
+      const Flit* front = fronts[in_idx];
+      if (front == nullptr || !front->is_head() ||
+          head_route[in_idx] != out) {
         continue;
       }
       candidates[in_idx] = true;
@@ -197,7 +213,7 @@ void Network::move_router_flits(Router& router_ref, Picoseconds now) {
       continue;
     }
     const auto win_idx = static_cast<std::size_t>(*winner);
-    const Flit* head = router_ref.ready_front(*winner, now);
+    const Flit* head = fronts[win_idx];
     sim_assert(head != nullptr && head->is_head(), "arbitration state skew");
     routes[win_idx] = out;
     if (!head->is_tail()) {
@@ -248,7 +264,9 @@ bool Network::try_forward(Router& router_ref, PortDir out, PortDir in,
     in_route_[router_ref.id()][static_cast<std::size_t>(in)].reset();
   }
   next.accept(next_in, flit,
-              now + clock_->span(Cycles{config_.router.pipeline_cycles}));
+              now + clock_->span(Cycles{config_.router.pipeline_cycles}),
+              flit.is_head() ? route_from(*neighbor_id, flit)
+                             : PortDir::kLocal);
   return true;
 }
 

@@ -88,6 +88,13 @@ private:
   bool try_forward(Router& router, PortDir out, PortDir in, Picoseconds now);
   void eject_flit_stats(const Flit& flit, Picoseconds now);
 
+  /// Routing decision for `flit` as seen from router `node`, computed once
+  /// when a flit is accepted into a buffer (cached in BufferedFlit::route).
+  [[nodiscard]] PortDir route_from(std::uint32_t node,
+                                   const Flit& flit) const {
+    return routing_->route(mesh_, node, flit.destination);
+  }
+
   std::string name_;
   sim::Engine* engine_;
   const sim::ClockDomain* clock_;
@@ -97,6 +104,9 @@ private:
 
   std::vector<Router> routers_;
   std::vector<std::unique_ptr<Adapter>> adapters_;  // indexed by node id
+  /// Node ids with adapters attached, ascending — the per-tick injection
+  /// sweep walks only these instead of every mesh node.
+  std::vector<std::uint32_t> adapter_nodes_;
   /// Per-input current output assignment for in-flight packets.
   std::vector<std::array<std::optional<PortDir>, kPortCount>> in_route_;
 

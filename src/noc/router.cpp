@@ -11,33 +11,45 @@ Router::Router(std::uint32_t id, RouterConfig config)
   for (const std::uint32_t w : config.wrr_weights) {
     require(w > 0, "router WRR weights must be positive");
   }
+  for (InputBuffer& buffer : inputs_) {
+    buffer.slots.resize(config.buffer_flits);
+  }
 }
 
 bool Router::can_accept(PortDir port) const {
-  return inputs_[static_cast<std::size_t>(port)].size() <
+  return inputs_[static_cast<std::size_t>(port)].count <
          config_.buffer_flits;
 }
 
-void Router::accept(PortDir port, const Flit& flit, Picoseconds ready_at) {
+void Router::accept(PortDir port, const Flit& flit, Picoseconds ready_at,
+                    PortDir route) {
   auto& buffer = inputs_[static_cast<std::size_t>(port)];
-  sim_assert(buffer.size() < config_.buffer_flits,
+  sim_assert(buffer.count < config_.buffer_flits,
              "router input buffer overflow (backpressure violated)");
-  buffer.push_back(BufferedFlit{flit, ready_at});
+  buffer.push(BufferedFlit{flit, ready_at, route});
+  ++buffered_;
 }
 
 const Flit* Router::ready_front(PortDir port, Picoseconds now) const {
   const auto& buffer = inputs_[static_cast<std::size_t>(port)];
-  if (buffer.empty() || buffer.front().ready_at > now) {
+  if (buffer.count == 0 || buffer.front().ready_at > now) {
     return nullptr;
   }
   return &buffer.front().flit;
 }
 
+PortDir Router::front_route(PortDir port) const {
+  const auto& buffer = inputs_[static_cast<std::size_t>(port)];
+  sim_assert(buffer.count != 0, "front_route on empty router input buffer");
+  return buffer.front().route;
+}
+
 Flit Router::pop(PortDir port) {
   auto& buffer = inputs_[static_cast<std::size_t>(port)];
-  sim_assert(!buffer.empty(), "pop from empty router input buffer");
+  sim_assert(buffer.count != 0, "pop from empty router input buffer");
   Flit flit = buffer.front().flit;
-  buffer.pop_front();
+  buffer.pop();
+  --buffered_;
   return flit;
 }
 
@@ -77,14 +89,6 @@ std::optional<PortDir> Router::arbitrate(
     }
   }
   return std::nullopt;
-}
-
-std::uint32_t Router::occupancy() const {
-  std::uint32_t total = 0;
-  for (const auto& buffer : inputs_) {
-    total += static_cast<std::uint32_t>(buffer.size());
-  }
-  return total;
 }
 
 }  // namespace hybridic::noc

@@ -16,8 +16,8 @@
 
 #include <array>
 #include <cstdint>
-#include <deque>
 #include <optional>
+#include <vector>
 
 #include "noc/flit.hpp"
 #include "noc/routing.hpp"
@@ -33,10 +33,14 @@ struct RouterConfig {
   std::array<std::uint32_t, kPortCount> wrr_weights{1, 1, 1, 1, 1};
 };
 
-/// A flit with its in-buffer readiness timestamp.
+/// A flit with its in-buffer readiness timestamp and its routing decision,
+/// computed once on acceptance instead of once per tick while the flit
+/// waits at the head of its buffer. Only head flits carry a meaningful
+/// route; body/tail flits follow their packet's wormhole lock.
 struct BufferedFlit {
   Flit flit;
   Picoseconds ready_at{0};
+  PortDir route = PortDir::kLocal;
 };
 
 /// One mesh router. The Network drives `tick` and performs inter-router
@@ -50,10 +54,16 @@ public:
 
   /// Push a flit into input `port`; it becomes eligible to advance at
   /// `ready_at` (arrival time + pipeline latency, set by the Network).
-  void accept(PortDir port, const Flit& flit, Picoseconds ready_at);
+  /// `route` is the Network's precomputed output port for the flit.
+  void accept(PortDir port, const Flit& flit, Picoseconds ready_at,
+              PortDir route = PortDir::kLocal);
 
   /// Front flit of input `port` if present and ready at `now`.
   [[nodiscard]] const Flit* ready_front(PortDir port, Picoseconds now) const;
+
+  /// Cached routing decision of the front flit of input `port`; the buffer
+  /// must not be empty.
+  [[nodiscard]] PortDir front_route(PortDir port) const;
 
   /// Pop the front flit of input `port`.
   Flit pop(PortDir port);
@@ -74,8 +84,12 @@ public:
   [[nodiscard]] std::uint64_t flits_forwarded() const { return forwarded_; }
   void count_forward() { ++forwarded_; }
 
-  /// Total flits currently buffered across all inputs.
-  [[nodiscard]] std::uint32_t occupancy() const;
+  /// Total flits currently buffered across all inputs (O(1)).
+  [[nodiscard]] std::uint32_t occupancy() const { return buffered_; }
+
+  /// True when any input holds a flit — the Network's cheap skip test for
+  /// idle routers on the per-tick sweep.
+  [[nodiscard]] bool busy() const { return buffered_ != 0; }
 
 private:
   struct OutputState {
@@ -85,11 +99,32 @@ private:
     std::uint32_t credit = 0;
   };
 
+  /// Fixed-capacity ring FIFO sized to the configured buffer depth — the
+  /// input buffers never reallocate or chase deque block pointers on the
+  /// per-tick hot path.
+  struct InputBuffer {
+    std::vector<BufferedFlit> slots;
+    std::uint32_t head = 0;
+    std::uint32_t count = 0;
+
+    [[nodiscard]] BufferedFlit& front() { return slots[head]; }
+    [[nodiscard]] const BufferedFlit& front() const { return slots[head]; }
+    void push(const BufferedFlit& flit) {
+      slots[(head + count) % slots.size()] = flit;
+      ++count;
+    }
+    void pop() {
+      head = static_cast<std::uint32_t>((head + 1) % slots.size());
+      --count;
+    }
+  };
+
   std::uint32_t id_;
   RouterConfig config_;
-  std::array<std::deque<BufferedFlit>, kPortCount> inputs_;
+  std::array<InputBuffer, kPortCount> inputs_;
   std::array<OutputState, kPortCount> outputs_;
   std::uint64_t forwarded_ = 0;
+  std::uint32_t buffered_ = 0;
 };
 
 }  // namespace hybridic::noc

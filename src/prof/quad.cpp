@@ -45,33 +45,22 @@ void QuadProfiler::record_write(std::uint64_t addr, std::uint64_t size) {
   const FunctionId writer = current();
   shadow_.write(addr, size, writer);
   graph_.function_mutable(writer).writes += size;
-  auto& footprint = write_footprint_[writer];
-  for (std::uint64_t a = addr; a < addr + size; ++a) {
-    footprint.insert(a);
-  }
+  write_footprint_[writer].insert_range(addr, size);
 }
 
 void QuadProfiler::record_read(std::uint64_t addr, std::uint64_t size) {
   const FunctionId consumer = current();
   graph_.function_mutable(consumer).reads += size;
-  auto& footprint = read_footprint_[consumer];
-  for (std::uint64_t a = addr; a < addr + size; ++a) {
-    footprint.insert(a);
-  }
+  read_footprint_[consumer].insert_range(addr, size);
   shadow_.scan(addr, size,
                [this, consumer](std::uint64_t run_start, std::uint64_t length,
                                 FunctionId producer) {
                  if (producer == kNoWriter) {
                    return;  // Uninitialized data: no communication edge.
                  }
-                 auto& addresses = uma_[{producer, consumer}];
-                 std::uint64_t fresh = 0;
-                 for (std::uint64_t a = run_start; a < run_start + length;
-                      ++a) {
-                   if (addresses.insert(a).second) {
-                     ++fresh;
-                   }
-                 }
+                 const std::uint64_t fresh =
+                     uma_[{producer, consumer}].insert_range(run_start,
+                                                             length);
                  graph_.add_transfer(producer, consumer, Bytes{length},
                                      fresh);
                });

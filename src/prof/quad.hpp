@@ -9,9 +9,9 @@
 #include <cstdint>
 #include <map>
 #include <string>
-#include <unordered_set>
 #include <vector>
 
+#include "prof/byte_set.hpp"
 #include "prof/comm_graph.hpp"
 #include "prof/shadow_memory.hpp"
 #include "util/units.hpp"
@@ -79,15 +79,13 @@ private:
   CommGraph graph_;
   ShadowMemory shadow_;
   std::vector<FunctionId> stack_;
-  std::vector<std::unordered_set<std::uint64_t>> write_footprint_;
-  std::vector<std::unordered_set<std::uint64_t>> read_footprint_;
+  std::vector<PagedByteSet> write_footprint_;
+  std::vector<PagedByteSet> read_footprint_;
   std::vector<FunctionId> first_call_order_;
   std::uint64_t next_addr_ = 0x1000;
 
   /// Per-edge sets for UMA counting.
-  std::map<std::pair<FunctionId, FunctionId>,
-           std::unordered_set<std::uint64_t>>
-      uma_;
+  std::map<std::pair<FunctionId, FunctionId>, PagedByteSet> uma_;
 };
 
 /// RAII scope for QuadProfiler::enter/leave.

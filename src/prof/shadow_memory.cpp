@@ -6,17 +6,21 @@ namespace hybridic::prof {
 
 ShadowMemory::Page& ShadowMemory::page_for(std::uint64_t addr) {
   const std::uint64_t key = addr / kPageBytes;
+  if (cached_page_ != nullptr && key == cached_key_) {
+    return *cached_page_;
+  }
   auto& slot = pages_[key];
   if (slot == nullptr) {
     slot = std::make_unique<Page>();
     slot->fill(kNoWriter);
   }
+  cached_key_ = key;
+  cached_page_ = slot.get();
   return *slot;
 }
 
 const ShadowMemory::Page* ShadowMemory::page_of(std::uint64_t addr) const {
-  const auto it = pages_.find(addr / kPageBytes);
-  return it == pages_.end() ? nullptr : it->second.get();
+  return find_page(addr / kPageBytes);
 }
 
 void ShadowMemory::write(std::uint64_t addr, std::uint64_t size,

@@ -2,8 +2,15 @@
 // function wrote it last. This is the core mechanism behind QUAD-style
 // producer→consumer attribution: a read observes the last writer of each
 // byte it touches.
+//
+// Storage is paged (4 KiB of FunctionId cells per page) and all hot
+// operations work a page at a time: one hash lookup per page instead of
+// one per byte, run detection directly over the raw cell array, and a
+// single-entry last-page cache that short-circuits the hash lookup for the
+// sequential access patterns the profiled applications generate.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <memory>
@@ -30,19 +37,57 @@ public:
   /// Visit [addr, addr+size) as maximal runs of a single producer:
   /// callback(run_start, run_length, producer). Runs with kNoWriter are
   /// reported too so the caller can decide how to treat untouched bytes.
+  /// Runs spanning page boundaries (and untouched pages) are merged, so the
+  /// emitted run sequence is identical to a byte-by-byte walk.
   template <typename Callback>
   void scan(std::uint64_t addr, std::uint64_t size, Callback&& callback) const {
-    std::uint64_t pos = addr;
-    const std::uint64_t end = addr + size;
-    while (pos < end) {
-      const FunctionId producer = last_writer(pos);
-      std::uint64_t run_end = pos + 1;
-      while (run_end < end && last_writer(run_end) == producer) {
-        ++run_end;
-      }
-      callback(pos, run_end - pos, producer);
-      pos = run_end;
+    if (size == 0) {
+      return;
     }
+    const std::uint64_t end = addr + size;
+    std::uint64_t run_start = addr;
+    FunctionId run_producer = kNoWriter;
+    bool have_run = false;
+    std::uint64_t pos = addr;
+    while (pos < end) {
+      const std::uint64_t offset = pos % kPageBytes;
+      const std::uint64_t chunk = std::min(end - pos, kPageBytes - offset);
+      const Page* page = find_page(pos / kPageBytes);
+      if (page == nullptr) {
+        // Whole in-page span is untouched: one kNoWriter run segment.
+        if (!have_run) {
+          run_start = pos;
+          run_producer = kNoWriter;
+          have_run = true;
+        } else if (run_producer != kNoWriter) {
+          callback(run_start, pos - run_start, run_producer);
+          run_start = pos;
+          run_producer = kNoWriter;
+        }
+      } else {
+        const FunctionId* cells = page->data() + offset;
+        std::uint64_t i = 0;
+        while (i < chunk) {
+          const FunctionId producer = cells[i];
+          std::uint64_t j = i + 1;
+          while (j < chunk && cells[j] == producer) {
+            ++j;
+          }
+          if (!have_run) {
+            run_start = pos + i;
+            run_producer = producer;
+            have_run = true;
+          } else if (producer != run_producer) {
+            callback(run_start, pos + i - run_start, run_producer);
+            run_start = pos + i;
+            run_producer = producer;
+          }
+          i = j;
+        }
+      }
+      pos += chunk;
+    }
+    callback(run_start, end - run_start, run_producer);
   }
 
   [[nodiscard]] std::size_t page_count() const { return pages_.size(); }
@@ -53,7 +98,26 @@ private:
   Page& page_for(std::uint64_t addr);
   [[nodiscard]] const Page* page_of(std::uint64_t addr) const;
 
+  /// Hash lookup of a page by key, memoized in a one-entry cache so
+  /// consecutive hits on the same page (the overwhelmingly common case for
+  /// sequential scans) skip the hash entirely. Pages are never deleted and
+  /// unique_ptr targets are stable, so the cached pointer cannot dangle.
+  [[nodiscard]] Page* find_page(std::uint64_t key) const {
+    if (cached_page_ != nullptr && key == cached_key_) {
+      return cached_page_;
+    }
+    const auto it = pages_.find(key);
+    Page* page = it == pages_.end() ? nullptr : it->second.get();
+    if (page != nullptr) {
+      cached_key_ = key;
+      cached_page_ = page;
+    }
+    return page;
+  }
+
   std::unordered_map<std::uint64_t, std::unique_ptr<Page>> pages_;
+  mutable std::uint64_t cached_key_ = UINT64_MAX;
+  mutable Page* cached_page_ = nullptr;
 };
 
 }  // namespace hybridic::prof

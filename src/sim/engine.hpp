@@ -1,5 +1,13 @@
 // The simulation engine: owns the event queue and the global clock, and
 // drives registered ticking components.
+//
+// Periodic work (clocked components) and aperiodic work (one-shot events)
+// are kept in separate structures: one-shots live in the binary-heap
+// EventQueue, while ticks live in per-clock-domain "tick wheels" holding
+// plain {edge, sequence, handle} records — no callable storage at all.
+// Both share one global sequence counter, so the merged execution order is
+// exactly the documented (time, scheduling-order) FIFO determinism of the
+// single-queue design.
 #pragma once
 
 #include <cstdint>
@@ -37,10 +45,10 @@ public:
   [[nodiscard]] Picoseconds now() const { return now_; }
 
   /// Schedule a one-shot action at absolute time `when` (>= now).
-  void schedule_at(Picoseconds when, std::function<void()> action);
+  void schedule_at(Picoseconds when, InlineAction action);
 
   /// Schedule a one-shot action `delay` after now.
-  void schedule_after(Picoseconds delay, std::function<void()> action);
+  void schedule_after(Picoseconds delay, InlineAction action);
 
   /// Register a clocked component; returns a handle used with `activate`.
   std::size_t add_ticking(Ticking& component, const ClockDomain& domain);
@@ -63,6 +71,16 @@ public:
     return events_executed_;
   }
 
+  /// Pending tick-wheel entries across all clock domains (for tests and
+  /// introspection; one per scheduled component tick).
+  [[nodiscard]] std::size_t pending_ticks() const;
+
+  /// Number of distinct tick wheels (one per distinct clock period among
+  /// registered components).
+  [[nodiscard]] std::size_t tick_wheel_count() const {
+    return wheels_.size();
+  }
+
   /// Drop all state so the engine can host a fresh simulation.
   void reset();
 
@@ -70,13 +88,49 @@ private:
   struct TickingSlot {
     Ticking* component = nullptr;
     const ClockDomain* domain = nullptr;
+    std::size_t wheel = 0;
     bool scheduled = false;
   };
 
+  /// One scheduled tick: which component fires at which clock edge. The
+  /// sequence number comes from the shared EventQueue counter, so ticks
+  /// interleave with one-shot events in exact scheduling order.
+  struct TickEntry {
+    std::uint64_t edge_index;
+    std::uint64_t sequence;
+    std::uint32_t handle;
+  };
+
+  /// Min-heap of tick entries for all components sharing one clock period.
+  struct TickWheel {
+    std::uint64_t period_ps = 0;
+    std::vector<TickEntry> heap;
+  };
+
+  /// Earliest pending work across the event heap and every tick wheel.
+  struct NextSource {
+    bool any = false;
+    bool from_wheel = false;
+    std::size_t wheel = 0;
+    Picoseconds time{0};
+    std::uint64_t sequence = 0;
+  };
+
   void schedule_tick(std::size_t handle);
+  void run_tick(std::size_t handle);
+  [[nodiscard]] NextSource peek_next() const;
+  TickEntry pop_wheel(std::size_t wheel);
+
+  static bool tick_earlier(const TickEntry& a, const TickEntry& b) {
+    if (a.edge_index != b.edge_index) {
+      return a.edge_index < b.edge_index;
+    }
+    return a.sequence < b.sequence;
+  }
 
   EventQueue queue_;
   std::vector<TickingSlot> ticking_;
+  std::vector<TickWheel> wheels_;
   Picoseconds now_{0};
   std::uint64_t events_executed_ = 0;
 };
