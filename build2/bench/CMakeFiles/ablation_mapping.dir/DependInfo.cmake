@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_mapping.cpp" "bench/CMakeFiles/ablation_mapping.dir/ablation_mapping.cpp.o" "gcc" "bench/CMakeFiles/ablation_mapping.dir/ablation_mapping.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/apps/CMakeFiles/hybridic_apps.dir/DependInfo.cmake"
+  "/root/repo/build2/src/reconfig/CMakeFiles/hybridic_reconfig.dir/DependInfo.cmake"
+  "/root/repo/build2/src/sys/CMakeFiles/hybridic_sys.dir/DependInfo.cmake"
+  "/root/repo/build2/src/core/CMakeFiles/hybridic_core.dir/DependInfo.cmake"
+  "/root/repo/build2/src/prof/CMakeFiles/hybridic_prof.dir/DependInfo.cmake"
+  "/root/repo/build2/src/bus/CMakeFiles/hybridic_bus.dir/DependInfo.cmake"
+  "/root/repo/build2/src/noc/CMakeFiles/hybridic_noc.dir/DependInfo.cmake"
+  "/root/repo/build2/src/mem/CMakeFiles/hybridic_mem.dir/DependInfo.cmake"
+  "/root/repo/build2/src/sim/CMakeFiles/hybridic_sim.dir/DependInfo.cmake"
+  "/root/repo/build2/src/util/CMakeFiles/hybridic_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_frame_pipeline.dir/ext_frame_pipeline.cpp.o"
+  "CMakeFiles/ext_frame_pipeline.dir/ext_frame_pipeline.cpp.o.d"
+  "ext_frame_pipeline"
+  "ext_frame_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_frame_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_interconnect_classes.dir/ext_interconnect_classes.cpp.o"
+  "CMakeFiles/ext_interconnect_classes.dir/ext_interconnect_classes.cpp.o.d"
+  "ext_interconnect_classes"
+  "ext_interconnect_classes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_interconnect_classes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_reconfig.dir/ext_reconfig.cpp.o"
+  "CMakeFiles/ext_reconfig.dir/ext_reconfig.cpp.o.d"
+  "ext_reconfig"
+  "ext_reconfig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_reconfig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_baseline.dir/fig4_baseline.cpp.o"
+  "CMakeFiles/fig4_baseline.dir/fig4_baseline.cpp.o.d"
+  "fig4_baseline"
+  "fig4_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

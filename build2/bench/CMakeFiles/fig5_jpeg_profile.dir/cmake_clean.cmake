@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_jpeg_profile.dir/fig5_jpeg_profile.cpp.o"
+  "CMakeFiles/fig5_jpeg_profile.dir/fig5_jpeg_profile.cpp.o.d"
+  "fig5_jpeg_profile"
+  "fig5_jpeg_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_jpeg_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

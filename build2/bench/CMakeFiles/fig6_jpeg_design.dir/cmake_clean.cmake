@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_jpeg_design.dir/fig6_jpeg_design.cpp.o"
+  "CMakeFiles/fig6_jpeg_design.dir/fig6_jpeg_design.cpp.o.d"
+  "fig6_jpeg_design"
+  "fig6_jpeg_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_jpeg_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_interconnect_ratio.dir/fig8_interconnect_ratio.cpp.o"
+  "CMakeFiles/fig8_interconnect_ratio.dir/fig8_interconnect_ratio.cpp.o.d"
+  "fig8_interconnect_ratio"
+  "fig8_interconnect_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_interconnect_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_bus.dir/micro_bus.cpp.o"
+  "CMakeFiles/micro_bus.dir/micro_bus.cpp.o.d"
+  "micro_bus"
+  "micro_bus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_bus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_noc.dir/micro_noc.cpp.o"
+  "CMakeFiles/micro_noc.dir/micro_noc.cpp.o.d"
+  "micro_noc"
+  "micro_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

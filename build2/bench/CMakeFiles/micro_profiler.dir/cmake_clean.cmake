@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_profiler.dir/micro_profiler.cpp.o"
+  "CMakeFiles/micro_profiler.dir/micro_profiler.cpp.o.d"
+  "micro_profiler"
+  "micro_profiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_profiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

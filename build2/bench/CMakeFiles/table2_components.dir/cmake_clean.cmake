@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_components.dir/table2_components.cpp.o"
+  "CMakeFiles/table2_components.dir/table2_components.cpp.o.d"
+  "table2_components"
+  "table2_components.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

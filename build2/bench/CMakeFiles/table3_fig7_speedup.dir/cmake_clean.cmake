@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_fig7_speedup.dir/table3_fig7_speedup.cpp.o"
+  "CMakeFiles/table3_fig7_speedup.dir/table3_fig7_speedup.cpp.o.d"
+  "table3_fig7_speedup"
+  "table3_fig7_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_fig7_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

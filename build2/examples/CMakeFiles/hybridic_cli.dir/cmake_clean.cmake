@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybridic_cli.dir/hybridic_cli.cpp.o"
+  "CMakeFiles/hybridic_cli.dir/hybridic_cli.cpp.o.d"
+  "hybridic_cli"
+  "hybridic_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybridic_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

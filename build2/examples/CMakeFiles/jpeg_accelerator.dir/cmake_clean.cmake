@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jpeg_accelerator.dir/jpeg_accelerator.cpp.o"
+  "CMakeFiles/jpeg_accelerator.dir/jpeg_accelerator.cpp.o.d"
+  "jpeg_accelerator"
+  "jpeg_accelerator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jpeg_accelerator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_app_reconfig.dir/multi_app_reconfig.cpp.o"
+  "CMakeFiles/multi_app_reconfig.dir/multi_app_reconfig.cpp.o.d"
+  "multi_app_reconfig"
+  "multi_app_reconfig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_app_reconfig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

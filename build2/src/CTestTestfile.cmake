@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build2/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("sim")
+subdirs("mem")
+subdirs("bus")
+subdirs("noc")
+subdirs("prof")
+subdirs("core")
+subdirs("sys")
+subdirs("apps")
+subdirs("reconfig")

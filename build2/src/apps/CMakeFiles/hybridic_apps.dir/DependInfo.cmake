@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/app.cpp" "src/apps/CMakeFiles/hybridic_apps.dir/app.cpp.o" "gcc" "src/apps/CMakeFiles/hybridic_apps.dir/app.cpp.o.d"
+  "/root/repo/src/apps/canny.cpp" "src/apps/CMakeFiles/hybridic_apps.dir/canny.cpp.o" "gcc" "src/apps/CMakeFiles/hybridic_apps.dir/canny.cpp.o.d"
+  "/root/repo/src/apps/fluid.cpp" "src/apps/CMakeFiles/hybridic_apps.dir/fluid.cpp.o" "gcc" "src/apps/CMakeFiles/hybridic_apps.dir/fluid.cpp.o.d"
+  "/root/repo/src/apps/jpeg.cpp" "src/apps/CMakeFiles/hybridic_apps.dir/jpeg.cpp.o" "gcc" "src/apps/CMakeFiles/hybridic_apps.dir/jpeg.cpp.o.d"
+  "/root/repo/src/apps/jpeg_bitstream.cpp" "src/apps/CMakeFiles/hybridic_apps.dir/jpeg_bitstream.cpp.o" "gcc" "src/apps/CMakeFiles/hybridic_apps.dir/jpeg_bitstream.cpp.o.d"
+  "/root/repo/src/apps/jpeg_codec.cpp" "src/apps/CMakeFiles/hybridic_apps.dir/jpeg_codec.cpp.o" "gcc" "src/apps/CMakeFiles/hybridic_apps.dir/jpeg_codec.cpp.o.d"
+  "/root/repo/src/apps/klt.cpp" "src/apps/CMakeFiles/hybridic_apps.dir/klt.cpp.o" "gcc" "src/apps/CMakeFiles/hybridic_apps.dir/klt.cpp.o.d"
+  "/root/repo/src/apps/synthetic.cpp" "src/apps/CMakeFiles/hybridic_apps.dir/synthetic.cpp.o" "gcc" "src/apps/CMakeFiles/hybridic_apps.dir/synthetic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/sys/CMakeFiles/hybridic_sys.dir/DependInfo.cmake"
+  "/root/repo/build2/src/prof/CMakeFiles/hybridic_prof.dir/DependInfo.cmake"
+  "/root/repo/build2/src/util/CMakeFiles/hybridic_util.dir/DependInfo.cmake"
+  "/root/repo/build2/src/core/CMakeFiles/hybridic_core.dir/DependInfo.cmake"
+  "/root/repo/build2/src/bus/CMakeFiles/hybridic_bus.dir/DependInfo.cmake"
+  "/root/repo/build2/src/noc/CMakeFiles/hybridic_noc.dir/DependInfo.cmake"
+  "/root/repo/build2/src/mem/CMakeFiles/hybridic_mem.dir/DependInfo.cmake"
+  "/root/repo/build2/src/sim/CMakeFiles/hybridic_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

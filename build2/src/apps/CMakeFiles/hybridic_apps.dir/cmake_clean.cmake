@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybridic_apps.dir/app.cpp.o"
+  "CMakeFiles/hybridic_apps.dir/app.cpp.o.d"
+  "CMakeFiles/hybridic_apps.dir/canny.cpp.o"
+  "CMakeFiles/hybridic_apps.dir/canny.cpp.o.d"
+  "CMakeFiles/hybridic_apps.dir/fluid.cpp.o"
+  "CMakeFiles/hybridic_apps.dir/fluid.cpp.o.d"
+  "CMakeFiles/hybridic_apps.dir/jpeg.cpp.o"
+  "CMakeFiles/hybridic_apps.dir/jpeg.cpp.o.d"
+  "CMakeFiles/hybridic_apps.dir/jpeg_bitstream.cpp.o"
+  "CMakeFiles/hybridic_apps.dir/jpeg_bitstream.cpp.o.d"
+  "CMakeFiles/hybridic_apps.dir/jpeg_codec.cpp.o"
+  "CMakeFiles/hybridic_apps.dir/jpeg_codec.cpp.o.d"
+  "CMakeFiles/hybridic_apps.dir/klt.cpp.o"
+  "CMakeFiles/hybridic_apps.dir/klt.cpp.o.d"
+  "CMakeFiles/hybridic_apps.dir/synthetic.cpp.o"
+  "CMakeFiles/hybridic_apps.dir/synthetic.cpp.o.d"
+  "libhybridic_apps.a"
+  "libhybridic_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybridic_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

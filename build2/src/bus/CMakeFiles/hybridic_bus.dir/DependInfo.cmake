@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bus/arbiter.cpp" "src/bus/CMakeFiles/hybridic_bus.dir/arbiter.cpp.o" "gcc" "src/bus/CMakeFiles/hybridic_bus.dir/arbiter.cpp.o.d"
+  "/root/repo/src/bus/bus.cpp" "src/bus/CMakeFiles/hybridic_bus.dir/bus.cpp.o" "gcc" "src/bus/CMakeFiles/hybridic_bus.dir/bus.cpp.o.d"
+  "/root/repo/src/bus/dma.cpp" "src/bus/CMakeFiles/hybridic_bus.dir/dma.cpp.o" "gcc" "src/bus/CMakeFiles/hybridic_bus.dir/dma.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/sim/CMakeFiles/hybridic_sim.dir/DependInfo.cmake"
+  "/root/repo/build2/src/mem/CMakeFiles/hybridic_mem.dir/DependInfo.cmake"
+  "/root/repo/build2/src/util/CMakeFiles/hybridic_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybridic_bus.dir/arbiter.cpp.o"
+  "CMakeFiles/hybridic_bus.dir/arbiter.cpp.o.d"
+  "CMakeFiles/hybridic_bus.dir/bus.cpp.o"
+  "CMakeFiles/hybridic_bus.dir/bus.cpp.o.d"
+  "CMakeFiles/hybridic_bus.dir/dma.cpp.o"
+  "CMakeFiles/hybridic_bus.dir/dma.cpp.o.d"
+  "libhybridic_bus.a"
+  "libhybridic_bus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybridic_bus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adaptive_mapping.cpp" "src/core/CMakeFiles/hybridic_core.dir/adaptive_mapping.cpp.o" "gcc" "src/core/CMakeFiles/hybridic_core.dir/adaptive_mapping.cpp.o.d"
+  "/root/repo/src/core/comm_classify.cpp" "src/core/CMakeFiles/hybridic_core.dir/comm_classify.cpp.o" "gcc" "src/core/CMakeFiles/hybridic_core.dir/comm_classify.cpp.o.d"
+  "/root/repo/src/core/design_result.cpp" "src/core/CMakeFiles/hybridic_core.dir/design_result.cpp.o" "gcc" "src/core/CMakeFiles/hybridic_core.dir/design_result.cpp.o.d"
+  "/root/repo/src/core/design_validate.cpp" "src/core/CMakeFiles/hybridic_core.dir/design_validate.cpp.o" "gcc" "src/core/CMakeFiles/hybridic_core.dir/design_validate.cpp.o.d"
+  "/root/repo/src/core/energy_model.cpp" "src/core/CMakeFiles/hybridic_core.dir/energy_model.cpp.o" "gcc" "src/core/CMakeFiles/hybridic_core.dir/energy_model.cpp.o.d"
+  "/root/repo/src/core/interconnect_design.cpp" "src/core/CMakeFiles/hybridic_core.dir/interconnect_design.cpp.o" "gcc" "src/core/CMakeFiles/hybridic_core.dir/interconnect_design.cpp.o.d"
+  "/root/repo/src/core/json_export.cpp" "src/core/CMakeFiles/hybridic_core.dir/json_export.cpp.o" "gcc" "src/core/CMakeFiles/hybridic_core.dir/json_export.cpp.o.d"
+  "/root/repo/src/core/kernel_model.cpp" "src/core/CMakeFiles/hybridic_core.dir/kernel_model.cpp.o" "gcc" "src/core/CMakeFiles/hybridic_core.dir/kernel_model.cpp.o.d"
+  "/root/repo/src/core/noc_placement.cpp" "src/core/CMakeFiles/hybridic_core.dir/noc_placement.cpp.o" "gcc" "src/core/CMakeFiles/hybridic_core.dir/noc_placement.cpp.o.d"
+  "/root/repo/src/core/perf_model.cpp" "src/core/CMakeFiles/hybridic_core.dir/perf_model.cpp.o" "gcc" "src/core/CMakeFiles/hybridic_core.dir/perf_model.cpp.o.d"
+  "/root/repo/src/core/resource_model.cpp" "src/core/CMakeFiles/hybridic_core.dir/resource_model.cpp.o" "gcc" "src/core/CMakeFiles/hybridic_core.dir/resource_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/prof/CMakeFiles/hybridic_prof.dir/DependInfo.cmake"
+  "/root/repo/build2/src/mem/CMakeFiles/hybridic_mem.dir/DependInfo.cmake"
+  "/root/repo/build2/src/noc/CMakeFiles/hybridic_noc.dir/DependInfo.cmake"
+  "/root/repo/build2/src/util/CMakeFiles/hybridic_util.dir/DependInfo.cmake"
+  "/root/repo/build2/src/sim/CMakeFiles/hybridic_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

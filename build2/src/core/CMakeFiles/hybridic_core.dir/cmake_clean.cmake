@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybridic_core.dir/adaptive_mapping.cpp.o"
+  "CMakeFiles/hybridic_core.dir/adaptive_mapping.cpp.o.d"
+  "CMakeFiles/hybridic_core.dir/comm_classify.cpp.o"
+  "CMakeFiles/hybridic_core.dir/comm_classify.cpp.o.d"
+  "CMakeFiles/hybridic_core.dir/design_result.cpp.o"
+  "CMakeFiles/hybridic_core.dir/design_result.cpp.o.d"
+  "CMakeFiles/hybridic_core.dir/design_validate.cpp.o"
+  "CMakeFiles/hybridic_core.dir/design_validate.cpp.o.d"
+  "CMakeFiles/hybridic_core.dir/energy_model.cpp.o"
+  "CMakeFiles/hybridic_core.dir/energy_model.cpp.o.d"
+  "CMakeFiles/hybridic_core.dir/interconnect_design.cpp.o"
+  "CMakeFiles/hybridic_core.dir/interconnect_design.cpp.o.d"
+  "CMakeFiles/hybridic_core.dir/json_export.cpp.o"
+  "CMakeFiles/hybridic_core.dir/json_export.cpp.o.d"
+  "CMakeFiles/hybridic_core.dir/kernel_model.cpp.o"
+  "CMakeFiles/hybridic_core.dir/kernel_model.cpp.o.d"
+  "CMakeFiles/hybridic_core.dir/noc_placement.cpp.o"
+  "CMakeFiles/hybridic_core.dir/noc_placement.cpp.o.d"
+  "CMakeFiles/hybridic_core.dir/perf_model.cpp.o"
+  "CMakeFiles/hybridic_core.dir/perf_model.cpp.o.d"
+  "CMakeFiles/hybridic_core.dir/resource_model.cpp.o"
+  "CMakeFiles/hybridic_core.dir/resource_model.cpp.o.d"
+  "libhybridic_core.a"
+  "libhybridic_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybridic_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

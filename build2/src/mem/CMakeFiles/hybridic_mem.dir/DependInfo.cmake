@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/bram.cpp" "src/mem/CMakeFiles/hybridic_mem.dir/bram.cpp.o" "gcc" "src/mem/CMakeFiles/hybridic_mem.dir/bram.cpp.o.d"
+  "/root/repo/src/mem/crossbar.cpp" "src/mem/CMakeFiles/hybridic_mem.dir/crossbar.cpp.o" "gcc" "src/mem/CMakeFiles/hybridic_mem.dir/crossbar.cpp.o.d"
+  "/root/repo/src/mem/full_crossbar.cpp" "src/mem/CMakeFiles/hybridic_mem.dir/full_crossbar.cpp.o" "gcc" "src/mem/CMakeFiles/hybridic_mem.dir/full_crossbar.cpp.o.d"
+  "/root/repo/src/mem/mux.cpp" "src/mem/CMakeFiles/hybridic_mem.dir/mux.cpp.o" "gcc" "src/mem/CMakeFiles/hybridic_mem.dir/mux.cpp.o.d"
+  "/root/repo/src/mem/port.cpp" "src/mem/CMakeFiles/hybridic_mem.dir/port.cpp.o" "gcc" "src/mem/CMakeFiles/hybridic_mem.dir/port.cpp.o.d"
+  "/root/repo/src/mem/sdram.cpp" "src/mem/CMakeFiles/hybridic_mem.dir/sdram.cpp.o" "gcc" "src/mem/CMakeFiles/hybridic_mem.dir/sdram.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/sim/CMakeFiles/hybridic_sim.dir/DependInfo.cmake"
+  "/root/repo/build2/src/util/CMakeFiles/hybridic_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

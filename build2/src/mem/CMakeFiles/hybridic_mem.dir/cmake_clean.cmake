@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybridic_mem.dir/bram.cpp.o"
+  "CMakeFiles/hybridic_mem.dir/bram.cpp.o.d"
+  "CMakeFiles/hybridic_mem.dir/crossbar.cpp.o"
+  "CMakeFiles/hybridic_mem.dir/crossbar.cpp.o.d"
+  "CMakeFiles/hybridic_mem.dir/full_crossbar.cpp.o"
+  "CMakeFiles/hybridic_mem.dir/full_crossbar.cpp.o.d"
+  "CMakeFiles/hybridic_mem.dir/mux.cpp.o"
+  "CMakeFiles/hybridic_mem.dir/mux.cpp.o.d"
+  "CMakeFiles/hybridic_mem.dir/port.cpp.o"
+  "CMakeFiles/hybridic_mem.dir/port.cpp.o.d"
+  "CMakeFiles/hybridic_mem.dir/sdram.cpp.o"
+  "CMakeFiles/hybridic_mem.dir/sdram.cpp.o.d"
+  "libhybridic_mem.a"
+  "libhybridic_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybridic_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/noc/adapter.cpp" "src/noc/CMakeFiles/hybridic_noc.dir/adapter.cpp.o" "gcc" "src/noc/CMakeFiles/hybridic_noc.dir/adapter.cpp.o.d"
+  "/root/repo/src/noc/network.cpp" "src/noc/CMakeFiles/hybridic_noc.dir/network.cpp.o" "gcc" "src/noc/CMakeFiles/hybridic_noc.dir/network.cpp.o.d"
+  "/root/repo/src/noc/router.cpp" "src/noc/CMakeFiles/hybridic_noc.dir/router.cpp.o" "gcc" "src/noc/CMakeFiles/hybridic_noc.dir/router.cpp.o.d"
+  "/root/repo/src/noc/routing.cpp" "src/noc/CMakeFiles/hybridic_noc.dir/routing.cpp.o" "gcc" "src/noc/CMakeFiles/hybridic_noc.dir/routing.cpp.o.d"
+  "/root/repo/src/noc/topology.cpp" "src/noc/CMakeFiles/hybridic_noc.dir/topology.cpp.o" "gcc" "src/noc/CMakeFiles/hybridic_noc.dir/topology.cpp.o.d"
+  "/root/repo/src/noc/vcd_trace.cpp" "src/noc/CMakeFiles/hybridic_noc.dir/vcd_trace.cpp.o" "gcc" "src/noc/CMakeFiles/hybridic_noc.dir/vcd_trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/sim/CMakeFiles/hybridic_sim.dir/DependInfo.cmake"
+  "/root/repo/build2/src/util/CMakeFiles/hybridic_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybridic_noc.dir/adapter.cpp.o"
+  "CMakeFiles/hybridic_noc.dir/adapter.cpp.o.d"
+  "CMakeFiles/hybridic_noc.dir/network.cpp.o"
+  "CMakeFiles/hybridic_noc.dir/network.cpp.o.d"
+  "CMakeFiles/hybridic_noc.dir/router.cpp.o"
+  "CMakeFiles/hybridic_noc.dir/router.cpp.o.d"
+  "CMakeFiles/hybridic_noc.dir/routing.cpp.o"
+  "CMakeFiles/hybridic_noc.dir/routing.cpp.o.d"
+  "CMakeFiles/hybridic_noc.dir/topology.cpp.o"
+  "CMakeFiles/hybridic_noc.dir/topology.cpp.o.d"
+  "CMakeFiles/hybridic_noc.dir/vcd_trace.cpp.o"
+  "CMakeFiles/hybridic_noc.dir/vcd_trace.cpp.o.d"
+  "libhybridic_noc.a"
+  "libhybridic_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybridic_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/prof/comm_graph.cpp" "src/prof/CMakeFiles/hybridic_prof.dir/comm_graph.cpp.o" "gcc" "src/prof/CMakeFiles/hybridic_prof.dir/comm_graph.cpp.o.d"
+  "/root/repo/src/prof/dot_export.cpp" "src/prof/CMakeFiles/hybridic_prof.dir/dot_export.cpp.o" "gcc" "src/prof/CMakeFiles/hybridic_prof.dir/dot_export.cpp.o.d"
+  "/root/repo/src/prof/quad.cpp" "src/prof/CMakeFiles/hybridic_prof.dir/quad.cpp.o" "gcc" "src/prof/CMakeFiles/hybridic_prof.dir/quad.cpp.o.d"
+  "/root/repo/src/prof/shadow_memory.cpp" "src/prof/CMakeFiles/hybridic_prof.dir/shadow_memory.cpp.o" "gcc" "src/prof/CMakeFiles/hybridic_prof.dir/shadow_memory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/util/CMakeFiles/hybridic_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybridic_prof.dir/comm_graph.cpp.o"
+  "CMakeFiles/hybridic_prof.dir/comm_graph.cpp.o.d"
+  "CMakeFiles/hybridic_prof.dir/dot_export.cpp.o"
+  "CMakeFiles/hybridic_prof.dir/dot_export.cpp.o.d"
+  "CMakeFiles/hybridic_prof.dir/quad.cpp.o"
+  "CMakeFiles/hybridic_prof.dir/quad.cpp.o.d"
+  "CMakeFiles/hybridic_prof.dir/shadow_memory.cpp.o"
+  "CMakeFiles/hybridic_prof.dir/shadow_memory.cpp.o.d"
+  "libhybridic_prof.a"
+  "libhybridic_prof.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybridic_prof.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybridic_reconfig.dir/bitstream_model.cpp.o"
+  "CMakeFiles/hybridic_reconfig.dir/bitstream_model.cpp.o.d"
+  "CMakeFiles/hybridic_reconfig.dir/multi_app.cpp.o"
+  "CMakeFiles/hybridic_reconfig.dir/multi_app.cpp.o.d"
+  "libhybridic_reconfig.a"
+  "libhybridic_reconfig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybridic_reconfig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/engine.cpp" "src/sim/CMakeFiles/hybridic_sim.dir/engine.cpp.o" "gcc" "src/sim/CMakeFiles/hybridic_sim.dir/engine.cpp.o.d"
+  "/root/repo/src/sim/event.cpp" "src/sim/CMakeFiles/hybridic_sim.dir/event.cpp.o" "gcc" "src/sim/CMakeFiles/hybridic_sim.dir/event.cpp.o.d"
+  "/root/repo/src/sim/stats.cpp" "src/sim/CMakeFiles/hybridic_sim.dir/stats.cpp.o" "gcc" "src/sim/CMakeFiles/hybridic_sim.dir/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/util/CMakeFiles/hybridic_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

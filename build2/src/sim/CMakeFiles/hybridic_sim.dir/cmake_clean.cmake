@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybridic_sim.dir/engine.cpp.o"
+  "CMakeFiles/hybridic_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/hybridic_sim.dir/event.cpp.o"
+  "CMakeFiles/hybridic_sim.dir/event.cpp.o.d"
+  "CMakeFiles/hybridic_sim.dir/stats.cpp.o"
+  "CMakeFiles/hybridic_sim.dir/stats.cpp.o.d"
+  "libhybridic_sim.a"
+  "libhybridic_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybridic_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

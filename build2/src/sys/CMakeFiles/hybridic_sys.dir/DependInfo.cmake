@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sys/crossbar_system.cpp" "src/sys/CMakeFiles/hybridic_sys.dir/crossbar_system.cpp.o" "gcc" "src/sys/CMakeFiles/hybridic_sys.dir/crossbar_system.cpp.o.d"
+  "/root/repo/src/sys/executor.cpp" "src/sys/CMakeFiles/hybridic_sys.dir/executor.cpp.o" "gcc" "src/sys/CMakeFiles/hybridic_sys.dir/executor.cpp.o.d"
+  "/root/repo/src/sys/experiment.cpp" "src/sys/CMakeFiles/hybridic_sys.dir/experiment.cpp.o" "gcc" "src/sys/CMakeFiles/hybridic_sys.dir/experiment.cpp.o.d"
+  "/root/repo/src/sys/pipeline_executor.cpp" "src/sys/CMakeFiles/hybridic_sys.dir/pipeline_executor.cpp.o" "gcc" "src/sys/CMakeFiles/hybridic_sys.dir/pipeline_executor.cpp.o.d"
+  "/root/repo/src/sys/platform.cpp" "src/sys/CMakeFiles/hybridic_sys.dir/platform.cpp.o" "gcc" "src/sys/CMakeFiles/hybridic_sys.dir/platform.cpp.o.d"
+  "/root/repo/src/sys/schedule.cpp" "src/sys/CMakeFiles/hybridic_sys.dir/schedule.cpp.o" "gcc" "src/sys/CMakeFiles/hybridic_sys.dir/schedule.cpp.o.d"
+  "/root/repo/src/sys/timeline.cpp" "src/sys/CMakeFiles/hybridic_sys.dir/timeline.cpp.o" "gcc" "src/sys/CMakeFiles/hybridic_sys.dir/timeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/core/CMakeFiles/hybridic_core.dir/DependInfo.cmake"
+  "/root/repo/build2/src/bus/CMakeFiles/hybridic_bus.dir/DependInfo.cmake"
+  "/root/repo/build2/src/noc/CMakeFiles/hybridic_noc.dir/DependInfo.cmake"
+  "/root/repo/build2/src/mem/CMakeFiles/hybridic_mem.dir/DependInfo.cmake"
+  "/root/repo/build2/src/sim/CMakeFiles/hybridic_sim.dir/DependInfo.cmake"
+  "/root/repo/build2/src/prof/CMakeFiles/hybridic_prof.dir/DependInfo.cmake"
+  "/root/repo/build2/src/util/CMakeFiles/hybridic_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

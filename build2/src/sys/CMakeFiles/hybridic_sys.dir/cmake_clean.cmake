@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybridic_sys.dir/crossbar_system.cpp.o"
+  "CMakeFiles/hybridic_sys.dir/crossbar_system.cpp.o.d"
+  "CMakeFiles/hybridic_sys.dir/executor.cpp.o"
+  "CMakeFiles/hybridic_sys.dir/executor.cpp.o.d"
+  "CMakeFiles/hybridic_sys.dir/experiment.cpp.o"
+  "CMakeFiles/hybridic_sys.dir/experiment.cpp.o.d"
+  "CMakeFiles/hybridic_sys.dir/pipeline_executor.cpp.o"
+  "CMakeFiles/hybridic_sys.dir/pipeline_executor.cpp.o.d"
+  "CMakeFiles/hybridic_sys.dir/platform.cpp.o"
+  "CMakeFiles/hybridic_sys.dir/platform.cpp.o.d"
+  "CMakeFiles/hybridic_sys.dir/schedule.cpp.o"
+  "CMakeFiles/hybridic_sys.dir/schedule.cpp.o.d"
+  "CMakeFiles/hybridic_sys.dir/timeline.cpp.o"
+  "CMakeFiles/hybridic_sys.dir/timeline.cpp.o.d"
+  "libhybridic_sys.a"
+  "libhybridic_sys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybridic_sys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

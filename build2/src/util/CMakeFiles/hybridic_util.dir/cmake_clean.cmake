@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybridic_util.dir/csv.cpp.o"
+  "CMakeFiles/hybridic_util.dir/csv.cpp.o.d"
+  "CMakeFiles/hybridic_util.dir/log.cpp.o"
+  "CMakeFiles/hybridic_util.dir/log.cpp.o.d"
+  "CMakeFiles/hybridic_util.dir/table.cpp.o"
+  "CMakeFiles/hybridic_util.dir/table.cpp.o.d"
+  "CMakeFiles/hybridic_util.dir/units.cpp.o"
+  "CMakeFiles/hybridic_util.dir/units.cpp.o.d"
+  "libhybridic_util.a"
+  "libhybridic_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybridic_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

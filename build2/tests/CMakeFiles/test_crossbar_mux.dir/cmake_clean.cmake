@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crossbar_mux.dir/test_crossbar_mux.cpp.o"
+  "CMakeFiles/test_crossbar_mux.dir/test_crossbar_mux.cpp.o.d"
+  "test_crossbar_mux"
+  "test_crossbar_mux.pdb"
+  "test_crossbar_mux[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crossbar_mux.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

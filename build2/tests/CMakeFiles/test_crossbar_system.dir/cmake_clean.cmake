@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crossbar_system.dir/test_crossbar_system.cpp.o"
+  "CMakeFiles/test_crossbar_system.dir/test_crossbar_system.cpp.o.d"
+  "test_crossbar_system"
+  "test_crossbar_system.pdb"
+  "test_crossbar_system[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crossbar_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

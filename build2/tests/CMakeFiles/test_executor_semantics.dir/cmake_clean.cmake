@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_executor_semantics.dir/test_executor_semantics.cpp.o"
+  "CMakeFiles/test_executor_semantics.dir/test_executor_semantics.cpp.o.d"
+  "test_executor_semantics"
+  "test_executor_semantics.pdb"
+  "test_executor_semantics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_executor_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

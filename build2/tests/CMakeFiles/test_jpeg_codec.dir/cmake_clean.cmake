@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_jpeg_codec.dir/test_jpeg_codec.cpp.o"
+  "CMakeFiles/test_jpeg_codec.dir/test_jpeg_codec.cpp.o.d"
+  "test_jpeg_codec"
+  "test_jpeg_codec.pdb"
+  "test_jpeg_codec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_jpeg_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_log_platform.dir/test_log_platform.cpp.o"
+  "CMakeFiles/test_log_platform.dir/test_log_platform.cpp.o.d"
+  "test_log_platform"
+  "test_log_platform.pdb"
+  "test_log_platform[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_log_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_noc_stress.dir/test_noc_stress.cpp.o"
+  "CMakeFiles/test_noc_stress.dir/test_noc_stress.cpp.o.d"
+  "test_noc_stress"
+  "test_noc_stress.pdb"
+  "test_noc_stress[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_noc_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

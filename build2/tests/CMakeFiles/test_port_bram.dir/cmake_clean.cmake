@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_port_bram.dir/test_port_bram.cpp.o"
+  "CMakeFiles/test_port_bram.dir/test_port_bram.cpp.o.d"
+  "test_port_bram"
+  "test_port_bram.pdb"
+  "test_port_bram[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_port_bram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

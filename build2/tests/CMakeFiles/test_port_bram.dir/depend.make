@@ -1,0 +1,2 @@
+# Empty dependencies file for test_port_bram.
+# This may be replaced when dependencies are built.

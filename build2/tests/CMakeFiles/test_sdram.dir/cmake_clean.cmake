@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sdram.dir/test_sdram.cpp.o"
+  "CMakeFiles/test_sdram.dir/test_sdram.cpp.o.d"
+  "test_sdram"
+  "test_sdram.pdb"
+  "test_sdram[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sdram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

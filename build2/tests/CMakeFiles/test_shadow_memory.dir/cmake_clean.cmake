@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shadow_memory.dir/test_shadow_memory.cpp.o"
+  "CMakeFiles/test_shadow_memory.dir/test_shadow_memory.cpp.o.d"
+  "test_shadow_memory"
+  "test_shadow_memory.pdb"
+  "test_shadow_memory[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shadow_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_topology_routing.dir/test_topology_routing.cpp.o"
+  "CMakeFiles/test_topology_routing.dir/test_topology_routing.cpp.o.d"
+  "test_topology_routing"
+  "test_topology_routing.pdb"
+  "test_topology_routing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_topology_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tracked.dir/test_tracked.cpp.o"
+  "CMakeFiles/test_tracked.dir/test_tracked.cpp.o.d"
+  "test_tracked"
+  "test_tracked.pdb"
+  "test_tracked[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tracked.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

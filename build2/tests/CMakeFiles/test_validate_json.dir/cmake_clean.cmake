@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_validate_json.dir/test_validate_json.cpp.o"
+  "CMakeFiles/test_validate_json.dir/test_validate_json.cpp.o.d"
+  "test_validate_json"
+  "test_validate_json.pdb"
+  "test_validate_json[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_validate_json.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
