@@ -2,6 +2,10 @@
 // memory step vs the naive "attach everything to the NoC" strategy —
 // routers/adapters instantiated, interconnect area, and measured runtime,
 // across the four paper applications and a set of synthetic shapes.
+//
+// Each (app, strategy-pair) evaluation is one batch-runner job; profiles
+// come from the cache and rows are emitted in submission order, so the
+// table and CSV are byte-identical at any --threads value.
 #include <iostream>
 
 #include "apps/synthetic.hpp"
@@ -48,7 +52,11 @@ Row evaluate(const std::string& name, const sys::AppSchedule& schedule) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchOptions options = bench::parse_options(argc, argv);
+  apps::ProfileCache cache;
+  sys::BatchRunner runner{options.threads};
+
   Table table{
       "Ablation — adaptive mapping + shared memory vs naive NoC-everything"};
   table.set_header({"app", "routers (adaptive)", "routers (naive)",
@@ -59,18 +67,26 @@ int main() {
                  "adaptive_luts", "naive_luts", "adaptive_seconds",
                  "naive_seconds"}};
 
-  std::vector<Row> rows;
+  std::vector<sys::BatchRunner::Job<Row>> jobs;
   for (const auto& name : apps::paper_app_names()) {
-    const apps::ProfiledApp app = apps::run_paper_app(name);
-    rows.push_back(evaluate(name, app.schedule()));
+    jobs.push_back({"ablation-mapping/" + name,
+                    [&cache, name](sys::JobContext&) {
+                      const auto app = cache.paper_app(name);
+                      return evaluate(name, app->schedule());
+                    }});
   }
   for (const std::uint64_t seed : {101ULL, 202ULL, 303ULL}) {
     apps::SyntheticConfig config;
     config.seed = seed;
     config.kernel_count = 8;
-    const apps::ProfiledApp app = apps::make_synthetic_app(config);
-    rows.push_back(evaluate(app.name, app.schedule()));
+    jobs.push_back({"ablation-mapping/" +
+                        apps::ProfileCache::synthetic_key(config),
+                    [&cache, config](sys::JobContext&) {
+                      const auto app = cache.synthetic_app(config);
+                      return evaluate(app->name, app->schedule());
+                    }});
   }
+  const std::vector<Row> rows = runner.run(std::move(jobs));
 
   for (const Row& row : rows) {
     table.add_row({row.app, std::to_string(row.adaptive_routers),
@@ -90,5 +106,6 @@ int main() {
   std::cout << "takeaway: the adaptive strategy keeps performance "
                "(time within a few percent of naive) while instantiating "
                "fewer routers and adapters — the paper's Table IV claim\n";
+  bench::print_batch_metrics(runner, cache);
   return 0;
 }

@@ -3,17 +3,46 @@
 // numbers so every report prints paper-vs-measured side by side.
 #pragma once
 
+#include <cstdlib>
 #include <filesystem>
+#include <iostream>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "apps/app.hpp"
+#include "apps/profile_cache.hpp"
+#include "sys/batch_runner.hpp"
 #include "sys/experiment.hpp"
 #include "util/csv.hpp"
 #include "util/table.hpp"
 
 namespace hybridic::bench {
+
+/// Command-line options shared by the batch-runner-based benches.
+struct BenchOptions {
+  std::size_t threads = 0;  ///< 0 = hardware concurrency.
+};
+
+/// Parse `--threads N` (also accepts `--threads=N`). Unknown arguments
+/// abort with usage — the benches take nothing else.
+inline BenchOptions parse_options(int argc, char** argv) {
+  BenchOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string value;
+    if (arg == "--threads" && i + 1 < argc) {
+      value = argv[++i];
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      value = arg.substr(std::string("--threads=").size());
+    } else {
+      std::cerr << "usage: " << argv[0] << " [--threads N]\n";
+      std::exit(2);
+    }
+    options.threads = static_cast<std::size_t>(std::stoul(value));
+  }
+  return options;
+}
 
 /// Paper-published reference numbers (Fig. 4, Table III, Table IV, Fig. 9).
 struct PaperReference {
@@ -50,22 +79,59 @@ inline const std::map<std::string, PaperReference>& paper_reference() {
   return kRef;
 }
 
-/// Profile + design + simulate all four paper applications (deterministic;
-/// takes a few seconds).
-inline std::map<std::string, sys::AppExperiment> run_all_experiments() {
+/// Profile + design + simulate all four paper applications on the batch
+/// runner — one job per app, profiles served by `cache`. Deterministic:
+/// the result map is keyed and every job is isolated, so the outcome is
+/// bit-identical at any thread count.
+inline std::map<std::string, sys::AppExperiment> run_all_experiments(
+    apps::ProfileCache& cache, sys::BatchRunner& runner) {
+  const std::vector<std::string> names = apps::paper_app_names();
+  std::vector<sys::BatchRunner::Job<sys::AppExperiment>> jobs;
+  jobs.reserve(names.size());
+  for (const std::string& name : names) {
+    jobs.push_back(
+        {"experiment/" + name, [&cache, name](sys::JobContext&) {
+           const std::shared_ptr<const apps::ProfiledApp> app =
+               cache.paper_app(name);
+           if (!app->verified) {
+             throw ConfigError{"application self-verification failed: " +
+                               name + " (" + app->verification_note + ")"};
+           }
+           return sys::run_experiment(app->schedule(),
+                                      sys::PlatformConfig{},
+                                      app->environment);
+         }});
+  }
+  std::vector<sys::AppExperiment> results = runner.run(std::move(jobs));
   std::map<std::string, sys::AppExperiment> experiments;
-  for (const auto& name : apps::paper_app_names()) {
-    const apps::ProfiledApp app = apps::run_paper_app(name);
-    if (!app.verified) {
-      throw ConfigError{"application self-verification failed: " + name +
-                        " (" + app.verification_note + ")"};
-    }
-    experiments.emplace(name,
-                        sys::run_experiment(app.schedule(),
-                                            sys::PlatformConfig{},
-                                            app.environment));
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    experiments.emplace(names[i], std::move(results[i]));
   }
   return experiments;
+}
+
+/// Convenience overload for benches that don't need to reuse the cache or
+/// inspect batch metrics.
+inline std::map<std::string, sys::AppExperiment> run_all_experiments(
+    std::size_t threads = 0) {
+  apps::ProfileCache cache;
+  sys::BatchRunner runner{threads};
+  return run_all_experiments(cache, runner);
+}
+
+/// One-line batch metrics summary for a bench's stdout (never written into
+/// table/CSV/JSON outputs, which must stay byte-identical across thread
+/// counts).
+inline void print_batch_metrics(const sys::BatchRunner& runner,
+                                const apps::ProfileCache& cache) {
+  const sys::BatchReport& report = runner.last_report();
+  std::cout << "[batch] threads=" << report.thread_count
+            << " jobs=" << report.jobs.size()
+            << " wall=" << report.wall_seconds
+            << "s cpu=" << report.total_job_seconds()
+            << "s steals=" << report.steals
+            << " profile-cache hits=" << cache.hits() << "/"
+            << (cache.hits() + cache.misses()) << "\n";
 }
 
 /// Where CSV copies of each table/figure land (./bench_results/).

@@ -1,7 +1,12 @@
-// Performance smoke test for the allocation-free simulation core: runs the
-// three micro-workloads (profiler shadow scan, NoC traffic, bus
-// transactions) plus one end-to-end paper application, and writes the
-// measured throughput to BENCH_PR1.json so CI can archive the numbers.
+// Performance smoke test: runs the three micro-workloads (profiler shadow
+// scan, NoC traffic, bus transactions), one end-to-end paper application,
+// and the parallel batch-runner evaluation (all four AppExperiments at 1
+// thread and at N threads, profile cache warm), and writes the measured
+// numbers to BENCH_PR2.json so CI can archive them.
+//
+// Thread count and per-core throughput are recorded alongside every
+// machine-dependent figure so BENCH_PR*.json entries stay comparable
+// across machines with different core counts.
 //
 // This is deliberately NOT a google-benchmark binary: it runs each workload
 // a fixed number of times, reports wall-clock medians, and always exits 0 —
@@ -12,13 +17,16 @@
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "apps/app.hpp"
+#include "bench/bench_common.hpp"
 #include "bus/bus.hpp"
 #include "noc/network.hpp"
 #include "prof/shadow_memory.hpp"
 #include "sim/engine.hpp"
+#include "sys/batch_runner.hpp"
 #include "sys/experiment.hpp"
 
 namespace {
@@ -131,11 +139,26 @@ double end_to_end_ms(const std::string& app_name) {
          1e3;
 }
 
+/// All four AppExperiments on the batch runner at `threads`, profiles
+/// served by `cache`. Returns batch wall seconds; metrics land in `out`.
+double batch_seconds(std::size_t threads, apps::ProfileCache& cache,
+                     std::uint64_t& steals_out) {
+  sys::BatchRunner runner{threads};
+  const auto experiments = bench::run_all_experiments(cache, runner);
+  if (experiments.size() != 4) {
+    std::cerr << "batch produced wrong experiment count\n";
+  }
+  steals_out = runner.last_report().steals;
+  return runner.last_report().wall_seconds;
+}
+
 }  // namespace
 
 int main() {
-  std::cout << "perf_smoke: profiler / NoC / bus micro-workloads + one "
-               "end-to-end app\n";
+  const unsigned hw_threads = std::max(1U, std::thread::hardware_concurrency());
+  std::cout << "perf_smoke: profiler / NoC / bus micro-workloads + "
+               "end-to-end app + parallel batch ("
+            << hw_threads << " hardware threads)\n";
 
   const double scan_mb_s = shadow_scan_mb_per_sec();
   std::cout << "  shadow scan:      " << scan_mb_s << " MB/s\n";
@@ -151,16 +174,54 @@ int main() {
   const double jpeg_ms = end_to_end_ms("jpeg");
   std::cout << "  end-to-end jpeg:  " << jpeg_ms << " ms\n";
 
-  std::ofstream json{"BENCH_PR1.json"};
+  // Batch runner: cold 1-thread run (4 profile misses), then a warm
+  // N-thread run (4 hits, pure simulation fan-out), then a cold N-thread
+  // run in a fresh cache for the honest parallel-speedup figure.
+  std::uint64_t steals_1 = 0;
+  std::uint64_t steals_n_cold = 0;
+  std::uint64_t steals_n_warm = 0;
+  apps::ProfileCache cache_cold_1;
+  const double batch_1t_s = batch_seconds(1, cache_cold_1, steals_1);
+  apps::ProfileCache cache_cold_n;
+  const double batch_nt_cold_s =
+      batch_seconds(hw_threads, cache_cold_n, steals_n_cold);
+  const double batch_nt_warm_s =
+      batch_seconds(hw_threads, cache_cold_n, steals_n_warm);
+  const std::uint64_t cache_hits = cache_cold_n.hits();
+  const std::uint64_t cache_misses = cache_cold_n.misses();
+  std::cout << "  batch (4 apps):   " << batch_1t_s * 1e3 << " ms @1t, "
+            << batch_nt_cold_s * 1e3 << " ms @" << hw_threads
+            << "t cold (speedup "
+            << (batch_nt_cold_s > 0 ? batch_1t_s / batch_nt_cold_s : 0.0)
+            << "x, steals " << steals_n_cold << "), " << batch_nt_warm_s * 1e3
+            << " ms warm (cache " << cache_hits << " hits / "
+            << cache_misses << " misses)\n";
+
+  std::ofstream json{"BENCH_PR2.json"};
   json << "{\n"
        << "  \"bench\": \"perf_smoke\",\n"
-       << "  \"pr\": 1,\n"
+       << "  \"pr\": 2,\n"
+       << "  \"hardware_threads\": " << hw_threads << ",\n"
        << "  \"shadow_scan_mb_per_sec\": " << scan_mb_s << ",\n"
        << "  \"noc_events_per_sec\": " << noc_ev_s << ",\n"
        << "  \"noc_events_per_run\": " << noc_events << ",\n"
        << "  \"bus_transactions_per_sec\": " << bus_tx_s << ",\n"
-       << "  \"end_to_end_jpeg_ms\": " << jpeg_ms << "\n"
+       << "  \"noc_events_per_sec_per_core\": " << noc_ev_s / hw_threads
+       << ",\n"
+       << "  \"bus_transactions_per_sec_per_core\": " << bus_tx_s / hw_threads
+       << ",\n"
+       << "  \"end_to_end_jpeg_ms\": " << jpeg_ms << ",\n"
+       << "  \"batch_4apps_1thread_ms\": " << batch_1t_s * 1e3 << ",\n"
+       << "  \"batch_4apps_nthread_cold_ms\": " << batch_nt_cold_s * 1e3
+       << ",\n"
+       << "  \"batch_4apps_nthread_warm_ms\": " << batch_nt_warm_s * 1e3
+       << ",\n"
+       << "  \"batch_parallel_speedup\": "
+       << (batch_nt_cold_s > 0 ? batch_1t_s / batch_nt_cold_s : 0.0) << ",\n"
+       << "  \"batch_steals_nthread_cold\": " << steals_n_cold << ",\n"
+       << "  \"profile_cache_hits\": " << cache_hits << ",\n"
+       << "  \"profile_cache_misses\": " << cache_misses << "\n"
        << "}\n";
-  std::cout << "wrote BENCH_PR1.json\n";
+  std::cout << "wrote BENCH_PR2.json\n";
   return 0;
 }

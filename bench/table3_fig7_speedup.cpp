@@ -5,9 +5,12 @@
 
 #include "bench/bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hybridic;
-  const auto experiments = bench::run_all_experiments();
+  const bench::BenchOptions options = bench::parse_options(argc, argv);
+  apps::ProfileCache cache;
+  sys::BatchRunner runner{options.threads};
+  const auto experiments = bench::run_all_experiments(cache, runner);
 
   Table table{
       "Table III / Fig. 7 — proposed-system speed-ups (measured vs paper)"};
@@ -52,5 +55,6 @@ int main() {
             << "  (paper: 3.72x)\n";
   std::cout << "max app speed-up vs baseline: " << format_ratio(best_vs_base)
             << " on " << best_vs_base_app << "  (paper: 2.87x on jpeg)\n";
+  bench::print_batch_metrics(runner, cache);
   return 0;
 }

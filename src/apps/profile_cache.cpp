@@ -1,0 +1,75 @@
+#include "apps/profile_cache.hpp"
+
+#include <sstream>
+
+namespace hybridic::apps {
+
+std::shared_ptr<const ProfiledApp> ProfileCache::get(const std::string& key,
+                                                     const Factory& make) {
+  std::promise<std::shared_ptr<const ProfiledApp>> promise;
+  Entry entry;
+  {
+    std::unique_lock<std::mutex> lock{mutex_};
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      entry = it->second;
+      lock.unlock();
+      return entry.get();  // Blocks if the computation is still in flight.
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    entry = promise.get_future().share();
+    entries_.emplace(key, entry);
+  }
+  // Compute outside the lock so other keys proceed concurrently.
+  try {
+    promise.set_value(std::make_shared<const ProfiledApp>(make()));
+  } catch (...) {
+    promise.set_exception(std::current_exception());
+  }
+  return entry.get();
+}
+
+std::shared_ptr<const ProfiledApp> ProfileCache::paper_app(
+    const std::string& name) {
+  return get(paper_key(name), [&name] { return run_paper_app(name); });
+}
+
+std::shared_ptr<const ProfiledApp> ProfileCache::synthetic_app(
+    const SyntheticConfig& config) {
+  return get(synthetic_key(config),
+             [&config] { return make_synthetic_app(config); });
+}
+
+std::string ProfileCache::paper_key(const std::string& name) {
+  // Paper apps are only ever profiled at their default workload size; the
+  // key still spells that out so future size knobs cannot alias.
+  return "paper/" + name + "/default";
+}
+
+std::string ProfileCache::synthetic_key(const SyntheticConfig& config) {
+  std::ostringstream key;
+  key << "synthetic/k=" << config.kernel_count
+      << "/h=" << config.host_function_count
+      << "/p=" << config.kernel_edge_probability
+      << "/bytes=" << config.min_edge_bytes << '-' << config.max_edge_bytes
+      << "/work=" << config.min_work_units << '-' << config.max_work_units
+      << "/dup=" << config.duplicable_probability
+      << "/stream=" << config.streaming_probability
+      << "/seed=" << config.seed;
+  return key.str();
+}
+
+std::size_t ProfileCache::size() const {
+  std::unique_lock<std::mutex> lock{mutex_};
+  return entries_.size();
+}
+
+void ProfileCache::clear() {
+  std::unique_lock<std::mutex> lock{mutex_};
+  entries_.clear();
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace hybridic::apps

@@ -20,7 +20,7 @@ ShadowMemory::Page& ShadowMemory::page_for(std::uint64_t addr) {
 }
 
 const ShadowMemory::Page* ShadowMemory::page_of(std::uint64_t addr) const {
-  return find_page(addr / kPageBytes);
+  return lookup_page(addr / kPageBytes);
 }
 
 void ShadowMemory::write(std::uint64_t addr, std::uint64_t size,

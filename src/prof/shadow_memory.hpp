@@ -12,6 +12,7 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
@@ -39,8 +40,15 @@ public:
   /// reported too so the caller can decide how to treat untouched bytes.
   /// Runs spanning page boundaries (and untouched pages) are merged, so the
   /// emitted run sequence is identical to a byte-by-byte walk.
+  ///
+  /// Thread-safe against concurrent scans on a read-only (no longer
+  /// written) ShadowMemory: the scan path never touches the mutable
+  /// single-entry page cache (each page is visited exactly once per scan,
+  /// so the cache could not help here anyway), and the scan counter is
+  /// atomic. Profiling itself (write/record paths) stays single-threaded.
   template <typename Callback>
   void scan(std::uint64_t addr, std::uint64_t size, Callback&& callback) const {
+    scans_.fetch_add(1, std::memory_order_relaxed);
     if (size == 0) {
       return;
     }
@@ -52,7 +60,7 @@ public:
     while (pos < end) {
       const std::uint64_t offset = pos % kPageBytes;
       const std::uint64_t chunk = std::min(end - pos, kPageBytes - offset);
-      const Page* page = find_page(pos / kPageBytes);
+      const Page* page = lookup_page(pos / kPageBytes);
       if (page == nullptr) {
         // Whole in-page span is untouched: one kNoWriter run segment.
         if (!have_run) {
@@ -92,32 +100,31 @@ public:
 
   [[nodiscard]] std::size_t page_count() const { return pages_.size(); }
 
+  /// Number of scan() calls ever made against this shadow. The profile
+  /// memoization cache's hit path must leave this untouched (tested), which
+  /// is what "a hit does zero shadow-memory passes" means operationally.
+  [[nodiscard]] std::uint64_t scan_count() const {
+    return scans_.load(std::memory_order_relaxed);
+  }
+
 private:
   using Page = std::array<FunctionId, kPageBytes>;
 
   Page& page_for(std::uint64_t addr);
   [[nodiscard]] const Page* page_of(std::uint64_t addr) const;
 
-  /// Hash lookup of a page by key, memoized in a one-entry cache so
-  /// consecutive hits on the same page (the overwhelmingly common case for
-  /// sequential scans) skip the hash entirely. Pages are never deleted and
-  /// unique_ptr targets are stable, so the cached pointer cannot dangle.
-  [[nodiscard]] Page* find_page(std::uint64_t key) const {
-    if (cached_page_ != nullptr && key == cached_key_) {
-      return cached_page_;
-    }
+  /// Plain hash lookup with no side effects — safe from const/concurrent
+  /// readers. The write path (page_for) keeps the mutable one-entry cache,
+  /// where repeated same-page writes make it pay.
+  [[nodiscard]] const Page* lookup_page(std::uint64_t key) const {
     const auto it = pages_.find(key);
-    Page* page = it == pages_.end() ? nullptr : it->second.get();
-    if (page != nullptr) {
-      cached_key_ = key;
-      cached_page_ = page;
-    }
-    return page;
+    return it == pages_.end() ? nullptr : it->second.get();
   }
 
   std::unordered_map<std::uint64_t, std::unique_ptr<Page>> pages_;
-  mutable std::uint64_t cached_key_ = UINT64_MAX;
-  mutable Page* cached_page_ = nullptr;
+  mutable std::atomic<std::uint64_t> scans_{0};
+  std::uint64_t cached_key_ = UINT64_MAX;
+  Page* cached_page_ = nullptr;
 };
 
 }  // namespace hybridic::prof

@@ -1,0 +1,97 @@
+#include "sys/batch_runner.hpp"
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "util/error.hpp"
+
+namespace hybridic::sys {
+
+std::uint64_t job_seed(std::string_view key) {
+  // FNV-1a 64.
+  std::uint64_t hash = 0xCBF29CE484222325ULL;
+  for (const char c : key) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001B3ULL;
+  }
+  // splitmix64 finalizer: decorrelates keys differing in few bits.
+  hash = (hash ^ (hash >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  hash = (hash ^ (hash >> 27)) * 0x94D049BB133111EBULL;
+  return hash ^ (hash >> 31);
+}
+
+void BatchRunner::run_erased(
+    const std::vector<std::string>& keys,
+    const std::function<void(std::size_t, JobContext&)>& invoke) {
+  using Clock = std::chrono::steady_clock;
+
+  last_ = BatchReport{};
+  last_.thread_count = pool_.thread_count();
+  last_.jobs.resize(keys.size());
+  if (keys.empty()) {
+    return;
+  }
+
+  const std::uint64_t steals_before = pool_.steal_count();
+  const auto batch_start = Clock::now();
+
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  std::size_t remaining = keys.size();
+
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    pool_.submit([this, &keys, &invoke, &done_mutex, &done_cv, &remaining,
+                  i] {
+      JobReport& report = last_.jobs[i];  // Slot is private to this job.
+      report.key = keys[i];
+      report.seed = job_seed(keys[i]);
+      report.index = i;
+      report.worker = ThreadPool::current_worker();
+      const auto start = Clock::now();
+      try {
+        JobContext context{keys[i], report.seed, Rng{report.seed}, i};
+        invoke(i, context);
+      } catch (const std::exception& e) {
+        report.ok = false;
+        report.error = e.what();
+      } catch (...) {
+        report.ok = false;
+        report.error = "unknown exception";
+      }
+      const std::chrono::duration<double> elapsed = Clock::now() - start;
+      report.wall_seconds = elapsed.count();
+      {
+        std::unique_lock<std::mutex> lock{done_mutex};
+        --remaining;
+        // Notify under the lock: the waiter may destroy done_cv the moment
+        // it observes remaining == 0, so the signal must not outlive the
+        // critical section.
+        done_cv.notify_one();
+      }
+    });
+  }
+
+  std::unique_lock<std::mutex> lock{done_mutex};
+  done_cv.wait(lock, [&remaining] { return remaining == 0; });
+
+  const std::chrono::duration<double> batch_elapsed =
+      Clock::now() - batch_start;
+  last_.wall_seconds = batch_elapsed.count();
+  last_.steals = pool_.steal_count() - steals_before;
+}
+
+void BatchRunner::rethrow_first_failure() const {
+  for (const JobReport& job : last_.jobs) {
+    if (!job.ok) {
+      throw ConfigError{"batch job '" + job.key + "' failed: " + job.error +
+                        (last_.failed_count() > 1
+                             ? " (+" +
+                                   std::to_string(last_.failed_count() - 1) +
+                                   " more failed jobs, see last_report())"
+                             : "")};
+    }
+  }
+}
+
+}  // namespace hybridic::sys

@@ -1,0 +1,150 @@
+// Parallel experiment engine: fans independent, keyed jobs (one
+// AppExperiment, one sweep point, one synthetic shape) across a
+// work-stealing thread pool and aggregates results in submission order.
+//
+// Determinism contract — results are bit-identical regardless of thread
+// count and scheduling order because:
+//  * every job owns its state: executors build their own Platform (and
+//    therefore their own sim::Engine and stats), nothing is shared mutably;
+//  * every job gets its own RNG stream, seeded from a stable hash of the
+//    job key (never from time, thread id, or submission interleaving);
+//  * results land in a slot fixed by submission index, and callers iterate
+//    slots in order — reduction order never depends on completion order.
+//
+// A job that throws is recorded (key + message) without poisoning the
+// batch: every other job still runs to completion, and the runner stays
+// usable for further batches. run() rethrows the first failure afterwards;
+// inspect last_report() for the full picture.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace hybridic::sys {
+
+/// Handed to each job; everything a job may depend on beyond its inputs.
+struct JobContext {
+  std::string key;        ///< The job's unique key.
+  std::uint64_t seed;     ///< job_seed(key) — stable across runs/threads.
+  Rng rng;                ///< Seeded with `seed`; private to the job.
+  std::size_t index = 0;  ///< Submission index (== result slot).
+};
+
+/// Per-job execution record (submission order in BatchReport::jobs).
+struct JobReport {
+  std::string key;
+  std::uint64_t seed = 0;
+  std::size_t index = 0;
+  std::size_t worker = 0;      ///< Pool worker that ran the job.
+  double wall_seconds = 0.0;
+  bool ok = true;
+  std::string error;           ///< Exception message when !ok.
+};
+
+/// Metrics for the last run() batch.
+struct BatchReport {
+  std::size_t thread_count = 0;
+  double wall_seconds = 0.0;     ///< Submission of first to completion of last.
+  std::uint64_t steals = 0;      ///< Pool steals during this batch.
+  std::vector<JobReport> jobs;
+
+  [[nodiscard]] double total_job_seconds() const {
+    double sum = 0.0;
+    for (const JobReport& job : jobs) {
+      sum += job.wall_seconds;
+    }
+    return sum;
+  }
+  [[nodiscard]] std::size_t failed_count() const {
+    std::size_t n = 0;
+    for (const JobReport& job : jobs) {
+      n += job.ok ? 0 : 1;
+    }
+    return n;
+  }
+};
+
+/// Deterministic RNG seed for a job key: FNV-1a 64 over the key bytes,
+/// finalized with a splitmix-style mix so near-identical keys get
+/// uncorrelated streams.
+[[nodiscard]] std::uint64_t job_seed(std::string_view key);
+
+class BatchRunner {
+public:
+  /// One unit of work producing an R.
+  template <typename R>
+  struct Job {
+    std::string key;
+    std::function<R(JobContext&)> run;
+  };
+
+  /// `threads` == 0 means hardware concurrency.
+  explicit BatchRunner(std::size_t threads = 0) : pool_(threads) {}
+
+  /// Run all jobs to completion; results in submission order. If any job
+  /// threw, rethrows the first failure (by submission index) as
+  /// ConfigError after the whole batch has drained.
+  template <typename R>
+  std::vector<R> run(std::vector<Job<R>> jobs) {
+    std::vector<std::optional<R>> slots(jobs.size());
+    std::vector<std::string> keys;
+    keys.reserve(jobs.size());
+    for (const Job<R>& job : jobs) {
+      keys.push_back(job.key);
+    }
+    run_erased(keys, [&jobs, &slots](std::size_t i, JobContext& context) {
+      slots[i].emplace(jobs[i].run(context));
+    });
+    rethrow_first_failure();
+    std::vector<R> results;
+    results.reserve(slots.size());
+    for (std::optional<R>& slot : slots) {
+      results.push_back(std::move(*slot));
+    }
+    return results;
+  }
+
+  /// As run(), but failures only land in last_report() — failed jobs yield
+  /// no value, and the returned vector holds std::nullopt in their slots.
+  template <typename R>
+  std::vector<std::optional<R>> run_collect(std::vector<Job<R>> jobs) {
+    std::vector<std::optional<R>> slots(jobs.size());
+    std::vector<std::string> keys;
+    keys.reserve(jobs.size());
+    for (const Job<R>& job : jobs) {
+      keys.push_back(job.key);
+    }
+    run_erased(keys, [&jobs, &slots](std::size_t i, JobContext& context) {
+      slots[i].emplace(jobs[i].run(context));
+    });
+    return slots;
+  }
+
+  [[nodiscard]] std::size_t thread_count() const {
+    return pool_.thread_count();
+  }
+
+  /// Metrics of the most recent batch.
+  [[nodiscard]] const BatchReport& last_report() const { return last_; }
+
+private:
+  /// Run one keyed invocation per index on the pool; fills last_.
+  void run_erased(
+      const std::vector<std::string>& keys,
+      const std::function<void(std::size_t, JobContext&)>& invoke);
+
+  /// Throw ConfigError for the lowest-index failed job, if any.
+  void rethrow_first_failure() const;
+
+  ThreadPool pool_;
+  BatchReport last_;
+};
+
+}  // namespace hybridic::sys

@@ -1,13 +1,24 @@
 #include "util/log.hpp"
 
+#include <iostream>
+#include <mutex>
+#include <string>
+
 namespace hybridic {
 
-LogLevel& log_level() {
-  static LogLevel level = LogLevel::kSilent;
+std::atomic<LogLevel>& log_level() {
+  static std::atomic<LogLevel> level{LogLevel::kSilent};
   return level;
 }
 
 namespace detail {
+
+namespace {
+std::mutex& emit_mutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+}  // namespace
 
 void emit(LogLevel level, std::string_view message) {
   const char* prefix = "";
@@ -24,7 +35,15 @@ void emit(LogLevel level, std::string_view message) {
     case LogLevel::kSilent:
       return;
   }
-  std::clog << prefix << message << '\n';
+  // Compose the whole line first and write it with one insertion under the
+  // mutex: concurrent emitters produce whole lines, never fragments.
+  std::string line;
+  line.reserve(message.size() + 9);
+  line += prefix;
+  line += message;
+  line += '\n';
+  std::unique_lock<std::mutex> lock{emit_mutex()};
+  std::clog << line;
 }
 
 }  // namespace detail

@@ -1,8 +1,12 @@
 // Minimal leveled logging. Off by default; benches and examples raise the
 // level for narrative output, tests keep it silent.
+//
+// Safe for concurrent use: the level is atomic and emit() writes each fully
+// composed line under a mutex with a single stream insertion, so messages
+// from batch-runner workers never interleave mid-line.
 #pragma once
 
-#include <iostream>
+#include <atomic>
 #include <sstream>
 #include <string_view>
 
@@ -10,8 +14,10 @@ namespace hybridic {
 
 enum class LogLevel { kSilent = 0, kInfo = 1, kDebug = 2, kTrace = 3 };
 
-/// Process-wide log level (simulation is single-threaded per run).
-LogLevel& log_level();
+/// Process-wide log level. Atomic so workers may read it while a main
+/// thread adjusts it (benches set it once before spawning, but nothing
+/// breaks if they don't).
+std::atomic<LogLevel>& log_level();
 
 namespace detail {
 void emit(LogLevel level, std::string_view message);
@@ -19,7 +25,7 @@ void emit(LogLevel level, std::string_view message);
 
 template <typename... Args>
 void log_info(Args&&... args) {
-  if (log_level() >= LogLevel::kInfo) {
+  if (log_level().load(std::memory_order_relaxed) >= LogLevel::kInfo) {
     std::ostringstream oss;
     (oss << ... << args);
     detail::emit(LogLevel::kInfo, oss.str());
@@ -28,7 +34,7 @@ void log_info(Args&&... args) {
 
 template <typename... Args>
 void log_debug(Args&&... args) {
-  if (log_level() >= LogLevel::kDebug) {
+  if (log_level().load(std::memory_order_relaxed) >= LogLevel::kDebug) {
     std::ostringstream oss;
     (oss << ... << args);
     detail::emit(LogLevel::kDebug, oss.str());
@@ -37,7 +43,7 @@ void log_debug(Args&&... args) {
 
 template <typename... Args>
 void log_trace(Args&&... args) {
-  if (log_level() >= LogLevel::kTrace) {
+  if (log_level().load(std::memory_order_relaxed) >= LogLevel::kTrace) {
     std::ostringstream oss;
     (oss << ... << args);
     detail::emit(LogLevel::kTrace, oss.str());

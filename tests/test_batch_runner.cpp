@@ -1,0 +1,273 @@
+// Batch runner + profile cache: the PR-2 determinism and memoization
+// contract.
+//  (a) N-thread results are bit-identical to 1-thread results for all four
+//      paper applications (every timing, resource, and energy field, plus
+//      the serialized design).
+//  (b) A profile-cache hit returns the same CommGraph as the cold run and
+//      performs zero shadow-memory scans.
+//  (c) An exception in one job doesn't poison the pool: every other job
+//      completes and the runner stays usable.
+// Plus thread-pool and seeding basics.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/app.hpp"
+#include "apps/profile_cache.hpp"
+#include "core/json_export.hpp"
+#include "sys/batch_runner.hpp"
+#include "sys/experiment.hpp"
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+
+namespace hybridic {
+namespace {
+
+/// Run all four paper experiments through a BatchRunner with `threads`
+/// workers and a cold cache, keyed by app name.
+std::map<std::string, sys::AppExperiment> run_batch(std::size_t threads,
+                                                    apps::ProfileCache& cache) {
+  sys::BatchRunner runner{threads};
+  const std::vector<std::string> names = apps::paper_app_names();
+  std::vector<sys::BatchRunner::Job<sys::AppExperiment>> jobs;
+  for (const std::string& name : names) {
+    jobs.push_back({"experiment/" + name, [&cache, name](sys::JobContext&) {
+                      const auto app = cache.paper_app(name);
+                      return sys::run_experiment(app->schedule(),
+                                                 sys::PlatformConfig{},
+                                                 app->environment);
+                    }});
+  }
+  std::vector<sys::AppExperiment> results = runner.run(std::move(jobs));
+  std::map<std::string, sys::AppExperiment> out;
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    out.emplace(names[i], std::move(results[i]));
+  }
+  return out;
+}
+
+void expect_identical_runs(const sys::RunResult& a, const sys::RunResult& b) {
+  EXPECT_EQ(a.system_name, b.system_name);
+  EXPECT_EQ(a.total_seconds, b.total_seconds);
+  EXPECT_EQ(a.host_seconds, b.host_seconds);
+  EXPECT_EQ(a.kernel_compute_seconds, b.kernel_compute_seconds);
+  EXPECT_EQ(a.kernel_comm_seconds, b.kernel_comm_seconds);
+  ASSERT_EQ(a.steps.size(), b.steps.size());
+  for (std::size_t i = 0; i < a.steps.size(); ++i) {
+    EXPECT_EQ(a.steps[i].name, b.steps[i].name);
+    EXPECT_EQ(a.steps[i].start_seconds, b.steps[i].start_seconds);
+    EXPECT_EQ(a.steps[i].done_seconds, b.steps[i].done_seconds);
+    EXPECT_EQ(a.steps[i].compute_seconds, b.steps[i].compute_seconds);
+    EXPECT_EQ(a.steps[i].comm_seconds, b.steps[i].comm_seconds);
+  }
+}
+
+TEST(BatchRunner, FourThreadResultsBitIdenticalToOneThread) {
+  apps::ProfileCache cache_1t;
+  apps::ProfileCache cache_4t;
+  const auto serial = run_batch(1, cache_1t);
+  const auto parallel = run_batch(4, cache_4t);
+
+  ASSERT_EQ(serial.size(), 4U);
+  ASSERT_EQ(parallel.size(), 4U);
+  for (const std::string& name : apps::paper_app_names()) {
+    SCOPED_TRACE(name);
+    const sys::AppExperiment& a = serial.at(name);
+    const sys::AppExperiment& b = parallel.at(name);
+    expect_identical_runs(a.sw, b.sw);
+    expect_identical_runs(a.baseline, b.baseline);
+    expect_identical_runs(a.proposed, b.proposed);
+    expect_identical_runs(a.noc_only, b.noc_only);
+    EXPECT_EQ(a.baseline_resources.luts, b.baseline_resources.luts);
+    EXPECT_EQ(a.baseline_resources.regs, b.baseline_resources.regs);
+    EXPECT_EQ(a.proposed_resources.luts, b.proposed_resources.luts);
+    EXPECT_EQ(a.proposed_resources.regs, b.proposed_resources.regs);
+    EXPECT_EQ(a.noc_only_resources.luts, b.noc_only_resources.luts);
+    EXPECT_EQ(a.noc_only_resources.regs, b.noc_only_resources.regs);
+    EXPECT_EQ(a.baseline_power_watts, b.baseline_power_watts);
+    EXPECT_EQ(a.proposed_power_watts, b.proposed_power_watts);
+    EXPECT_EQ(a.baseline_energy_joules, b.baseline_energy_joules);
+    EXPECT_EQ(a.proposed_energy_joules, b.proposed_energy_joules);
+    // The full serialized design must match byte for byte.
+    const auto specs = cache_1t.paper_app(name)->schedule().specs;
+    EXPECT_EQ(core::to_json(a.proposed_design, specs),
+              core::to_json(b.proposed_design, specs));
+    EXPECT_EQ(a.proposed_design.solution_tag(),
+              b.proposed_design.solution_tag());
+  }
+}
+
+TEST(ProfileCache, HitReturnsSameGraphWithZeroShadowScans) {
+  apps::ProfileCache cache;
+  const auto cold = cache.paper_app("jpeg");
+  EXPECT_EQ(cache.misses(), 1U);
+  EXPECT_EQ(cache.hits(), 0U);
+
+  const std::uint64_t scans_after_cold = cold->profiler->shadow().scan_count();
+  EXPECT_GT(scans_after_cold, 0U);  // Profiling itself scanned.
+
+  const auto hit = cache.paper_app("jpeg");
+  EXPECT_EQ(cache.misses(), 1U);
+  EXPECT_EQ(cache.hits(), 1U);
+
+  // Hit path: the very same entry, and not one additional shadow pass.
+  EXPECT_EQ(hit.get(), cold.get());
+  EXPECT_EQ(hit->profiler->shadow().scan_count(), scans_after_cold);
+
+  // Same CommGraph as an independent cold run.
+  apps::ProfileCache other;
+  const auto fresh = other.paper_app("jpeg");
+  const auto edges_hit = hit->graph().edges();
+  const auto edges_fresh = fresh->graph().edges();
+  ASSERT_EQ(edges_hit.size(), edges_fresh.size());
+  for (std::size_t i = 0; i < edges_hit.size(); ++i) {
+    EXPECT_EQ(edges_hit[i].producer, edges_fresh[i].producer);
+    EXPECT_EQ(edges_hit[i].consumer, edges_fresh[i].consumer);
+    EXPECT_EQ(edges_hit[i].bytes.count(), edges_fresh[i].bytes.count());
+    EXPECT_EQ(edges_hit[i].unique_addresses, edges_fresh[i].unique_addresses);
+  }
+  EXPECT_EQ(hit->graph().function_count(), fresh->graph().function_count());
+}
+
+TEST(ProfileCache, ConcurrentRequestsProfileOnce) {
+  apps::ProfileCache cache;
+  sys::BatchRunner runner{4};
+  std::vector<sys::BatchRunner::Job<std::uint64_t>> jobs;
+  for (int i = 0; i < 8; ++i) {
+    jobs.push_back({"probe/" + std::to_string(i),
+                    [&cache](sys::JobContext&) {
+                      return cache.paper_app("canny")->graph().total_out(0)
+                          .count();
+                    }});
+  }
+  const auto totals = runner.run(std::move(jobs));
+  EXPECT_EQ(cache.misses(), 1U);
+  EXPECT_EQ(cache.hits(), 7U);
+  for (const std::uint64_t total : totals) {
+    EXPECT_EQ(total, totals.front());
+  }
+}
+
+TEST(BatchRunner, ExceptionInOneJobDoesNotPoisonPool) {
+  sys::BatchRunner runner{4};
+  std::atomic<int> completed{0};
+  std::vector<sys::BatchRunner::Job<int>> jobs;
+  for (int i = 0; i < 8; ++i) {
+    jobs.push_back({"job/" + std::to_string(i),
+                    [i, &completed](sys::JobContext&) {
+                      if (i == 3) {
+                        throw ConfigError{"job three exploded"};
+                      }
+                      completed.fetch_add(1);
+                      return i * 10;
+                    }});
+  }
+  const auto outcomes = runner.run_collect(std::move(jobs));
+
+  // Every other job ran to completion.
+  EXPECT_EQ(completed.load(), 7);
+  ASSERT_EQ(outcomes.size(), 8U);
+  for (int i = 0; i < 8; ++i) {
+    if (i == 3) {
+      EXPECT_FALSE(outcomes[static_cast<std::size_t>(i)].has_value());
+    } else {
+      ASSERT_TRUE(outcomes[static_cast<std::size_t>(i)].has_value());
+      EXPECT_EQ(*outcomes[static_cast<std::size_t>(i)], i * 10);
+    }
+  }
+  const sys::BatchReport& report = runner.last_report();
+  EXPECT_EQ(report.failed_count(), 1U);
+  EXPECT_FALSE(report.jobs[3].ok);
+  EXPECT_NE(report.jobs[3].error.find("job three exploded"),
+            std::string::npos);
+
+  // run() surfaces the failure as an exception — after the batch drained.
+  std::vector<sys::BatchRunner::Job<int>> throwing;
+  throwing.push_back({"boom", [](sys::JobContext&) -> int {
+                        throw ConfigError{"boom"};
+                      }});
+  EXPECT_THROW((void)runner.run(std::move(throwing)), ConfigError);
+
+  // The pool is still fully usable afterwards.
+  std::vector<sys::BatchRunner::Job<int>> follow_up;
+  for (int i = 0; i < 4; ++i) {
+    follow_up.push_back({"ok/" + std::to_string(i),
+                         [i](sys::JobContext&) { return i + 1; }});
+  }
+  const auto values = runner.run(std::move(follow_up));
+  EXPECT_EQ(values, (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_EQ(runner.last_report().failed_count(), 0U);
+}
+
+TEST(BatchRunner, JobSeedsAreStableAndPerKey) {
+  // Seeds depend only on the key: stable across runs, distinct across keys,
+  // and the context Rng starts from exactly that seed.
+  EXPECT_EQ(sys::job_seed("experiment/jpeg"), sys::job_seed("experiment/jpeg"));
+  EXPECT_NE(sys::job_seed("experiment/jpeg"), sys::job_seed("experiment/klt"));
+
+  sys::BatchRunner runner{4};
+  std::vector<sys::BatchRunner::Job<std::uint64_t>> jobs;
+  for (int i = 0; i < 6; ++i) {
+    jobs.push_back({"seeded/" + std::to_string(i),
+                    [](sys::JobContext& context) {
+                      Rng reference{context.seed};
+                      EXPECT_EQ(context.rng.next(), reference.next());
+                      return context.seed;
+                    }});
+  }
+  const auto seeds = runner.run(std::move(jobs));
+  const std::set<std::uint64_t> unique(seeds.begin(), seeds.end());
+  EXPECT_EQ(unique.size(), seeds.size());
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    EXPECT_EQ(seeds[i], sys::job_seed("seeded/" + std::to_string(i)));
+  }
+}
+
+TEST(ThreadPool, ExecutesEverythingAndCountsSteals) {
+  ThreadPool pool{4};
+  EXPECT_EQ(pool.thread_count(), 4U);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 64; ++i) {
+    pool.submit([&ran] { ran.fetch_add(1); });
+  }
+  while (pool.executed_count() < 64) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(ran.load(), 64);
+  EXPECT_EQ(pool.executed_count(), 64U);
+  // Workers report their identity inside tasks, not outside.
+  EXPECT_EQ(ThreadPool::current_worker(), ThreadPool::kNotAWorker);
+}
+
+TEST(BatchRunner, ReportCarriesPerJobMetrics) {
+  sys::BatchRunner runner{2};
+  std::vector<sys::BatchRunner::Job<int>> jobs;
+  for (int i = 0; i < 5; ++i) {
+    jobs.push_back({"metrics/" + std::to_string(i),
+                    [i](sys::JobContext& context) {
+                      EXPECT_EQ(context.index, static_cast<std::size_t>(i));
+                      return i;
+                    }});
+  }
+  (void)runner.run(std::move(jobs));
+  const sys::BatchReport& report = runner.last_report();
+  EXPECT_EQ(report.thread_count, 2U);
+  ASSERT_EQ(report.jobs.size(), 5U);
+  for (std::size_t i = 0; i < report.jobs.size(); ++i) {
+    EXPECT_EQ(report.jobs[i].index, i);
+    EXPECT_EQ(report.jobs[i].key, "metrics/" + std::to_string(i));
+    EXPECT_TRUE(report.jobs[i].ok);
+    EXPECT_GE(report.jobs[i].wall_seconds, 0.0);
+    EXPECT_LT(report.jobs[i].worker, 2U);
+  }
+  EXPECT_GE(report.wall_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace hybridic
