@@ -22,21 +22,26 @@ namespace hybridic::bench {
 /// Command-line options shared by the batch-runner-based benches.
 struct BenchOptions {
   std::size_t threads = 0;  ///< 0 = hardware concurrency.
+  bool trace = false;       ///< Export Chrome-trace JSON per app run.
 };
 
-/// Parse `--threads N` (also accepts `--threads=N`). Unknown arguments
-/// abort with usage — the benches take nothing else.
+/// Parse `--threads N` (also accepts `--threads=N`) and `--trace`.
+/// Unknown arguments abort with usage — the benches take nothing else.
 inline BenchOptions parse_options(int argc, char** argv) {
   BenchOptions options;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     std::string value;
+    if (arg == "--trace") {
+      options.trace = true;
+      continue;
+    }
     if (arg == "--threads" && i + 1 < argc) {
       value = argv[++i];
     } else if (arg.rfind("--threads=", 0) == 0) {
       value = arg.substr(std::string("--threads=").size());
     } else {
-      std::cerr << "usage: " << argv[0] << " [--threads N]\n";
+      std::cerr << "usage: " << argv[0] << " [--threads N] [--trace]\n";
       std::exit(2);
     }
     options.threads = static_cast<std::size_t>(std::stoul(value));

@@ -14,6 +14,7 @@
 #include "bench/bench_common.hpp"
 #include "core/design_validate.hpp"
 #include "core/json_export.hpp"
+#include "sys/engine/chrome_trace.hpp"
 #include "sys/pipeline_executor.hpp"
 #include "sys/timeline.hpp"
 
@@ -88,6 +89,25 @@ int main(int argc, char** argv) {
        << format_percent(1.0 - exp.energy_ratio_vs_baseline()) << " |\n";
   }
 
+  // ---- Per-fabric attribution (from the structured ExecTrace) ----
+  md << "\n## Per-fabric communication attribution (proposed system)\n\n";
+  md << "| app | bus | NoC | shared-mem |\n|---|---|---|---|\n";
+  const auto fabric_cell = [](const sys::engine::FabricUsage& usage) {
+    if (usage.ops == 0) {
+      return std::string("—");
+    }
+    return format_fixed(usage.busy_seconds * 1e3, 3) + " ms / " +
+           std::to_string(usage.bytes) + " B";
+  };
+  for (const auto& name : apps::paper_app_names()) {
+    const sys::engine::ExecTrace& trace = experiments.at(name).proposed.trace;
+    md << "| " << name << " | "
+       << fabric_cell(trace.usage(sys::engine::Fabric::kBus)) << " | "
+       << fabric_cell(trace.usage(sys::engine::Fabric::kNoc)) << " | "
+       << fabric_cell(trace.usage(sys::engine::Fabric::kSharedMemory))
+       << " |\n";
+  }
+
   // ---- Per-app design + timeline + validation (one job per app; the
   // profile comes from the cache, so this phase does zero re-profiling).
   (void)bench::csv_path("dummy");  // ensure bench_results/ exists
@@ -132,6 +152,20 @@ int main(int argc, char** argv) {
   }
   for (const std::string& section : runner.run(std::move(section_jobs))) {
     md << section;
+  }
+
+  // ---- Optional Chrome-trace export (opt-in: JSON files are not part of
+  // the committed byte-identical bench_results set).
+  if (options.trace) {
+    for (const auto& name : apps::paper_app_names()) {
+      const sys::AppExperiment& exp = experiments.at(name);
+      const std::string trace_path =
+          "bench_results/" + name + "_trace.json";
+      std::ofstream trace_out{trace_path};
+      sys::engine::write_chrome_trace(exp.proposed.trace,
+                                      exp.proposed.system_name, trace_out);
+      std::cout << "wrote " << trace_path << "\n";
+    }
   }
 
   const std::string path = "bench_results/REPORT.md";

@@ -8,6 +8,7 @@
 //   --dot        print the profile as Graphviz DOT
 //   --memory     print the profiler's flat memory report
 //   --timeline   print an ASCII timeline of the proposed-system run
+//   --trace      print per-fabric trace lanes + Chrome-trace JSON
 //   --json       print the design as JSON (toolchain hand-off)
 //   --validate   run the design validator and print its findings
 //   --frames=N   report pipelined multi-frame throughput over N frames
@@ -27,6 +28,7 @@
 #include "core/design_validate.hpp"
 #include "core/json_export.hpp"
 #include "prof/dot_export.hpp"
+#include "sys/engine/chrome_trace.hpp"
 #include "sys/experiment.hpp"
 #include "sys/pipeline_executor.hpp"
 #include "sys/timeline.hpp"
@@ -49,7 +51,7 @@ apps::ProfiledApp load_app(const std::string& spec) {
 void print_usage() {
   std::cout << "usage: hybridic_cli <canny|jpeg|klt|fluid|synthetic:SEED>"
                " [--design] [--profile] [--dot] [--memory] [--timeline]"
-               " [--all]\n";
+               " [--trace] [--all]\n";
 }
 
 }  // namespace
@@ -135,6 +137,12 @@ int main(int argc, char** argv) {
   }
   if (flags.count("--timeline") > 0) {
     std::cout << sys::render_timeline(exp.proposed) << "\n";
+  }
+  if (flags.count("--trace") > 0) {
+    std::cout << sys::render_trace_lanes(exp.proposed) << "\n";
+    std::cout << sys::engine::chrome_trace_json(
+                     exp.proposed.trace, exp.proposed.system_name)
+              << "\n\n";
   }
   if (frames > 0) {
     const sys::PipelineResult pipelined = sys::run_designed_pipelined(

@@ -41,4 +41,22 @@ inline constexpr std::uint32_t kFlitPayloadBytes = 4;
   return (bytes + kFlitPayloadBytes - 1) / kFlitPayloadBytes;
 }
 
+/// Idle-network latency oracle, in NoC cycles: the time for a `bytes`
+/// message to fully arrive `hops` hops away on an otherwise idle network.
+/// Serialization (payload flits plus one head flit per packet) plus the
+/// router pipeline at every hop and the final ejection stage. This is the
+/// single source of truth shared by the flit-level simulator
+/// (`Network::ideal_latency`) and the analytic executors — keep them in
+/// sync by construction, not by copy.
+[[nodiscard]] constexpr std::uint64_t idle_latency_cycles(
+    std::uint64_t bytes, std::uint32_t hops,
+    std::uint32_t max_packet_payload_bytes, std::uint32_t pipeline_cycles) {
+  const std::uint64_t packets =
+      bytes == 0
+          ? 1
+          : (bytes + max_packet_payload_bytes - 1) / max_packet_payload_bytes;
+  return payload_flits(bytes) + packets +
+         static_cast<std::uint64_t>(pipeline_cycles) * (hops + 1);
+}
+
 }  // namespace hybridic::noc

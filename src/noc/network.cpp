@@ -277,16 +277,10 @@ void Network::eject_flit_stats(const Flit& flit, Picoseconds now) {
 }
 
 Picoseconds Network::ideal_latency(Bytes bytes, std::uint32_t hops) const {
-  const std::uint64_t packets =
-      bytes.count() == 0
-          ? 1
-          : (bytes.count() + config_.max_packet_payload_bytes - 1) /
-                config_.max_packet_payload_bytes;
-  const std::uint64_t total_flits = payload_flits(bytes.count()) + packets;
-  const std::uint64_t cycles =
-      total_flits +
-      static_cast<std::uint64_t>(config_.router.pipeline_cycles) * (hops + 1);
-  return clock_->span(Cycles{cycles});
+  return clock_->span(Cycles{
+      idle_latency_cycles(bytes.count(), hops,
+                          config_.max_packet_payload_bytes,
+                          config_.router.pipeline_cycles)});
 }
 
 }  // namespace hybridic::noc

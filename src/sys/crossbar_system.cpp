@@ -1,166 +1,20 @@
 #include "sys/crossbar_system.hpp"
 
-#include <map>
-#include <set>
-
-#include "core/kernel_model.hpp"
 #include "mem/full_crossbar.hpp"
-#include "sys/exec_detail.hpp"
+#include "sys/engine/models.hpp"
+#include "sys/engine/walker.hpp"
+#include "util/error.hpp"
 
 namespace hybridic::sys {
-
-using detail::Pending;
 
 RunResult run_crossbar_system(const AppSchedule& schedule,
                               PlatformConfig config) {
   require(schedule.graph != nullptr, "schedule has no profile graph");
   require(!schedule.specs.empty(), "crossbar system needs kernels");
-  const prof::CommGraph& graph = *schedule.graph;
-
-  std::set<prof::FunctionId> hw_set;
-  std::map<prof::FunctionId, std::size_t> spec_of;
-  for (std::size_t s = 0; s < schedule.specs.size(); ++s) {
-    hw_set.insert(schedule.specs[s].function);
-    spec_of[schedule.specs[s].function] = s;
-  }
-
-  Platform platform(config, schedule.specs.size(), nullptr);
-  const sim::ClockDomain& host = platform.host_clock();
-  const sim::ClockDomain& kernel = platform.kernel_clock();
-
-  std::vector<mem::Bram*> memories;
-  for (std::size_t s = 0; s < schedule.specs.size(); ++s) {
-    memories.push_back(&platform.bram(s));
-  }
-  mem::FullCrossbar crossbar{"xbar", memories};
-
-  struct Rec {
-    Picoseconds compute_start{0};
-    Picoseconds compute_end{0};
-    Picoseconds done{0};        ///< Incl. host write-back.
-    Picoseconds delivered{0};   ///< Crossbar writes into consumers done.
-    bool executed = false;
-  };
-  std::vector<Rec> recs(schedule.specs.size());
-
-  RunResult result;
-  result.system_name = "crossbar";
-  Picoseconds t{0};  // Host cursor.
-  Picoseconds app_end{0};
-
-  for (const ScheduleStep& step : schedule.steps) {
-    StepTiming timing;
-    timing.name = step.name;
-    timing.is_kernel = step.is_kernel;
-
-    if (!step.is_kernel) {
-      Picoseconds ready = t;
-      for (const prof::CommEdge& edge : graph.edges()) {
-        if (edge.consumer != step.function ||
-            edge.producer == edge.consumer ||
-            hw_set.count(edge.producer) == 0) {
-          continue;
-        }
-        const Rec& rec = recs[spec_of.at(edge.producer)];
-        if (rec.executed) {
-          ready = std::max(ready, rec.done);
-        }
-      }
-      const Picoseconds span = host.span(step.sw_cycles);
-      timing.start_seconds = ready.seconds();
-      t = ready + span;
-      app_end = std::max(app_end, t);
-      result.host_seconds += span.seconds();
-      timing.compute_seconds = span.seconds();
-      timing.done_seconds = t.seconds();
-      result.steps.push_back(std::move(timing));
-      continue;
-    }
-
-    Rec& rec = recs[step.spec_index];
-
-    // Gate on the host's progress plus data dependencies: a kernel input
-    // written through the crossbar is ready when the producer finished
-    // streaming it (max of producer end and the port-level write).
-    Picoseconds gate = t;
-    Bytes host_in{0};
-    for (const prof::CommEdge& edge : graph.edges()) {
-      if (edge.consumer != step.function ||
-          edge.producer == edge.consumer) {
-        continue;
-      }
-      if (hw_set.count(edge.producer) == 0) {
-        host_in += core::edge_volume(edge);
-        continue;
-      }
-      const Rec& producer = recs[spec_of.at(edge.producer)];
-      if (!producer.executed) {
-        continue;  // Backward/feedback edge: data already resident.
-      }
-      gate = std::max(gate,
-                      std::max(producer.compute_end, producer.delivered));
-    }
-
-    Bytes host_out{0};
-    for (const prof::CommEdge& edge : graph.edges()) {
-      if (edge.producer != step.function ||
-          edge.producer == edge.consumer) {
-        continue;
-      }
-      if (hw_set.count(edge.consumer) == 0) {
-        host_out += core::edge_volume(edge);
-      }
-    }
-
-    // Host input over the bus.
-    Pending fetch;
-    detail::issue_dma(platform, gate, bus::DmaDirection::kMemToLocal,
-                      host_in, platform.bram(step.spec_index), fetch);
-    detail::wait_all(platform, {&fetch});
-    rec.compute_start = std::max(fetch.at, gate);
-    rec.compute_end = rec.compute_start + kernel.span(step.hw_cycles);
-
-    // Stream kernel-bound outputs through the crossbar during compute:
-    // each consumer's BRAM port B is reserved from compute start.
-    rec.delivered = rec.compute_end;
-    for (const prof::CommEdge& edge : graph.edges()) {
-      if (edge.producer != step.function ||
-          edge.producer == edge.consumer ||
-          hw_set.count(edge.consumer) == 0) {
-        continue;
-      }
-      const std::size_t target = spec_of.at(edge.consumer);
-      const Picoseconds write_done = crossbar.access(
-          static_cast<std::uint32_t>(step.spec_index),
-          static_cast<std::uint32_t>(target), rec.compute_start,
-          core::edge_volume(edge));
-      rec.delivered = std::max(rec.delivered, write_done);
-    }
-
-    // Host-bound output over the bus.
-    Pending writeback;
-    detail::issue_dma(platform, rec.compute_end,
-                      bus::DmaDirection::kLocalToMem, host_out,
-                      platform.bram(step.spec_index), writeback);
-    detail::wait_all(platform, {&writeback});
-    rec.done = std::max(rec.compute_end, writeback.at);
-    rec.executed = true;
-
-    app_end = std::max(app_end, std::max(rec.done, rec.delivered));
-    const double compute = kernel.span(step.hw_cycles).seconds();
-    const double comm =
-        std::max(0.0, (rec.done - gate).seconds() - compute);
-    result.kernel_compute_seconds += compute;
-    result.kernel_comm_seconds += comm;
-    timing.start_seconds = gate.seconds();
-    timing.compute_seconds = compute;
-    timing.comm_seconds = comm;
-    timing.done_seconds = rec.done.seconds();
-    result.steps.push_back(std::move(timing));
-  }
-
-  result.total_seconds = app_end.seconds();
-  return result;
+  engine::ExecContext ctx(schedule, config, nullptr);
+  engine::ScheduleWalker walker(schedule, "crossbar");
+  engine::CrossbarModel model(ctx, &walker.trace());
+  return walker.run(model);
 }
 
 core::Resources crossbar_system_resources(std::uint32_t kernel_count) {

@@ -1,0 +1,96 @@
+#include "sys/engine/chrome_trace.hpp"
+
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace hybridic::sys::engine {
+namespace {
+
+// Minimal JSON string escaping (labels are ASCII step/op names, but stay
+// safe for anything that ends up in one).
+std::string escaped(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// Chrome-trace timestamps are microseconds; print with sub-ns resolution
+// so picosecond-scale events stay distinct.
+std::string micros(double seconds) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6f", seconds * 1e6);
+  return buf;
+}
+
+}  // namespace
+
+void write_chrome_trace(const ExecTrace& trace,
+                        const std::string& system_name, std::ostream& out) {
+  out << "{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [\n";
+  bool first = true;
+  const auto emit_comma = [&] {
+    if (!first) {
+      out << ",\n";
+    }
+    first = false;
+  };
+  // Metadata: name the process after the system variant, one named thread
+  // (track) per fabric.
+  emit_comma();
+  out << "    {\"ph\": \"M\", \"pid\": 0, \"tid\": 0, \"name\": "
+         "\"process_name\", \"args\": {\"name\": \""
+      << escaped(system_name) << "\"}}";
+  for (std::size_t f = 0; f < kFabricCount; ++f) {
+    emit_comma();
+    out << "    {\"ph\": \"M\", \"pid\": 0, \"tid\": " << f
+        << ", \"name\": \"thread_name\", \"args\": {\"name\": \""
+        << fabric_name(static_cast<Fabric>(f)) << "\"}}";
+  }
+  for (const std::size_t i : trace.chronological()) {
+    const TraceEvent& event = trace.events()[i];
+    emit_comma();
+    out << "    {\"ph\": \"X\", \"pid\": 0, \"tid\": "
+        << static_cast<unsigned>(event.fabric) << ", \"name\": \""
+        << escaped(event.label) << "\", \"cat\": \""
+        << event_kind_name(event.kind) << "\", \"ts\": "
+        << micros(event.start_seconds) << ", \"dur\": "
+        << micros(event.end_seconds - event.start_seconds)
+        << ", \"args\": {\"step\": " << event.step_index
+        << ", \"bytes\": " << event.bytes << "}}";
+  }
+  out << "\n  ]\n}\n";
+}
+
+std::string chrome_trace_json(const ExecTrace& trace,
+                              const std::string& system_name) {
+  std::ostringstream out;
+  write_chrome_trace(trace, system_name, out);
+  return out.str();
+}
+
+}  // namespace hybridic::sys::engine

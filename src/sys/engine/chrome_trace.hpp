@@ -1,0 +1,23 @@
+// Chrome-trace (Perfetto-loadable) JSON export of an ExecTrace: one track
+// per fabric, one complete ("X") event per trace event. Load the file at
+// https://ui.perfetto.dev or chrome://tracing.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sys/engine/trace.hpp"
+
+namespace hybridic::sys::engine {
+
+/// Write `trace` as a Chrome-trace JSON object ("traceEvents" array plus
+/// thread-name metadata). `system_name` becomes the process name so traces
+/// from several variants can be compared side by side.
+void write_chrome_trace(const ExecTrace& trace,
+                        const std::string& system_name, std::ostream& out);
+
+/// Convenience wrapper returning the JSON as a string.
+[[nodiscard]] std::string chrome_trace_json(const ExecTrace& trace,
+                                            const std::string& system_name);
+
+}  // namespace hybridic::sys::engine

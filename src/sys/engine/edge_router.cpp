@@ -1,0 +1,70 @@
+#include "sys/engine/edge_router.hpp"
+
+#include "noc/topology.hpp"
+
+namespace hybridic::sys::engine {
+
+EdgeRouter::EdgeRouter(ExecContext& ctx, const core::DesignResult* design)
+    : ctx_(&ctx), design_(design) {
+  if (design == nullptr) {
+    return;
+  }
+  duplicated_specs_.insert(design->parallel.duplicated_specs.begin(),
+                           design->parallel.duplicated_specs.end());
+  case1_instances_.insert(design->parallel.host_pipelined.begin(),
+                          design->parallel.host_pipelined.end());
+  for (const core::StreamedEdge& e : design->parallel.streamed) {
+    streamed_pairs_.insert({e.producer_instance, e.consumer_instance});
+  }
+  for (const core::SharedMemoryPairing& pair : design->shared_pairs) {
+    shared_by_fn_[{design->instances[pair.producer_instance].function,
+                   design->instances[pair.consumer_instance].function}] =
+        &pair;
+  }
+}
+
+bool EdgeRouter::noc_reachable(std::size_t producer_instance,
+                               std::size_t consumer_instance) const {
+  Platform& platform = ctx_->platform();
+  return platform.network() != nullptr &&
+         platform.noc_node(producer_instance, core::NocNodeKind::kKernel)
+             .has_value() &&
+         platform
+             .noc_node(consumer_instance, core::NocNodeKind::kLocalMemory)
+             .has_value();
+}
+
+const core::SharedMemoryPairing* EdgeRouter::shared_pair(
+    prof::FunctionId producer, prof::FunctionId consumer) const {
+  const auto it = shared_by_fn_.find({producer, consumer});
+  return it == shared_by_fn_.end() ? nullptr : it->second;
+}
+
+std::uint32_t EdgeRouter::noc_hops(prof::FunctionId producer,
+                                   prof::FunctionId consumer) const {
+  if (design_ == nullptr || !design_->noc.has_value()) {
+    return 0;
+  }
+  // Find the producer's kernel node and the consumer's memory node.
+  std::int64_t pk = -1;
+  std::int64_t cm = -1;
+  for (const core::NocAttachment& a : design_->noc->attachments) {
+    if (design_->instances[a.instance].function == producer &&
+        a.kind == core::NocNodeKind::kKernel) {
+      pk = a.node;
+    }
+    if (design_->instances[a.instance].function == consumer &&
+        a.kind == core::NocNodeKind::kLocalMemory) {
+      cm = a.node;
+    }
+  }
+  if (pk < 0 || cm < 0) {
+    return 0;  // Not NoC-reachable.
+  }
+  const noc::Mesh2D mesh{design_->noc->mesh_width,
+                         design_->noc->mesh_height};
+  return mesh.distance(static_cast<std::uint32_t>(pk),
+                       static_cast<std::uint32_t>(cm));
+}
+
+}  // namespace hybridic::sys::engine

@@ -1,0 +1,155 @@
+// The five system variants, expressed as VariantModels over the shared
+// engine. Each model owns only its variant-specific timing semantics; the
+// schedule loop, StepTiming assembly, hw-set/spec-index/Platform
+// construction, pending-op orchestration, and trace recording all live in
+// the engine (walker / context / ops / policies).
+//
+//  - SoftwareModel: everything on the 400 MHz host (the paper's SW column).
+//  - BaselineModel: the conventional bus accelerator (§III-A) — per kernel
+//    invocation, DMA-in everything, compute, DMA-out everything.
+//  - DesignedModel: the proposed hybrid system (§IV) — shared-local-memory
+//    pairs move bytes for free, kernel→kernel traffic overlaps producer
+//    compute on the NoC, host traffic stays on the bus with optional
+//    case-1 half-pipelining and case-2 streaming; duplicated instances run
+//    concurrently. The NoC-only comparison system is the same model with a
+//    shared-pair-free, naively mapped DesignResult.
+//  - CrossbarModel: the full-crossbar comparison fabric (§II-A group 4).
+#pragma once
+
+#include <deque>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "sys/engine/context.hpp"
+#include "sys/engine/edge_router.hpp"
+#include "sys/engine/policies.hpp"
+#include "sys/engine/walker.hpp"
+
+namespace hybridic::sys::engine {
+
+class SoftwareModel : public VariantModel {
+public:
+  explicit SoftwareModel(const PlatformConfig& config)
+      : period_(config.host_clock.period().seconds()) {}
+
+  StepOutcome host_step(std::uint32_t /*index*/,
+                        const ScheduleStep& step) override {
+    return run(step);
+  }
+  StepOutcome kernel_step(std::uint32_t /*index*/,
+                          const ScheduleStep& step) override {
+    return run(step);
+  }
+  [[nodiscard]] double total_seconds() const override { return t_; }
+
+private:
+  StepOutcome run(const ScheduleStep& step);
+
+  double period_;
+  double t_ = 0.0;  ///< Host cursor: the SW reference sums in doubles.
+};
+
+class BaselineModel : public VariantModel {
+public:
+  BaselineModel(ExecContext& ctx, ExecTrace* trace)
+      : ctx_(&ctx), bus_(ctx, trace) {}
+
+  StepOutcome host_step(std::uint32_t index,
+                        const ScheduleStep& step) override;
+  StepOutcome kernel_step(std::uint32_t index,
+                          const ScheduleStep& step) override;
+  [[nodiscard]] double total_seconds() const override {
+    return t_.seconds();
+  }
+
+private:
+  ExecContext* ctx_;
+  BusDmaPolicy bus_;
+  Picoseconds t_{0};
+};
+
+class DesignedModel : public VariantModel {
+public:
+  DesignedModel(ExecContext& ctx, EdgeRouter& router, ExecTrace* trace);
+
+  StepOutcome host_step(std::uint32_t index,
+                        const ScheduleStep& step) override;
+  StepOutcome kernel_step(std::uint32_t index,
+                          const ScheduleStep& step) override;
+  [[nodiscard]] double total_seconds() const override {
+    return app_end_.seconds();
+  }
+
+private:
+  /// Timing record of one executed kernel instance.
+  struct InstRec {
+    Picoseconds gate{0};
+    Picoseconds compute_start{0};
+    Picoseconds compute_end{0};
+    Picoseconds done{0};
+    Picoseconds tau_eff{0};
+  };
+  /// Per-instance work plan for one kernel step.
+  struct Plan {
+    std::size_t instance = 0;
+    Picoseconds gate{0};
+    Bytes host_in{0};
+    Bytes host_out{0};
+    bool case1 = false;
+    Pending fetch1;
+    Pending fetch2;
+    std::deque<NocSendOp> sends;  // deque: stable addresses for callbacks
+    Pending wb1;
+    Pending wb2;
+  };
+
+  ExecContext* ctx_;
+  EdgeRouter* router_;
+  ExecTrace* trace_;
+  BusDmaPolicy bus_;
+  SharedMemoryPolicy shared_;
+  NocPolicy noc_;
+  Picoseconds stream_overhead_;
+  Picoseconds dup_overhead_;
+
+  std::vector<InstRec> recs_;
+  std::vector<bool> executed_;
+  std::map<std::pair<std::size_t, std::size_t>, Picoseconds> delivery_;
+  Picoseconds t_{0};        ///< Host cursor.
+  Picoseconds app_end_{0};  ///< Includes NoC deliveries past step ends.
+};
+
+class CrossbarModel : public VariantModel {
+public:
+  CrossbarModel(ExecContext& ctx, ExecTrace* trace)
+      : ctx_(&ctx), bus_(ctx, trace), crossbar_(ctx, trace),
+        trace_(trace), recs_(ctx.schedule().specs.size()) {}
+
+  StepOutcome host_step(std::uint32_t index,
+                        const ScheduleStep& step) override;
+  StepOutcome kernel_step(std::uint32_t index,
+                          const ScheduleStep& step) override;
+  [[nodiscard]] double total_seconds() const override {
+    return app_end_.seconds();
+  }
+
+private:
+  struct Rec {
+    Picoseconds compute_start{0};
+    Picoseconds compute_end{0};
+    Picoseconds done{0};       ///< Incl. host write-back.
+    Picoseconds delivered{0};  ///< Crossbar writes into consumers done.
+    bool executed = false;
+  };
+
+  ExecContext* ctx_;
+  BusDmaPolicy bus_;
+  CrossbarPolicy crossbar_;
+  ExecTrace* trace_;
+  std::vector<Rec> recs_;
+  Picoseconds t_{0};
+  Picoseconds app_end_{0};
+};
+
+}  // namespace hybridic::sys::engine

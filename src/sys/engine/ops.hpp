@@ -1,0 +1,101 @@
+// Pending-operation bookkeeping around the event-driven fabrics — the one
+// copy of the orchestration every executor used to duplicate. Operations
+// carry labels so a never-completing op can be diagnosed by name, and
+// completions are recorded into the run's ExecTrace.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "bus/dma.hpp"
+#include "sys/engine/trace.hpp"
+#include "sys/platform.hpp"
+#include "util/error.hpp"
+
+namespace hybridic::sys::engine {
+
+inline Picoseconds from_seconds(double seconds) {
+  return Picoseconds{static_cast<std::uint64_t>(
+      std::llround(std::max(0.0, seconds) * 1e12))};
+}
+
+inline Bytes scale_bytes(Bytes bytes, double share) {
+  return Bytes{static_cast<std::uint64_t>(
+      std::llround(static_cast<double>(bytes.count()) * share))};
+}
+
+/// Completion marker for an asynchronous fabric operation.
+struct Pending {
+  bool done = false;
+  Picoseconds at{0};
+  std::string label;  ///< Names the op in deadlock diagnostics and traces.
+};
+
+/// Issue a DMA block transfer at (or after) `when`; zero bytes complete
+/// immediately at the requested time (no fabric involvement, no event).
+/// On completion the transfer is recorded into `trace` (when non-null) as
+/// a dma-in/dma-out event attributed to `step_index`.
+inline void issue_dma(Platform& platform, Picoseconds when,
+                      bus::DmaDirection dir, Bytes bytes, mem::Bram& bram,
+                      Pending& op, std::string label,
+                      ExecTrace* trace = nullptr,
+                      std::uint32_t step_index = 0) {
+  op.label = std::move(label);
+  if (bytes.count() == 0) {
+    op.done = true;
+    op.at = when;
+    return;
+  }
+  const Picoseconds at = std::max(when, platform.engine().now());
+  platform.engine().schedule_at(
+      at, [&platform, dir, bytes, &bram, &op, trace, step_index, at] {
+        platform.dma().transfer(
+            dir, bytes, bram,
+            [&op, trace, dir, bytes, step_index, at](Picoseconds done_at) {
+              op.done = true;
+              op.at = done_at;
+              if (trace != nullptr) {
+                trace->record({dir == bus::DmaDirection::kMemToLocal
+                                   ? EventKind::kDmaIn
+                                   : EventKind::kDmaOut,
+                               Fabric::kBus, step_index, bytes.count(),
+                               at.seconds(), done_at.seconds(), op.label});
+              }
+            });
+      });
+}
+
+/// Run the simulation until every op completed. If one never does, the
+/// failure names the stuck operation and the simulated time the engine
+/// drained at, instead of a bare "deadlock?".
+inline void wait_all(Platform& platform, const std::vector<Pending*>& ops) {
+  platform.engine().run_until([&ops] {
+    for (const Pending* op : ops) {
+      if (!op->done) {
+        return false;
+      }
+    }
+    return true;
+  });
+  for (const Pending* op : ops) {
+    if (!op->done) {
+      std::string stuck;
+      for (const Pending* o : ops) {
+        if (!o->done) {
+          stuck += stuck.empty() ? "'" : ", '";
+          stuck += o->label.empty() ? std::string{"<unlabeled>"} : o->label;
+          stuck += "'";
+        }
+      }
+      sim_assert(false,
+                 "fabric operation " + stuck +
+                     " never completed; simulation drained at t=" +
+                     std::to_string(platform.engine().now().seconds()) +
+                     " s (deadlock?)");
+    }
+  }
+}
+
+}  // namespace hybridic::sys::engine

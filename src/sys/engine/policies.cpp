@@ -1,0 +1,71 @@
+#include "sys/engine/policies.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "noc/flit.hpp"
+#include "noc/network.hpp"
+
+namespace hybridic::sys::engine {
+
+void NocPolicy::send(std::uint32_t step, std::string label,
+                     std::uint32_t source, std::uint32_t destination,
+                     Bytes bytes, Picoseconds when, NocSendOp& send,
+                     std::function<void(Picoseconds)> on_delivered) {
+  send.op.label = std::move(label);
+  send.step = step;
+  send.trace = trace_;
+  send.when = when;
+  send.on_delivered = std::move(on_delivered);
+  noc::Network* network = ctx_->platform().network();
+  ctx_->platform().engine().schedule_at(
+      when, [network, source, destination, bytes, &send] {
+        network->send(source, destination, bytes,
+                      [&send, bytes](std::uint64_t, Bytes, Picoseconds at) {
+                        send.op.done = true;
+                        send.op.at = at;
+                        if (send.trace != nullptr) {
+                          send.trace->record(
+                              {EventKind::kNocTransfer, Fabric::kNoc,
+                               send.step, bytes.count(), send.when.seconds(),
+                               at.seconds(), send.op.label});
+                        }
+                        if (send.on_delivered) {
+                          send.on_delivered(at);
+                        }
+                      });
+      });
+}
+
+double NocPolicy::idle_latency_seconds(const PlatformConfig& config,
+                                       Bytes bytes, std::uint32_t hops) {
+  const std::uint64_t cycles = noc::idle_latency_cycles(
+      bytes.count(), hops, config.noc.max_packet_payload_bytes,
+      config.noc.router.pipeline_cycles);
+  return static_cast<double>(cycles) /
+         static_cast<double>(config.noc_clock.hertz());
+}
+
+CrossbarPolicy::CrossbarPolicy(ExecContext& ctx, ExecTrace* trace)
+    : trace_(trace) {
+  std::vector<mem::Bram*> memories;
+  for (std::size_t s = 0; s < ctx.instance_count(); ++s) {
+    memories.push_back(&ctx.platform().bram(s));
+  }
+  crossbar_ = std::make_unique<mem::FullCrossbar>("xbar", memories);
+}
+
+Picoseconds CrossbarPolicy::stream(std::uint32_t step,
+                                   const std::string& label,
+                                   std::uint32_t source,
+                                   std::uint32_t target, Picoseconds start,
+                                   Bytes bytes) {
+  const Picoseconds done = crossbar_->access(source, target, start, bytes);
+  if (trace_ != nullptr) {
+    trace_->record({EventKind::kNocTransfer, Fabric::kCrossbar, step,
+                    bytes.count(), start.seconds(), done.seconds(), label});
+  }
+  return done;
+}
+
+}  // namespace hybridic::sys::engine

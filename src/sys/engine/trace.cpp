@@ -1,0 +1,60 @@
+#include "sys/engine/trace.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace hybridic::sys::engine {
+
+const char* fabric_name(Fabric fabric) {
+  switch (fabric) {
+    case Fabric::kHost: return "host";
+    case Fabric::kKernel: return "kernel";
+    case Fabric::kBus: return "bus";
+    case Fabric::kNoc: return "noc";
+    case Fabric::kSharedMemory: return "shared-mem";
+    case Fabric::kCrossbar: return "crossbar";
+  }
+  return "?";
+}
+
+const char* event_kind_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::kCompute: return "compute";
+    case EventKind::kDmaIn: return "dma-in";
+    case EventKind::kDmaOut: return "dma-out";
+    case EventKind::kNocTransfer: return "noc-transfer";
+    case EventKind::kSharedHandoff: return "shared-handoff";
+    case EventKind::kStall: return "stall";
+  }
+  return "?";
+}
+
+void ExecTrace::record(TraceEvent event) {
+  if (event.kind != EventKind::kStall) {
+    FabricUsage& usage = usage_[static_cast<std::size_t>(event.fabric)];
+    usage.busy_seconds += event.end_seconds - event.start_seconds;
+    usage.bytes += event.bytes;
+    ++usage.ops;
+  }
+  events_.push_back(std::move(event));
+}
+
+std::vector<std::size_t> ExecTrace::chronological() const {
+  std::vector<std::size_t> order(events_.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [this](std::size_t a, std::size_t b) {
+                     const TraceEvent& ea = events_[a];
+                     const TraceEvent& eb = events_[b];
+                     if (ea.start_seconds != eb.start_seconds) {
+                       return ea.start_seconds < eb.start_seconds;
+                     }
+                     if (ea.end_seconds != eb.end_seconds) {
+                       return ea.end_seconds < eb.end_seconds;
+                     }
+                     return ea.label < eb.label;
+                   });
+  return order;
+}
+
+}  // namespace hybridic::sys::engine

@@ -1,0 +1,49 @@
+#include "sys/engine/walker.hpp"
+
+#include <utility>
+
+#include "sys/executor.hpp"
+
+namespace hybridic::sys::engine {
+
+ScheduleWalker::ScheduleWalker(const AppSchedule& schedule,
+                               std::string system_name)
+    : schedule_(&schedule), system_name_(std::move(system_name)) {}
+
+RunResult ScheduleWalker::run(VariantModel& model) {
+  RunResult result;
+  result.system_name = system_name_;
+  std::uint32_t index = 0;
+  for (const ScheduleStep& step : schedule_->steps) {
+    const StepOutcome outcome = step.is_kernel
+                                    ? model.kernel_step(index, step)
+                                    : model.host_step(index, step);
+    StepTiming timing;
+    timing.name = step.name;
+    timing.is_kernel = step.is_kernel;
+    timing.start_seconds = outcome.start_seconds;
+    timing.done_seconds = outcome.done_seconds;
+    timing.compute_seconds = outcome.compute_seconds;
+    timing.comm_seconds = outcome.comm_seconds;
+    if (step.is_kernel) {
+      result.kernel_compute_seconds += outcome.compute_seconds;
+      result.kernel_comm_seconds += outcome.comm_seconds;
+    } else {
+      result.host_seconds += outcome.compute_seconds;
+    }
+    if (step.is_kernel || outcome.compute_seconds > 0.0) {
+      trace_.record({EventKind::kCompute,
+                     step.is_kernel ? Fabric::kKernel : Fabric::kHost,
+                     index, 0, outcome.compute_start_seconds,
+                     outcome.compute_start_seconds + outcome.compute_seconds,
+                     step.name});
+    }
+    result.steps.push_back(std::move(timing));
+    ++index;
+  }
+  result.total_seconds = model.total_seconds();
+  result.trace = std::move(trace_);
+  return result;
+}
+
+}  // namespace hybridic::sys::engine

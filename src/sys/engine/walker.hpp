@@ -1,0 +1,63 @@
+// ScheduleWalker: the one schedule-replay loop behind every system
+// variant. The walker owns what the five executors used to each
+// re-implement — iterating the AppSchedule in program order, assembling
+// StepTiming rows, accumulating host/kernel-compute/kernel-comm
+// attribution, and recording per-step compute events into the ExecTrace —
+// while a VariantModel supplies the per-step timing on its fabrics.
+#pragma once
+
+#include <string>
+
+#include "sys/engine/trace.hpp"
+#include "sys/schedule.hpp"
+
+namespace hybridic::sys {
+struct RunResult;
+}  // namespace hybridic::sys
+
+namespace hybridic::sys::engine {
+
+/// What one executed step reports back to the walker.
+struct StepOutcome {
+  double start_seconds = 0.0;
+  double done_seconds = 0.0;
+  double compute_seconds = 0.0;
+  double comm_seconds = 0.0;  ///< Exposed (non-hidden) communication.
+  /// Where the compute window begins — anchors the step's compute event in
+  /// the trace (equals start_seconds when nothing precedes the compute).
+  double compute_start_seconds = 0.0;
+};
+
+/// A system variant: how one schedule step executes on its fabrics.
+/// Models hold their own cursors and inter-step state; the walker only
+/// sequences steps and aggregates results.
+class VariantModel {
+public:
+  virtual ~VariantModel() = default;
+  virtual StepOutcome host_step(std::uint32_t index,
+                                const ScheduleStep& step) = 0;
+  virtual StepOutcome kernel_step(std::uint32_t index,
+                                  const ScheduleStep& step) = 0;
+  /// Application end time; called once after the last step.
+  [[nodiscard]] virtual double total_seconds() const = 0;
+};
+
+/// Replays an AppSchedule through a VariantModel into a RunResult.
+class ScheduleWalker {
+public:
+  ScheduleWalker(const AppSchedule& schedule, std::string system_name);
+
+  /// The trace under construction — models hand this to their policies so
+  /// fabric events land in the same log as the walker's compute events.
+  [[nodiscard]] ExecTrace& trace() { return trace_; }
+
+  /// Walk all steps; the trace moves into the returned result.
+  [[nodiscard]] RunResult run(VariantModel& model);
+
+private:
+  const AppSchedule* schedule_;
+  std::string system_name_;
+  ExecTrace trace_;
+};
+
+}  // namespace hybridic::sys::engine

@@ -1,539 +1,38 @@
 #include "sys/executor.hpp"
 
-#include <algorithm>
-#include <cmath>
-#include <deque>
-#include <map>
-#include <set>
-#include <vector>
+#include <utility>
 
-#include "core/kernel_model.hpp"
-#include "sys/exec_detail.hpp"
+#include "sys/engine/models.hpp"
+#include "sys/engine/walker.hpp"
 #include "util/error.hpp"
 
 namespace hybridic::sys {
 
-using detail::from_seconds;
-using detail::issue_dma;
-using detail::Pending;
-using detail::scale_bytes;
-using detail::wait_all;
-
 RunResult run_software(const AppSchedule& schedule,
                        const PlatformConfig& config) {
-  RunResult result;
-  result.system_name = "software";
-  const double period = config.host_clock.period().seconds();
-  double t = 0.0;
-  for (const ScheduleStep& step : schedule.steps) {
-    const double span = static_cast<double>(step.sw_cycles.count()) * period;
-    StepTiming timing;
-    timing.name = step.name;
-    timing.is_kernel = step.is_kernel;
-    timing.start_seconds = t;
-    t += span;
-    timing.done_seconds = t;
-    timing.compute_seconds = span;
-    if (step.is_kernel) {
-      result.kernel_compute_seconds += span;
-    } else {
-      result.host_seconds += span;
-    }
-    result.steps.push_back(std::move(timing));
-  }
-  result.total_seconds = t;
-  return result;
+  engine::ScheduleWalker walker(schedule, "software");
+  engine::SoftwareModel model(config);
+  return walker.run(model);
 }
 
 RunResult run_baseline(const AppSchedule& schedule, PlatformConfig config) {
   require(schedule.graph != nullptr, "schedule has no profile graph");
-  const prof::CommGraph& graph = *schedule.graph;
-
-  std::set<prof::FunctionId> hw_set;
-  for (const core::KernelSpec& spec : schedule.specs) {
-    hw_set.insert(spec.function);
-  }
-
-  Platform platform(config, schedule.specs.size(), nullptr);
-  const sim::ClockDomain& host = platform.host_clock();
-  const sim::ClockDomain& kernel = platform.kernel_clock();
-
-  RunResult result;
-  result.system_name = "baseline";
-  Picoseconds t{0};
-
-  for (const ScheduleStep& step : schedule.steps) {
-    StepTiming timing;
-    timing.name = step.name;
-    timing.is_kernel = step.is_kernel;
-    timing.start_seconds = t.seconds();
-
-    if (!step.is_kernel) {
-      const Picoseconds span = host.span(step.sw_cycles);
-      t += span;
-      result.host_seconds += span.seconds();
-      timing.compute_seconds = span.seconds();
-      timing.done_seconds = t.seconds();
-      result.steps.push_back(std::move(timing));
-      continue;
-    }
-
-    // Baseline kernel invocation: fetch everything, compute, write back
-    // everything (Eq. 2 behaviour on the measured fabrics).
-    const core::KernelQuantities q =
-        core::derive_quantities(graph, step.function, hw_set);
-    mem::Bram& bram = platform.bram(step.spec_index);
-
-    Pending fetch;
-    issue_dma(platform, t, bus::DmaDirection::kMemToLocal, q.total_in(),
-              bram, fetch);
-    wait_all(platform, {&fetch});
-    const Picoseconds compute_start = std::max(fetch.at, t);
-    const Picoseconds compute_end = compute_start + kernel.span(step.hw_cycles);
-
-    Pending writeback;
-    issue_dma(platform, compute_end, bus::DmaDirection::kLocalToMem,
-              q.total_out(), bram, writeback);
-    wait_all(platform, {&writeback});
-    const Picoseconds done = std::max(writeback.at, compute_end);
-
-    const double compute = (compute_end - compute_start).seconds();
-    const double comm = (done - t).seconds() - compute;
-    result.kernel_compute_seconds += compute;
-    result.kernel_comm_seconds += std::max(0.0, comm);
-    timing.compute_seconds = compute;
-    timing.comm_seconds = std::max(0.0, comm);
-    t = done;
-    timing.done_seconds = t.seconds();
-    result.steps.push_back(std::move(timing));
-  }
-  result.total_seconds = t.seconds();
-  return result;
+  engine::ExecContext ctx(schedule, config, nullptr);
+  engine::ScheduleWalker walker(schedule, "baseline");
+  engine::BaselineModel model(ctx, &walker.trace());
+  return walker.run(model);
 }
 
 RunResult run_designed(const AppSchedule& schedule,
                        const core::DesignResult& design,
                        PlatformConfig config, std::string system_name) {
   require(schedule.graph != nullptr, "schedule has no profile graph");
-  const prof::CommGraph& graph = *schedule.graph;
-  const std::size_t instance_count = design.instances.size();
-  require(instance_count > 0, "design has no kernel instances");
-
-  std::set<prof::FunctionId> hw_set;
-  for (const core::KernelSpec& spec : schedule.specs) {
-    hw_set.insert(spec.function);
-  }
-
-  // Lookups over the design.
-  std::map<std::size_t, std::vector<std::size_t>> instances_of_spec;
-  for (std::size_t i = 0; i < instance_count; ++i) {
-    require(design.instances[i].spec_index < schedule.specs.size(),
-            "design references a spec outside the schedule");
-    instances_of_spec[design.instances[i].spec_index].push_back(i);
-  }
-  std::set<std::size_t> duplicated_specs(
-      design.parallel.duplicated_specs.begin(),
-      design.parallel.duplicated_specs.end());
-  std::set<std::size_t> case1_instances(design.parallel.host_pipelined.begin(),
-                                        design.parallel.host_pipelined.end());
-  std::set<std::pair<std::size_t, std::size_t>> streamed_pairs;
-  for (const core::StreamedEdge& e : design.parallel.streamed) {
-    streamed_pairs.insert({e.producer_instance, e.consumer_instance});
-  }
-  // Shared-memory pairings indexed by (producer fn, consumer fn).
-  std::map<std::pair<prof::FunctionId, prof::FunctionId>,
-           const core::SharedMemoryPairing*>
-      shared_by_fn;
-  for (const core::SharedMemoryPairing& pair : design.shared_pairs) {
-    shared_by_fn[{design.instances[pair.producer_instance].function,
-                  design.instances[pair.consumer_instance].function}] = &pair;
-  }
-
-  Platform platform(config, instance_count, &design);
-  const sim::ClockDomain& host = platform.host_clock();
-  const sim::ClockDomain& kernel = platform.kernel_clock();
-  noc::Network* network = platform.network();
-
-  const Picoseconds stream_overhead =
-      from_seconds(config.stream_overhead_seconds);
-  const Picoseconds dup_overhead =
-      from_seconds(config.duplication_overhead_seconds);
-
-  const auto noc_reachable = [&](std::size_t pi, std::size_t ci) {
-    return network != nullptr &&
-           platform.noc_node(pi, core::NocNodeKind::kKernel).has_value() &&
-           platform.noc_node(ci, core::NocNodeKind::kLocalMemory).has_value();
-  };
-
-  struct InstRec {
-    Picoseconds gate{0};
-    Picoseconds compute_start{0};
-    Picoseconds compute_end{0};
-    Picoseconds done{0};
-    Picoseconds tau_eff{0};
-  };
-  std::vector<InstRec> recs(instance_count);
-  std::vector<bool> executed(instance_count, false);
-  std::map<std::pair<std::size_t, std::size_t>, Picoseconds> delivery;
-
-  RunResult result;
-  result.system_name = std::move(system_name);
-  Picoseconds t{0};
-  Picoseconds app_end{0};
-
-  for (const ScheduleStep& step : schedule.steps) {
-    StepTiming timing;
-    timing.name = step.name;
-    timing.is_kernel = step.is_kernel;
-    timing.start_seconds = t.seconds();
-
-    if (!step.is_kernel) {
-      // Host steps serialize on the host and gate on the write-back of
-      // any kernel whose output they consume.
-      Picoseconds ready = t;
-      for (const prof::CommEdge& edge : graph.edges()) {
-        if (edge.consumer != step.function ||
-            edge.producer == edge.consumer ||
-            hw_set.count(edge.producer) == 0) {
-          continue;
-        }
-        for (std::size_t s = 0; s < schedule.specs.size(); ++s) {
-          if (schedule.specs[s].function != edge.producer) {
-            continue;
-          }
-          for (const std::size_t pi : instances_of_spec.at(s)) {
-            if (executed[pi]) {
-              ready = std::max(ready, recs[pi].done);
-            }
-          }
-        }
-      }
-      timing.start_seconds = ready.seconds();
-      const Picoseconds span = host.span(step.sw_cycles);
-      t = ready + span;
-      app_end = std::max(app_end, t);
-      result.host_seconds += span.seconds();
-      timing.compute_seconds = span.seconds();
-      timing.done_seconds = t.seconds();
-      result.steps.push_back(std::move(timing));
-      continue;
-    }
-
-    const std::vector<std::size_t>& group =
-        instances_of_spec.at(step.spec_index);
-
-    // ---- Gather per-instance inputs and gates. ----
-    struct Plan {
-      std::size_t instance = 0;
-      Picoseconds gate{0};
-      Bytes host_in{0};
-      Bytes host_out{0};
-      bool case1 = false;
-      Pending fetch1;
-      Pending fetch2;
-      std::deque<Pending> sends;  // deque: stable addresses for callbacks
-      Pending wb1;
-      Pending wb2;
-    };
-    std::vector<Plan> plans;
-    plans.reserve(group.size());
-
-    for (const std::size_t ci : group) {
-      Plan plan;
-      plan.instance = ci;
-      plan.gate = t;
-      plan.case1 = case1_instances.count(ci) > 0;
-      const double share_c = design.instances[ci].work_share;
-
-      for (const prof::CommEdge& edge : graph.edges()) {
-        if (edge.consumer != step.function ||
-            edge.producer == edge.consumer) {
-          continue;
-        }
-        if (hw_set.count(edge.producer) == 0) {
-          // Host-produced input: fetched over the bus.
-          plan.host_in += scale_bytes(core::edge_volume(edge), share_c);
-          continue;
-        }
-        const auto shared_it =
-            shared_by_fn.find({edge.producer, edge.consumer});
-        if (shared_it != shared_by_fn.end() &&
-            shared_it->second->consumer_instance == ci &&
-            !executed[shared_it->second->producer_instance]) {
-          // Backward edge (cyclic graph, e.g. fluid's next-iteration
-          // feedback): the data is already resident from the previous
-          // aggregate invocation; nothing to gate on.
-          continue;
-        }
-        if (shared_it != shared_by_fn.end() &&
-            shared_it->second->consumer_instance == ci) {
-          // Shared local memory: data already in place when the producer
-          // finishes (or half-way through it when streamed).
-          const std::size_t pi = shared_it->second->producer_instance;
-          Picoseconds dep = recs[pi].compute_end;
-          if (streamed_pairs.count({pi, ci}) > 0) {
-            const Picoseconds half =
-                Picoseconds{std::min(recs[pi].tau_eff.count(),
-                                     kernel.span(step.hw_cycles).count()) /
-                            2};
-            dep = std::max(recs[pi].compute_start + stream_overhead,
-                           recs[pi].compute_end - half + stream_overhead);
-          }
-          plan.gate = std::max(plan.gate, dep);
-          continue;
-        }
-        // Kernel producer, not shared: NoC if both ends are attached,
-        // otherwise fall back to a bus round trip.
-        const std::size_t pspec = [&] {
-          for (std::size_t s = 0; s < schedule.specs.size(); ++s) {
-            if (schedule.specs[s].function == edge.producer) {
-              return s;
-            }
-          }
-          throw ConfigError{"producer function has no spec"};
-        }();
-        for (const std::size_t pi : instances_of_spec.at(pspec)) {
-          if (!executed[pi]) {
-            // Backward (feedback) edge: previous-iteration data is already
-            // in place; the producer's own run accounts for the transfer.
-            continue;
-          }
-          if (noc_reachable(pi, ci)) {
-            if (streamed_pairs.count({pi, ci}) > 0) {
-              const Picoseconds half =
-                  Picoseconds{std::min(recs[pi].tau_eff.count(),
-                                       kernel.span(step.hw_cycles).count()) /
-                              2};
-              plan.gate = std::max(
-                  plan.gate,
-                  std::max(recs[pi].compute_start + stream_overhead,
-                           recs[pi].compute_end - half + stream_overhead));
-            } else {
-              const auto it = delivery.find({pi, ci});
-              sim_assert(it != delivery.end(),
-                         "consumer ran before NoC delivery was recorded");
-              plan.gate = std::max(
-                  plan.gate, std::max(it->second, recs[pi].compute_end));
-            }
-          } else {
-            // Fallback: producer wrote back over the bus (accounted on the
-            // producer side); this instance fetches its share.
-            const double share_p = design.instances[pi].work_share;
-            plan.host_in +=
-                scale_bytes(core::edge_volume(edge), share_p * share_c);
-            plan.gate = std::max(plan.gate, recs[pi].done);
-          }
-        }
-      }
-
-      // Outputs: host-consumed (and unreachable kernel-consumed) bytes go
-      // back over the bus.
-      for (const prof::CommEdge& edge : graph.edges()) {
-        if (edge.producer != step.function ||
-            edge.producer == edge.consumer) {
-          continue;
-        }
-        if (hw_set.count(edge.consumer) == 0) {
-          plan.host_out += scale_bytes(core::edge_volume(edge), share_c);
-          continue;
-        }
-        const auto shared_it =
-            shared_by_fn.find({edge.producer, edge.consumer});
-        if (shared_it != shared_by_fn.end() &&
-            shared_it->second->producer_instance == ci) {
-          continue;  // In place.
-        }
-        // Consumer instances not reachable via NoC force a bus write-back.
-        const std::size_t cspec = [&] {
-          for (std::size_t s = 0; s < schedule.specs.size(); ++s) {
-            if (schedule.specs[s].function == edge.consumer) {
-              return s;
-            }
-          }
-          throw ConfigError{"consumer function has no spec"};
-        }();
-        for (const std::size_t ci2 : instances_of_spec.at(cspec)) {
-          if (!noc_reachable(ci, ci2)) {
-            const double share_c2 = design.instances[ci2].work_share;
-            plan.host_out += scale_bytes(core::edge_volume(edge), share_c * share_c2);
-          }
-        }
-      }
-
-      plans.push_back(std::move(plan));
-    }
-
-    // ---- Phase A: first fetches. ----
-    std::vector<Pending*> ops;
-    for (Plan& plan : plans) {
-      mem::Bram& bram = platform.bram(plan.instance);
-      const Bytes first = plan.case1
-                              ? Bytes{plan.host_in.count() / 2}
-                              : plan.host_in;
-      issue_dma(platform, plan.gate, bus::DmaDirection::kMemToLocal, first,
-                bram, plan.fetch1);
-      ops.push_back(&plan.fetch1);
-    }
-    wait_all(platform, ops);
-
-    // ---- Phase B: second fetches (case 1) and compute-window timing. ----
-    ops.clear();
-    for (Plan& plan : plans) {
-      if (plan.case1) {
-        mem::Bram& bram = platform.bram(plan.instance);
-        const Bytes second =
-            Bytes{plan.host_in.count() - plan.host_in.count() / 2};
-        issue_dma(platform, plan.fetch1.at, bus::DmaDirection::kMemToLocal,
-                  second, bram, plan.fetch2);
-        ops.push_back(&plan.fetch2);
-      }
-    }
-    wait_all(platform, ops);
-
-    for (Plan& plan : plans) {
-      InstRec& rec = recs[plan.instance];
-      const core::KernelInstance& inst = design.instances[plan.instance];
-      Picoseconds tau =
-          Picoseconds{static_cast<std::uint64_t>(static_cast<double>(
-              kernel.span(step.hw_cycles).count()) * inst.work_share)};
-      if (duplicated_specs.count(inst.spec_index) > 0) {
-        tau += dup_overhead;
-      }
-      if (plan.case1) {
-        tau += stream_overhead;
-      }
-      rec.tau_eff = tau;
-      rec.gate = plan.gate;
-      rec.compute_start = std::max(plan.fetch1.at, plan.gate);
-      if (plan.case1) {
-        // Second-half compute cannot finish before the second half of the
-        // input arrived.
-        rec.compute_end =
-            std::max(rec.compute_start + tau,
-                     plan.fetch2.at + Picoseconds{tau.count() / 2});
-      } else {
-        rec.compute_end = rec.compute_start + tau;
-      }
-    }
-
-    // ---- Phase C: NoC sends (overlapped with compute) and write-backs. ----
-    ops.clear();
-    for (Plan& plan : plans) {
-      InstRec& rec = recs[plan.instance];
-      const std::size_t pi = plan.instance;
-      const double share_p = design.instances[pi].work_share;
-
-      // Sends to every NoC-reachable consumer instance.
-      for (const prof::CommEdge& edge : graph.edges()) {
-        if (edge.producer != step.function ||
-            edge.producer == edge.consumer ||
-            hw_set.count(edge.consumer) == 0) {
-          continue;
-        }
-        const auto shared_it =
-            shared_by_fn.find({edge.producer, edge.consumer});
-        if (shared_it != shared_by_fn.end() &&
-            shared_it->second->producer_instance == pi) {
-          continue;
-        }
-        for (std::size_t s = 0; s < schedule.specs.size(); ++s) {
-          if (schedule.specs[s].function != edge.consumer) {
-            continue;
-          }
-          for (const std::size_t ci : instances_of_spec.at(s)) {
-            if (!noc_reachable(pi, ci)) {
-              continue;
-            }
-            const double share_c = design.instances[ci].work_share;
-            const Bytes bytes = scale_bytes(core::edge_volume(edge), share_p * share_c);
-            const std::uint32_t src =
-                *platform.noc_node(pi, core::NocNodeKind::kKernel);
-            const std::uint32_t dst =
-                *platform.noc_node(ci, core::NocNodeKind::kLocalMemory);
-            plan.sends.emplace_back();
-            Pending& op = plan.sends.back();
-            const Picoseconds when =
-                std::max(rec.compute_start, platform.engine().now());
-            auto key = std::make_pair(pi, ci);
-            platform.engine().schedule_at(
-                when, [network, src, dst, bytes, &op, &delivery, key] {
-                  network->send(src, dst, bytes,
-                                [&op, &delivery, key](std::uint64_t, Bytes,
-                                                      Picoseconds at) {
-                                  op.done = true;
-                                  op.at = at;
-                                  delivery[key] = at;
-                                });
-                });
-          }
-        }
-      }
-
-      // Write-backs of host-bound output.
-      mem::Bram& bram = platform.bram(plan.instance);
-      if (plan.case1) {
-        const Bytes half1{plan.host_out.count() / 2};
-        const Bytes half2{plan.host_out.count() - half1.count()};
-        const Picoseconds wb1_at =
-            std::max(rec.compute_start,
-                     rec.compute_end - Picoseconds{rec.tau_eff.count() / 2});
-        issue_dma(platform, wb1_at, bus::DmaDirection::kLocalToMem, half1,
-                  bram, plan.wb1);
-        issue_dma(platform, rec.compute_end, bus::DmaDirection::kLocalToMem,
-                  half2, bram, plan.wb2);
-        ops.push_back(&plan.wb1);
-        ops.push_back(&plan.wb2);
-      } else {
-        issue_dma(platform, rec.compute_end, bus::DmaDirection::kLocalToMem,
-                  plan.host_out, bram, plan.wb1);
-        ops.push_back(&plan.wb1);
-      }
-      for (Pending& send : plan.sends) {
-        ops.push_back(&send);
-      }
-    }
-    wait_all(platform, ops);
-
-    // ---- Close the group. ----
-    // Duplicated instances run concurrently, so the group's kernel time is
-    // wall-clock: compute attribution is the longest instance compute
-    // window; everything else exposed within the group span is
-    // communication.
-    Picoseconds group_done{0};
-    Picoseconds group_gate = Picoseconds{UINT64_MAX};
-    Picoseconds group_compute_ps{0};
-    for (Plan& plan : plans) {
-      InstRec& rec = recs[plan.instance];
-      rec.done = std::max(rec.compute_end, plan.wb1.at);
-      if (plan.case1) {
-        rec.done = std::max(rec.done, plan.wb2.at);
-      }
-      for (const Pending& send : plan.sends) {
-        app_end = std::max(app_end, send.at);
-      }
-      group_done = std::max(group_done, rec.done);
-      group_gate = std::min(group_gate, rec.gate);
-      group_compute_ps = std::max(group_compute_ps, rec.tau_eff);
-      executed[plan.instance] = true;
-    }
-    const double group_compute = group_compute_ps.seconds();
-    const double group_comm = std::max(
-        0.0, (group_done - group_gate).seconds() - group_compute);
-    // The host cursor does not advance: kernels run decoupled from the
-    // host (§IV-A3, "the NoC ensures the parallelism of the processing
-    // elements"); downstream steps gate through their data dependencies.
-    app_end = std::max(app_end, group_done);
-    result.kernel_compute_seconds += group_compute;
-    result.kernel_comm_seconds += group_comm;
-    timing.compute_seconds = group_compute;
-    timing.comm_seconds = group_comm;
-    timing.start_seconds = group_gate.seconds();
-    timing.done_seconds = group_done.seconds();
-    result.steps.push_back(std::move(timing));
-  }
-
-  result.total_seconds = app_end.seconds();
-  return result;
+  require(!design.instances.empty(), "design has no kernel instances");
+  engine::ExecContext ctx(schedule, config, &design);
+  engine::EdgeRouter router(ctx, &design);
+  engine::ScheduleWalker walker(schedule, std::move(system_name));
+  engine::DesignedModel model(ctx, router, &walker.trace());
+  return walker.run(model);
 }
 
 }  // namespace hybridic::sys

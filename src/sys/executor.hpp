@@ -1,5 +1,9 @@
 // Executors: replay an application schedule on a platform variant and
-// measure where the time goes.
+// measure where the time goes. All variants are thin configurations of the
+// shared execution engine (sys/engine/): a ScheduleWalker replays the
+// schedule through a VariantModel whose data movement goes through
+// FabricPolicy implementations, producing both the per-step timings and a
+// structured ExecTrace.
 //
 //  - run_software: everything on the 400 MHz host (the paper's SW column).
 //  - run_baseline: the conventional bus-based accelerator (§III-A): per
@@ -20,6 +24,7 @@
 #include <vector>
 
 #include "core/design_result.hpp"
+#include "sys/engine/trace.hpp"
 #include "sys/platform.hpp"
 #include "sys/schedule.hpp"
 
@@ -44,9 +49,19 @@ struct RunResult {
   double kernel_comm_seconds = 0.0;     ///< Σ exposed kernel communication.
   std::vector<StepTiming> steps;
 
+  /// Typed event log of the run (compute windows, DMA transfers, NoC
+  /// messages, shared-memory handoffs, stalls).
+  engine::ExecTrace trace;
+
   /// Time attributable to the kernels (the paper's "kernels" rows).
   [[nodiscard]] double kernel_seconds() const {
     return kernel_compute_seconds + kernel_comm_seconds;
+  }
+
+  /// Per-fabric busy-time/byte attribution, derived from the trace.
+  [[nodiscard]] const engine::FabricUsage& fabric_usage(
+      engine::Fabric fabric) const {
+    return trace.usage(fabric);
   }
 };
 

@@ -1,5 +1,6 @@
 #include "sys/experiment.hpp"
 
+#include "sys/engine/context.hpp"
 #include "util/error.hpp"
 
 namespace hybridic::sys {
@@ -12,10 +13,8 @@ core::DesignInput make_design_input(const AppSchedule& schedule,
   input.kernel_clock = platform.kernel_clock;
 
   // θ: measured average sec/byte of the (idle) bus at a representative
-  // transfer size — a probe platform is enough because θ only depends on
-  // the bus configuration.
-  Platform probe(platform, 1, nullptr);
-  input.theta.seconds_per_byte = probe.measured_theta();
+  // transfer size.
+  input.theta.seconds_per_byte = engine::measured_theta(platform);
 
   input.stream_overhead_seconds = platform.stream_overhead_seconds;
   input.duplication_overhead_seconds = platform.duplication_overhead_seconds;

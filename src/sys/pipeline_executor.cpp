@@ -6,8 +6,9 @@
 #include <set>
 
 #include "core/kernel_model.hpp"
-#include "noc/flit.hpp"
-#include "noc/topology.hpp"
+#include "sys/engine/context.hpp"
+#include "sys/engine/edge_router.hpp"
+#include "sys/engine/policies.hpp"
 #include "sys/executor.hpp"
 #include "sys/experiment.hpp"
 #include "util/error.hpp"
@@ -35,24 +36,6 @@ private:
   double occupancy_ = 0.0;
 };
 
-/// Idle-network latency of a `bytes` message over `hops` hops.
-double noc_latency_seconds(const PlatformConfig& config, Bytes bytes,
-                           std::uint32_t hops) {
-  const std::uint64_t packets =
-      bytes.count() == 0
-          ? 1
-          : (bytes.count() + config.noc.max_packet_payload_bytes - 1) /
-                config.noc.max_packet_payload_bytes;
-  const std::uint64_t flits =
-      noc::payload_flits(bytes.count()) + packets;
-  const std::uint64_t cycles =
-      flits + static_cast<std::uint64_t>(
-                  config.noc.router.pipeline_cycles) *
-                  (hops + 1);
-  return static_cast<double>(cycles) /
-         static_cast<double>(config.noc_clock.hertz());
-}
-
 }  // namespace
 
 PipelineResult run_designed_pipelined(const AppSchedule& schedule,
@@ -63,14 +46,13 @@ PipelineResult run_designed_pipelined(const AppSchedule& schedule,
   require(frames > 0, "pipeline needs at least one frame");
   const prof::CommGraph& graph = *schedule.graph;
 
-  std::set<prof::FunctionId> hw_set;
-  for (const core::KernelSpec& spec : schedule.specs) {
-    hw_set.insert(spec.function);
-  }
+  // Shared engine state: hardware set and the design's per-edge routing.
+  engine::ExecContext ctx(schedule, config, &design);
+  engine::EdgeRouter router(ctx, &design);
+  const std::set<prof::FunctionId>& hw_set = ctx.hw_set();
 
   // θ of the baseline bus (the same the design algorithm used).
-  Platform probe(config, 1, nullptr);
-  const double theta = probe.measured_theta();
+  const double theta = engine::measured_theta(config);
 
   // Per-spec pipeline-stage parameters.
   struct Stage {
@@ -84,9 +66,6 @@ PipelineResult run_designed_pipelined(const AppSchedule& schedule,
   for (const core::KernelInstance& inst : design.instances) {
     ++copies_of_spec[inst.spec_index];
   }
-  const std::set<std::size_t> duplicated(
-      design.parallel.duplicated_specs.begin(),
-      design.parallel.duplicated_specs.end());
 
   for (std::size_t s = 0; s < schedule.specs.size(); ++s) {
     const core::KernelSpec& spec = schedule.specs[s];
@@ -96,45 +75,11 @@ PipelineResult run_designed_pipelined(const AppSchedule& schedule,
         static_cast<double>(spec.hw_compute_cycles.count()) /
         static_cast<double>(config.kernel_clock.hertz()) /
         stage.copies;
-    if (duplicated.count(s) > 0) {
+    if (router.duplicated_spec(s)) {
       stage.tau_eff += config.duplication_overhead_seconds;
     }
     stages[s] = stage;
   }
-
-  // Shared-memory and NoC edge classification (function-pair level).
-  std::set<std::pair<prof::FunctionId, prof::FunctionId>> shared_edges;
-  for (const core::SharedMemoryPairing& pair : design.shared_pairs) {
-    shared_edges.insert(
-        {design.instances[pair.producer_instance].function,
-         design.instances[pair.consumer_instance].function});
-  }
-  const auto noc_hops = [&](prof::FunctionId p,
-                            prof::FunctionId c) -> std::uint32_t {
-    if (!design.noc.has_value()) {
-      return 0;
-    }
-    // Find producer kernel node and consumer memory node.
-    std::int64_t pk = -1;
-    std::int64_t cm = -1;
-    for (const core::NocAttachment& a : design.noc->attachments) {
-      if (design.instances[a.instance].function == p &&
-          a.kind == core::NocNodeKind::kKernel) {
-        pk = a.node;
-      }
-      if (design.instances[a.instance].function == c &&
-          a.kind == core::NocNodeKind::kLocalMemory) {
-        cm = a.node;
-      }
-    }
-    if (pk < 0 || cm < 0) {
-      return 0;  // Not NoC-reachable.
-    }
-    const noc::Mesh2D mesh{design.noc->mesh_width,
-                           design.noc->mesh_height};
-    return mesh.distance(static_cast<std::uint32_t>(pk),
-                         static_cast<std::uint32_t>(cm));
-  };
 
   // Host transfer volumes per step (host edges + fallback kernel edges).
   for (const ScheduleStep& step : schedule.steps) {
@@ -149,11 +94,10 @@ PipelineResult run_designed_pipelined(const AppSchedule& schedule,
       const Bytes volume = core::edge_volume(edge);
       if (edge.consumer == step.function) {
         const bool from_host = hw_set.count(edge.producer) == 0;
-        const bool via_sm =
-            shared_edges.count({edge.producer, edge.consumer}) > 0;
+        const bool via_sm = router.shared_edge(edge.producer, edge.consumer);
         const bool via_noc =
             !via_sm && !from_host &&
-            noc_hops(edge.producer, edge.consumer) > 0;
+            router.noc_hops(edge.producer, edge.consumer) > 0;
         if (from_host || (!via_sm && !via_noc)) {
           stage.host_in_theta +=
               theta * static_cast<double>(volume.count());
@@ -161,11 +105,10 @@ PipelineResult run_designed_pipelined(const AppSchedule& schedule,
       }
       if (edge.producer == step.function) {
         const bool to_host = hw_set.count(edge.consumer) == 0;
-        const bool via_sm =
-            shared_edges.count({edge.producer, edge.consumer}) > 0;
+        const bool via_sm = router.shared_edge(edge.producer, edge.consumer);
         const bool via_noc =
             !via_sm && !to_host &&
-            noc_hops(edge.producer, edge.consumer) > 0;
+            router.noc_hops(edge.producer, edge.consumer) > 0;
         if (to_host || (!via_sm && !via_noc)) {
           stage.host_out_theta +=
               theta * static_cast<double>(volume.count());
@@ -221,16 +164,15 @@ PipelineResult run_designed_pipelined(const AppSchedule& schedule,
       if (!source.scheduled) {
         return false;
       }
-      const bool via_sm =
-          shared_edges.count({edge.producer, edge.consumer}) > 0;
+      const bool via_sm = router.shared_edge(edge.producer, edge.consumer);
       const std::uint32_t hops =
-          via_sm ? 0 : noc_hops(edge.producer, edge.consumer);
+          via_sm ? 0 : router.noc_hops(edge.producer, edge.consumer);
       if (via_sm) {
         ready = std::max(ready, source.compute_end);
       } else if (hops > 0) {
         ready = std::max(ready,
                          source.compute_end +
-                             noc_latency_seconds(
+                             engine::NocPolicy::idle_latency_seconds(
                                  config, core::edge_volume(edge), hops));
       } else {
         ready = std::max(ready, source.full_done);

@@ -75,4 +75,102 @@ std::string timeline_csv(const RunResult& result) {
   return out.str();
 }
 
+namespace {
+
+char event_glyph(engine::EventKind kind) {
+  switch (kind) {
+    case engine::EventKind::kCompute:
+      return '#';
+    case engine::EventKind::kDmaIn:
+    case engine::EventKind::kDmaOut:
+      return '=';
+    case engine::EventKind::kNocTransfer:
+      return '>';
+    case engine::EventKind::kSharedHandoff:
+      return '*';
+    case engine::EventKind::kStall:
+      return '.';
+  }
+  return '?';
+}
+
+}  // namespace
+
+std::string render_trace_lanes(const RunResult& result,
+                               const TimelineOptions& options) {
+  const engine::ExecTrace& trace = result.trace;
+  std::ostringstream out;
+  out << "trace: " << result.system_name << "  total "
+      << format_fixed(result.total_seconds * 1e3, 3) << " ms\n";
+  if (trace.empty() || result.total_seconds <= 0.0) {
+    return out.str();
+  }
+
+  std::size_t label_width = 4;
+  for (std::size_t f = 0; f < engine::kFabricCount; ++f) {
+    const auto fabric = static_cast<engine::Fabric>(f);
+    if (trace.usage(fabric).ops > 0) {
+      label_width = std::max(
+          label_width, std::string(engine::fabric_name(fabric)).size());
+    }
+  }
+
+  const double scale =
+      static_cast<double>(options.width_chars) / result.total_seconds;
+  const auto column = [&](double seconds) {
+    return std::min(options.width_chars,
+                    static_cast<std::uint32_t>(
+                        std::lround(std::max(0.0, seconds) * scale)));
+  };
+
+  for (std::size_t f = 0; f < engine::kFabricCount; ++f) {
+    const auto fabric = static_cast<engine::Fabric>(f);
+    const engine::FabricUsage& usage = trace.usage(fabric);
+    if (usage.ops == 0) {
+      continue;
+    }
+    std::string lane(options.width_chars, ' ');
+    for (const std::size_t i : trace.chronological()) {
+      const engine::TraceEvent& event = trace.events()[i];
+      if (event.fabric != fabric ||
+          event.kind == engine::EventKind::kStall) {
+        continue;
+      }
+      const std::uint32_t start = column(event.start_seconds);
+      const std::uint32_t end =
+          std::max(column(event.end_seconds),
+                   std::min(options.width_chars, start + 1));
+      const char glyph = event_glyph(event.kind);
+      for (std::uint32_t c = start; c < end; ++c) {
+        lane[c] = glyph;
+      }
+    }
+    const std::string name = engine::fabric_name(fabric);
+    out << name << std::string(label_width - name.size(), ' ') << " |"
+        << lane << "| " << format_fixed(usage.busy_seconds * 1e3, 3)
+        << " ms";
+    if (usage.bytes > 0) {
+      out << ", " << usage.bytes << " B";
+    }
+    out << '\n';
+  }
+  out << std::string(label_width, ' ')
+      << "  ('#' compute, '=' DMA, '>' NoC/crossbar, '*' handoff)\n";
+  return out.str();
+}
+
+std::string trace_csv(const engine::ExecTrace& trace) {
+  std::ostringstream out;
+  out << "event,kind,fabric,step,start_s,end_s,bytes,label\n";
+  std::size_t row = 0;
+  for (const std::size_t i : trace.chronological()) {
+    const engine::TraceEvent& event = trace.events()[i];
+    out << row++ << ',' << engine::event_kind_name(event.kind) << ','
+        << engine::fabric_name(event.fabric) << ',' << event.step_index
+        << ',' << event.start_seconds << ',' << event.end_seconds << ','
+        << event.bytes << ',' << event.label << '\n';
+  }
+  return out.str();
+}
+
 }  // namespace hybridic::sys
