@@ -12,11 +12,21 @@
 //   --json       print the design as JSON (toolchain hand-off)
 //   --validate   run the design validator and print its findings
 //   --frames=N   report pipelined multi-frame throughput over N frames
+//   --fault-rate=R   inject faults at per-event rate R (CRC+retry on)
+//   --fault-seed=S   RNG seed for fault injection (default 1)
 //   --all        everything above plus the system comparison (default)
+//
+// Exit codes (scripted callers rely on these staying distinct):
+//   0  run completed and the application verified
+//   1  run completed but verification failed (or unexpected error)
+//   2  usage error: unknown flag / malformed value / unknown app
+//   3  semantic configuration error (rejected before or during setup)
+//   4  simulation timeout or deadlock (stuck operations reported)
 //
 // Examples:
 //   ./build/examples/hybridic_cli jpeg --design --timeline
 //   ./build/examples/hybridic_cli synthetic:42 --all
+//   ./build/examples/hybridic_cli canny --fault-rate=0.001 --trace
 #include <cstdlib>
 #include <iostream>
 #include <set>
@@ -32,17 +42,111 @@
 #include "sys/experiment.hpp"
 #include "sys/pipeline_executor.hpp"
 #include "sys/timeline.hpp"
+#include "util/error.hpp"
 #include "util/table.hpp"
 
 using namespace hybridic;
 
 namespace {
 
+constexpr int kExitVerified = 0;
+constexpr int kExitUnverified = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitConfig = 3;
+constexpr int kExitTimeout = 4;
+
+/// Thrown for malformed command lines; mapped to exit code 2.
+struct UsageError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Strict unsigned parse: the whole string must be digits (no atoi
+/// silently-zero behaviour for "abc" or trailing junk for "12abc").
+std::uint64_t parse_u64(const std::string& text, const std::string& what) {
+  if (text.empty()) {
+    throw UsageError{what + " is empty"};
+  }
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') {
+      throw UsageError{what + " '" + text + "' is not a non-negative integer"};
+    }
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return value;
+}
+
+double parse_rate(const std::string& text) {
+  std::size_t consumed = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(text, &consumed);
+  } catch (const std::exception&) {
+    throw UsageError{"--fault-rate '" + text + "' is not a number"};
+  }
+  if (consumed != text.size()) {
+    throw UsageError{"--fault-rate '" + text + "' has trailing characters"};
+  }
+  return value;
+}
+
+const std::set<std::string> kKnownFlags = {
+    "--design", "--profile", "--dot",      "--memory", "--timeline",
+    "--trace",  "--json",    "--validate", "--all"};
+
+const std::set<std::string> kKnownApps = {"canny", "jpeg", "klt", "fluid"};
+
+struct CliOptions {
+  std::string app_spec;
+  std::set<std::string> flags;
+  std::uint32_t frames = 0;
+  double fault_rate = 0.0;
+  std::uint64_t fault_seed = 1;
+};
+
+/// Validate the whole command line up front, before any expensive work, so
+/// a typo in the last flag fails in milliseconds and not after a profile run.
+CliOptions parse_cli(int argc, char** argv) {
+  if (argc < 2) {
+    throw UsageError{"missing <app> argument"};
+  }
+  CliOptions options;
+  options.app_spec = argv[1];
+  if (kKnownApps.count(options.app_spec) == 0) {
+    if (options.app_spec.rfind("synthetic:", 0) == 0) {
+      // Validate the seed now; the value is re-read in load_app.
+      (void)parse_u64(options.app_spec.substr(std::string{"synthetic:"}.size()),
+                      "synthetic seed");
+    } else {
+      throw UsageError{"unknown app '" + options.app_spec +
+                       "' (expected canny|jpeg|klt|fluid|synthetic:SEED)"};
+    }
+  }
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--frames=", 0) == 0) {
+      options.frames = static_cast<std::uint32_t>(parse_u64(
+          arg.substr(std::string{"--frames="}.size()), "--frames"));
+    } else if (arg.rfind("--fault-rate=", 0) == 0) {
+      options.fault_rate =
+          parse_rate(arg.substr(std::string{"--fault-rate="}.size()));
+    } else if (arg.rfind("--fault-seed=", 0) == 0) {
+      options.fault_seed = parse_u64(
+          arg.substr(std::string{"--fault-seed="}.size()), "--fault-seed");
+    } else if (kKnownFlags.count(arg) > 0) {
+      options.flags.insert(arg);
+    } else {
+      throw UsageError{"unknown flag '" + arg + "'"};
+    }
+  }
+  return options;
+}
+
 apps::ProfiledApp load_app(const std::string& spec) {
   if (spec.rfind("synthetic:", 0) == 0) {
     apps::SyntheticConfig config;
-    config.seed = static_cast<std::uint64_t>(
-        std::atoll(spec.substr(std::string{"synthetic:"}.size()).c_str()));
+    config.seed =
+        parse_u64(spec.substr(std::string{"synthetic:"}.size()), "seed");
     return apps::make_synthetic_app(config);
   }
   return apps::run_paper_app(spec);
@@ -51,28 +155,13 @@ apps::ProfiledApp load_app(const std::string& spec) {
 void print_usage() {
   std::cout << "usage: hybridic_cli <canny|jpeg|klt|fluid|synthetic:SEED>"
                " [--design] [--profile] [--dot] [--memory] [--timeline]"
-               " [--trace] [--all]\n";
+               " [--trace] [--json] [--validate] [--frames=N]"
+               " [--fault-rate=R] [--fault-seed=S] [--all]\n";
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  if (argc < 2) {
-    print_usage();
-    return 2;
-  }
-  const std::string app_spec = argv[1];
-  std::set<std::string> flags;
-  std::uint32_t frames = 0;
-  for (int i = 2; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg.rfind("--frames=", 0) == 0) {
-      frames = static_cast<std::uint32_t>(
-          std::atoi(arg.substr(std::string{"--frames="}.size()).c_str()));
-      continue;
-    }
-    flags.insert(arg);
-  }
+int run_cli(const CliOptions& cli) {
+  std::set<std::string> flags = cli.flags;
+  std::uint32_t frames = cli.frames;
   if (flags.count("--all") > 0) {
     flags = {"--design", "--profile", "--memory", "--timeline",
              "--validate", "--compare"};
@@ -86,14 +175,21 @@ int main(int argc, char** argv) {
     flags.insert("--compare");
   }
 
-  apps::ProfiledApp app;
-  try {
-    app = load_app(app_spec);
-  } catch (const std::exception& error) {
-    std::cerr << "error: " << error.what() << "\n";
-    print_usage();
-    return 2;
+  sys::PlatformConfig platform_config;
+  if (cli.fault_rate != 0.0) {
+    require(cli.fault_rate > 0.0 && cli.fault_rate <= 1.0,
+            "--fault-rate must be a probability in (0, 1], got " +
+                std::to_string(cli.fault_rate));
+    platform_config.faults.seed = cli.fault_seed;
+    platform_config.faults.flit_corruption_rate = cli.fault_rate;
+    platform_config.faults.bus_error_rate = cli.fault_rate;
+    platform_config.faults.bus_stall_rate = cli.fault_rate;
+    platform_config.faults.sdram_bitflip_rate = cli.fault_rate;
+    platform_config.faults.bram_bitflip_rate = cli.fault_rate;
+    platform_config.faults.resilience.noc_crc = true;
   }
+
+  const apps::ProfiledApp app = load_app(cli.app_spec);
   std::cout << "application: " << app.name << "  verification: "
             << (app.verified ? "PASS" : "FAIL") << " ("
             << app.verification_note << ")\n\n";
@@ -115,8 +211,8 @@ int main(int argc, char** argv) {
   }
 
   const sys::AppSchedule schedule = app.schedule();
-  const sys::AppExperiment exp = sys::run_experiment(
-      schedule, sys::PlatformConfig{}, app.environment);
+  const sys::AppExperiment exp =
+      sys::run_experiment(schedule, platform_config, app.environment);
 
   if (flags.count("--design") > 0) {
     std::cout << exp.proposed_design.describe(app.graph()) << "\n";
@@ -144,9 +240,18 @@ int main(int argc, char** argv) {
                      exp.proposed.trace, exp.proposed.system_name)
               << "\n\n";
   }
+  if (cli.fault_rate != 0.0) {
+    const faults::FaultStats& fs = exp.proposed.fault_stats;
+    std::cout << "fault injection (rate " << cli.fault_rate << ", seed "
+              << cli.fault_seed << "): " << fs.flits_corrupted
+              << " flits corrupted, " << fs.packets_retransmitted
+              << " retransmits, " << fs.bus_errors << " bus errors, "
+              << fs.mem_bitflips << " memory bit flips, "
+              << fs.corrupted_bytes << " corrupted bytes delivered\n\n";
+  }
   if (frames > 0) {
     const sys::PipelineResult pipelined = sys::run_designed_pipelined(
-        schedule, exp.proposed_design, sys::PlatformConfig{}, frames);
+        schedule, exp.proposed_design, platform_config, frames);
     std::cout << "pipelined over " << frames << " frames: makespan "
               << format_fixed(pipelined.makespan_seconds * 1e3, 2)
               << " ms, throughput "
@@ -177,5 +282,33 @@ int main(int argc, char** argv) {
               << format_percent(1.0 - exp.energy_ratio_vs_baseline())
               << "\n";
   }
-  return app.verified ? 0 : 1;
+  return app.verified ? kExitVerified : kExitUnverified;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions cli;
+  try {
+    cli = parse_cli(argc, argv);
+  } catch (const UsageError& error) {
+    std::cerr << "usage error: " << error.what() << "\n";
+    print_usage();
+    return kExitUsage;
+  }
+  try {
+    return run_cli(cli);
+  } catch (const SimTimeoutError& error) {
+    std::cerr << "timeout: " << error.what() << "\n";
+    for (const std::string& op : error.stuck_ops()) {
+      std::cerr << "  stuck: " << op << "\n";
+    }
+    return kExitTimeout;
+  } catch (const ConfigError& error) {
+    std::cerr << "config error: " << error.what() << "\n";
+    return kExitConfig;
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return kExitUnverified;
+  }
 }

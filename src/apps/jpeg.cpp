@@ -120,7 +120,12 @@ ProfiledApp run_jpeg(const JpegConfig& cfg) {
     for (std::uint32_t b = 0; b < blocks; ++b) {
       const std::uint32_t category =
           jpegc::decode_symbol(code, [&reader] { return reader.bit(); });
-      sim_assert(category != UINT32_MAX, "invalid DC stream");
+      if (category == UINT32_MAX) {
+        throw ConfigError{"corrupt JPEG DC stream: no Huffman code matches "
+                          "at block " +
+                          std::to_string(b) + " of " + std::to_string(blocks) +
+                          " (truncated or bit-flipped input?)"};
+      }
       const std::int32_t diff =
           jpegc::value_from_bits(reader.get(category), category);
       prev += diff;
@@ -147,7 +152,13 @@ ProfiledApp run_jpeg(const JpegConfig& cfg) {
       while (position < kBlockSize) {
         const std::uint32_t symbol =
             jpegc::decode_symbol(code, [&reader] { return reader.bit(); });
-        sim_assert(symbol != UINT32_MAX, "invalid AC stream");
+        if (symbol == UINT32_MAX) {
+          throw ConfigError{"corrupt JPEG AC stream: no Huffman code matches "
+                            "at block " +
+                            std::to_string(b) + ", coefficient " +
+                            std::to_string(position) +
+                            " (truncated or bit-flipped input?)"};
+        }
         q.add_work(8);
         if (symbol == jpegc::kEob) {
           break;
@@ -158,7 +169,12 @@ ProfiledApp run_jpeg(const JpegConfig& cfg) {
         }
         position += symbol >> 4;
         const std::uint32_t size = symbol & 0x0F;
-        sim_assert(position < kBlockSize, "AC position overflow");
+        if (position >= kBlockSize) {
+          throw ConfigError{"corrupt JPEG AC stream: run-length at block " +
+                            std::to_string(b) + " advances to coefficient " +
+                            std::to_string(position) + " past the " +
+                            std::to_string(kBlockSize) + "-entry block"};
+        }
         coeff.set(base + position,
                   jpegc::value_from_bits(reader.get(size), size));
         ++position;

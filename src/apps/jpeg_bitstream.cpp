@@ -9,7 +9,11 @@
 namespace hybridic::apps::jpegc {
 
 void BitWriter::put(std::uint32_t bits, std::uint32_t count) {
-  sim_assert(count <= 32, "BitWriter::put supports at most 32 bits");
+  if (count > 32) {
+    throw ConfigError{"BitWriter::put asked to emit " + std::to_string(count) +
+                      " bits, but at most 32 fit the accumulator (corrupt "
+                      "Huffman code length?)"};
+  }
   for (std::uint32_t i = count; i > 0; --i) {
     const std::uint32_t b = (bits >> (i - 1)) & 1U;
     current_ = static_cast<std::uint8_t>((current_ << 1) | b);

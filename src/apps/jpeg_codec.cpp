@@ -321,7 +321,12 @@ std::vector<std::uint8_t> reference_decode(const EncodedImage& enc) {
     // DC.
     const std::uint32_t category =
         decode_symbol(dc_code, [&dc_reader] { return dc_reader.bit(); });
-    sim_assert(category != UINT32_MAX, "invalid DC stream");
+    if (category == UINT32_MAX) {
+      throw ConfigError{"corrupt JPEG DC stream: no Huffman code matches at "
+                        "block " +
+                        std::to_string(b) + " of " + std::to_string(enc.blocks) +
+                        " (truncated or bit-flipped input?)"};
+    }
     const std::int32_t diff =
         value_from_bits(dc_reader.get(category), category);
     prev_dc += diff;
@@ -332,7 +337,13 @@ std::vector<std::uint8_t> reference_decode(const EncodedImage& enc) {
     while (position < kBlockSize) {
       const std::uint32_t symbol =
           decode_symbol(ac_code, [&ac_reader] { return ac_reader.bit(); });
-      sim_assert(symbol != UINT32_MAX, "invalid AC stream");
+      if (symbol == UINT32_MAX) {
+        throw ConfigError{"corrupt JPEG AC stream: no Huffman code matches at "
+                          "block " +
+                          std::to_string(b) + ", coefficient " +
+                          std::to_string(position) +
+                          " (truncated or bit-flipped input?)"};
+      }
       if (symbol == kEob) {
         break;
       }
@@ -342,7 +353,12 @@ std::vector<std::uint8_t> reference_decode(const EncodedImage& enc) {
       }
       position += symbol >> 4;
       const std::uint32_t size = symbol & 0x0F;
-      sim_assert(position < kBlockSize, "AC position overflow");
+      if (position >= kBlockSize) {
+        throw ConfigError{"corrupt JPEG AC stream: run-length at block " +
+                          std::to_string(b) + " advances to coefficient " +
+                          std::to_string(position) + " past the " +
+                          std::to_string(kBlockSize) + "-entry block"};
+      }
       zigzag[position] =
           value_from_bits(ac_reader.get(size), size);
       ++position;

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "faults/injector.hpp"
 #include "util/error.hpp"
 
 namespace hybridic::bus {
@@ -68,7 +69,19 @@ void Bus::try_grant() {
   Pending grant = std::move(queues_[winner].front());
   queues_[winner].pop_front();
 
-  const Picoseconds start = clock_->align_up(engine_->now());
+  Picoseconds start = clock_->align_up(engine_->now());
+  if (faults_ != nullptr &&
+      faults_->draw(faults::SiteKind::kBus, winner,
+                    faults_->spec().bus_stall_rate)) {
+    const Cycles stall{faults_->spec().bus_stall_cycles};
+    start += clock_->span(stall);
+    ++faults_->stats().bus_stalls;
+    faults_->record(faults::FaultKind::kBusStall, start.seconds(),
+                    grant.request.bytes.count(),
+                    name_ + ": arbiter stalled master " +
+                        std::to_string(winner) + " for " +
+                        std::to_string(stall.count()) + " cycles");
+  }
   const Picoseconds occupied = uncontended_time(grant.request.bytes);
   const Picoseconds release = start + occupied;
   const Picoseconds done = release + grant.request.extra_latency;

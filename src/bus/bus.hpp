@@ -20,6 +20,10 @@
 #include "sim/stats.hpp"
 #include "util/units.hpp"
 
+namespace hybridic::faults {
+class FaultInjector;
+}  // namespace hybridic::faults
+
 namespace hybridic::bus {
 
 /// Timing parameters of the shared bus.
@@ -66,6 +70,9 @@ public:
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] const BusConfig& config() const { return config_; }
 
+  /// Enable arbiter-stall fault injection (null disables).
+  void set_faults(faults::FaultInjector* injector) { faults_ = injector; }
+
 private:
   void try_grant();
   [[nodiscard]] std::uint64_t data_beats(Bytes bytes) const;
@@ -89,6 +96,7 @@ private:
   std::uint64_t transactions_ = 0;
   Picoseconds busy_time_{0};
   sim::Summary wait_summary_;
+  faults::FaultInjector* faults_ = nullptr;
 };
 
 }  // namespace hybridic::bus

@@ -3,6 +3,7 @@
 #include <memory>
 #include <utility>
 
+#include "faults/injector.hpp"
 #include "util/error.hpp"
 
 namespace hybridic::bus {
@@ -30,60 +31,83 @@ void Dma::transfer(DmaDirection direction, Bytes bytes, mem::Bram& local,
       std::move(on_complete));
 }
 
+// Chunk plan: split `bytes` into bus transactions of at most chunk_bytes.
+// Owned by whichever continuation currently drives the transfer (the setup
+// event, then each in-flight bus callback) — never by itself, so abandoned
+// simulations free it with the pending event.
+struct Dma::Plan {
+  DmaDirection direction;
+  std::function<Picoseconds(Picoseconds, Bytes)> local_access;
+  std::function<void(Picoseconds)> on_complete;
+  std::uint64_t remaining;
+  Picoseconds last_done{0};
+  std::uint32_t retries_left = 0;
+};
+
 void Dma::transfer_via(
     DmaDirection direction, Bytes bytes,
     const std::function<Picoseconds(Picoseconds, Bytes)>& local_access,
     std::function<void(Picoseconds)> on_complete) {
   ++started_;
 
-  // Chunk plan: split `bytes` into bus transactions of at most chunk_bytes.
-  struct Plan {
-    Dma* dma;
-    DmaDirection direction;
-    std::function<Picoseconds(Picoseconds, Bytes)> local_access;
-    std::function<void(Picoseconds)> on_complete;
-    std::uint64_t remaining;
-    Picoseconds last_done{0};
-  };
   auto plan = std::make_shared<Plan>(
-      Plan{this, direction, local_access, std::move(on_complete),
-           bytes.count(), Picoseconds{0}});
+      Plan{direction, local_access, std::move(on_complete), bytes.count(),
+           Picoseconds{0},
+           faults_ != nullptr ? faults_->resilience().bus_retry_budget : 0});
 
   // Descriptor setup happens before the first chunk hits the bus.
   const Picoseconds setup = setup_clock_->span(config_.setup_cycles);
+  engine_->schedule_after(setup, [this, plan] { issue_chunk(plan); });
+}
 
-  auto issue_next = std::make_shared<std::function<void()>>();
-  *issue_next = [this, plan, issue_next] {
-    if (plan->remaining == 0) {
-      if (plan->on_complete) {
-        plan->on_complete(plan->last_done);
-      }
-      return;
+void Dma::issue_chunk(const std::shared_ptr<Plan>& plan) {
+  if (plan->remaining == 0) {
+    if (plan->on_complete) {
+      plan->on_complete(plan->last_done);
     }
-    const Bytes chunk{std::min<std::uint64_t>(plan->remaining,
-                                              config_.chunk_bytes)};
-    plan->remaining -= chunk.count();
+    return;
+  }
+  const Bytes chunk{std::min<std::uint64_t>(plan->remaining,
+                                            config_.chunk_bytes)};
+  plan->remaining -= chunk.count();
 
-    // Serialize the chunk on both memory legs (SDRAM channel, BRAM port).
-    // Whatever those legs need beyond the bus occupancy itself is exposed to
-    // the requester as slave-side latency on the bus transaction.
-    const Picoseconds now = engine_->now();
-    const Picoseconds mem_done = sdram_->access(now, chunk);
-    const Picoseconds local_done = plan->local_access(now, chunk);
-    const Picoseconds legs_done = std::max(mem_done, local_done);
-    const Picoseconds ideal_done = now + bus_->uncontended_time(chunk);
-    const Picoseconds slave_latency =
-        legs_done > ideal_done ? legs_done - ideal_done : Picoseconds{0};
+  // Serialize the chunk on both memory legs (SDRAM channel, BRAM port).
+  // Whatever those legs need beyond the bus occupancy itself is exposed to
+  // the requester as slave-side latency on the bus transaction.
+  const Picoseconds now = engine_->now();
+  const Picoseconds mem_done = sdram_->access(now, chunk);
+  const Picoseconds local_done = plan->local_access(now, chunk);
+  const Picoseconds legs_done = std::max(mem_done, local_done);
+  const Picoseconds ideal_done = now + bus_->uncontended_time(chunk);
+  const Picoseconds slave_latency =
+      legs_done > ideal_done ? legs_done - ideal_done : Picoseconds{0};
 
-    bus_->submit(BusRequest{
-        bus_master_, chunk, slave_latency,
-        [plan, issue_next](Picoseconds done) {
-          plan->last_done = done;
-          (*issue_next)();
-        }});
-  };
-
-  engine_->schedule_after(setup, [issue_next] { (*issue_next)(); });
+  bus_->submit(BusRequest{
+      bus_master_, chunk, slave_latency,
+      [this, plan, chunk](Picoseconds done) {
+        plan->last_done = done;
+        if (faults_ != nullptr &&
+            faults_->draw(faults::SiteKind::kDma, bus_master_,
+                          faults_->spec().bus_error_rate)) {
+          ++faults_->stats().bus_errors;
+          if (plan->retries_left > 0) {
+            --plan->retries_left;
+            ++faults_->stats().bus_retries;
+            faults_->record(faults::FaultKind::kBusRetry, done.seconds(),
+                            chunk.count(),
+                            name_ + ": bus chunk error, re-issuing " +
+                                std::to_string(chunk.count()) + " B");
+            plan->remaining += chunk.count();  // re-issue this chunk
+          } else {
+            faults_->stats().corrupted_bytes += chunk.count();
+            faults_->record(faults::FaultKind::kBusError, done.seconds(),
+                            chunk.count(),
+                            name_ + ": bus chunk error past retry "
+                                    "budget, delivered corrupted");
+          }
+        }
+        issue_chunk(plan);
+      }});
 }
 
 }  // namespace hybridic::bus

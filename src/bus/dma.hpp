@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 
 #include "bus/bus.hpp"
@@ -55,7 +56,16 @@ public:
 
   [[nodiscard]] std::uint64_t transfers_started() const { return started_; }
 
+  /// Enable chunk-error fault injection with the injector's retry budget
+  /// (null disables).
+  void set_faults(faults::FaultInjector* injector) { faults_ = injector; }
+
 private:
+  struct Plan;  // chunking state shared by the per-chunk continuations
+
+  /// Issue the next chunk of `plan`, or fire its completion callback.
+  void issue_chunk(const std::shared_ptr<Plan>& plan);
+
   std::string name_;
   sim::Engine* engine_;
   Bus* bus_;
@@ -64,6 +74,7 @@ private:
   DmaConfig config_;
   std::uint32_t bus_master_;
   std::uint64_t started_ = 0;
+  faults::FaultInjector* faults_ = nullptr;
 };
 
 }  // namespace hybridic::bus

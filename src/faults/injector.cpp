@@ -1,0 +1,63 @@
+#include "faults/injector.hpp"
+
+namespace hybridic::faults {
+
+namespace {
+
+// One splitmix64-style finalizer round; a pure function so site streams do
+// not depend on the order sites first draw.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kFlitCorruption:
+      return "flit-corruption";
+    case FaultKind::kMessageLost:
+      return "message-lost";
+    case FaultKind::kBusError:
+      return "bus-error";
+    case FaultKind::kBusStall:
+      return "bus-stall";
+    case FaultKind::kSdramBitFlip:
+      return "sdram-bitflip";
+    case FaultKind::kBramBitFlip:
+      return "bram-bitflip";
+    case FaultKind::kRetransmit:
+      return "retransmit";
+    case FaultKind::kBusRetry:
+      return "bus-retry";
+  }
+  return "?";
+}
+
+Rng& FaultInjector::stream(SiteKind kind, std::uint64_t site) {
+  const auto key =
+      std::make_pair(static_cast<std::uint8_t>(kind), site);
+  auto it = streams_.find(key);
+  if (it == streams_.end()) {
+    const std::uint64_t seed =
+        mix(mix(spec_.seed ^ (static_cast<std::uint64_t>(kind) << 56)) + site);
+    it = streams_.emplace(key, Rng{seed}).first;
+  }
+  return it->second;
+}
+
+void FaultInjector::record(FaultKind kind, double at_seconds,
+                           std::uint64_t bytes, std::string label) {
+  std::uint32_t& stored = events_per_kind_[static_cast<std::size_t>(kind)];
+  if (stored >= kMaxEventsPerKind) {
+    ++events_dropped_;
+    return;
+  }
+  ++stored;
+  events_.push_back(FaultEvent{kind, at_seconds, bytes, std::move(label)});
+}
+
+}  // namespace hybridic::faults

@@ -1,5 +1,6 @@
 #include "mem/bram.hpp"
 
+#include "faults/injector.hpp"
 #include "util/error.hpp"
 
 namespace hybridic::mem {
@@ -14,6 +15,15 @@ Bram::Bram(std::string name, const sim::ClockDomain& clock, Bytes capacity,
 }
 
 Picoseconds Bram::access(BramPort port, Picoseconds earliest, Bytes bytes) {
+  if (faults_ != nullptr &&
+      faults_->draw(faults::SiteKind::kBram, fault_site_,
+                    faults_->spec().bram_bitflip_rate)) {
+    ++faults_->stats().mem_bitflips;
+    faults_->record(faults::FaultKind::kBramBitFlip, earliest.seconds(),
+                    bytes.count(),
+                    name_ + ": bit flip in a " +
+                        std::to_string(bytes.count()) + " B access");
+  }
   return ports_[static_cast<std::size_t>(port)].reserve(earliest, bytes);
 }
 

@@ -16,6 +16,10 @@
 #include "sim/clock.hpp"
 #include "util/units.hpp"
 
+namespace hybridic::faults {
+class FaultInjector;
+}  // namespace hybridic::faults
+
 namespace hybridic::mem {
 
 /// Which physical BRAM port a client is attached to.
@@ -39,10 +43,19 @@ public:
 
   void reset();
 
+  /// Enable bit-flip fault injection; `site` identifies this BRAM's RNG
+  /// stream (the owning kernel-instance index). Null disables.
+  void set_faults(faults::FaultInjector* injector, std::uint64_t site) {
+    faults_ = injector;
+    fault_site_ = site;
+  }
+
 private:
   std::string name_;
   Bytes capacity_;
   std::array<Port, 2> ports_;
+  faults::FaultInjector* faults_ = nullptr;
+  std::uint64_t fault_site_ = 0;
 };
 
 }  // namespace hybridic::mem

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "faults/injector.hpp"
+
 namespace hybridic::mem {
 
 Sdram::Sdram(std::string name, const sim::ClockDomain& clock,
@@ -18,6 +20,15 @@ Picoseconds Sdram::access(Picoseconds earliest, Bytes bytes) {
   // earliest-start by the latency serializes the latency window with it.
   const Picoseconds latency = clock_->span(config_.access_latency);
   const Picoseconds start = std::max(earliest, channel_.free_at());
+  if (faults_ != nullptr &&
+      faults_->draw(faults::SiteKind::kSdram, 0,
+                    faults_->spec().sdram_bitflip_rate)) {
+    ++faults_->stats().mem_bitflips;
+    faults_->record(faults::FaultKind::kSdramBitFlip, start.seconds(),
+                    bytes.count(),
+                    name_ + ": bit flip in a " +
+                        std::to_string(bytes.count()) + " B burst");
+  }
   return channel_.reserve(start + latency, bytes);
 }
 

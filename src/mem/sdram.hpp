@@ -12,6 +12,10 @@
 #include "sim/clock.hpp"
 #include "util/units.hpp"
 
+namespace hybridic::faults {
+class FaultInjector;
+}  // namespace hybridic::faults
+
 namespace hybridic::mem {
 
 /// SDRAM timing parameters.
@@ -38,11 +42,15 @@ public:
 
   void reset() { channel_.reset(); }
 
+  /// Enable bit-flip fault injection on this controller (null disables).
+  void set_faults(faults::FaultInjector* injector) { faults_ = injector; }
+
 private:
   std::string name_;
   const sim::ClockDomain* clock_;
   SdramConfig config_;
   Port channel_;
+  faults::FaultInjector* faults_ = nullptr;
 };
 
 }  // namespace hybridic::mem

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "faults/injector.hpp"
 #include "util/error.hpp"
 
 namespace hybridic::noc {
@@ -22,7 +23,8 @@ void Adapter::enqueue_message(std::uint32_t destination,
   do {
     const std::uint64_t chunk =
         std::min<std::uint64_t>(remaining, max_packet_payload_bytes_);
-    enqueue_packet(destination, message_id, payload_flits(chunk));
+    enqueue_packet(destination, message_id, next_packet_id_++,
+                   payload_flits(chunk));
     remaining -= chunk;
   } while (remaining > 0);
   ++messages_sent_;
@@ -41,8 +43,8 @@ void Adapter::expect_message(std::uint64_t message_id, Bytes bytes,
 
 void Adapter::enqueue_packet(std::uint32_t destination,
                              std::uint64_t message_id,
+                             std::uint64_t packet_id,
                              std::uint64_t payload_flit_count) {
-  const std::uint64_t packet_id = next_packet_id_++;
   Flit head;
   head.packet_id = packet_id;
   head.message_id = message_id;
@@ -80,10 +82,34 @@ void Adapter::deliver(const Flit& flit, Picoseconds now) {
   sim_assert(it != rx_.end(),
              "flit delivered for unknown message (network wiring bug)");
   Reassembly& reassembly = it->second;
+  if (flit.is_head()) {
+    reassembly.packet_payload_flits = 0;
+    reassembly.packet_corrupted = false;
+  }
+  reassembly.packet_corrupted =
+      reassembly.packet_corrupted || flit.corrupted;
   if (flit.kind == FlitKind::kBody || flit.kind == FlitKind::kTail) {
-    ++reassembly.received_payload_flits;
-  } else if (flit.kind == FlitKind::kHeadTail) {
+    ++reassembly.packet_payload_flits;
+  }
+  if (!flit.is_tail()) {
+    return;  // payload commits at packet boundaries (CRC granularity)
+  }
+  if (reassembly.packet_corrupted) {
+    if (on_corrupt_packet_ &&
+        on_corrupt_packet_(flit, reassembly.packet_payload_flits)) {
+      return;  // discarded; a clean copy is being retransmitted
+    }
+    if (faults_ != nullptr) {
+      faults_->stats().corrupted_bytes +=
+          reassembly.packet_payload_flits * kFlitPayloadBytes;
+    }
+  } else if (on_clean_packet_) {
+    on_clean_packet_(flit);
+  }
+  if (flit.kind == FlitKind::kHeadTail) {
     reassembly.head_tail_seen = true;
+  } else {
+    reassembly.received_payload_flits += reassembly.packet_payload_flits;
   }
   const bool complete =
       reassembly.received_payload_flits >= reassembly.expected_payload_flits &&
@@ -96,6 +122,21 @@ void Adapter::deliver(const Flit& flit, Picoseconds now) {
       done.on_delivered(flit.message_id, done.bytes, now);
     }
   }
+}
+
+void Adapter::set_fault_hooks(faults::FaultInjector* injector,
+                              CorruptPacketHandler on_corrupt,
+                              CleanPacketHandler on_clean) {
+  faults_ = injector;
+  on_corrupt_packet_ = std::move(on_corrupt);
+  on_clean_packet_ = std::move(on_clean);
+}
+
+void Adapter::resend_packet(std::uint32_t destination,
+                            std::uint64_t message_id,
+                            std::uint64_t packet_id,
+                            std::uint64_t payload_flit_count) {
+  enqueue_packet(destination, message_id, packet_id, payload_flit_count);
 }
 
 bool Adapter::busy() const { return !tx_queue_.empty() || !rx_.empty(); }

@@ -23,6 +23,10 @@
 #include "noc/topology.hpp"
 #include "util/units.hpp"
 
+namespace hybridic::faults {
+class FaultInjector;
+}  // namespace hybridic::faults
+
 namespace hybridic::noc {
 
 /// Adapter flavor — affects the resource model, not the protocol.
@@ -31,6 +35,16 @@ enum class AdapterKind : std::uint8_t { kAccelerator, kLocalMemory };
 /// Completed message notification: (message_id, bytes, delivery_time).
 using DeliveryCallback =
     std::function<void(std::uint64_t, Bytes, Picoseconds)>;
+
+/// CRC-failure decision hook: given the tail flit of a corrupted packet and
+/// its payload flit count, return true to discard the packet (a clean copy
+/// will be retransmitted) or false to accept it as-corrupted.
+using CorruptPacketHandler =
+    std::function<bool(const Flit&, std::uint64_t)>;
+
+/// Notification that a packet completed uncorrupted (used by the Network to
+/// retire retransmission bookkeeping).
+using CleanPacketHandler = std::function<void(const Flit&)>;
 
 /// Per-node network adapter.
 class Adapter {
@@ -62,6 +76,19 @@ public:
   /// in reassembly.
   [[nodiscard]] bool busy() const;
 
+  /// Wire the fault-injection hooks (Network-owned). `on_corrupt` is only
+  /// set when CRC/retransmission is enabled; null hooks keep the fault-free
+  /// delivery path unchanged.
+  void set_fault_hooks(faults::FaultInjector* injector,
+                       CorruptPacketHandler on_corrupt,
+                       CleanPacketHandler on_clean);
+
+  /// Re-inject one packet of `payload_flit_count` flits with its original
+  /// packet id (retransmission of a corrupted packet).
+  void resend_packet(std::uint32_t destination, std::uint64_t message_id,
+                     std::uint64_t packet_id,
+                     std::uint64_t payload_flit_count);
+
   [[nodiscard]] std::uint32_t node() const { return node_; }
   [[nodiscard]] AdapterKind kind() const { return kind_; }
   [[nodiscard]] const std::string& name() const { return name_; }
@@ -81,9 +108,15 @@ private:
     bool head_tail_seen = false;
     DeliveryCallback on_delivered;
     Bytes bytes{0};
+    // Packets of one message arrive flit-contiguous (serial injection, one
+    // deterministic path), so per-packet CRC state is two scalars reset at
+    // each head flit.
+    std::uint64_t packet_payload_flits = 0;
+    bool packet_corrupted = false;
   };
 
   void enqueue_packet(std::uint32_t destination, std::uint64_t message_id,
+                      std::uint64_t packet_id,
                       std::uint64_t payload_flit_count);
 
   std::string name_;
@@ -98,6 +131,10 @@ private:
   std::uint64_t messages_received_ = 0;
   std::uint64_t flits_injected_ = 0;
   std::uint64_t next_packet_id_ = 1;
+
+  faults::FaultInjector* faults_ = nullptr;
+  CorruptPacketHandler on_corrupt_packet_;
+  CleanPacketHandler on_clean_packet_;
 };
 
 }  // namespace hybridic::noc

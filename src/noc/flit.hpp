@@ -24,6 +24,7 @@ struct Flit {
   FlitKind kind = FlitKind::kHead;
   std::uint32_t sequence = 0;    ///< Flit index within the packet.
   std::uint64_t injected_at_ps = 0;  ///< For latency statistics.
+  bool corrupted = false;        ///< Set by fault injection in transit.
 
   [[nodiscard]] bool is_head() const {
     return kind == FlitKind::kHead || kind == FlitKind::kHeadTail;

@@ -5,6 +5,7 @@
 #include <sstream>
 #include <utility>
 
+#include "faults/injector.hpp"
 #include "util/error.hpp"
 
 namespace hybridic::noc {
@@ -36,7 +37,124 @@ Adapter& Network::attach_adapter(std::uint32_t node, std::string name,
   adapter_nodes_.insert(
       std::lower_bound(adapter_nodes_.begin(), adapter_nodes_.end(), node),
       node);
+  if (faults_ != nullptr) {
+    wire_adapter_faults(*adapters_[node]);
+  }
   return *adapters_[node];
+}
+
+void Network::set_faults(faults::FaultInjector* injector) {
+  faults_ = injector;
+  link_state_.reset();
+  if (faults_ == nullptr) {
+    for (const std::uint32_t node : adapter_nodes_) {
+      adapters_[node]->set_fault_hooks(nullptr, nullptr, nullptr);
+    }
+    return;
+  }
+  const auto& dead = faults_->spec().dead_links;
+  if (!dead.empty()) {
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;
+    pairs.reserve(dead.size());
+    for (const faults::LinkDown& link : dead) {
+      pairs.emplace_back(link.a, link.b);
+    }
+    link_state_ = std::make_unique<LinkState>(mesh_, pairs);
+  }
+  for (const std::uint32_t node : adapter_nodes_) {
+    wire_adapter_faults(*adapters_[node]);
+  }
+}
+
+void Network::wire_adapter_faults(Adapter& adapter_ref) {
+  if (!faults_->resilience().noc_crc) {
+    adapter_ref.set_fault_hooks(faults_, nullptr, nullptr);
+    return;
+  }
+  const std::uint32_t dest_node = adapter_ref.node();
+  adapter_ref.set_fault_hooks(
+      faults_,
+      [this, dest_node](const Flit& tail, std::uint64_t payload) {
+        return handle_corrupt_packet(dest_node, tail, payload);
+      },
+      [this](const Flit& tail) {
+        retransmit_attempts_.erase({tail.source, tail.packet_id});
+      });
+}
+
+bool Network::route_exists(std::uint32_t src, std::uint32_t dst) const {
+  return link_state_ == nullptr || link_state_->reachable(src, dst);
+}
+
+bool Network::route_detoured(std::uint32_t src, std::uint32_t dst) const {
+  if (link_state_ == nullptr || src == dst) {
+    return false;
+  }
+  return link_state_->reachable(src, dst) &&
+         link_state_->detours(*routing_, src, dst);
+}
+
+PortDir Network::route_from(std::uint32_t node, const Flit& flit) const {
+  if (link_state_ != nullptr) {
+    const std::optional<PortDir> hop =
+        link_state_->next_hop(node, flit.destination);
+    sim_assert(hop.has_value(),
+               "flit in flight towards a node unreachable over surviving "
+               "links (send-side reachability check missed it)");
+    return *hop;
+  }
+  return routing_->route(mesh_, node, flit.destination);
+}
+
+void Network::maybe_corrupt(Flit& flit, std::uint32_t node,
+                            Picoseconds now) {
+  const double rate = faults_->spec().flit_corruption_rate;
+  if (!faults_->draw(faults::SiteKind::kNocFlit, node, rate)) {
+    return;
+  }
+  flit.corrupted = true;
+  ++faults_->stats().flits_corrupted;
+  faults_->record(faults::FaultKind::kFlitCorruption, now.seconds(),
+                  kFlitPayloadBytes,
+                  name_ + ": flit corrupted at node " + std::to_string(node) +
+                      " (msg " + std::to_string(flit.message_id) + " pkt " +
+                      std::to_string(flit.packet_id) + ")");
+}
+
+bool Network::handle_corrupt_packet(std::uint32_t dest_node,
+                                    const Flit& tail,
+                                    std::uint64_t payload_flits) {
+  const auto key = std::make_pair(tail.source, tail.packet_id);
+  std::uint32_t& attempts = retransmit_attempts_[key];
+  const faults::ResilienceSpec& res = faults_->resilience();
+  if (attempts >= res.noc_max_retransmits) {
+    retransmit_attempts_.erase(key);
+    ++faults_->stats().retransmit_give_ups;
+    return false;  // budget exhausted: accept the packet as-corrupted
+  }
+  ++attempts;
+  ++faults_->stats().packets_retransmitted;
+  const std::uint32_t shift = std::min(attempts - 1, 10u);
+  const Cycles backoff{static_cast<std::uint64_t>(res.noc_backoff_base_cycles)
+                       << shift};
+  faults_->record(
+      faults::FaultKind::kRetransmit, engine_->now().seconds(),
+      payload_flits * kFlitPayloadBytes,
+      name_ + ": retransmit pkt " + std::to_string(tail.packet_id) +
+          " (node " + std::to_string(tail.source) + " -> " +
+          std::to_string(dest_node) + ", attempt " +
+          std::to_string(attempts) + ")");
+  Adapter* source = adapters_[tail.source].get();
+  const std::uint64_t message_id = tail.message_id;
+  const std::uint64_t packet_id = tail.packet_id;
+  engine_->schedule_after(
+      clock_->span(backoff),
+      [this, source, dest_node, message_id, packet_id, payload_flits] {
+        source->resend_packet(dest_node, message_id, packet_id,
+                              payload_flits);
+        engine_->activate(ticking_handle_);
+      });
+  return true;
 }
 
 Router& Network::router(std::uint32_t node) {
@@ -57,6 +175,22 @@ std::uint64_t Network::send(std::uint32_t source, std::uint32_t destination,
   require(adapters_[destination] != nullptr,
           "NoC send to node with no adapter");
   const std::uint64_t id = next_message_id_++;
+
+  if (link_state_ != nullptr && source != destination &&
+      !link_state_->reachable(source, destination)) {
+    // Dead links disconnect this pair: the message is black-holed. Nothing
+    // is enqueued, so the delivery callback never fires and the wait_all
+    // watchdog reports the stuck op (unless the edge router degraded the
+    // edge to the bus before reaching this point).
+    ++faults_->stats().messages_lost;
+    faults_->record(faults::FaultKind::kMessageLost,
+                    engine_->now().seconds(), bytes.count(),
+                    name_ + ": message lost, node " +
+                        std::to_string(source) + " cannot reach node " +
+                        std::to_string(destination) +
+                        " over surviving links");
+    return id;
+  }
 
   if (source == destination) {
     // Degenerate loopback: delivered on the next NoC edge without touching
@@ -105,7 +239,10 @@ bool Network::tick(Picoseconds now) {
     }
     Router& local_router = routers_[node];
     if (local_router.can_accept(PortDir::kLocal)) {
-      const Flit flit = adapter_ref.consume_pending(now);
+      Flit flit = adapter_ref.consume_pending(now);
+      if (faults_ != nullptr) {
+        maybe_corrupt(flit, node, now);
+      }
       local_router.accept(
           PortDir::kLocal, flit,
           now + clock_->span(Cycles{config_.router.pipeline_cycles}),

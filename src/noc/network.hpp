@@ -7,9 +7,11 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "noc/adapter.hpp"
@@ -20,6 +22,10 @@
 #include "sim/engine.hpp"
 #include "sim/stats.hpp"
 #include "util/units.hpp"
+
+namespace hybridic::faults {
+class FaultInjector;
+}  // namespace hybridic::faults
 
 namespace hybridic::noc {
 
@@ -83,6 +89,27 @@ public:
   /// plus network-level latency summaries.
   [[nodiscard]] std::string stats_report() const;
 
+  /// Enable fault injection: builds the surviving-link state from the
+  /// injector's dead-link spec (switching all routing to fault-aware BFS
+  /// next hops), and wires the CRC/retransmission hooks into every adapter
+  /// when the resilience spec enables them. Null disables everything.
+  void set_faults(faults::FaultInjector* injector);
+
+  /// True when `src` can still reach `dst` (always true without dead
+  /// links). A send over an unreachable pair is recorded as lost and never
+  /// delivered — the wait_all watchdog then names the stuck op.
+  [[nodiscard]] bool route_exists(std::uint32_t src,
+                                  std::uint32_t dst) const;
+
+  /// True when the fault-aware route from `src` to `dst` deviates from the
+  /// configured base algorithm's path (i.e. detours around a dead link).
+  [[nodiscard]] bool route_detoured(std::uint32_t src,
+                                    std::uint32_t dst) const;
+
+  [[nodiscard]] const LinkState* link_state() const {
+    return link_state_.get();
+  }
+
 private:
   void move_router_flits(Router& router, Picoseconds now);
   bool try_forward(Router& router, PortDir out, PortDir in, Picoseconds now);
@@ -90,10 +117,16 @@ private:
 
   /// Routing decision for `flit` as seen from router `node`, computed once
   /// when a flit is accepted into a buffer (cached in BufferedFlit::route).
+  /// With dead links present the decision comes from the fault-aware BFS
+  /// table instead of the base algorithm.
   [[nodiscard]] PortDir route_from(std::uint32_t node,
-                                   const Flit& flit) const {
-    return routing_->route(mesh_, node, flit.destination);
-  }
+                                   const Flit& flit) const;
+
+  void wire_adapter_faults(Adapter& adapter_ref);
+  void maybe_corrupt(Flit& flit, std::uint32_t node, Picoseconds now);
+  /// CRC-failure decision for a packet ending in `tail` at `dest_node`.
+  bool handle_corrupt_packet(std::uint32_t dest_node, const Flit& tail,
+                             std::uint64_t payload_flits);
 
   std::string name_;
   sim::Engine* engine_;
@@ -115,6 +148,13 @@ private:
   std::uint64_t inflight_ = 0;
   NetworkStats stats_;
   TickObserver tick_observer_;
+
+  faults::FaultInjector* faults_ = nullptr;
+  std::unique_ptr<LinkState> link_state_;
+  /// Retransmission attempts per (source node, packet id); entries retire
+  /// when the packet finally completes clean or exhausts its budget.
+  std::map<std::pair<std::uint32_t, std::uint64_t>, std::uint32_t>
+      retransmit_attempts_;
 };
 
 }  // namespace hybridic::noc

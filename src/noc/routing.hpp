@@ -6,8 +6,13 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
+#include <optional>
+#include <set>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "noc/topology.hpp"
 
@@ -54,5 +59,53 @@ public:
 };
 
 [[nodiscard]] std::unique_ptr<Routing> make_routing(const std::string& name);
+
+/// The surviving-link view of a mesh with permanently dead links, plus
+/// fault-aware next-hop computation.
+///
+/// When any link is dead, *every* routing decision comes from a BFS
+/// shortest-path table on the surviving graph (cached per destination,
+/// neighbors visited in fixed port order for determinism). Distance to the
+/// destination strictly decreases along every hop, so routes are loop-free
+/// and always deliver when a path exists. Partial detours off a
+/// dimension-order route could loop, which is why the base algorithm is
+/// bypassed entirely rather than patched around each dead link. The BFS
+/// routes are not covered by the dimension-order deadlock-freedom argument;
+/// the wait_all watchdog backstops the (rare) adversarial configurations.
+class LinkState {
+public:
+  /// `dead_links` name pairs of adjacent mesh nodes; throws ConfigError
+  /// with the offending pair otherwise.
+  LinkState(const Mesh2D& mesh,
+            const std::vector<std::pair<std::uint32_t, std::uint32_t>>&
+                dead_links);
+
+  /// Is the link from `node` towards `dir` present and alive?
+  [[nodiscard]] bool link_up(std::uint32_t node, PortDir dir) const;
+
+  /// Can `src` still reach `dst` over surviving links?
+  [[nodiscard]] bool reachable(std::uint32_t src, std::uint32_t dst) const;
+
+  /// Next hop from `current` towards `destination` over surviving links;
+  /// kLocal at the destination, nullopt when disconnected.
+  [[nodiscard]] std::optional<PortDir> next_hop(
+      std::uint32_t current, std::uint32_t destination) const;
+
+  /// Would the base algorithm's path from `src` to `dst` cross a dead
+  /// link (i.e. does the fault-aware route detour)?
+  [[nodiscard]] bool detours(const Routing& base, std::uint32_t src,
+                             std::uint32_t dst) const;
+
+  [[nodiscard]] std::size_t dead_link_count() const { return dead_.size(); }
+
+private:
+  /// Hop distances of every node to `destination` (BFS, cached).
+  const std::vector<std::uint32_t>& distances_to(
+      std::uint32_t destination) const;
+
+  Mesh2D mesh_;
+  std::set<std::pair<std::uint32_t, std::uint32_t>> dead_;  // (lo, hi)
+  mutable std::map<std::uint32_t, std::vector<std::uint32_t>> dist_cache_;
+};
 
 }  // namespace hybridic::noc

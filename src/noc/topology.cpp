@@ -20,6 +20,20 @@ std::string to_string(PortDir d) {
   return "?";
 }
 
+void Mesh2D::throw_bad_node(std::uint32_t id) const {
+  throw ConfigError{"mesh node id " + std::to_string(id) +
+                    " out of range for a " + std::to_string(width_) + "x" +
+                    std::to_string(height_) + " mesh (valid ids: 0.." +
+                    std::to_string(node_count() - 1) + ")"};
+}
+
+void Mesh2D::throw_bad_coord(Coord c) const {
+  throw ConfigError{"mesh coord (" + std::to_string(c.x) + ", " +
+                    std::to_string(c.y) + ") out of range for a " +
+                    std::to_string(width_) + "x" + std::to_string(height_) +
+                    " mesh"};
+}
+
 Mesh2D Mesh2D::fitting(std::uint32_t nodes) {
   require(nodes > 0, "mesh must host at least one node");
   std::uint32_t width = 1;

@@ -50,7 +50,9 @@ class Mesh2D {
 public:
   Mesh2D(std::uint32_t width, std::uint32_t height)
       : width_(width), height_(height) {
-    require(width > 0 && height > 0, "mesh dimensions must be non-zero");
+    require(width > 0 && height > 0,
+            "mesh dimensions must be non-zero, got " + std::to_string(width) +
+                "x" + std::to_string(height));
   }
 
   [[nodiscard]] std::uint32_t width() const { return width_; }
@@ -58,12 +60,16 @@ public:
   [[nodiscard]] std::uint32_t node_count() const { return width_ * height_; }
 
   [[nodiscard]] Coord coord_of(std::uint32_t id) const {
-    sim_assert(id < node_count(), "mesh node id out of range");
+    if (id >= node_count()) {
+      throw_bad_node(id);
+    }
     return Coord{id % width_, id / width_};
   }
 
   [[nodiscard]] std::uint32_t id_of(Coord c) const {
-    sim_assert(c.x < width_ && c.y < height_, "mesh coord out of range");
+    if (c.x >= width_ || c.y >= height_) {
+      throw_bad_coord(c);
+    }
     return c.y * width_ + c.x;
   }
 
@@ -101,6 +107,11 @@ public:
   [[nodiscard]] static Mesh2D fitting(std::uint32_t nodes);
 
 private:
+  // Out-of-line so the error-message formatting stays off the inlined
+  // hot paths.
+  [[noreturn]] void throw_bad_node(std::uint32_t id) const;
+  [[noreturn]] void throw_bad_coord(Coord c) const;
+
   std::uint32_t width_;
   std::uint32_t height_;
 };

@@ -66,6 +66,11 @@ public:
   bool run_until(const std::function<bool()>& predicate,
                  Picoseconds limit = Picoseconds{UINT64_MAX});
 
+  /// True while any one-shot event or component tick is still queued. After
+  /// `run_until` returns false this distinguishes "watchdog limit reached"
+  /// (still pending work) from "event queue drained" (deadlock).
+  [[nodiscard]] bool has_pending() const { return peek_next().any; }
+
   /// Number of events executed so far.
   [[nodiscard]] std::uint64_t events_executed() const {
     return events_executed_;

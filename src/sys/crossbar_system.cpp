@@ -1,5 +1,6 @@
 #include "sys/crossbar_system.hpp"
 
+#include "faults/injector.hpp"
 #include "mem/full_crossbar.hpp"
 #include "sys/engine/models.hpp"
 #include "sys/engine/walker.hpp"
@@ -14,7 +15,13 @@ RunResult run_crossbar_system(const AppSchedule& schedule,
   engine::ExecContext ctx(schedule, config, nullptr);
   engine::ScheduleWalker walker(schedule, "crossbar");
   engine::CrossbarModel model(ctx, &walker.trace());
-  return walker.run(model);
+  RunResult result = walker.run(model);
+  if (const faults::FaultInjector* injector =
+          ctx.platform().fault_injector()) {
+    engine::append_fault_events(result.trace, *injector);
+    result.fault_stats = injector->stats();
+  }
+  return result;
 }
 
 core::Resources crossbar_system_resources(std::uint32_t kernel_count) {

@@ -74,13 +74,22 @@ void write_chrome_trace(const ExecTrace& trace,
   for (const std::size_t i : trace.chronological()) {
     const TraceEvent& event = trace.events()[i];
     emit_comma();
-    out << "    {\"ph\": \"X\", \"pid\": 0, \"tid\": "
+    // Zero-duration fault/retry/reroute annotations export as thread-scoped
+    // instant events so Perfetto draws a visible marker, not a 0-width slice.
+    const bool instant = is_annotation(event.kind) &&
+                         event.kind != EventKind::kStall;
+    out << "    {\"ph\": \"" << (instant ? 'i' : 'X')
+        << "\", \"pid\": 0, \"tid\": "
         << static_cast<unsigned>(event.fabric) << ", \"name\": \""
         << escaped(event.label) << "\", \"cat\": \""
         << event_kind_name(event.kind) << "\", \"ts\": "
-        << micros(event.start_seconds) << ", \"dur\": "
-        << micros(event.end_seconds - event.start_seconds)
-        << ", \"args\": {\"step\": " << event.step_index
+        << micros(event.start_seconds);
+    if (instant) {
+      out << ", \"s\": \"t\"";
+    } else {
+      out << ", \"dur\": " << micros(event.end_seconds - event.start_seconds);
+    }
+    out << ", \"args\": {\"step\": " << event.step_index
         << ", \"bytes\": " << event.bytes << "}}";
   }
   out << "\n  ]\n}\n";

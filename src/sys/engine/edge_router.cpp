@@ -34,6 +34,28 @@ bool EdgeRouter::noc_reachable(std::size_t producer_instance,
              .has_value();
 }
 
+bool EdgeRouter::noc_usable(std::size_t producer_instance,
+                            std::size_t consumer_instance) const {
+  if (!noc_reachable(producer_instance, consumer_instance)) {
+    return false;
+  }
+  Platform& platform = ctx_->platform();
+  const std::uint32_t src =
+      *platform.noc_node(producer_instance, core::NocNodeKind::kKernel);
+  const std::uint32_t dst =
+      *platform.noc_node(consumer_instance, core::NocNodeKind::kLocalMemory);
+  if (platform.network()->route_exists(src, dst)) {
+    return true;
+  }
+  return !platform.config().faults.resilience.noc_degrade_to_bus;
+}
+
+bool EdgeRouter::noc_degraded(std::size_t producer_instance,
+                              std::size_t consumer_instance) const {
+  return noc_reachable(producer_instance, consumer_instance) &&
+         !noc_usable(producer_instance, consumer_instance);
+}
+
 const core::SharedMemoryPairing* EdgeRouter::shared_pair(
     prof::FunctionId producer, prof::FunctionId consumer) const {
   const auto it = shared_by_fn_.find({producer, consumer});

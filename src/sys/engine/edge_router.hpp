@@ -30,6 +30,18 @@ public:
   [[nodiscard]] bool noc_reachable(std::size_t producer_instance,
                                    std::size_t consumer_instance) const;
 
+  /// Should this edge actually use the NoC under the current fault state?
+  /// True when attached and either still connected over surviving links, or
+  /// disconnected with NoC->bus degradation disabled (the send is then
+  /// attempted, black-holed, and diagnosed by the wait_all watchdog).
+  [[nodiscard]] bool noc_usable(std::size_t producer_instance,
+                                std::size_t consumer_instance) const;
+
+  /// Attached but fault-disconnected with degradation enabled: the edge
+  /// falls back to a bus-DMA round trip (write-back + fetch).
+  [[nodiscard]] bool noc_degraded(std::size_t producer_instance,
+                                  std::size_t consumer_instance) const;
+
   /// The shared-memory pairing covering a (producer fn, consumer fn) edge,
   /// or null when the edge is not shared.
   [[nodiscard]] const core::SharedMemoryPairing* shared_pair(

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "core/kernel_model.hpp"
+#include "faults/injector.hpp"
 #include "util/error.hpp"
 
 namespace hybridic::sys::engine {
@@ -91,6 +92,28 @@ DesignedModel::DesignedModel(ExecContext& ctx, EdgeRouter& router,
           ctx.platform().config().duplication_overhead_seconds)),
       recs_(ctx.instance_count()),
       executed_(ctx.instance_count(), false) {}
+
+void DesignedModel::note_degraded(std::uint32_t step_index,
+                                  const std::string& step_name,
+                                  std::size_t producer_instance,
+                                  std::size_t consumer_instance) {
+  if (!degraded_logged_.insert({producer_instance, consumer_instance})
+           .second) {
+    return;  // Already reported for this edge.
+  }
+  Platform& platform = ctx_->platform();
+  if (faults::FaultInjector* injector = platform.fault_injector()) {
+    ++injector->stats().degraded_edges;
+  }
+  if (trace_ != nullptr) {
+    const double now = platform.engine().now().seconds();
+    trace_->record({EventKind::kReroute, Fabric::kBus, step_index, 0, now,
+                    now,
+                    step_name + "/degrade#" +
+                        std::to_string(producer_instance) + "->" +
+                        std::to_string(consumer_instance) + " noc->bus"});
+  }
+}
 
 StepOutcome DesignedModel::host_step(std::uint32_t index,
                                      const ScheduleStep& step) {
@@ -194,7 +217,7 @@ StepOutcome DesignedModel::kernel_step(std::uint32_t index,
           // in place; the producer's own run accounts for the transfer.
           continue;
         }
-        if (router_->noc_reachable(pi, ci)) {
+        if (router_->noc_usable(pi, ci)) {
           if (router_->streamed(pi, ci)) {
             plan.gate = std::max(
                 plan.gate,
@@ -212,6 +235,9 @@ StepOutcome DesignedModel::kernel_step(std::uint32_t index,
         } else {
           // Fallback: producer wrote back over the bus (accounted on the
           // producer side); this instance fetches its share.
+          if (router_->noc_degraded(pi, ci)) {
+            note_degraded(index, step.name, pi, ci);
+          }
           const double share_p = design.instances[pi].work_share;
           plan.host_in +=
               scale_bytes(core::edge_volume(edge), share_p * share_c);
@@ -239,7 +265,10 @@ StepOutcome DesignedModel::kernel_step(std::uint32_t index,
       const std::size_t cspec = ctx_->spec_of(edge.consumer,
                                               "consumer function");
       for (const std::size_t ci2 : ctx_->instances_of_spec(cspec)) {
-        if (!router_->noc_reachable(ci, ci2)) {
+        if (!router_->noc_usable(ci, ci2)) {
+          if (router_->noc_degraded(ci, ci2)) {
+            note_degraded(index, step.name, ci, ci2);
+          }
           const double share_c2 = design.instances[ci2].work_share;
           plan.host_out +=
               scale_bytes(core::edge_volume(edge), share_c * share_c2);
@@ -326,7 +355,7 @@ StepOutcome DesignedModel::kernel_step(std::uint32_t index,
           continue;
         }
         for (const std::size_t ci : ctx_->instances_of_spec(s)) {
-          if (!router_->noc_reachable(pi, ci)) {
+          if (!router_->noc_usable(pi, ci)) {
             continue;
           }
           const double share_c = design.instances[ci].work_share;

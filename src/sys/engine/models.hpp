@@ -18,6 +18,7 @@
 
 #include <deque>
 #include <map>
+#include <set>
 #include <utility>
 #include <vector>
 
@@ -104,6 +105,13 @@ private:
     Pending wb2;
   };
 
+  /// Record (once per edge) that a NoC edge degraded to the bus fallback:
+  /// bumps the injector's degraded-edge counter and drops a kReroute
+  /// annotation into the trace.
+  void note_degraded(std::uint32_t step_index, const std::string& step_name,
+                     std::size_t producer_instance,
+                     std::size_t consumer_instance);
+
   ExecContext* ctx_;
   EdgeRouter* router_;
   ExecTrace* trace_;
@@ -116,6 +124,7 @@ private:
   std::vector<InstRec> recs_;
   std::vector<bool> executed_;
   std::map<std::pair<std::size_t, std::size_t>, Picoseconds> delivery_;
+  std::set<std::pair<std::size_t, std::size_t>> degraded_logged_;
   Picoseconds t_{0};        ///< Host cursor.
   Picoseconds app_end_{0};  ///< Includes NoC deliveries past step ends.
 };

@@ -67,35 +67,50 @@ inline void issue_dma(Platform& platform, Picoseconds when,
       });
 }
 
-/// Run the simulation until every op completed. If one never does, the
-/// failure names the stuck operation and the simulated time the engine
-/// drained at, instead of a bare "deadlock?".
+/// Run the simulation until every op completed, bounded by the platform's
+/// watchdog limit. If ops remain the failure is a structured
+/// SimTimeoutError naming the stuck operations and the simulated time —
+/// both for a drained event queue (deadlock) and for a watchdog expiry
+/// (livelock / runaway retries) — so one hung run fails its batch job
+/// instead of wedging the process.
 inline void wait_all(Platform& platform, const std::vector<Pending*>& ops) {
-  platform.engine().run_until([&ops] {
-    for (const Pending* op : ops) {
-      if (!op->done) {
-        return false;
-      }
-    }
-    return true;
-  });
+  const Picoseconds limit =
+      from_seconds(platform.config().watchdog_seconds);
+  const bool satisfied = platform.engine().run_until(
+      [&ops] {
+        for (const Pending* op : ops) {
+          if (!op->done) {
+            return false;
+          }
+        }
+        return true;
+      },
+      limit);
+  if (satisfied) {
+    return;
+  }
+  std::vector<std::string> stuck_ops;
+  std::string stuck;
   for (const Pending* op : ops) {
     if (!op->done) {
-      std::string stuck;
-      for (const Pending* o : ops) {
-        if (!o->done) {
-          stuck += stuck.empty() ? "'" : ", '";
-          stuck += o->label.empty() ? std::string{"<unlabeled>"} : o->label;
-          stuck += "'";
-        }
-      }
-      sim_assert(false,
-                 "fabric operation " + stuck +
-                     " never completed; simulation drained at t=" +
-                     std::to_string(platform.engine().now().seconds()) +
-                     " s (deadlock?)");
+      stuck_ops.push_back(op->label.empty() ? std::string{"<unlabeled>"}
+                                            : op->label);
+      stuck += stuck.empty() ? "'" : ", '";
+      stuck += stuck_ops.back();
+      stuck += "'";
     }
   }
+  const double at = platform.engine().now().seconds();
+  const bool watchdog_expired = platform.engine().has_pending();
+  const std::string what =
+      watchdog_expired
+          ? "fabric operation " + stuck + " never completed; watchdog of " +
+                std::to_string(platform.config().watchdog_seconds) +
+                " s simulated time expired at t=" + std::to_string(at) + " s"
+          : "fabric operation " + stuck +
+                " never completed; simulation drained at t=" +
+                std::to_string(at) + " s (deadlock?)";
+  throw SimTimeoutError{what, std::move(stuck_ops), at, watchdog_expired};
 }
 
 }  // namespace hybridic::sys::engine

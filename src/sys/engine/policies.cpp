@@ -3,6 +3,7 @@
 #include <utility>
 #include <vector>
 
+#include "faults/injector.hpp"
 #include "noc/flit.hpp"
 #include "noc/network.hpp"
 
@@ -18,6 +19,22 @@ void NocPolicy::send(std::uint32_t step, std::string label,
   send.when = when;
   send.on_delivered = std::move(on_delivered);
   noc::Network* network = ctx_->platform().network();
+  // Fault-aware rerouting: when a surviving-path detour replaces the
+  // dimension-order route, annotate the trace once per (src, dst) pair.
+  if (network != nullptr && network->route_detoured(source, destination) &&
+      rerouted_logged_.insert({source, destination}).second) {
+    if (faults::FaultInjector* injector =
+            ctx_->platform().fault_injector()) {
+      ++injector->stats().noc_reroutes;
+    }
+    if (trace_ != nullptr) {
+      trace_->record({EventKind::kReroute, Fabric::kNoc, step, 0,
+                      when.seconds(), when.seconds(),
+                      send.op.label + " reroute " + std::to_string(source) +
+                          "->" + std::to_string(destination) +
+                          " around dead link"});
+    }
+  }
   ctx_->platform().engine().schedule_at(
       when, [network, source, destination, bytes, &send] {
         network->send(source, destination, bytes,

@@ -21,7 +21,9 @@
 #include <algorithm>
 #include <functional>
 #include <memory>
+#include <set>
 #include <string>
+#include <utility>
 
 #include "mem/full_crossbar.hpp"
 #include "sys/engine/context.hpp"
@@ -166,6 +168,8 @@ public:
 private:
   ExecContext* ctx_;
   ExecTrace* trace_;
+  /// (src, dst) pairs whose fault-aware detour was already annotated.
+  std::set<std::pair<std::uint32_t, std::uint32_t>> rerouted_logged_;
 };
 
 /// The full-crossbar comparison fabric: every kernel's port A reaches

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "faults/injector.hpp"
+
 namespace hybridic::sys::engine {
 
 const char* fabric_name(Fabric fabric) {
@@ -25,12 +27,15 @@ const char* event_kind_name(EventKind kind) {
     case EventKind::kNocTransfer: return "noc-transfer";
     case EventKind::kSharedHandoff: return "shared-handoff";
     case EventKind::kStall: return "stall";
+    case EventKind::kFault: return "fault";
+    case EventKind::kRetry: return "retry";
+    case EventKind::kReroute: return "reroute";
   }
   return "?";
 }
 
 void ExecTrace::record(TraceEvent event) {
-  if (event.kind != EventKind::kStall) {
+  if (!is_annotation(event.kind)) {
     FabricUsage& usage = usage_[static_cast<std::size_t>(event.fabric)];
     usage.busy_seconds += event.end_seconds - event.start_seconds;
     usage.bytes += event.bytes;
@@ -55,6 +60,41 @@ std::vector<std::size_t> ExecTrace::chronological() const {
                      return ea.label < eb.label;
                    });
   return order;
+}
+
+void append_fault_events(ExecTrace& trace,
+                         const faults::FaultInjector& injector) {
+  for (const faults::FaultEvent& event : injector.events()) {
+    EventKind kind = EventKind::kFault;
+    Fabric fabric = Fabric::kNoc;
+    switch (event.kind) {
+      case faults::FaultKind::kFlitCorruption:
+      case faults::FaultKind::kMessageLost:
+        kind = EventKind::kFault;
+        fabric = Fabric::kNoc;
+        break;
+      case faults::FaultKind::kBusError:
+      case faults::FaultKind::kBusStall:
+      case faults::FaultKind::kSdramBitFlip:
+        kind = EventKind::kFault;
+        fabric = Fabric::kBus;
+        break;
+      case faults::FaultKind::kBramBitFlip:
+        kind = EventKind::kFault;
+        fabric = Fabric::kSharedMemory;
+        break;
+      case faults::FaultKind::kRetransmit:
+        kind = EventKind::kRetry;
+        fabric = Fabric::kNoc;
+        break;
+      case faults::FaultKind::kBusRetry:
+        kind = EventKind::kRetry;
+        fabric = Fabric::kBus;
+        break;
+    }
+    trace.record({kind, fabric, 0, event.bytes, event.at_seconds,
+                  event.at_seconds, event.label});
+  }
 }
 
 }  // namespace hybridic::sys::engine

@@ -33,9 +33,20 @@ enum class EventKind : std::uint8_t {
   kNocTransfer,    ///< A kernel->kernel message over the NoC or crossbar.
   kSharedHandoff,  ///< Zero-copy shared-local-memory handoff (instant).
   kStall,          ///< Time spent waiting on a dependency (not busy time).
+  kFault,          ///< An injected fault (corruption, stall, bit flip).
+  kRetry,          ///< A recovery retry (NoC retransmit, bus chunk retry).
+  kReroute,        ///< Fault-aware reroute or NoC->bus edge degradation.
 };
 
 [[nodiscard]] const char* event_kind_name(EventKind kind);
+
+/// Annotation kinds explain gaps or overlay diagnostics; they occupy no
+/// fabric and are excluded from FabricUsage, so fault-free attribution is
+/// unchanged by their existence.
+[[nodiscard]] constexpr bool is_annotation(EventKind kind) {
+  return kind == EventKind::kStall || kind == EventKind::kFault ||
+         kind == EventKind::kRetry || kind == EventKind::kReroute;
+}
 
 /// One typed event of an execution.
 struct TraceEvent {
@@ -67,8 +78,8 @@ public:
   }
   [[nodiscard]] bool empty() const { return events_.empty(); }
 
-  /// Busy-time/byte attribution of one fabric. Stall events are excluded:
-  /// a stall occupies no fabric, it only explains a gap.
+  /// Busy-time/byte attribution of one fabric. Annotation events (stalls,
+  /// faults, retries, reroutes) are excluded: they occupy no fabric.
   [[nodiscard]] const FabricUsage& usage(Fabric fabric) const {
     return usage_[static_cast<std::size_t>(fabric)];
   }
@@ -85,5 +96,20 @@ private:
   std::vector<TraceEvent> events_;
   std::array<FabricUsage, kFabricCount> usage_{};
 };
+
+}  // namespace hybridic::sys::engine
+
+namespace hybridic::faults {
+class FaultInjector;
+}  // namespace hybridic::faults
+
+namespace hybridic::sys::engine {
+
+/// Merge a fault injector's recorded events into `trace` as zero-duration
+/// annotation events (kFault/kRetry on the fabric the fault hit), so
+/// injected faults and recoveries show up in trace lanes, the CSV and the
+/// Chrome-trace export.
+void append_fault_events(ExecTrace& trace,
+                         const faults::FaultInjector& injector);
 
 }  // namespace hybridic::sys::engine

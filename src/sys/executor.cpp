@@ -2,11 +2,26 @@
 
 #include <utility>
 
+#include "faults/injector.hpp"
 #include "sys/engine/models.hpp"
 #include "sys/engine/walker.hpp"
 #include "util/error.hpp"
 
 namespace hybridic::sys {
+
+namespace {
+
+/// Fold the run's injected faults into the result: merge the injector's
+/// event log into the trace and copy the exact counters.
+RunResult finish_run(RunResult result, Platform& platform) {
+  if (const faults::FaultInjector* injector = platform.fault_injector()) {
+    engine::append_fault_events(result.trace, *injector);
+    result.fault_stats = injector->stats();
+  }
+  return result;
+}
+
+}  // namespace
 
 RunResult run_software(const AppSchedule& schedule,
                        const PlatformConfig& config) {
@@ -20,7 +35,7 @@ RunResult run_baseline(const AppSchedule& schedule, PlatformConfig config) {
   engine::ExecContext ctx(schedule, config, nullptr);
   engine::ScheduleWalker walker(schedule, "baseline");
   engine::BaselineModel model(ctx, &walker.trace());
-  return walker.run(model);
+  return finish_run(walker.run(model), ctx.platform());
 }
 
 RunResult run_designed(const AppSchedule& schedule,
@@ -32,7 +47,7 @@ RunResult run_designed(const AppSchedule& schedule,
   engine::EdgeRouter router(ctx, &design);
   engine::ScheduleWalker walker(schedule, std::move(system_name));
   engine::DesignedModel model(ctx, router, &walker.trace());
-  return walker.run(model);
+  return finish_run(walker.run(model), ctx.platform());
 }
 
 }  // namespace hybridic::sys

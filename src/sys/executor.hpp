@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "core/design_result.hpp"
+#include "faults/fault_spec.hpp"
 #include "sys/engine/trace.hpp"
 #include "sys/platform.hpp"
 #include "sys/schedule.hpp"
@@ -52,6 +53,10 @@ struct RunResult {
   /// Typed event log of the run (compute windows, DMA transfers, NoC
   /// messages, shared-memory handoffs, stalls).
   engine::ExecTrace trace;
+
+  /// Injected-fault and recovery counters (all zero when the run's
+  /// PlatformConfig described no faults).
+  faults::FaultStats fault_stats{};
 
   /// Time attributable to the kernels (the paper's "kernels" rows).
   [[nodiscard]] double kernel_seconds() const {

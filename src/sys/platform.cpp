@@ -39,6 +39,19 @@ Platform::Platform(PlatformConfig config, std::size_t instance_count,
       noc_nodes_[{attachment.instance, attachment.kind}] = attachment.node;
     }
   }
+
+  if (config_.faults.any_faults()) {
+    injector_ = std::make_unique<faults::FaultInjector>(config_.faults);
+    sdram_->set_faults(injector_.get());
+    bus_->set_faults(injector_.get());
+    dma_->set_faults(injector_.get());
+    for (std::size_t i = 0; i < brams_.size(); ++i) {
+      brams_[i]->set_faults(injector_.get(), i);
+    }
+    if (network_ != nullptr) {
+      network_->set_faults(injector_.get());
+    }
+  }
 }
 
 mem::Bram& Platform::bram(std::size_t instance) {

@@ -16,6 +16,8 @@
 #include "bus/bus.hpp"
 #include "bus/dma.hpp"
 #include "core/design_result.hpp"
+#include "faults/fault_spec.hpp"
+#include "faults/injector.hpp"
 #include "mem/bram.hpp"
 #include "mem/crossbar.hpp"
 #include "mem/sdram.hpp"
@@ -48,6 +50,16 @@ struct PlatformConfig {
   /// what the design algorithm assumed.
   double stream_overhead_seconds = 15e-6;
   double duplication_overhead_seconds = 30e-6;
+
+  /// Fault-injection campaign for this run; defaults to no faults, in which
+  /// case the platform builds no injector and every fault hook stays null.
+  faults::FaultSpec faults;
+
+  /// Watchdog for wait_all: a run whose simulated time would exceed this is
+  /// aborted with a structured SimTimeoutError naming the stuck ops.
+  /// Fault-free runs finish in simulated milliseconds, so the default is
+  /// far off the hot path.
+  double watchdog_seconds = 10.0;
 };
 
 /// A runnable platform for one application design. Owns the engine.
@@ -83,6 +95,14 @@ public:
 
   [[nodiscard]] const PlatformConfig& config() const { return config_; }
 
+  /// The fault injector, or null when the config describes no faults.
+  [[nodiscard]] faults::FaultInjector* fault_injector() {
+    return injector_.get();
+  }
+  [[nodiscard]] const faults::FaultInjector* fault_injector() const {
+    return injector_.get();
+  }
+
 private:
   PlatformConfig config_;
   sim::Engine engine_;
@@ -98,6 +118,7 @@ private:
   std::unique_ptr<noc::Network> network_;
   std::map<std::pair<std::size_t, core::NocNodeKind>, std::uint32_t>
       noc_nodes_;
+  std::unique_ptr<faults::FaultInjector> injector_;
 };
 
 }  // namespace hybridic::sys

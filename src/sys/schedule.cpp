@@ -13,7 +13,10 @@ std::size_t AppSchedule::step_of(prof::FunctionId function) const {
       return i;
     }
   }
-  throw ConfigError{"AppSchedule: no step for requested function"};
+  throw ConfigError{"AppSchedule '" + app_name + "': no step for function id " +
+                    std::to_string(function) + " (schedule has " +
+                    std::to_string(steps.size()) +
+                    " steps; was the schedule built from a different graph?)"};
 }
 
 AppSchedule build_schedule(std::string app_name,

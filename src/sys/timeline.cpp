@@ -90,6 +90,12 @@ char event_glyph(engine::EventKind kind) {
       return '*';
     case engine::EventKind::kStall:
       return '.';
+    case engine::EventKind::kFault:
+      return '!';
+    case engine::EventKind::kRetry:
+      return 'r';
+    case engine::EventKind::kReroute:
+      return '~';
   }
   return '?';
 }
@@ -132,8 +138,7 @@ std::string render_trace_lanes(const RunResult& result,
     std::string lane(options.width_chars, ' ');
     for (const std::size_t i : trace.chronological()) {
       const engine::TraceEvent& event = trace.events()[i];
-      if (event.fabric != fabric ||
-          event.kind == engine::EventKind::kStall) {
+      if (event.fabric != fabric || engine::is_annotation(event.kind)) {
         continue;
       }
       const std::uint32_t start = column(event.start_seconds);
@@ -145,6 +150,18 @@ std::string render_trace_lanes(const RunResult& result,
         lane[c] = glyph;
       }
     }
+    // Fault/retry/reroute markers paint on top so a transfer painted over
+    // the same column cannot hide them (stalls stay implicit gaps).
+    for (const std::size_t i : trace.chronological()) {
+      const engine::TraceEvent& event = trace.events()[i];
+      if (event.fabric != fabric || !engine::is_annotation(event.kind) ||
+          event.kind == engine::EventKind::kStall) {
+        continue;
+      }
+      const std::uint32_t start = column(event.start_seconds);
+      lane[std::min(options.width_chars - 1, start)] =
+          event_glyph(event.kind);
+    }
     const std::string name = engine::fabric_name(fabric);
     out << name << std::string(label_width - name.size(), ' ') << " |"
         << lane << "| " << format_fixed(usage.busy_seconds * 1e3, 3)
@@ -155,7 +172,8 @@ std::string render_trace_lanes(const RunResult& result,
     out << '\n';
   }
   out << std::string(label_width, ' ')
-      << "  ('#' compute, '=' DMA, '>' NoC/crossbar, '*' handoff)\n";
+      << "  ('#' compute, '=' DMA, '>' NoC/crossbar, '*' handoff,"
+      << " '!' fault, 'r' retry, '~' reroute)\n";
   return out.str();
 }
 

@@ -4,6 +4,8 @@
 
 #include <stdexcept>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace hybridic {
 
@@ -19,6 +21,37 @@ public:
 class SimulationError : public std::logic_error {
 public:
   explicit SimulationError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// A simulation that did not run to completion: either the watchdog limit
+/// expired with fabric operations still outstanding, or the event queue
+/// drained while operations were pending (a deadlock). Carries the stuck-op
+/// diagnostics so callers (CLI, batch jobs) can report them without string
+/// parsing, and so one hung job fails structurally instead of wedging the
+/// whole batch.
+class SimTimeoutError : public std::runtime_error {
+public:
+  SimTimeoutError(const std::string& what, std::vector<std::string> stuck_ops,
+                  double sim_time_seconds, bool watchdog_expired)
+      : std::runtime_error(what),
+        stuck_ops_(std::move(stuck_ops)),
+        sim_time_seconds_(sim_time_seconds),
+        watchdog_expired_(watchdog_expired) {}
+
+  /// Labels of the operations that never completed.
+  [[nodiscard]] const std::vector<std::string>& stuck_ops() const {
+    return stuck_ops_;
+  }
+  /// Simulated time at which the run gave up.
+  [[nodiscard]] double sim_time_seconds() const { return sim_time_seconds_; }
+  /// True when the watchdog limit expired with events still queued; false
+  /// when the event queue drained with operations pending (deadlock).
+  [[nodiscard]] bool watchdog_expired() const { return watchdog_expired_; }
+
+private:
+  std::vector<std::string> stuck_ops_;
+  double sim_time_seconds_ = 0.0;
+  bool watchdog_expired_ = false;
 };
 
 /// Throw a ConfigError unless `condition` holds.

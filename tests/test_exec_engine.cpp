@@ -120,11 +120,14 @@ TEST(WaitAll, DeadlockReportsLabelAndSimulatedTime) {
   try {
     engine::wait_all(ctx.platform(), {&fine, &stuck});
     FAIL() << "wait_all should have thrown";
-  } catch (const SimulationError& e) {
+  } catch (const SimTimeoutError& e) {
     const std::string message = e.what();
     EXPECT_NE(message.find("k2/fetch#1"), std::string::npos) << message;
     EXPECT_NE(message.find("simulation drained at"), std::string::npos)
         << message;
+    ASSERT_EQ(e.stuck_ops().size(), 1U);
+    EXPECT_EQ(e.stuck_ops()[0], "k2/fetch#1");
+    EXPECT_FALSE(e.watchdog_expired());  // Queue drained, no watchdog.
   }
 }
 
@@ -135,9 +138,11 @@ TEST(WaitAll, UnlabeledOpsStillDiagnosed) {
   try {
     engine::wait_all(ctx.platform(), {&stuck});
     FAIL() << "wait_all should have thrown";
-  } catch (const SimulationError& e) {
+  } catch (const SimTimeoutError& e) {
     EXPECT_NE(std::string(e.what()).find("<unlabeled>"),
               std::string::npos);
+    ASSERT_EQ(e.stuck_ops().size(), 1U);
+    EXPECT_EQ(e.stuck_ops()[0], "<unlabeled>");
   }
 }
 
@@ -161,6 +166,9 @@ void expect_trace_invariants(const RunResult& result) {
       EXPECT_LE(event.end_seconds, step.start_seconds + kEps);
       continue;
     }
+    if (engine::is_annotation(event.kind)) {
+      continue;  // Fault/retry/reroute markers may land anywhere.
+    }
     EXPECT_GE(event.start_seconds, step.start_seconds - kEps)
         << event.label;
     if (event.kind == EventKind::kNocTransfer) {
@@ -172,12 +180,13 @@ void expect_trace_invariants(const RunResult& result) {
     }
   }
 
-  // Per-fabric usage equals the recomputed event sums (stalls excluded).
+  // Per-fabric usage equals the recomputed event sums (annotations — stalls,
+  // faults, retries, reroutes — excluded).
   double busy[engine::kFabricCount] = {};
   std::uint64_t bytes[engine::kFabricCount] = {};
   std::uint64_t ops[engine::kFabricCount] = {};
   for (const TraceEvent& event : trace.events()) {
-    if (event.kind == EventKind::kStall) {
+    if (engine::is_annotation(event.kind)) {
       continue;
     }
     const auto f = static_cast<std::size_t>(event.fabric);
@@ -370,6 +379,129 @@ TEST(TraceLanes, RendersOneLanePerUsedFabric) {
       static_cast<std::size_t>(
           std::count(csv.begin(), csv.end(), '\n'));
   EXPECT_EQ(rows, proposed.trace.events().size() + 1);
+}
+
+// ---------------------------------------------------------------------------
+// Fault paths: dead links, NoC->bus degradation, and the deadlock watchdog.
+// ---------------------------------------------------------------------------
+
+/// host -> k1 -> k2 -> sink with a hand-built design that puts the k1->k2
+/// edge on a 2x2 mesh: k1's kernel at node 0, k2's local memory at node 3.
+struct NocPair {
+  NocPair() {
+    host = graph.add_function("host");
+    k1 = graph.add_function("k1");
+    k2 = graph.add_function("k2");
+    sink = graph.add_function("sink");
+    graph.function_mutable(host).work_units = 10'000;
+    graph.function_mutable(k1).work_units = 50'000;
+    graph.function_mutable(k2).work_units = 50'000;
+    graph.function_mutable(sink).work_units = 5'000;
+    graph.add_transfer(host, k1, Bytes{40'000}, 40'000);
+    graph.add_transfer(k1, k2, Bytes{40'000}, 40'000);
+    graph.add_transfer(k2, sink, Bytes{40'000}, 40'000);
+    schedule = build_schedule(
+        "noc-pair", graph,
+        {{"k1", 8.0, 1.0, 1000, 1000, true, false, false},
+         {"k2", 8.0, 1.0, 1000, 1000, true, false, false}});
+
+    core::KernelInstance i1;
+    i1.name = "k1";
+    i1.spec_index = 0;
+    i1.function = k1;
+    core::KernelInstance i2;
+    i2.name = "k2";
+    i2.spec_index = 1;
+    i2.function = k2;
+    design.instances = {i1, i2};
+    core::NocPlan plan;
+    plan.mesh_width = 2;
+    plan.mesh_height = 2;
+    plan.attachments = {{0, core::NocNodeKind::kKernel, 0},
+                        {1, core::NocNodeKind::kLocalMemory, 3}};
+    design.noc = plan;
+  }
+
+  prof::CommGraph graph;
+  prof::FunctionId host, k1, k2, sink;
+  AppSchedule schedule;
+  core::DesignResult design;
+};
+
+TEST(FaultPaths, DisconnectedPairWithoutDegradationTimesOut) {
+  // Dead links isolate node 0 (k1's kernel) entirely; with degradation
+  // disabled the send is attempted, black-holed, and the deliberately
+  // deadlocked schedule must surface as a SimTimeoutError naming the
+  // stuck NoC op and the simulated time.
+  NocPair pair;
+  PlatformConfig config;
+  config.faults.dead_links = {{0, 1}, {0, 2}};
+  config.faults.resilience.noc_degrade_to_bus = false;
+  try {
+    (void)run_designed(pair.schedule, pair.design, config);
+    FAIL() << "disconnected NoC pair should have timed out";
+  } catch (const SimTimeoutError& e) {
+    ASSERT_FALSE(e.stuck_ops().empty());
+    EXPECT_NE(e.stuck_ops()[0].find("/noc#0->1"), std::string::npos)
+        << e.stuck_ops()[0];
+    EXPECT_NE(std::string(e.what()).find("never completed"),
+              std::string::npos);
+    EXPECT_FALSE(e.watchdog_expired());  // Queue drained: a true deadlock.
+  }
+}
+
+TEST(FaultPaths, DisconnectedPairDegradesToBusAndCompletes) {
+  NocPair pair;
+  PlatformConfig clean_config;
+  const RunResult clean =
+      run_designed(pair.schedule, pair.design, clean_config);
+  EXPECT_EQ(clean.fabric_usage(Fabric::kNoc).bytes, 40'000U);
+
+  PlatformConfig config;
+  config.faults.dead_links = {{0, 1}, {0, 2}};  // Degradation on (default).
+  const RunResult degraded =
+      run_designed(pair.schedule, pair.design, config);
+
+  // The run completes with the edge moved to a bus round trip: the NoC
+  // carries nothing, the bus carries the edge twice (write-back + fetch).
+  EXPECT_GT(degraded.total_seconds, 0.0);
+  EXPECT_EQ(degraded.fabric_usage(Fabric::kNoc).bytes, 0U);
+  EXPECT_EQ(degraded.fabric_usage(Fabric::kBus).bytes,
+            clean.fabric_usage(Fabric::kBus).bytes + 2U * 40'000U);
+  EXPECT_EQ(degraded.fault_stats.degraded_edges, 1U);
+  EXPECT_EQ(degraded.fault_stats.messages_lost, 0U);
+
+  // The degradation is visible in the trace and the Chrome export.
+  bool saw_reroute = false;
+  for (const TraceEvent& event : degraded.trace.events()) {
+    saw_reroute = saw_reroute || event.kind == EventKind::kReroute;
+  }
+  EXPECT_TRUE(saw_reroute);
+  const std::string json =
+      engine::chrome_trace_json(degraded.trace, degraded.system_name);
+  EXPECT_NE(json.find("\"reroute\""), std::string::npos);
+}
+
+TEST(FaultPaths, DeadLinkWithSurvivingPathReroutesInPlace) {
+  // Killing only link 0-1 leaves 0 -> 2 -> 3 alive: the run completes on
+  // the NoC with the detour annotated, no degradation.
+  NocPair pair;
+  PlatformConfig config;
+  config.faults.dead_links = {{0, 1}};
+  const RunResult result = run_designed(pair.schedule, pair.design, config);
+  EXPECT_GT(result.total_seconds, 0.0);
+  EXPECT_EQ(result.fabric_usage(Fabric::kNoc).bytes, 40'000U);
+  EXPECT_EQ(result.fault_stats.degraded_edges, 0U);
+  EXPECT_EQ(result.fault_stats.noc_reroutes, 1U);
+  bool saw_reroute = false;
+  for (const TraceEvent& event : result.trace.events()) {
+    if (event.kind == EventKind::kReroute) {
+      saw_reroute = true;
+      EXPECT_EQ(event.fabric, Fabric::kNoc);
+      EXPECT_NE(event.label.find("around dead link"), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(saw_reroute);
 }
 
 }  // namespace

@@ -257,5 +257,51 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(16U, 32U, 64U),
                        ::testing::Values(1ULL, 2ULL, 3ULL)));
 
+// Corrupt input must surface as a typed ConfigError naming the damaged
+// stream and block — not an internal-invariant SimulationError or a crash.
+
+TEST(BitIo, OverlongPutRejectedWithCount) {
+  BitWriter writer;
+  try {
+    writer.put(0, 40);
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& error) {
+    EXPECT_NE(std::string{error.what()}.find("40"), std::string::npos);
+  }
+}
+
+TEST(Decoder, CorruptDcStreamReportsBlock) {
+  EncodedImage enc = encode_test_image(32, 32, 99);
+  // A one-symbol table only assigns the code '0'; an all-ones stream hits
+  // an invalid prefix on the very first DC read.
+  enc.dc_code_lengths = {1};
+  for (auto& byte : enc.dc_stream) {
+    byte = 0xFF;
+  }
+  try {
+    (void)reference_decode(enc);
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& error) {
+    EXPECT_NE(std::string{error.what()}.find("corrupt JPEG"),
+              std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(Decoder, CorruptAcStreamReportsBlockAndCoefficient) {
+  EncodedImage enc = encode_test_image(32, 32, 99);
+  for (auto& byte : enc.ac_stream) {
+    byte = 0xFF;
+  }
+  try {
+    (void)reference_decode(enc);
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& error) {
+    EXPECT_NE(std::string{error.what()}.find("corrupt JPEG AC stream"),
+              std::string::npos)
+        << error.what();
+  }
+}
+
 }  // namespace
 }  // namespace hybridic::apps::jpegc
