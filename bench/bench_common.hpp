@@ -5,8 +5,10 @@
 
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -144,6 +146,34 @@ inline std::string csv_path(const std::string& name) {
   std::error_code ec;
   std::filesystem::create_directories("bench_results", ec);
   return "bench_results/" + name + ".csv";
+}
+
+/// Replace (or append) one marker-delimited section of
+/// bench_results/REPORT.md: everything from `marker` to the end of file is
+/// replaced by `section`, so campaign sections re-run idempotently after
+/// report_all has written the main report.
+inline void patch_report_section(const std::string& marker,
+                                 const std::string& section) {
+  const std::string path = "bench_results/REPORT.md";
+  std::string existing;
+  {
+    std::ifstream in{path};
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    existing = buffer.str();
+  }
+  const std::size_t at = existing.find(marker);
+  if (at != std::string::npos) {
+    existing.erase(at);
+  }
+  while (!existing.empty() && existing.back() == '\n') {
+    existing.pop_back();
+  }
+  if (!existing.empty()) {
+    existing += "\n\n";
+  }
+  std::ofstream out{path};
+  out << existing << section;
 }
 
 }  // namespace hybridic::bench

@@ -1,0 +1,123 @@
+// Property-based design-space exploration campaign: sweeps >= 1000
+// generated SyntheticConfig design points through profiling, Algorithm 1
+// and all five system variants, checks every invariant oracle per design,
+// and shrinks failures into standalone JSON reproducers.
+//
+// Outputs (full mode):
+//   bench_results/dse_campaign.csv       — one row per explored design
+//   bench_results/REPORT.md              — a "## Design-space exploration
+//                                          campaign" section (idempotent)
+//   bench_results/dse_reproducers/*.json — shrunk failure reproducers, if
+//                                          any oracle failed (copy into
+//                                          tests/fixtures/dse/ to pin them)
+// Smoke mode (--smoke, used by CI): a small sweep written to
+// bench_results/dse_smoke.csv only; byte-identical across reruns and
+// --threads values (every case is sampled from (campaign_seed, index),
+// never from time or thread id).
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "bench/bench_common.hpp"
+#include "dse/campaign.hpp"
+
+namespace {
+
+using namespace hybridic;
+
+struct Options {
+  std::size_t threads = 0;
+  std::uint64_t count = 1000;
+  std::uint64_t seed = 1;
+  bool smoke = false;
+};
+
+Options parse(int argc, char** argv) {
+  Options options;
+  bool count_given = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value_of = [&](const std::string& flag) -> std::string {
+      if (arg == flag && i + 1 < argc) {
+        return argv[++i];
+      }
+      if (arg.rfind(flag + "=", 0) == 0) {
+        return arg.substr(flag.size() + 1);
+      }
+      return "";
+    };
+    if (arg == "--smoke") {
+      options.smoke = true;
+      continue;
+    }
+    if (std::string v = value_of("--threads"); !v.empty()) {
+      options.threads = static_cast<std::size_t>(std::stoul(v));
+      continue;
+    }
+    if (std::string v = value_of("--count"); !v.empty()) {
+      options.count = std::stoull(v);
+      count_given = true;
+      continue;
+    }
+    if (std::string v = value_of("--seed"); !v.empty()) {
+      options.seed = std::stoull(v);
+      continue;
+    }
+    std::cerr << "usage: " << argv[0]
+              << " [--threads N] [--count N] [--seed S] [--smoke]\n";
+    std::exit(2);
+  }
+  if (options.smoke && !count_given) {
+    options.count = 32;
+  }
+  return options;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options options = parse(argc, argv);
+
+  dse::CampaignOptions campaign;
+  campaign.count = options.count;
+  campaign.campaign_seed = options.seed;
+  campaign.threads = options.threads;
+  if (options.smoke) {
+    // CI smoke: keep the sweep cheap and skip shrinking (a shrink run
+    // re-executes the pipeline dozens of times).
+    campaign.space.max_kernels = 6;
+    campaign.max_shrinks = 0;
+  }
+
+  const dse::CampaignResult result = dse::run_campaign(campaign);
+
+  std::uint64_t failures = 0;
+  for (const auto& outcome : result.cases) {
+    if (!outcome.all_pass()) {
+      ++failures;
+    }
+  }
+
+  if (options.smoke) {
+    const std::string path = bench::csv_path("dse_smoke");
+    std::ofstream out{path};
+    out << dse::campaign_csv(result);
+    std::cout << "wrote " << path << " (" << result.cases.size()
+              << " designs, " << failures << " with failures)\n";
+  } else {
+    std::ofstream out{bench::csv_path("dse_campaign")};
+    out << dse::campaign_csv(result);
+    bench::patch_report_section(dse::campaign_section_marker(),
+                                dse::campaign_markdown(result, campaign));
+    const std::vector<std::string> saved = dse::save_reproducers(
+        result, "bench_results/dse_reproducers");
+    std::cout << "wrote bench_results/dse_campaign.csv ("
+              << result.cases.size() << " designs, " << failures
+              << " with failures) and the REPORT.md campaign section\n";
+    for (const std::string& path : saved) {
+      std::cout << "shrunk reproducer: " << path << "\n";
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}

@@ -250,32 +250,6 @@ std::string campaign_markdown(const std::vector<CampaignRow>& rows,
   return md.str();
 }
 
-/// Replace (or append) the campaign section of bench_results/REPORT.md.
-void patch_report(const std::string& section) {
-  const std::string path = "bench_results/REPORT.md";
-  std::string existing;
-  {
-    std::ifstream in{path};
-    std::stringstream buffer;
-    buffer << in.rdbuf();
-    existing = buffer.str();
-  }
-  const std::size_t at = existing.find(kSectionMarker);
-  if (at != std::string::npos) {
-    existing.erase(at);
-    while (!existing.empty() && existing.back() == '\n') {
-      existing.pop_back();
-    }
-    existing += "\n\n";
-  } else if (!existing.empty() && existing.back() != '\n') {
-    existing += "\n\n";
-  } else if (!existing.empty()) {
-    existing += "\n";
-  }
-  std::ofstream out{path};
-  out << existing << section;
-}
-
 std::string smoke_json(const std::vector<CampaignRow>& rows) {
   std::ostringstream out;
   out << "{\n  \"campaign\": \"smoke\",\n  \"points\": [\n";
@@ -354,7 +328,8 @@ int main(int argc, char** argv) {
     const std::string csv = campaign_csv(rows);
     std::ofstream out{bench::csv_path("fault_campaign")};
     out << csv;
-    patch_report(campaign_markdown(rows, rates));
+    bench::patch_report_section(kSectionMarker,
+                                campaign_markdown(rows, rates));
     std::cout << "wrote bench_results/fault_campaign.csv (" << rows.size()
               << " points) and the REPORT.md campaign section\n";
   }

@@ -5,11 +5,38 @@
 #include <vector>
 
 #include "prof/tracked.hpp"
+#include "util/error.hpp"
 #include "util/rng.hpp"
 
 namespace hybridic::apps {
 
+void validate_synthetic_config(const SyntheticConfig& cfg) {
+  const auto probability = [](double p, const char* field) {
+    require(p >= 0.0 && p <= 1.0,
+            std::string{"SyntheticConfig."} + field +
+                " must be in [0, 1], got " + std::to_string(p));
+  };
+  require(cfg.kernel_count >= 1,
+          "SyntheticConfig.kernel_count must be >= 1, got 0");
+  require(cfg.min_edge_bytes >= 1,
+          "SyntheticConfig.min_edge_bytes must be >= 1, got 0");
+  require(cfg.min_edge_bytes <= cfg.max_edge_bytes,
+          "SyntheticConfig.min_edge_bytes (" +
+              std::to_string(cfg.min_edge_bytes) +
+              ") must not exceed max_edge_bytes (" +
+              std::to_string(cfg.max_edge_bytes) + ")");
+  require(cfg.min_work_units <= cfg.max_work_units,
+          "SyntheticConfig.min_work_units (" +
+              std::to_string(cfg.min_work_units) +
+              ") must not exceed max_work_units (" +
+              std::to_string(cfg.max_work_units) + ")");
+  probability(cfg.kernel_edge_probability, "kernel_edge_probability");
+  probability(cfg.duplicable_probability, "duplicable_probability");
+  probability(cfg.streaming_probability, "streaming_probability");
+}
+
 ProfiledApp make_synthetic_app(const SyntheticConfig& cfg) {
+  validate_synthetic_config(cfg);
   ProfiledApp app;
   app.name = "synthetic-" + std::to_string(cfg.seed);
   app.profiler = std::make_unique<prof::QuadProfiler>();

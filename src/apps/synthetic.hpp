@@ -23,10 +23,17 @@ struct SyntheticConfig {
   std::uint64_t seed = 1;
 };
 
+/// Validate `config` bounds: kernel_count >= 1, min <= max for edge bytes
+/// and work units, all probabilities in [0, 1], and non-zero edge bytes
+/// (kernels must be able to communicate). Throws ConfigError naming the
+/// offending field.
+void validate_synthetic_config(const SyntheticConfig& config);
+
 /// Generate a synthetic profiled application. The profile is produced by
 /// an actual tracked run of a generated dataflow (so every invariant the
 /// real profiler guarantees also holds here). Acyclic by construction:
-/// function i only feeds functions j > i.
+/// function i only feeds functions j > i. Throws ConfigError (via
+/// validate_synthetic_config) on out-of-bounds configs.
 [[nodiscard]] ProfiledApp make_synthetic_app(const SyntheticConfig& config);
 
 }  // namespace hybridic::apps

@@ -1,0 +1,278 @@
+#include "dse/campaign.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "dse/case_runner.hpp"
+#include "dse/shrinker.hpp"
+#include "sys/batch_runner.hpp"
+#include "util/error.hpp"
+
+namespace hybridic::dse {
+namespace {
+
+std::string fmt(double value) {
+  std::ostringstream out;
+  out.precision(17);
+  out << value;
+  return out.str();
+}
+
+/// CSV-safe rendering of a free-form message (no commas, no newlines).
+std::string csv_safe(std::string text) {
+  for (char& ch : text) {
+    if (ch == ',' || ch == '\n' || ch == '\r') {
+      ch = ';';
+    }
+  }
+  return text;
+}
+
+}  // namespace
+
+apps::SyntheticConfig sample_config(const SweepSpace& space,
+                                    std::uint64_t campaign_seed,
+                                    std::uint64_t index) {
+  // One private stream per (campaign, index); splitmix seeding decorrelates
+  // neighbouring indices.
+  Rng rng{campaign_seed * 0x9E3779B97F4A7C15ULL + index + 1};
+
+  apps::SyntheticConfig config;
+  config.kernel_count = static_cast<std::uint32_t>(
+      rng.between(space.min_kernels, space.max_kernels));
+  config.kernel_edge_probability =
+      space.min_edge_probability +
+      rng.uniform() * (space.max_edge_probability -
+                       space.min_edge_probability);
+  const std::uint64_t bytes_a = rng.between(space.min_edge_bytes_floor,
+                                            space.max_edge_bytes_ceiling);
+  const std::uint64_t bytes_b = rng.between(space.min_edge_bytes_floor,
+                                            space.max_edge_bytes_ceiling);
+  config.min_edge_bytes = std::min(bytes_a, bytes_b);
+  config.max_edge_bytes = std::max(bytes_a, bytes_b);
+  const std::uint64_t work_a = rng.between(space.min_work_units_floor,
+                                           space.max_work_units_ceiling);
+  const std::uint64_t work_b = rng.between(space.min_work_units_floor,
+                                           space.max_work_units_ceiling);
+  config.min_work_units = std::min(work_a, work_b);
+  config.max_work_units = std::max(work_a, work_b);
+  config.duplicable_probability = rng.uniform();
+  config.streaming_probability = rng.uniform();
+  config.seed = rng.next();
+  return config;
+}
+
+bool CaseOutcome::all_pass() const {
+  if (!ran()) {
+    return false;
+  }
+  return std::all_of(oracles.begin(), oracles.end(),
+                     [](const OracleResult& r) { return r.pass; });
+}
+
+std::uint64_t CampaignResult::pass_count(const std::string& oracle) const {
+  std::uint64_t n = 0;
+  for (const CaseOutcome& c : cases) {
+    for (const OracleResult& r : c.oracles) {
+      if (r.oracle == oracle && r.pass) {
+        ++n;
+      }
+    }
+  }
+  return n;
+}
+
+std::uint64_t CampaignResult::fail_count(const std::string& oracle) const {
+  std::uint64_t n = 0;
+  for (const CaseOutcome& c : cases) {
+    for (const OracleResult& r : c.oracles) {
+      if (r.oracle == oracle && !r.pass) {
+        ++n;
+      }
+    }
+  }
+  return n;
+}
+
+std::uint64_t CampaignResult::error_count() const {
+  std::uint64_t n = 0;
+  for (const CaseOutcome& c : cases) {
+    if (!c.ran()) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+CampaignResult run_campaign(const CampaignOptions& options) {
+  CampaignResult result;
+  for (const Oracle& oracle : oracle_library(options.bounds)) {
+    result.oracle_names.push_back(oracle.name);
+  }
+
+  sys::BatchRunner runner{options.threads};
+  std::vector<sys::BatchRunner::Job<CaseOutcome>> jobs;
+  jobs.reserve(options.count);
+  for (std::uint64_t index = 0; index < options.count; ++index) {
+    const std::string key = "dse/" +
+                            std::to_string(options.campaign_seed) + "/" +
+                            std::to_string(index);
+    const CampaignOptions& opts = options;
+    jobs.push_back({key, [index, &opts](sys::JobContext&) {
+                      CaseOutcome outcome;
+                      outcome.index = index;
+                      outcome.config = sample_config(
+                          opts.space, opts.campaign_seed, index);
+                      try {
+                        const DesignCase c =
+                            run_design_case(outcome.config);
+                        outcome.solution_tag =
+                            c.exp.proposed_design.solution_tag();
+                        outcome.baseline_seconds =
+                            c.exp.baseline.total_seconds;
+                        outcome.designed_seconds =
+                            c.exp.proposed.total_seconds;
+                        outcome.crossbar_seconds =
+                            c.crossbar.total_seconds;
+                        outcome.pipelined_makespan_seconds =
+                            c.pipelined.makespan_seconds;
+                        outcome.oracles =
+                            run_all_oracles(c, opts.bounds);
+                      } catch (const std::exception& e) {
+                        outcome.error = e.what();
+                      }
+                      return outcome;
+                    }});
+  }
+  result.cases = runner.run(std::move(jobs));
+
+  // Shrink the first failure of each distinct oracle (index order), up to
+  // the budget. Serial and deterministic.
+  std::set<std::string> shrunk_oracles;
+  for (const CaseOutcome& outcome : result.cases) {
+    if (result.reproducers.size() >= options.max_shrinks) {
+      break;
+    }
+    if (!outcome.ran()) {
+      continue;
+    }
+    for (const OracleResult& r : outcome.oracles) {
+      if (r.pass || shrunk_oracles.count(r.oracle) != 0) {
+        continue;
+      }
+      shrunk_oracles.insert(r.oracle);
+      const Oracle oracle = find_oracle(r.oracle, options.bounds);
+      const ShrinkResult shrunk = shrink(outcome.config, oracle);
+      Reproducer reproducer;
+      reproducer.oracle = r.oracle;
+      reproducer.expect = Expectation::kPass;  ///< Green once fixed.
+      reproducer.message = shrunk.failure.message;
+      reproducer.config = shrunk.config;
+      result.reproducers.push_back(std::move(reproducer));
+      if (result.reproducers.size() >= options.max_shrinks) {
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+std::string campaign_csv(const CampaignResult& result) {
+  std::ostringstream out;
+  out << "index,seed,kernels,edge_p,min_edge_bytes,max_edge_bytes,"
+         "min_work,max_work,dup_p,stream_p,solution,baseline_s,designed_s,"
+         "crossbar_s,pipelined_makespan_s";
+  for (const std::string& oracle : result.oracle_names) {
+    out << ',' << oracle;
+  }
+  out << ",error\n";
+  for (const CaseOutcome& c : result.cases) {
+    out << c.index << ',' << c.config.seed << ',' << c.config.kernel_count
+        << ',' << fmt(c.config.kernel_edge_probability) << ','
+        << c.config.min_edge_bytes << ',' << c.config.max_edge_bytes << ','
+        << c.config.min_work_units << ',' << c.config.max_work_units << ','
+        << fmt(c.config.duplicable_probability) << ','
+        << fmt(c.config.streaming_probability) << ','
+        << csv_safe(c.solution_tag) << ',' << fmt(c.baseline_seconds) << ','
+        << fmt(c.designed_seconds) << ',' << fmt(c.crossbar_seconds) << ','
+        << fmt(c.pipelined_makespan_seconds);
+    for (const std::string& oracle : result.oracle_names) {
+      const OracleResult* found = nullptr;
+      for (const OracleResult& r : c.oracles) {
+        if (r.oracle == oracle) {
+          found = &r;
+        }
+      }
+      out << ',' << (found == nullptr ? "-" : found->pass ? "1" : "0");
+    }
+    out << ',' << csv_safe(c.error) << '\n';
+  }
+  return out.str();
+}
+
+const char* campaign_section_marker() {
+  return "## Design-space exploration campaign";
+}
+
+std::string campaign_markdown(const CampaignResult& result,
+                              const CampaignOptions& options) {
+  std::ostringstream md;
+  md << campaign_section_marker() << "\n\n";
+  md << result.cases.size() << " synthetic designs swept (campaign seed "
+     << options.campaign_seed << ", kernels "
+     << options.space.min_kernels << "-" << options.space.max_kernels
+     << ", edge density " << options.space.min_edge_probability << "-"
+     << options.space.max_edge_probability
+     << "), each run through profiling, Algorithm 1 and all five system "
+        "variants, then checked against the invariant-oracle library "
+        "(docs/TESTING.md).\n\n";
+  md << "| oracle | pass | fail | rate |\n|---|---|---|---|\n";
+  for (const std::string& oracle : result.oracle_names) {
+    const std::uint64_t pass = result.pass_count(oracle);
+    const std::uint64_t failed = result.fail_count(oracle);
+    const std::uint64_t total = pass + failed;
+    std::ostringstream rate;
+    rate.precision(4);
+    rate << (total == 0
+                 ? 0.0
+                 : 100.0 * static_cast<double>(pass) /
+                       static_cast<double>(total));
+    md << "| " << oracle << " | " << pass << " | " << failed << " | "
+       << rate.str() << "% |\n";
+  }
+  md << "\nCases erroring before the oracles ran: " << result.error_count()
+     << ".\n";
+  if (!result.reproducers.empty()) {
+    md << "\nShrunk reproducers (replayed by `test_dse_regressions` once "
+          "checked in under `tests/fixtures/dse/`):\n\n";
+    for (const Reproducer& r : result.reproducers) {
+      md << "- `" << reproducer_file_name(r) << "` — " << r.oracle << ": "
+         << r.message << "\n";
+    }
+  }
+  md << "\nFull per-design rows: `bench_results/dse_campaign.csv`.\n";
+  return md.str();
+}
+
+std::vector<std::string> save_reproducers(const CampaignResult& result,
+                                          const std::string& dir) {
+  std::vector<std::string> paths;
+  if (result.reproducers.empty()) {
+    return paths;
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  for (const Reproducer& reproducer : result.reproducers) {
+    const std::string path = dir + "/" + reproducer_file_name(reproducer);
+    std::ofstream out{path};
+    require(out.good(), "cannot write reproducer: " + path);
+    out << to_json(reproducer);
+    paths.push_back(path);
+  }
+  return paths;
+}
+
+}  // namespace hybridic::dse

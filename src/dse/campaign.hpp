@@ -1,0 +1,94 @@
+// Property-based design-space exploration campaign: generates seeded
+// SyntheticConfig variations across the sweep space, runs every design
+// point through the full pipeline on the BatchRunner, checks the invariant
+// oracle library per design, and shrinks failures into standalone JSON
+// reproducers. Deterministic: the outcome (CSV, markdown, reproducers) is
+// byte-identical at any thread count.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apps/synthetic.hpp"
+#include "dse/oracles.hpp"
+#include "dse/reproducer.hpp"
+
+namespace hybridic::dse {
+
+/// The swept region of the SyntheticConfig space.
+struct SweepSpace {
+  std::uint32_t min_kernels = 2;
+  std::uint32_t max_kernels = 10;
+  double min_edge_probability = 0.05;
+  double max_edge_probability = 0.95;
+  std::uint64_t min_edge_bytes_floor = 64;
+  std::uint64_t max_edge_bytes_ceiling = 128 * 1024;
+  std::uint64_t min_work_units_floor = 1'000;
+  std::uint64_t max_work_units_ceiling = 400'000;
+};
+
+/// Deterministically sample the `index`-th config of a campaign. The
+/// sample depends only on (space, campaign_seed, index) — never on thread
+/// count or submission order.
+[[nodiscard]] apps::SyntheticConfig sample_config(const SweepSpace& space,
+                                                  std::uint64_t campaign_seed,
+                                                  std::uint64_t index);
+
+/// Outcome of one explored design point.
+struct CaseOutcome {
+  std::uint64_t index = 0;
+  apps::SyntheticConfig config;
+  std::string solution_tag;
+  double baseline_seconds = 0.0;
+  double designed_seconds = 0.0;
+  double crossbar_seconds = 0.0;
+  double pipelined_makespan_seconds = 0.0;
+  std::vector<OracleResult> oracles;
+  std::string error;  ///< Exception message when the case itself failed.
+
+  [[nodiscard]] bool ran() const { return error.empty(); }
+  [[nodiscard]] bool all_pass() const;
+};
+
+struct CampaignOptions {
+  std::uint64_t count = 1000;
+  std::uint64_t campaign_seed = 1;
+  std::size_t threads = 0;  ///< 0 = hardware concurrency.
+  SweepSpace space;
+  OracleBounds bounds;
+  /// Shrink at most this many failures (the first per distinct oracle, in
+  /// index order) into reproducers.
+  std::uint32_t max_shrinks = 4;
+};
+
+struct CampaignResult {
+  std::vector<std::string> oracle_names;  ///< Library order.
+  std::vector<CaseOutcome> cases;         ///< Index order.
+  std::vector<Reproducer> reproducers;    ///< Shrunk failures.
+
+  [[nodiscard]] std::uint64_t pass_count(const std::string& oracle) const;
+  [[nodiscard]] std::uint64_t fail_count(const std::string& oracle) const;
+  [[nodiscard]] std::uint64_t error_count() const;
+};
+
+/// Run the campaign. Deterministic at any `threads`.
+[[nodiscard]] CampaignResult run_campaign(const CampaignOptions& options);
+
+/// CSV: one row per case — config fields, variant timings, one 0/1 column
+/// per oracle, error note. Byte-stable across thread counts.
+[[nodiscard]] std::string campaign_csv(const CampaignResult& result);
+
+/// Markdown section (oracle pass rates + failure digest) for REPORT.md.
+[[nodiscard]] std::string campaign_markdown(const CampaignResult& result,
+                                            const CampaignOptions& options);
+
+/// Marker line the markdown section starts with.
+[[nodiscard]] const char* campaign_section_marker();
+
+/// Write each reproducer under `dir` (created if needed); returns the
+/// paths written.
+std::vector<std::string> save_reproducers(const CampaignResult& result,
+                                          const std::string& dir);
+
+}  // namespace hybridic::dse

@@ -1,0 +1,44 @@
+// Design-space case runner: takes one SyntheticConfig through the whole
+// paper pipeline — QUAD profiling, Algorithm 1, and all five system
+// variants (software, baseline, designed, full-crossbar, designed
+// pipelined) — and bundles everything the invariant oracles inspect.
+#pragma once
+
+#include <cstdint>
+
+#include "apps/synthetic.hpp"
+#include "core/design_result.hpp"
+#include "sys/crossbar_system.hpp"
+#include "sys/experiment.hpp"
+#include "sys/pipeline_executor.hpp"
+
+namespace hybridic::dse {
+
+/// Everything produced for one explored design point. Owns the profiled
+/// app (the schedule's graph points into it), so move-only like
+/// ProfiledApp.
+struct DesignCase {
+  apps::SyntheticConfig config;
+  apps::ProfiledApp app;
+  sys::AppSchedule schedule;
+
+  /// Designs, runs and resources of the four single-frame variants
+  /// (sw / baseline / proposed / noc-only) plus energy.
+  sys::AppExperiment exp;
+
+  /// The fifth and sixth views: the full-crossbar comparison system and
+  /// the multi-frame pipelined execution of the proposed design.
+  sys::RunResult crossbar;
+  sys::PipelineResult pipelined;
+  sys::PipelineResult baseline_frames;
+  std::uint32_t frame_count = 4;
+
+  /// θ the designer consumed (sec/byte of the idle bus).
+  double theta_seconds_per_byte = 0.0;
+};
+
+/// Run the full pipeline for `config`. Throws ConfigError on invalid
+/// configs and propagates SimTimeoutError from hung runs.
+[[nodiscard]] DesignCase run_design_case(const apps::SyntheticConfig& config);
+
+}  // namespace hybridic::dse

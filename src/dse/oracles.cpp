@@ -1,0 +1,446 @@
+#include "dse/oracles.hpp"
+
+#include <cmath>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "core/design_validate.hpp"
+#include "core/kernel_model.hpp"
+#include "core/resource_model.hpp"
+#include "sys/executor.hpp"
+#include "util/error.hpp"
+
+namespace hybridic::dse {
+namespace {
+
+OracleResult pass(const std::string& name) { return {name, true, ""}; }
+
+OracleResult fail(const std::string& name, const std::string& message) {
+  return {name, false, message};
+}
+
+std::string fmt(double v) {
+  std::ostringstream out;
+  out.precision(12);
+  out << v;
+  return out.str();
+}
+
+/// The set of hardware-mapped functions of a schedule (L_hw).
+std::set<prof::FunctionId> hw_set(const sys::AppSchedule& schedule) {
+  std::set<prof::FunctionId> hw;
+  for (const core::KernelSpec& spec : schedule.specs) {
+    hw.insert(spec.function);
+  }
+  return hw;
+}
+
+// ---------------------------------------------------------------------------
+// Oracle: byte conservation against the profiled unique bytes.
+// ---------------------------------------------------------------------------
+
+OracleResult check_byte_conservation(const DesignCase& c) {
+  const std::string name = "byte-conservation";
+  const prof::CommGraph& graph = *c.schedule.graph;
+
+  // Per edge: the unique bytes (what the interconnect must move) can never
+  // exceed the raw access bytes, and a non-empty edge touches at least one
+  // unique address.
+  for (const prof::CommEdge& edge : graph.edges()) {
+    if (edge.unique_addresses > edge.bytes.count()) {
+      return fail(name, "edge " + graph.function(edge.producer).name +
+                            "->" + graph.function(edge.consumer).name +
+                            ": unique bytes " +
+                            std::to_string(edge.unique_addresses) +
+                            " exceed raw bytes " +
+                            std::to_string(edge.bytes.count()));
+    }
+    if (edge.bytes.count() > 0 && edge.unique_addresses == 0) {
+      return fail(name, "edge " + graph.function(edge.producer).name +
+                            "->" + graph.function(edge.consumer).name +
+                            " moves bytes but zero unique addresses");
+    }
+  }
+
+  // Kernel<->kernel conservation: every kernel-to-kernel byte is produced
+  // exactly once and consumed exactly once at the Eq-1 level.
+  const std::set<prof::FunctionId> hw = hw_set(c.schedule);
+  std::uint64_t out_total = 0;
+  std::uint64_t in_total = 0;
+  for (const core::KernelSpec& spec : c.schedule.specs) {
+    const core::KernelQuantities q =
+        core::derive_quantities(graph, spec.function, hw);
+    out_total += q.kernel_out.count();
+    in_total += q.kernel_in.count();
+  }
+  if (out_total != in_total) {
+    return fail(name, "kernel-to-kernel volume imbalance: produced " +
+                          std::to_string(out_total) + " B, consumed " +
+                          std::to_string(in_total) + " B");
+  }
+
+  // Every design instance carries the full Eq-1 volumes of its function.
+  for (const core::KernelInstance& inst : c.exp.proposed_design.instances) {
+    const core::KernelQuantities q =
+        core::derive_quantities(graph, inst.function, hw);
+    if (inst.quantities.total() != q.total()) {
+      return fail(name, "instance " + inst.name + " quantities " +
+                            std::to_string(inst.quantities.total().count()) +
+                            " B do not match profile-derived " +
+                            std::to_string(q.total().count()) + " B");
+    }
+  }
+
+  // A shared pair covers ALL producer kernel output and ALL consumer
+  // kernel input (SIV-A1 exclusivity).
+  for (const core::SharedMemoryPairing& pair :
+       c.exp.proposed_design.shared_pairs) {
+    const core::KernelInstance& p =
+        c.exp.proposed_design.instances[pair.producer_instance];
+    const core::KernelInstance& q =
+        c.exp.proposed_design.instances[pair.consumer_instance];
+    const core::KernelQuantities qp =
+        core::derive_quantities(graph, p.function, hw);
+    const core::KernelQuantities qc =
+        core::derive_quantities(graph, q.function, hw);
+    if (pair.bytes != qp.kernel_out || pair.bytes != qc.kernel_in) {
+      return fail(name, "shared pair " + p.name + "->" + q.name +
+                            " moves " + std::to_string(pair.bytes.count()) +
+                            " B but producer kernel-out is " +
+                            std::to_string(qp.kernel_out.count()) +
+                            " B and consumer kernel-in is " +
+                            std::to_string(qc.kernel_in.count()) + " B");
+    }
+  }
+  return pass(name);
+}
+
+// ---------------------------------------------------------------------------
+// Oracle: Table-I mapping legality via the design validator.
+// ---------------------------------------------------------------------------
+
+OracleResult check_mapping_legality(const DesignCase& c) {
+  const std::string name = "mapping-legality";
+  const std::pair<const char*, const core::DesignResult*> designs[] = {
+      {"proposed", &c.exp.proposed_design},
+      {"noc-only", &c.exp.noc_only_design}};
+  for (const auto& [tag, design] : designs) {
+    const std::vector<core::ValidationIssue> issues =
+        core::validate_design(*design, c.schedule.specs);
+    if (!core::is_valid(issues)) {
+      return fail(name, std::string{tag} + " design invalid: " +
+                            core::format_issues(issues));
+    }
+  }
+  return pass(name);
+}
+
+// ---------------------------------------------------------------------------
+// Oracle: analytic perf model vs cycle-level simulation agreement.
+// ---------------------------------------------------------------------------
+
+OracleResult check_perf_agreement(const DesignCase& c,
+                                  const OracleBounds& bounds) {
+  const std::string name = "perf-model-agreement";
+  const core::DesignEstimate& est = c.exp.proposed_design.estimate;
+
+  // Eq. 2 models the kernels' compute + exposed communication; compare to
+  // the simulated baseline's kernel seconds.
+  const double measured_baseline = c.exp.baseline.kernel_seconds();
+  if (est.baseline_seconds <= 0.0) {
+    return fail(name, "analytic baseline estimate is non-positive: " +
+                          fmt(est.baseline_seconds));
+  }
+  const double baseline_ratio = measured_baseline / est.baseline_seconds;
+  if (baseline_ratio > bounds.baseline_perf_band ||
+      baseline_ratio < 1.0 / bounds.baseline_perf_band) {
+    return fail(name, "simulated baseline kernel time " +
+                          fmt(measured_baseline) + " s vs Eq.2 estimate " +
+                          fmt(est.baseline_seconds) + " s (ratio " +
+                          fmt(baseline_ratio) + " outside band " +
+                          fmt(bounds.baseline_perf_band) + ")");
+  }
+
+  // The Delta-reduced estimate assumes perfect compute/communication
+  // overlap, making it an optimistic lower bound on the simulation (the
+  // simulator additionally pays fabric contention). Bracket the measured
+  // proposed time between that lower bound and the analytic baseline:
+  //   est_proposed / band  <=  measured  <=  est_baseline * band.
+  const double est_proposed = est.proposed_seconds();
+  const double measured_proposed = c.exp.proposed.kernel_seconds();
+  if (measured_proposed <
+      est_proposed / bounds.proposed_perf_band) {
+    return fail(name, "simulated proposed kernel time " +
+                          fmt(measured_proposed) +
+                          " s beats the optimistic analytic estimate " +
+                          fmt(est_proposed) + " s by more than band " +
+                          fmt(bounds.proposed_perf_band));
+  }
+  if (measured_proposed >
+      est.baseline_seconds * bounds.proposed_perf_band) {
+    return fail(name, "simulated proposed kernel time " +
+                          fmt(measured_proposed) +
+                          " s exceeds the analytic baseline " +
+                          fmt(est.baseline_seconds) + " s beyond band " +
+                          fmt(bounds.proposed_perf_band));
+  }
+  return pass(name);
+}
+
+// ---------------------------------------------------------------------------
+// Oracle: resource-model additivity.
+// ---------------------------------------------------------------------------
+
+OracleResult check_resource_additivity(const DesignCase& c) {
+  const std::string name = "resource-additivity";
+
+  // The stored areas must equal a fresh recomputation from the design.
+  const core::Resources kernels = core::kernel_resources(
+      c.exp.proposed_design, c.schedule.specs);
+  const core::Resources interconnect =
+      core::interconnect_resources(c.exp.proposed_design);
+  if (kernels.luts != c.exp.kernel_area.luts ||
+      kernels.regs != c.exp.kernel_area.regs) {
+    return fail(name, "kernel area not reproducible: stored " +
+                          std::to_string(c.exp.kernel_area.luts) +
+                          " LUTs, recomputed " +
+                          std::to_string(kernels.luts));
+  }
+  if (interconnect.luts != c.exp.interconnect_area.luts ||
+      interconnect.regs != c.exp.interconnect_area.regs) {
+    return fail(name, "interconnect area not reproducible: stored " +
+                          std::to_string(c.exp.interconnect_area.luts) +
+                          " LUTs, recomputed " +
+                          std::to_string(interconnect.luts));
+  }
+
+  // System totals are strictly additive: base + bus + kernels +
+  // interconnect.
+  const core::ComponentCost bus =
+      core::component_cost(core::Component::kBus);
+  const core::Resources expected = c.app.environment.base_infrastructure +
+                                   core::Resources{bus.luts, bus.regs} +
+                                   kernels + interconnect;
+  if (expected.luts != c.exp.proposed_resources.luts ||
+      expected.regs != c.exp.proposed_resources.regs) {
+    return fail(name, "proposed system area " +
+                          std::to_string(c.exp.proposed_resources.luts) +
+                          "/" + std::to_string(c.exp.proposed_resources.regs) +
+                          " != additive total " +
+                          std::to_string(expected.luts) + "/" +
+                          std::to_string(expected.regs));
+  }
+
+  // Area ordering: the custom interconnect only ever adds area over the
+  // baseline, and the NoC-only solution never undercuts the hybrid.
+  if (c.exp.baseline_resources.luts > c.exp.proposed_resources.luts) {
+    return fail(name, "baseline LUTs " +
+                          std::to_string(c.exp.baseline_resources.luts) +
+                          " exceed proposed " +
+                          std::to_string(c.exp.proposed_resources.luts));
+  }
+  if (c.exp.proposed_resources.luts > c.exp.noc_only_resources.luts) {
+    return fail(name, "proposed LUTs " +
+                          std::to_string(c.exp.proposed_resources.luts) +
+                          " exceed NoC-only " +
+                          std::to_string(c.exp.noc_only_resources.luts));
+  }
+  return pass(name);
+}
+
+// ---------------------------------------------------------------------------
+// Oracle: speed-up direction.
+// ---------------------------------------------------------------------------
+
+OracleResult check_speedup_direction(const DesignCase& c,
+                                     const OracleBounds& bounds) {
+  const std::string name = "speedup-direction";
+  const double designed = c.exp.proposed.total_seconds;
+  const double baseline = c.exp.baseline.total_seconds;
+  if (designed > baseline * bounds.speedup_slack) {
+    return fail(name, "designed system " + fmt(designed) +
+                          " s slower than baseline " + fmt(baseline) +
+                          " s (slack " + fmt(bounds.speedup_slack) + ")");
+  }
+  const core::DesignEstimate& est = c.exp.proposed_design.estimate;
+  if (est.proposed_seconds() > est.baseline_seconds + 1e-15) {
+    return fail(name, "analytic estimate regressed: proposed " +
+                          fmt(est.proposed_seconds()) + " s vs baseline " +
+                          fmt(est.baseline_seconds) + " s");
+  }
+  return pass(name);
+}
+
+// ---------------------------------------------------------------------------
+// Oracle: pipelined execution at least as fast as non-pipelined.
+// ---------------------------------------------------------------------------
+
+OracleResult check_pipelining_gain(const DesignCase& c,
+                                   const OracleBounds& bounds) {
+  const std::string name = "pipelining-gain";
+  if (c.pipelined.first_frame_seconds >
+      c.pipelined.makespan_seconds * (1.0 + 1e-9)) {
+    return fail(name, "first frame " + fmt(c.pipelined.first_frame_seconds) +
+                          " s finishes after the makespan " +
+                          fmt(c.pipelined.makespan_seconds) + " s");
+  }
+  // Overlapping frames contend for the shared fabric, so a frame can run
+  // slightly slower inside the pipeline than alone; pipeline_slack states
+  // how much slower the whole run may be than frames x first_frame.
+  const double serial_bound = static_cast<double>(c.pipelined.frames) *
+                              c.pipelined.first_frame_seconds;
+  if (c.pipelined.makespan_seconds > serial_bound * bounds.pipeline_slack) {
+    return fail(name, "pipelined makespan " +
+                          fmt(c.pipelined.makespan_seconds) +
+                          " s exceeds the frame-serial bound " +
+                          fmt(serial_bound) + " s (slack " +
+                          fmt(bounds.pipeline_slack) + ")");
+  }
+  if (c.pipelined.makespan_seconds >
+      c.baseline_frames.makespan_seconds * bounds.speedup_slack) {
+    return fail(name, "pipelined designed makespan " +
+                          fmt(c.pipelined.makespan_seconds) +
+                          " s slower than the frame-serial baseline " +
+                          fmt(c.baseline_frames.makespan_seconds) + " s");
+  }
+  return pass(name);
+}
+
+// ---------------------------------------------------------------------------
+// Oracle: bit-identical re-execution.
+// ---------------------------------------------------------------------------
+
+OracleResult check_determinism(const DesignCase& c) {
+  const std::string name = "determinism";
+  const sys::PlatformConfig platform;
+  const sys::RunResult again =
+      sys::run_designed(c.schedule, c.exp.proposed_design, platform);
+  if (again.total_seconds != c.exp.proposed.total_seconds) {
+    return fail(name, "designed re-run differs: " +
+                          fmt(again.total_seconds) + " s vs " +
+                          fmt(c.exp.proposed.total_seconds) + " s");
+  }
+  if (again.trace.events().size() != c.exp.proposed.trace.events().size()) {
+    return fail(name, "designed re-run trace size differs: " +
+                          std::to_string(again.trace.events().size()) +
+                          " vs " +
+                          std::to_string(c.exp.proposed.trace.events().size()));
+  }
+  return pass(name);
+}
+
+// ---------------------------------------------------------------------------
+// Oracle: trace well-formedness.
+// ---------------------------------------------------------------------------
+
+OracleResult check_trace_wellformed(const DesignCase& c) {
+  const std::string name = "trace-wellformed";
+  for (const sys::RunResult* run :
+       {&c.exp.baseline, &c.exp.proposed, &c.crossbar}) {
+    const double total = run->total_seconds;
+    for (const sys::engine::TraceEvent& event : run->trace.events()) {
+      if (event.end_seconds < event.start_seconds ||
+          event.start_seconds < -1e-12 ||
+          event.end_seconds > total * (1.0 + 1e-9) + 1e-12) {
+        return fail(name, run->system_name + " trace event '" + event.label +
+                              "' window [" + fmt(event.start_seconds) +
+                              ", " + fmt(event.end_seconds) +
+                              "] escapes the run span [0, " + fmt(total) +
+                              "]");
+      }
+    }
+    for (const sys::StepTiming& step : run->steps) {
+      if (step.done_seconds < step.start_seconds ||
+          step.compute_seconds < 0.0 || step.comm_seconds < 0.0) {
+        return fail(name, run->system_name + " step '" + step.name +
+                              "' has inconsistent timing");
+      }
+    }
+  }
+  return pass(name);
+}
+
+}  // namespace
+
+std::vector<Oracle> oracle_library(const OracleBounds& bounds) {
+  return {
+      {"byte-conservation",
+       "per-edge unique bytes bounded by raw bytes; kernel volumes balance "
+       "and shared pairs cover exactly the profiled traffic",
+       check_byte_conservation},
+      {"mapping-legality",
+       "proposed and NoC-only designs pass design_validate with no errors",
+       check_mapping_legality},
+      {"perf-model-agreement",
+       "Eq.2 and the Delta-reduced analytic estimates agree with the "
+       "cycle-level simulation within the stated band",
+       [bounds](const DesignCase& c) {
+         return check_perf_agreement(c, bounds);
+       }},
+      {"resource-additivity",
+       "system area is the exact sum of base + bus + kernels + "
+       "interconnect, with baseline <= proposed <= NoC-only",
+       check_resource_additivity},
+      {"speedup-direction",
+       "the designed system is never slower than the baseline (measured "
+       "and analytic)",
+       [bounds](const DesignCase& c) {
+         return check_speedup_direction(c, bounds);
+       }},
+      {"pipelining-gain",
+       "multi-frame pipelined execution beats frame-serial baseline and "
+       "never exceeds its own serial bound",
+       [bounds](const DesignCase& c) {
+         return check_pipelining_gain(c, bounds);
+       }},
+      {"determinism",
+       "re-running the designed system reproduces bit-identical timing",
+       check_determinism},
+      {"trace-wellformed",
+       "every trace event stays inside the run span; step timings are "
+       "consistent",
+       check_trace_wellformed},
+  };
+}
+
+Oracle mutation_oracle() {
+  return {"mutation-nonzero-traffic",
+          "DELIBERATELY BROKEN oracle for shrinker/replay verification: "
+          "claims no design ever moves any bytes",
+          [](const DesignCase& c) {
+            std::uint64_t total = 0;
+            for (const prof::CommEdge& edge : c.schedule.graph->edges()) {
+              total += edge.unique_addresses;
+            }
+            if (total > 0) {
+              return fail("mutation-nonzero-traffic",
+                          "design moves " + std::to_string(total) +
+                              " unique bytes (mutation oracle expects 0)");
+            }
+            return pass("mutation-nonzero-traffic");
+          }};
+}
+
+Oracle find_oracle(const std::string& name, const OracleBounds& bounds) {
+  for (Oracle& oracle : oracle_library(bounds)) {
+    if (oracle.name == name) {
+      return std::move(oracle);
+    }
+  }
+  if (Oracle mutation = mutation_oracle(); mutation.name == name) {
+    return mutation;
+  }
+  throw ConfigError{"unknown oracle: " + name};
+}
+
+std::vector<OracleResult> run_all_oracles(const DesignCase& c,
+                                          const OracleBounds& bounds) {
+  std::vector<OracleResult> results;
+  for (const Oracle& oracle : oracle_library(bounds)) {
+    results.push_back(oracle.check(c));
+  }
+  return results;
+}
+
+}  // namespace hybridic::dse

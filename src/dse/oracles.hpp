@@ -1,0 +1,78 @@
+// Invariant oracles for property-based design-space exploration: each
+// oracle states one property every explored design must satisfy — byte
+// conservation, Table-I mapping legality, analytic-vs-simulated agreement,
+// resource additivity, speed-up direction, pipelining gain, determinism,
+// and trace well-formedness. A failing oracle returns a human-readable
+// message naming the violated bound; the campaign shrinks the offending
+// config and pins it as a regression reproducer.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "dse/case_runner.hpp"
+
+namespace hybridic::dse {
+
+/// Outcome of one oracle over one DesignCase.
+struct OracleResult {
+  std::string oracle;
+  bool pass = true;
+  std::string message;  ///< Violated bound when !pass; empty otherwise.
+};
+
+/// One invariant check. Oracles are pure over the case: they may re-run
+/// deterministic pipeline stages but never mutate shared state.
+struct Oracle {
+  std::string name;
+  std::string description;
+  std::function<OracleResult(const DesignCase&)> check;
+};
+
+/// Tunable agreement bounds (stated in docs/TESTING.md; the perf-model
+/// oracle is a sanity band, not a precision claim — the analytic model
+/// ignores fabric contention by design).
+struct OracleBounds {
+  /// Measured baseline kernel time / Eq.2 estimate must land in
+  /// [1/perf_band, perf_band].
+  double baseline_perf_band = 2.0;
+  /// The proposed estimate subtracts the Δ savings of Eq. 2 assuming
+  /// perfect compute/communication overlap, so it is an optimistic lower
+  /// bound on the simulation. Conversely the simulated per-step kernel
+  /// windows stretch under concurrent overlap (their sum exceeds wall
+  /// time), so the upper side is wide too. The oracle brackets the
+  /// simulated proposed kernel time in
+  /// [est_proposed / proposed_perf_band,
+  ///  est_baseline * proposed_perf_band]; worst observed over the
+  /// 1000-design calibration sweep was 4.26x.
+  double proposed_perf_band = 6.0;
+  /// Slack factor for "designed never slower than baseline".
+  double speedup_slack = 1.02;
+  /// Overlapping frames contend for the shared fabric, so each frame can
+  /// run slower inside the pipeline than alone; the frame-serial upper
+  /// bound (frames x first_frame) carries this slack. Worst observed over
+  /// the calibration sweep (4 frames) was 1.33x.
+  double pipeline_slack = 1.50;
+};
+
+/// The production oracle library (everything the campaign runs).
+[[nodiscard]] std::vector<Oracle> oracle_library(
+    const OracleBounds& bounds = {});
+
+/// A deliberately broken oracle ("designs move no bytes") used by the
+/// mutation check: it fails on any config with traffic, so the shrinker
+/// and reproducer replay loop can be proven end to end against a known
+/// failure. Never part of oracle_library().
+[[nodiscard]] Oracle mutation_oracle();
+
+/// Find an oracle by name in the library (mutation_oracle() included);
+/// throws ConfigError for unknown names.
+[[nodiscard]] Oracle find_oracle(const std::string& name,
+                                 const OracleBounds& bounds = {});
+
+/// Run every library oracle over `c` (in library order).
+[[nodiscard]] std::vector<OracleResult> run_all_oracles(
+    const DesignCase& c, const OracleBounds& bounds = {});
+
+}  // namespace hybridic::dse

@@ -1,0 +1,260 @@
+#include "dse/reproducer.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "dse/case_runner.hpp"
+#include "util/error.hpp"
+
+namespace hybridic::dse {
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += ch;
+    }
+  }
+  return out;
+}
+
+/// Minimal parser for the flat reproducer schema: one object of scalars
+/// plus one nested "config" object of numeric scalars. Not a general JSON
+/// parser — exactly what the fixture files need, with precise errors.
+class FlatJsonParser {
+public:
+  explicit FlatJsonParser(const std::string& text) : text_(text) {}
+
+  /// Top-level scalars (strings kept verbatim, numbers as written).
+  std::map<std::string, std::string> scalars;
+  /// The nested config object's numeric fields.
+  std::map<std::string, std::string> config;
+
+  void parse() {
+    skip_ws();
+    expect('{');
+    parse_members(scalars, /*allow_nested_config=*/true);
+    skip_ws();
+    require(pos_ >= text_.size(), "trailing characters after reproducer");
+  }
+
+private:
+  void parse_members(std::map<std::string, std::string>& into,
+                     bool allow_nested_config) {
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return;
+    }
+    while (true) {
+      skip_ws();
+      const std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      skip_ws();
+      if (peek() == '{') {
+        require(allow_nested_config && key == "config",
+                "unexpected nested object at key '" + key + "'");
+        ++pos_;
+        parse_members(config, /*allow_nested_config=*/false);
+      } else if (peek() == '"') {
+        into[key] = parse_string();
+      } else {
+        into[key] = parse_number();
+      }
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char ch = text_[pos_++];
+      if (ch == '\\' && pos_ < text_.size()) {
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case 'n': ch = '\n'; break;
+          case 't': ch = '\t'; break;
+          default: ch = esc;
+        }
+      }
+      out += ch;
+    }
+    expect('"');
+    return out;
+  }
+
+  std::string parse_number() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    require(pos_ > start, "expected a number at offset " +
+                              std::to_string(start));
+    return text_.substr(start, pos_ - start);
+  }
+
+  char peek() const {
+    require(pos_ < text_.size(), "unexpected end of reproducer JSON");
+    return text_[pos_];
+  }
+
+  void expect(char ch) {
+    require(pos_ < text_.size() && text_[pos_] == ch,
+            std::string{"expected '"} + ch + "' at offset " +
+                std::to_string(pos_) + " of reproducer JSON");
+    ++pos_;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+std::uint64_t take_u64(std::map<std::string, std::string>& fields,
+                       const std::string& key) {
+  const auto it = fields.find(key);
+  require(it != fields.end(), "reproducer config missing field: " + key);
+  const std::uint64_t value = std::stoull(it->second);
+  fields.erase(it);
+  return value;
+}
+
+double take_double(std::map<std::string, std::string>& fields,
+                   const std::string& key) {
+  const auto it = fields.find(key);
+  require(it != fields.end(), "reproducer config missing field: " + key);
+  const double value = std::stod(it->second);
+  fields.erase(it);
+  return value;
+}
+
+std::string fmt_probability(double v) {
+  std::ostringstream out;
+  out.precision(17);
+  out << v;
+  return out.str();
+}
+
+}  // namespace
+
+std::string to_json(const Reproducer& r) {
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"schema\": " << r.schema << ",\n";
+  out << "  \"oracle\": \"" << json_escape(r.oracle) << "\",\n";
+  out << "  \"expect\": \""
+      << (r.expect == Expectation::kFail ? "fail" : "pass") << "\",\n";
+  out << "  \"message\": \"" << json_escape(r.message) << "\",\n";
+  out << "  \"config\": {\n";
+  out << "    \"kernel_count\": " << r.config.kernel_count << ",\n";
+  out << "    \"host_function_count\": " << r.config.host_function_count
+      << ",\n";
+  out << "    \"kernel_edge_probability\": "
+      << fmt_probability(r.config.kernel_edge_probability) << ",\n";
+  out << "    \"min_edge_bytes\": " << r.config.min_edge_bytes << ",\n";
+  out << "    \"max_edge_bytes\": " << r.config.max_edge_bytes << ",\n";
+  out << "    \"min_work_units\": " << r.config.min_work_units << ",\n";
+  out << "    \"max_work_units\": " << r.config.max_work_units << ",\n";
+  out << "    \"duplicable_probability\": "
+      << fmt_probability(r.config.duplicable_probability) << ",\n";
+  out << "    \"streaming_probability\": "
+      << fmt_probability(r.config.streaming_probability) << ",\n";
+  out << "    \"seed\": " << r.config.seed << "\n";
+  out << "  }\n";
+  out << "}\n";
+  return out.str();
+}
+
+Reproducer parse_reproducer(const std::string& json) {
+  FlatJsonParser parser{json};
+  parser.parse();
+
+  Reproducer r;
+  require(parser.scalars.count("schema") != 0,
+          "reproducer missing field: schema");
+  r.schema = static_cast<int>(std::stol(parser.scalars.at("schema")));
+  require(r.schema == 1, "unsupported reproducer schema version: " +
+                             std::to_string(r.schema));
+  require(parser.scalars.count("oracle") != 0,
+          "reproducer missing field: oracle");
+  r.oracle = parser.scalars.at("oracle");
+  require(parser.scalars.count("expect") != 0,
+          "reproducer missing field: expect");
+  const std::string expect = parser.scalars.at("expect");
+  require(expect == "pass" || expect == "fail",
+          "reproducer expect must be \"pass\" or \"fail\", got \"" + expect +
+              "\"");
+  r.expect = expect == "fail" ? Expectation::kFail : Expectation::kPass;
+  if (parser.scalars.count("message") != 0) {
+    r.message = parser.scalars.at("message");
+  }
+
+  std::map<std::string, std::string> config = parser.config;
+  r.config.kernel_count =
+      static_cast<std::uint32_t>(take_u64(config, "kernel_count"));
+  r.config.host_function_count =
+      static_cast<std::uint32_t>(take_u64(config, "host_function_count"));
+  r.config.kernel_edge_probability =
+      take_double(config, "kernel_edge_probability");
+  r.config.min_edge_bytes = take_u64(config, "min_edge_bytes");
+  r.config.max_edge_bytes = take_u64(config, "max_edge_bytes");
+  r.config.min_work_units = take_u64(config, "min_work_units");
+  r.config.max_work_units = take_u64(config, "max_work_units");
+  r.config.duplicable_probability =
+      take_double(config, "duplicable_probability");
+  r.config.streaming_probability =
+      take_double(config, "streaming_probability");
+  r.config.seed = take_u64(config, "seed");
+  if (!config.empty()) {
+    require(false,
+            "reproducer config has unknown field: " + config.begin()->first);
+  }
+  return r;
+}
+
+Reproducer load_reproducer(const std::string& path) {
+  std::ifstream in{path};
+  require(in.good(), "cannot read reproducer file: " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return parse_reproducer(buffer.str());
+}
+
+OracleResult replay(const Reproducer& reproducer,
+                    const OracleBounds& bounds) {
+  const Oracle oracle = find_oracle(reproducer.oracle, bounds);
+  const DesignCase c = run_design_case(reproducer.config);
+  return oracle.check(c);
+}
+
+std::string reproducer_file_name(const Reproducer& reproducer) {
+  return reproducer.oracle + "-seed" +
+         std::to_string(reproducer.config.seed) + ".json";
+}
+
+}  // namespace hybridic::dse

@@ -1,0 +1,139 @@
+#include "dse/shrinker.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "dse/case_runner.hpp"
+#include "util/error.hpp"
+
+namespace hybridic::dse {
+namespace {
+
+/// Evaluate the oracle on one candidate; a candidate that fails to even
+/// run (ConfigError, timeout) does not reproduce the original failure and
+/// is rejected.
+bool still_fails(const apps::SyntheticConfig& candidate,
+                 const Oracle& oracle) {
+  try {
+    const DesignCase c = run_design_case(candidate);
+    return !oracle.check(c).pass;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+/// The reduction moves, most aggressive first. Each returns false when it
+/// cannot reduce the config any further.
+using Move = bool (*)(apps::SyntheticConfig&);
+
+bool halve_kernels(apps::SyntheticConfig& c) {
+  if (c.kernel_count <= 1) {
+    return false;
+  }
+  c.kernel_count = std::max<std::uint32_t>(1, c.kernel_count / 2);
+  return true;
+}
+
+bool drop_kernel(apps::SyntheticConfig& c) {
+  if (c.kernel_count <= 1) {
+    return false;
+  }
+  --c.kernel_count;
+  return true;
+}
+
+bool halve_edge_probability(apps::SyntheticConfig& c) {
+  if (c.kernel_edge_probability < 1e-3) {
+    if (c.kernel_edge_probability == 0.0) {
+      return false;
+    }
+    c.kernel_edge_probability = 0.0;
+    return true;
+  }
+  c.kernel_edge_probability /= 2.0;
+  return true;
+}
+
+bool halve_edge_bytes(apps::SyntheticConfig& c) {
+  if (c.max_edge_bytes <= 64) {
+    return false;
+  }
+  c.max_edge_bytes = std::max<std::uint64_t>(64, c.max_edge_bytes / 2);
+  c.min_edge_bytes = std::min(c.min_edge_bytes, c.max_edge_bytes);
+  return true;
+}
+
+bool halve_work_units(apps::SyntheticConfig& c) {
+  if (c.max_work_units <= 64) {
+    return false;
+  }
+  c.max_work_units = std::max<std::uint64_t>(64, c.max_work_units / 2);
+  c.min_work_units = std::min(c.min_work_units, c.max_work_units);
+  return true;
+}
+
+bool zero_duplication(apps::SyntheticConfig& c) {
+  if (c.duplicable_probability == 0.0) {
+    return false;
+  }
+  c.duplicable_probability = 0.0;
+  return true;
+}
+
+bool zero_streaming(apps::SyntheticConfig& c) {
+  if (c.streaming_probability == 0.0) {
+    return false;
+  }
+  c.streaming_probability = 0.0;
+  return true;
+}
+
+}  // namespace
+
+ShrinkResult shrink(const apps::SyntheticConfig& config,
+                    const Oracle& oracle, std::uint32_t max_attempts) {
+  {
+    const DesignCase c = run_design_case(config);
+    const OracleResult initial = oracle.check(c);
+    require(!initial.pass,
+            "shrink() called with a config that passes oracle '" +
+                oracle.name + "'");
+  }
+
+  ShrinkResult result;
+  result.config = config;
+
+  static constexpr Move kMoves[] = {
+      halve_kernels,     drop_kernel,      halve_edge_probability,
+      halve_edge_bytes,  halve_work_units, zero_duplication,
+      zero_streaming,
+  };
+
+  // Fixpoint loop: keep applying moves until a full sweep accepts nothing
+  // or the attempt budget runs out.
+  bool progressed = true;
+  while (progressed && result.attempts < max_attempts) {
+    progressed = false;
+    for (const Move move : kMoves) {
+      if (result.attempts >= max_attempts) {
+        break;
+      }
+      apps::SyntheticConfig candidate = result.config;
+      if (!move(candidate)) {
+        continue;
+      }
+      ++result.attempts;
+      if (still_fails(candidate, oracle)) {
+        result.config = candidate;
+        ++result.accepted;
+        progressed = true;
+      }
+    }
+  }
+
+  const DesignCase final_case = run_design_case(result.config);
+  result.failure = oracle.check(final_case);
+  return result;
+}
+
+}  // namespace hybridic::dse

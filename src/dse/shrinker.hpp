@@ -1,0 +1,32 @@
+// Reproducer shrinking: given a SyntheticConfig on which an oracle fails,
+// greedily minimize the config — halving kernel counts, edge probability,
+// byte volumes and work units, zeroing the mix probabilities — accepting
+// each reduction only while the SAME oracle still fails. The result is the
+// smallest configuration this deterministic strategy can reach, which
+// becomes the pinned JSON reproducer.
+#pragma once
+
+#include <cstdint>
+
+#include "apps/synthetic.hpp"
+#include "dse/oracles.hpp"
+
+namespace hybridic::dse {
+
+/// Outcome of a shrink run.
+struct ShrinkResult {
+  apps::SyntheticConfig config;   ///< The minimized failing config.
+  OracleResult failure;           ///< The oracle outcome on it.
+  std::uint32_t attempts = 0;     ///< Candidate configs evaluated.
+  std::uint32_t accepted = 0;     ///< Reductions that kept the failure.
+};
+
+/// Shrink `config` against `oracle`. The oracle must fail on `config`
+/// (throws ConfigError otherwise — shrinking a passing config means the
+/// caller mixed up its bookkeeping). Evaluates at most `max_attempts`
+/// candidate configs; deterministic for fixed inputs.
+[[nodiscard]] ShrinkResult shrink(const apps::SyntheticConfig& config,
+                                  const Oracle& oracle,
+                                  std::uint32_t max_attempts = 64);
+
+}  // namespace hybridic::dse

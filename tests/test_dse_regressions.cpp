@@ -1,0 +1,102 @@
+// Replays every shrunk reproducer checked in under tests/fixtures/dse/.
+//
+// Each fixture is a standalone JSON file emitted by the campaign shrinker
+// (src/dse/reproducer.hpp). `expect: "pass"` pins a fixed bug green;
+// `expect: "fail"` pins a known-live failure (today: the deliberately
+// broken mutation oracle, which proves the shrink -> serialize -> replay
+// loop end to end). Regenerate fixtures with
+//   HYBRIDIC_UPDATE_DSE_FIXTURES=1 ctest -R DseRegressions
+// and review the diff like any other golden update.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "dse/oracles.hpp"
+#include "dse/reproducer.hpp"
+#include "dse/shrinker.hpp"
+
+namespace hybridic::dse {
+namespace {
+
+std::string fixtures_dir() {
+  return std::string{HYBRIDIC_TESTS_SOURCE_DIR} + "/fixtures/dse";
+}
+
+std::vector<std::string> fixture_paths() {
+  std::vector<std::string> paths;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(fixtures_dir())) {
+    if (entry.path().extension() == ".json") {
+      paths.push_back(entry.path().string());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  return paths;
+}
+
+bool update_mode() {
+  const char* flag = std::getenv("HYBRIDIC_UPDATE_DSE_FIXTURES");
+  return flag != nullptr && std::string{flag} == "1";
+}
+
+/// The canonical live-failure fixture: shrink the default synthetic config
+/// against the mutation oracle. Deterministic, so the checked-in file must
+/// match byte for byte.
+Reproducer make_mutation_fixture() {
+  apps::SyntheticConfig start;
+  start.seed = 7;
+  const ShrinkResult shrunk = shrink(start, mutation_oracle());
+  Reproducer r;
+  r.oracle = mutation_oracle().name;
+  r.expect = Expectation::kFail;
+  r.message = shrunk.failure.message;
+  r.config = shrunk.config;
+  return r;
+}
+
+TEST(DseRegressions, MutationFixtureIsCurrent) {
+  const Reproducer expected = make_mutation_fixture();
+  const std::string path =
+      fixtures_dir() + "/" + reproducer_file_name(expected);
+  if (update_mode()) {
+    std::filesystem::create_directories(fixtures_dir());
+    std::ofstream out{path};
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << to_json(expected);
+    return;
+  }
+  std::ifstream in{path};
+  ASSERT_TRUE(in.good())
+      << path << " missing; regenerate with HYBRIDIC_UPDATE_DSE_FIXTURES=1";
+  const std::string on_disk{std::istreambuf_iterator<char>{in},
+                            std::istreambuf_iterator<char>{}};
+  EXPECT_EQ(on_disk, to_json(expected))
+      << "shrinker output drifted from the checked-in fixture";
+}
+
+TEST(DseRegressions, EveryFixtureReplaysToItsExpectedOutcome) {
+  const std::vector<std::string> paths = fixture_paths();
+  ASSERT_FALSE(paths.empty()) << "no fixtures under " << fixtures_dir();
+  for (const std::string& path : paths) {
+    SCOPED_TRACE(path);
+    const Reproducer fixture = load_reproducer(path);
+    const OracleResult result = replay(fixture);
+    if (fixture.expect == Expectation::kFail) {
+      EXPECT_FALSE(result.pass)
+          << "pinned failure no longer reproduces; if the underlying "
+             "oracle was fixed, flip expect to \"pass\"";
+      // The exact violated bound must match what the shrinker recorded.
+      EXPECT_EQ(result.message, fixture.message);
+    } else {
+      EXPECT_TRUE(result.pass)
+          << fixture.oracle << " regressed: " << result.message;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hybridic::dse

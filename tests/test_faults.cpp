@@ -4,16 +4,19 @@
 // and the watchdog-expired wait_all path.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "apps/synthetic.hpp"
 #include "bus/bus.hpp"
 #include "bus/dma.hpp"
 #include "faults/injector.hpp"
 #include "noc/network.hpp"
 #include "noc/routing.hpp"
 #include "sys/engine/ops.hpp"
+#include "sys/executor.hpp"
 #include "sys/platform.hpp"
 #include "util/error.hpp"
 
@@ -375,6 +378,59 @@ TEST(Watchdog, ExpiryNamesStuckOpsAndSimulatedTime) {
     EXPECT_NE(std::string(e.what()).find("watchdog"), std::string::npos);
   }
 }
+
+// ---------------------------------------------------------------------------
+// Property: a faulted synthetic run terminates cleanly or times out loudly.
+// ---------------------------------------------------------------------------
+
+/// Seeded synthetic apps under nonzero fault rates across every fabric.
+/// The only acceptable outcomes are (a) the run completes with a
+/// well-formed trace or (b) SimTimeoutError; hanging is caught by the
+/// ctest-level timeout, silent trace corruption by the checks below.
+class FaultedSynthetic : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FaultedSynthetic, TerminatesOrTimesOutWithoutCorruptingTheTrace) {
+  apps::SyntheticConfig config;
+  config.seed = GetParam();
+  config.kernel_count = 4;
+  config.max_edge_bytes = 8192;
+  config.max_work_units = 20000;
+  apps::ProfiledApp app = apps::make_synthetic_app(config);
+  const sys::AppSchedule schedule = app.schedule();
+
+  sys::PlatformConfig platform;
+  platform.faults.seed = GetParam() + 1;
+  platform.faults.flit_corruption_rate = 0.05;
+  platform.faults.bus_error_rate = 0.02;
+  platform.faults.bus_stall_rate = 0.02;
+  platform.faults.sdram_bitflip_rate = 0.001;
+  // A short watchdog keeps the failure mode loud even if a fault wedges
+  // the event queue.
+  platform.watchdog_seconds = 5.0;
+
+  try {
+    const sys::RunResult run = run_baseline(schedule, platform);
+    EXPECT_GT(run.total_seconds, 0.0);
+    EXPECT_TRUE(std::isfinite(run.total_seconds));
+    for (const sys::engine::TraceEvent& event : run.trace.events()) {
+      EXPECT_LE(event.start_seconds, event.end_seconds + 1e-15);
+      EXPECT_GE(event.start_seconds, 0.0);
+      EXPECT_LE(event.end_seconds, run.total_seconds * (1.0 + 1e-9));
+    }
+    // Determinism holds under faults too: the injector streams are seeded.
+    const sys::RunResult again = run_baseline(schedule, platform);
+    EXPECT_EQ(run.total_seconds, again.total_seconds);
+    EXPECT_EQ(run.trace.events().size(), again.trace.events().size());
+    EXPECT_EQ(run.fault_stats.flits_corrupted,
+              again.fault_stats.flits_corrupted);
+  } catch (const SimTimeoutError& e) {
+    // A loud, diagnosable timeout is an acceptable outcome.
+    EXPECT_NE(std::string(e.what()).find("watchdog"), std::string::npos);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultedSynthetic,
+                         ::testing::Values(3, 8, 21, 34, 55));
 
 }  // namespace
 }  // namespace hybridic

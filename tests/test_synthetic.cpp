@@ -3,9 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <string>
 
 #include "core/interconnect_design.hpp"
 #include "sys/experiment.hpp"
+#include "util/error.hpp"
 
 namespace hybridic::apps {
 namespace {
@@ -72,6 +74,67 @@ TEST(Synthetic, EveryKernelHasInput) {
       EXPECT_GT(g.total_out(id).count(), 0U) << "seed " << seed;
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Config validation: every rejection names the offending field.
+// ---------------------------------------------------------------------------
+
+/// Runs both entry points (the standalone validator and the generator)
+/// and checks the ConfigError message names the field.
+void expect_rejected(const SyntheticConfig& config, const char* field) {
+  try {
+    validate_synthetic_config(config);
+    FAIL() << "expected rejection of " << field;
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find(field), std::string::npos)
+        << e.what();
+  }
+  EXPECT_THROW((void)make_synthetic_app(config), ConfigError);
+}
+
+TEST(SyntheticConfigValidation, AcceptsTheDefaultConfig) {
+  EXPECT_NO_THROW(validate_synthetic_config(SyntheticConfig{}));
+}
+
+TEST(SyntheticConfigValidation, RejectsZeroKernels) {
+  SyntheticConfig config;
+  config.kernel_count = 0;
+  expect_rejected(config, "kernel_count");
+}
+
+TEST(SyntheticConfigValidation, RejectsZeroMinEdgeBytes) {
+  SyntheticConfig config;
+  config.min_edge_bytes = 0;
+  expect_rejected(config, "min_edge_bytes");
+}
+
+TEST(SyntheticConfigValidation, RejectsInvertedEdgeByteRange) {
+  SyntheticConfig config;
+  config.min_edge_bytes = 4096;
+  config.max_edge_bytes = 1024;
+  expect_rejected(config, "min_edge_bytes");
+}
+
+TEST(SyntheticConfigValidation, RejectsInvertedWorkUnitRange) {
+  SyntheticConfig config;
+  config.min_work_units = 100;
+  config.max_work_units = 10;
+  expect_rejected(config, "min_work_units");
+}
+
+TEST(SyntheticConfigValidation, RejectsOutOfRangeProbabilities) {
+  SyntheticConfig config;
+  config.kernel_edge_probability = 1.5;
+  expect_rejected(config, "kernel_edge_probability");
+
+  config = SyntheticConfig{};
+  config.duplicable_probability = -0.1;
+  expect_rejected(config, "duplicable_probability");
+
+  config = SyntheticConfig{};
+  config.streaming_probability = 2.0;
+  expect_rejected(config, "streaming_probability");
 }
 
 /// Full-pipeline property sweep over synthetic shapes.
