@@ -1,7 +1,8 @@
 // Property-based design-space exploration campaign: sweeps >= 1000
 // generated SyntheticConfig design points through profiling, Algorithm 1
-// and all five system variants, checks every invariant oracle per design,
-// and shrinks failures into standalone JSON reproducers.
+// and the tiered evaluation engine (--tier=auto|analytic|cycle; cycle
+// rows run all five system variants), checks the invariant oracles per
+// design, and shrinks failures into standalone JSON reproducers.
 //
 // Outputs (full mode):
 //   bench_results/dse_campaign.csv       — one row per explored design
@@ -14,6 +15,7 @@
 // bench_results/dse_smoke.csv only; byte-identical across reruns and
 // --threads values (every case is sampled from (campaign_seed, index),
 // never from time or thread id).
+#include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -31,6 +33,7 @@ struct Options {
   std::uint64_t count = 1000;
   std::uint64_t seed = 1;
   bool smoke = false;
+  tiers::TierMode tier = tiers::TierMode::kCycle;
 };
 
 Options parse(int argc, char** argv) {
@@ -64,8 +67,18 @@ Options parse(int argc, char** argv) {
       options.seed = std::stoull(v);
       continue;
     }
+    if (std::string v = value_of("--tier"); !v.empty()) {
+      if (const auto mode = tiers::parse_tier_mode(v)) {
+        options.tier = *mode;
+        continue;
+      }
+      std::cerr << "unknown --tier value '" << v
+                << "' (expected auto, analytic, or cycle)\n";
+      std::exit(2);
+    }
     std::cerr << "usage: " << argv[0]
-              << " [--threads N] [--count N] [--seed S] [--smoke]\n";
+              << " [--threads N] [--count N] [--seed S]"
+              << " [--tier auto|analytic|cycle] [--smoke]\n";
     std::exit(2);
   }
   if (options.smoke && !count_given) {
@@ -83,6 +96,7 @@ int main(int argc, char** argv) {
   campaign.count = options.count;
   campaign.campaign_seed = options.seed;
   campaign.threads = options.threads;
+  campaign.tier = options.tier;
   if (options.smoke) {
     // CI smoke: keep the sweep cheap and skip shrinking (a shrink run
     // re-executes the pipeline dozens of times).
@@ -90,7 +104,11 @@ int main(int argc, char** argv) {
     campaign.max_shrinks = 0;
   }
 
+  const auto t0 = std::chrono::steady_clock::now();
   const dse::CampaignResult result = dse::run_campaign(campaign);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
 
   std::uint64_t failures = 0;
   for (const auto& outcome : result.cases) {
@@ -98,6 +116,16 @@ int main(int argc, char** argv) {
       ++failures;
     }
   }
+
+  const dse::TierStats& tiers_ran = result.tier_stats;
+  std::cout << "tier=" << tiers::to_string(campaign.tier) << " analytic="
+            << tiers_ran.analytic_evals << " cycle=" << tiers_ran.cycle_evals
+            << " band_violations=" << tiers_ran.band_violations << " elapsed="
+            << elapsed << "s ("
+            << (elapsed > 0.0
+                    ? static_cast<double>(result.cases.size()) / elapsed
+                    : 0.0)
+            << " designs/s)\n";
 
   if (options.smoke) {
     const std::string path = bench::csv_path("dse_smoke");

@@ -316,6 +316,10 @@ int main(int argc, char** argv) {
       add_job(app, "designed", "linkdown", 0.0);
     }
   }
+  // Profile every distinct app concurrently up front: the job list above
+  // is app-major, so a cold cache would convoy the first N workers on one
+  // in-flight profile (see ProfileCache::convoy_waits()).
+  bench::prewarm_profiles(cache, runner, app_names);
   const std::vector<CampaignRow> rows = runner.run(std::move(jobs));
 
   (void)bench::csv_path("dummy");  // ensure bench_results/ exists

@@ -1,8 +1,10 @@
 // Performance smoke test: runs the three micro-workloads (profiler shadow
 // scan, NoC traffic, bus transactions), one end-to-end paper application,
-// and the parallel batch-runner evaluation (all four AppExperiments at 1
-// thread and at N threads, profile cache warm), and writes the measured
-// numbers to BENCH_PR2.json so CI can archive them.
+// the parallel batch-runner evaluation (all four AppExperiments at 1
+// thread and at N threads, profile cache warm, plus a prewarmed cold run
+// exposing the ProfileCache convoy fix), and the tiered DSE sweep in all
+// three --tier modes, then writes the measured numbers to BENCH_PR6.json
+// so CI can archive them. --dse-count N (default 1000) sizes the sweep.
 //
 // Thread count and per-core throughput are recorded alongside every
 // machine-dependent figure so BENCH_PR*.json entries stay comparable
@@ -23,11 +25,13 @@
 #include "apps/app.hpp"
 #include "bench/bench_common.hpp"
 #include "bus/bus.hpp"
+#include "dse/campaign.hpp"
 #include "noc/network.hpp"
 #include "prof/shadow_memory.hpp"
 #include "sim/engine.hpp"
 #include "sys/batch_runner.hpp"
 #include "sys/experiment.hpp"
+#include "tiers/tiered_evaluator.hpp"
 
 namespace {
 
@@ -152,9 +156,38 @@ double batch_seconds(std::size_t threads, apps::ProfileCache& cache,
   return runner.last_report().wall_seconds;
 }
 
+/// One DSE sweep in `tier` mode; returns wall seconds, stats in `stats`.
+double dse_sweep_seconds(std::uint64_t count, tiers::TierMode tier,
+                         dse::TierStats& stats) {
+  dse::CampaignOptions options;
+  options.count = count;
+  options.campaign_seed = 1;
+  options.max_shrinks = 0;
+  options.tier = tier;
+  const auto start = Clock::now();
+  const dse::CampaignResult result = dse::run_campaign(options);
+  const std::chrono::duration<double> elapsed = Clock::now() - start;
+  stats = result.tier_stats;
+  return elapsed.count();
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::uint64_t dse_count = 1000;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string value;
+    if (arg == "--dse-count" && i + 1 < argc) {
+      value = argv[++i];
+    } else if (arg.rfind("--dse-count=", 0) == 0) {
+      value = arg.substr(std::string{"--dse-count="}.size());
+    } else {
+      std::cerr << "usage: " << argv[0] << " [--dse-count N]\n";
+      return 2;
+    }
+    dse_count = std::stoull(value);
+  }
   const unsigned hw_threads = std::max(1U, std::thread::hardware_concurrency());
   std::cout << "perf_smoke: profiler / NoC / bus micro-workloads + "
                "end-to-end app + parallel batch ("
@@ -180,6 +213,7 @@ int main() {
   std::uint64_t steals_1 = 0;
   std::uint64_t steals_n_cold = 0;
   std::uint64_t steals_n_warm = 0;
+  std::uint64_t steals_n_prewarmed = 0;
   apps::ProfileCache cache_cold_1;
   const double batch_1t_s = batch_seconds(1, cache_cold_1, steals_1);
   apps::ProfileCache cache_cold_n;
@@ -189,18 +223,62 @@ int main() {
       batch_seconds(hw_threads, cache_cold_n, steals_n_warm);
   const std::uint64_t cache_hits = cache_cold_n.hits();
   const std::uint64_t cache_misses = cache_cold_n.misses();
+  const std::uint64_t cache_convoys = cache_cold_n.convoy_waits();
+  // Cold again, but with the distinct-app profiles prewarmed concurrently
+  // first (the fault-campaign convoy fix); wall time includes the prewarm.
+  apps::ProfileCache cache_prewarmed;
+  double batch_nt_prewarmed_s = 0.0;
+  {
+    const auto start = Clock::now();
+    sys::BatchRunner runner{hw_threads};
+    bench::prewarm_profiles(cache_prewarmed, runner,
+                            apps::paper_app_names());
+    (void)bench::run_all_experiments(cache_prewarmed, runner);
+    batch_nt_prewarmed_s =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    steals_n_prewarmed = runner.last_report().steals;
+  }
   std::cout << "  batch (4 apps):   " << batch_1t_s * 1e3 << " ms @1t, "
             << batch_nt_cold_s * 1e3 << " ms @" << hw_threads
             << "t cold (speedup "
             << (batch_nt_cold_s > 0 ? batch_1t_s / batch_nt_cold_s : 0.0)
-            << "x, steals " << steals_n_cold << "), " << batch_nt_warm_s * 1e3
-            << " ms warm (cache " << cache_hits << " hits / "
-            << cache_misses << " misses)\n";
+            << "x, steals " << steals_n_cold << ", convoy-waits "
+            << cache_convoys << "), " << batch_nt_prewarmed_s * 1e3
+            << " ms cold+prewarm (convoy-waits "
+            << cache_prewarmed.convoy_waits() << "), "
+            << batch_nt_warm_s * 1e3 << " ms warm (cache " << cache_hits
+            << " hits / " << cache_misses << " misses)\n";
 
-  std::ofstream json{"BENCH_PR2.json"};
+  // Tiered DSE sweep: the same design points priced by the analytic tier,
+  // the auto policy (analytic + capped escalation), and the full
+  // cycle-accurate engine. tier_speedup is the acceptance figure: designs
+  // per wall second in auto mode over cycle mode.
+  dse::TierStats stats_analytic;
+  dse::TierStats stats_auto;
+  dse::TierStats stats_cycle;
+  const double dse_analytic_s = dse_sweep_seconds(
+      dse_count, tiers::TierMode::kAnalytic, stats_analytic);
+  const double dse_auto_s =
+      dse_sweep_seconds(dse_count, tiers::TierMode::kAuto, stats_auto);
+  const double dse_cycle_s =
+      dse_sweep_seconds(dse_count, tiers::TierMode::kCycle, stats_cycle);
+  const double analytic_evals_per_sec =
+      dse_analytic_s > 0 ? static_cast<double>(dse_count) / dse_analytic_s
+                         : 0.0;
+  const double tier_speedup = dse_auto_s > 0 ? dse_cycle_s / dse_auto_s : 0.0;
+  const double escalation_rate = stats_auto.escalation_rate(dse_count);
+  std::cout << "  dse sweep (" << dse_count << " designs): analytic "
+            << dse_analytic_s << " s (" << analytic_evals_per_sec
+            << " evals/s), auto " << dse_auto_s << " s ("
+            << stats_auto.cycle_evals << " escalated, rate "
+            << escalation_rate << ", " << stats_auto.band_violations
+            << " band violations), cycle " << dse_cycle_s
+            << " s -> tier speedup " << tier_speedup << "x\n";
+
+  std::ofstream json{"BENCH_PR6.json"};
   json << "{\n"
        << "  \"bench\": \"perf_smoke\",\n"
-       << "  \"pr\": 2,\n"
+       << "  \"pr\": 6,\n"
        << "  \"hardware_threads\": " << hw_threads << ",\n"
        << "  \"shadow_scan_mb_per_sec\": " << scan_mb_s << ",\n"
        << "  \"noc_events_per_sec\": " << noc_ev_s << ",\n"
@@ -214,14 +292,29 @@ int main() {
        << "  \"batch_4apps_1thread_ms\": " << batch_1t_s * 1e3 << ",\n"
        << "  \"batch_4apps_nthread_cold_ms\": " << batch_nt_cold_s * 1e3
        << ",\n"
+       << "  \"batch_4apps_nthread_cold_prewarmed_ms\": "
+       << batch_nt_prewarmed_s * 1e3 << ",\n"
        << "  \"batch_4apps_nthread_warm_ms\": " << batch_nt_warm_s * 1e3
        << ",\n"
        << "  \"batch_parallel_speedup\": "
        << (batch_nt_cold_s > 0 ? batch_1t_s / batch_nt_cold_s : 0.0) << ",\n"
        << "  \"batch_steals_nthread_cold\": " << steals_n_cold << ",\n"
+       << "  \"batch_steals_nthread_prewarmed\": " << steals_n_prewarmed
+       << ",\n"
        << "  \"profile_cache_hits\": " << cache_hits << ",\n"
-       << "  \"profile_cache_misses\": " << cache_misses << "\n"
+       << "  \"profile_cache_misses\": " << cache_misses << ",\n"
+       << "  \"profile_cache_convoy_waits\": " << cache_convoys << ",\n"
+       << "  \"dse_design_count\": " << dse_count << ",\n"
+       << "  \"dse_analytic_sweep_s\": " << dse_analytic_s << ",\n"
+       << "  \"dse_auto_sweep_s\": " << dse_auto_s << ",\n"
+       << "  \"dse_cycle_sweep_s\": " << dse_cycle_s << ",\n"
+       << "  \"analytic_evals_per_sec\": " << analytic_evals_per_sec << ",\n"
+       << "  \"escalation_rate\": " << escalation_rate << ",\n"
+       << "  \"escalated_rank\": " << stats_auto.escalated_rank << ",\n"
+       << "  \"escalated_oracle\": " << stats_auto.escalated_oracle << ",\n"
+       << "  \"band_violations\": " << stats_auto.band_violations << ",\n"
+       << "  \"tier_speedup\": " << tier_speedup << "\n"
        << "}\n";
-  std::cout << "wrote BENCH_PR2.json\n";
+  std::cout << "wrote BENCH_PR6.json\n";
   return 0;
 }

@@ -14,6 +14,11 @@
 //   --frames=N   report pipelined multi-frame throughput over N frames
 //   --fault-rate=R   inject faults at per-event rate R (CRC+retry on)
 //   --fault-seed=S   RNG seed for fault injection (default 1)
+//   --tier=MODE  evaluation tier: cycle (default) runs the cycle-accurate
+//                engine as before; analytic prices the design with the
+//                fast tier only (no simulation — sim-only outputs are
+//                skipped with a note); auto runs both and reports whether
+//                the measured time landed inside the analytic band
 //   --all        everything above plus the system comparison (default)
 //
 // Exit codes (scripted callers rely on these staying distinct):
@@ -36,12 +41,14 @@
 #include "apps/app.hpp"
 #include "apps/synthetic.hpp"
 #include "core/design_validate.hpp"
+#include "core/interconnect_design.hpp"
 #include "core/json_export.hpp"
 #include "prof/dot_export.hpp"
 #include "sys/engine/chrome_trace.hpp"
 #include "sys/experiment.hpp"
 #include "sys/pipeline_executor.hpp"
 #include "sys/timeline.hpp"
+#include "tiers/tiered_evaluator.hpp"
 #include "util/error.hpp"
 #include "util/table.hpp"
 
@@ -102,6 +109,7 @@ struct CliOptions {
   std::uint32_t frames = 0;
   double fault_rate = 0.0;
   std::uint64_t fault_seed = 1;
+  tiers::TierMode tier = tiers::TierMode::kCycle;
 };
 
 /// Validate the whole command line up front, before any expensive work, so
@@ -133,6 +141,14 @@ CliOptions parse_cli(int argc, char** argv) {
     } else if (arg.rfind("--fault-seed=", 0) == 0) {
       options.fault_seed = parse_u64(
           arg.substr(std::string{"--fault-seed="}.size()), "--fault-seed");
+    } else if (arg.rfind("--tier=", 0) == 0) {
+      const std::string value = arg.substr(std::string{"--tier="}.size());
+      const auto mode = tiers::parse_tier_mode(value);
+      if (!mode) {
+        throw UsageError{"unknown --tier value '" + value +
+                         "' (expected auto, analytic, or cycle)"};
+      }
+      options.tier = *mode;
     } else if (kKnownFlags.count(arg) > 0) {
       options.flags.insert(arg);
     } else {
@@ -156,7 +172,31 @@ void print_usage() {
   std::cout << "usage: hybridic_cli <canny|jpeg|klt|fluid|synthetic:SEED>"
                " [--design] [--profile] [--dot] [--memory] [--timeline]"
                " [--trace] [--json] [--validate] [--frames=N]"
-               " [--fault-rate=R] [--fault-seed=S] [--all]\n";
+               " [--fault-rate=R] [--fault-seed=S]"
+               " [--tier=auto|analytic|cycle] [--all]\n";
+}
+
+/// The analytic tier's one-screen summary (docs/MODEL.md §14).
+void print_estimate(const tiers::TierEstimate& est) {
+  std::cout << "analytic tier estimate (" << est.solution_tag << "):\n"
+            << "  baseline kernel time  "
+            << format_fixed(est.baseline_kernel_seconds * 1e3, 3)
+            << " ms  (band "
+            << format_fixed(est.baseline_lower_seconds * 1e3, 3) << " .. "
+            << format_fixed(est.baseline_upper_seconds * 1e3, 3)
+            << " ms)\n"
+            << "  designed kernel time  "
+            << format_fixed(est.designed_kernel_seconds * 1e3, 3)
+            << " ms  (band "
+            << format_fixed(est.designed_lower_seconds * 1e3, 3) << " .. "
+            << format_fixed(est.designed_upper_seconds * 1e3, 3)
+            << " ms)\n"
+            << "  NoC routing           " << est.noc_edges << " edges, "
+            << est.noc_volume_bytes << " bytes, " << est.noc_hop_bytes
+            << " hop-bytes (busiest link " << est.noc_max_link_bytes
+            << " bytes)\n"
+            << "  congruence key        " << std::hex << est.congruence_key
+            << std::dec << "\n\n";
 }
 
 int run_cli(const CliOptions& cli) {
@@ -211,8 +251,64 @@ int run_cli(const CliOptions& cli) {
   }
 
   const sys::AppSchedule schedule = app.schedule();
+
+  if (cli.tier == tiers::TierMode::kAnalytic) {
+    // Fast tier only: Algorithm 1 plus the hop-count x volume pricing —
+    // the cycle-accurate engine is never touched, so simulation-derived
+    // outputs are unavailable.
+    const core::DesignInput input =
+        sys::make_design_input(schedule, platform_config);
+    const core::DesignResult design = core::design_interconnect(input);
+    tiers::TierEstimate est = tiers::analytic_estimate(
+        schedule, design, platform_config, input.theta.seconds_per_byte);
+    est.congruence_key = tiers::congruence_key_of(tiers::congruence_signature(
+        schedule, design, input.theta.seconds_per_byte));
+    if (flags.count("--design") > 0) {
+      std::cout << design.describe(app.graph()) << "\n";
+    }
+    if (flags.count("--json") > 0) {
+      std::cout << core::to_json(design, schedule.specs) << "\n";
+    }
+    if (flags.count("--validate") > 0) {
+      const auto issues = core::validate_design(design, schedule.specs);
+      if (issues.empty()) {
+        std::cout << "design validation: clean\n\n";
+      } else {
+        std::cout << "design validation:\n"
+                  << core::format_issues(issues) << "\n";
+      }
+    }
+    print_estimate(est);
+    for (const char* skipped : {"--timeline", "--trace", "--compare"}) {
+      if (flags.count(skipped) > 0) {
+        std::cout << skipped
+                  << " needs the cycle-accurate engine; rerun with"
+                     " --tier=cycle or --tier=auto\n";
+      }
+    }
+    if (frames > 0 || cli.fault_rate != 0.0) {
+      std::cout << "pipelining and fault injection need the cycle-accurate"
+                   " engine; rerun with --tier=cycle or --tier=auto\n";
+    }
+    return app.verified ? kExitVerified : kExitUnverified;
+  }
+
   const sys::AppExperiment exp =
       sys::run_experiment(schedule, platform_config, app.environment);
+
+  if (cli.tier == tiers::TierMode::kAuto) {
+    // Both tiers: price analytically, then report whether the simulated
+    // designed kernel time landed inside the calibrated band.
+    tiers::TieredEvaluator evaluator{platform_config};
+    const tiers::TierEstimate est =
+        evaluator.estimate(schedule, exp.proposed_design);
+    print_estimate(est);
+    const double measured = exp.proposed.kernel_seconds();
+    std::cout << "cycle-accurate designed kernel time "
+              << format_fixed(measured * 1e3, 3) << " ms — "
+              << (est.contains_designed(measured) ? "inside" : "OUTSIDE")
+              << " the analytic band\n\n";
+  }
 
   if (flags.count("--design") > 0) {
     std::cout << exp.proposed_design.describe(app.graph()) << "\n";

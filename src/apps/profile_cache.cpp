@@ -15,7 +15,13 @@ std::shared_ptr<const ProfiledApp> ProfileCache::get(const std::string& key,
       hits_.fetch_add(1, std::memory_order_relaxed);
       entry = it->second;
       lock.unlock();
-      return entry.get();  // Blocks if the computation is still in flight.
+      if (entry.wait_for(std::chrono::seconds{0}) !=
+          std::future_status::ready) {
+        // This hit convoys on an in-flight computation instead of doing
+        // useful work — the counter is what cold-batch benches watch.
+        convoy_waits_.fetch_add(1, std::memory_order_relaxed);
+      }
+      return entry.get();
     }
     misses_.fetch_add(1, std::memory_order_relaxed);
     entry = promise.get_future().share();
@@ -70,6 +76,7 @@ void ProfileCache::clear() {
   entries_.clear();
   hits_.store(0, std::memory_order_relaxed);
   misses_.store(0, std::memory_order_relaxed);
+  convoy_waits_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace hybridic::apps

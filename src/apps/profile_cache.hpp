@@ -12,12 +12,19 @@
 // passes (ShadowMemory::scan_count() is asserted unchanged in tests).
 //
 // Concurrency: the first requester of a key computes; every concurrent or
-// later requester blocks on a shared_future and counts as a hit. A factory
-// that throws caches the exception (profiling is deterministic, retrying
-// cannot help) and every requester of that key sees the same error.
+// later requester blocks on a shared_future and counts as a hit. Distinct
+// keys never serialize — the factory runs outside the cache lock — but a
+// batch submitted app-major can still convoy cold: the first N jobs all
+// want key A, one thread computes it, and N-1 block on the future instead
+// of starting key B. convoy_waits() counts exactly those blocked hits so
+// benches can see the convoy; bench::prewarm_profiles() removes it.
+// A factory that throws caches the exception (profiling is deterministic,
+// retrying cannot help) and every requester of that key sees the same
+// error.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <future>
@@ -59,6 +66,11 @@ public:
   [[nodiscard]] std::uint64_t misses() const {
     return misses_.load(std::memory_order_relaxed);
   }
+  /// Hits that had to block on another thread's in-flight computation —
+  /// the cold-batch convoy. Zero once the cache is warm (or prewarmed).
+  [[nodiscard]] std::uint64_t convoy_waits() const {
+    return convoy_waits_.load(std::memory_order_relaxed);
+  }
 
   [[nodiscard]] std::size_t size() const;
 
@@ -71,6 +83,7 @@ private:
   std::unordered_map<std::string, Entry> entries_;
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> convoy_waits_{0};
 };
 
 }  // namespace hybridic::apps

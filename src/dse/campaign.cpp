@@ -5,6 +5,7 @@
 #include <fstream>
 #include <set>
 #include <sstream>
+#include <utility>
 
 #include "dse/case_runner.hpp"
 #include "dse/shrinker.hpp"
@@ -21,6 +22,12 @@ std::string fmt(double value) {
   return out.str();
 }
 
+std::string hex_key(std::uint64_t key) {
+  std::ostringstream out;
+  out << std::hex << key;
+  return out.str();
+}
+
 /// CSV-safe rendering of a free-form message (no commas, no newlines).
 std::string csv_safe(std::string text) {
   for (char& ch : text) {
@@ -29,6 +36,131 @@ std::string csv_safe(std::string text) {
     }
   }
   return text;
+}
+
+std::uint64_t effective_rank_cap(const CampaignOptions& options) {
+  if (options.max_rank_escalations != 0) {
+    return options.max_rank_escalations;
+  }
+  // 2% of the sweep: escalated designs skew expensive to simulate (the
+  // lowest analytic lower bounds are the high-volume, high-savings
+  // candidates), so a wider cap erodes the tier speedup quickly.
+  return std::max<std::uint64_t>(4, options.count / 50);
+}
+
+/// One full cycle-accurate evaluation (the pre-tier job body), plus the
+/// tier record: the analytic estimate is attached from the case's own
+/// schedule and design — no second profiling run — so every simulated row
+/// carries a band check.
+CaseOutcome run_cycle_outcome(std::uint64_t index,
+                              const CampaignOptions& options,
+                              tiers::TieredEvaluator& evaluator,
+                              tiers::EscalationReason reason) {
+  CaseOutcome outcome;
+  outcome.index = index;
+  outcome.config = sample_config(options.space, options.campaign_seed, index);
+  outcome.escalation = reason;
+  outcome.simulated = true;  ///< The cycle engine owns this row (even on
+                             ///< error, so auto rows mirror cycle rows).
+  try {
+    const DesignCase c = run_design_case(outcome.config);
+    outcome.solution_tag = c.exp.proposed_design.solution_tag();
+    outcome.baseline_seconds = c.exp.baseline.total_seconds;
+    outcome.designed_seconds = c.exp.proposed.total_seconds;
+    outcome.crossbar_seconds = c.crossbar.total_seconds;
+    outcome.pipelined_makespan_seconds = c.pipelined.makespan_seconds;
+    outcome.oracles = run_all_oracles(c, options.bounds);
+    outcome.analytic =
+        evaluator.estimate(c.schedule, c.exp.proposed_design);
+    outcome.measured_designed_kernel_seconds =
+        c.exp.proposed.kernel_seconds();
+    outcome.band_violation = !outcome.analytic->contains_designed(
+        outcome.measured_designed_kernel_seconds);
+  } catch (const std::exception& e) {
+    outcome.error = e.what();
+  }
+  return outcome;
+}
+
+/// The analytic-tier job body: profile + Algorithm 1 + estimate + the
+/// sim-free oracles, never an event queue.
+CaseOutcome run_analytic_outcome(std::uint64_t index,
+                                 const CampaignOptions& options,
+                                 tiers::TieredEvaluator& evaluator) {
+  CaseOutcome outcome;
+  outcome.index = index;
+  outcome.config = sample_config(options.space, options.campaign_seed, index);
+  try {
+    tiers::AnalyticCase analytic = evaluator.analyze(outcome.config);
+    outcome.solution_tag = analytic.proposed.solution_tag();
+    outcome.analytic = analytic.estimate;
+
+    // Sim-free oracles run on a partial case: schedule + designs only.
+    // The graph pointer stays valid across the moves (the profiler that
+    // owns it is held by unique_ptr).
+    DesignCase c;
+    c.config = outcome.config;
+    c.app = std::move(analytic.app);
+    c.schedule = std::move(analytic.schedule);
+    c.exp.proposed_design = std::move(analytic.proposed);
+    c.exp.noc_only_design = std::move(analytic.noc_only);
+    c.theta_seconds_per_byte = analytic.theta_seconds_per_byte;
+    for (const Oracle& oracle : oracle_library(options.bounds)) {
+      if (!oracle.needs_cycle) {
+        outcome.oracles.push_back(oracle.check(c));
+      }
+    }
+  } catch (const std::exception& e) {
+    outcome.error = e.what();
+  }
+  return outcome;
+}
+
+/// Serial post-pass: congruent flags + tier stats, in index order.
+void finalize_tier_record(CampaignResult& result,
+                          const CampaignOptions& options) {
+  TierStats& stats = result.tier_stats;
+  stats.mode = options.tier;
+  std::set<std::uint64_t> seen_keys;
+  for (CaseOutcome& outcome : result.cases) {
+    if (!outcome.analytic.has_value()) {
+      continue;
+    }
+    ++stats.analytic_evals;
+    outcome.congruent =
+        !seen_keys.insert(outcome.analytic->congruence_key).second;
+    if (outcome.congruent) {
+      ++stats.congruent_designs;
+    }
+    if (outcome.simulated) {
+      ++stats.band_checks;
+      if (outcome.band_violation) {
+        ++stats.band_violations;
+      }
+      const double measured = outcome.measured_designed_kernel_seconds;
+      const double mid = outcome.analytic->designed_kernel_seconds;
+      if (mid > 0.0) {
+        stats.worst_measured_over_analytic =
+            std::max(stats.worst_measured_over_analytic, measured / mid);
+      }
+      if (measured > 0.0) {
+        stats.worst_analytic_over_measured =
+            std::max(stats.worst_analytic_over_measured, mid / measured);
+      }
+    }
+  }
+  stats.distinct_signatures = seen_keys.size();
+  for (const CaseOutcome& outcome : result.cases) {
+    if (outcome.simulated) {
+      ++stats.cycle_evals;
+    }
+    if (outcome.escalation == tiers::EscalationReason::kRankOverlap) {
+      ++stats.escalated_rank;
+    }
+    if (outcome.escalation == tiers::EscalationReason::kOracle) {
+      ++stats.escalated_oracle;
+    }
+  }
 }
 
 }  // namespace
@@ -113,41 +245,114 @@ CampaignResult run_campaign(const CampaignOptions& options) {
     result.oracle_names.push_back(oracle.name);
   }
 
+  // One evaluator for the whole campaign: one theta probe, one congruence
+  // cache. estimate() is thread-safe and pure, so sharing it across jobs
+  // never breaks the determinism contract.
+  tiers::TieredEvaluator evaluator;
   sys::BatchRunner runner{options.threads};
-  std::vector<sys::BatchRunner::Job<CaseOutcome>> jobs;
-  jobs.reserve(options.count);
-  for (std::uint64_t index = 0; index < options.count; ++index) {
-    const std::string key = "dse/" +
-                            std::to_string(options.campaign_seed) + "/" +
-                            std::to_string(index);
-    const CampaignOptions& opts = options;
-    jobs.push_back({key, [index, &opts](sys::JobContext&) {
-                      CaseOutcome outcome;
-                      outcome.index = index;
-                      outcome.config = sample_config(
-                          opts.space, opts.campaign_seed, index);
-                      try {
-                        const DesignCase c =
-                            run_design_case(outcome.config);
-                        outcome.solution_tag =
-                            c.exp.proposed_design.solution_tag();
-                        outcome.baseline_seconds =
-                            c.exp.baseline.total_seconds;
-                        outcome.designed_seconds =
-                            c.exp.proposed.total_seconds;
-                        outcome.crossbar_seconds =
-                            c.crossbar.total_seconds;
-                        outcome.pipelined_makespan_seconds =
-                            c.pipelined.makespan_seconds;
-                        outcome.oracles =
-                            run_all_oracles(c, opts.bounds);
-                      } catch (const std::exception& e) {
-                        outcome.error = e.what();
-                      }
-                      return outcome;
-                    }});
+  const CampaignOptions& opts = options;
+
+  const auto cycle_key = [&options](std::uint64_t index) {
+    // The same key in cycle mode and for auto-mode escalations: escalated
+    // rows replay the identical RNG stream, so their CSV rows match a
+    // pure --tier=cycle campaign byte for byte.
+    return "dse/" + std::to_string(options.campaign_seed) + "/" +
+           std::to_string(index);
+  };
+
+  if (options.tier == tiers::TierMode::kCycle) {
+    std::vector<sys::BatchRunner::Job<CaseOutcome>> jobs;
+    jobs.reserve(options.count);
+    for (std::uint64_t index = 0; index < options.count; ++index) {
+      jobs.push_back({cycle_key(index), [index, &opts, &evaluator](
+                                            sys::JobContext&) {
+                        return run_cycle_outcome(
+                            index, opts, evaluator,
+                            tiers::EscalationReason::kRequested);
+                      }});
+    }
+    result.cases = runner.run(std::move(jobs));
+  } else {
+    // Phase 1: the analytic tier over every design point.
+    std::vector<sys::BatchRunner::Job<CaseOutcome>> probes;
+    probes.reserve(options.count);
+    for (std::uint64_t index = 0; index < options.count; ++index) {
+      const std::string key = "tier/" +
+                              std::to_string(options.campaign_seed) + "/" +
+                              std::to_string(index);
+      probes.push_back({key, [index, &opts, &evaluator](sys::JobContext&) {
+                          return run_analytic_outcome(index, opts,
+                                                      evaluator);
+                        }});
+    }
+    result.cases = runner.run(std::move(probes));
+
+    // Phase 2 (serial): pick the designs that must climb to the cycle
+    // tier — sim-free oracle failures and ranked contenders.
+    if (options.tier == tiers::TierMode::kAuto) {
+      std::vector<const tiers::TierEstimate*> estimates;
+      std::vector<bool> oracle_demands;
+      estimates.reserve(result.cases.size());
+      oracle_demands.reserve(result.cases.size());
+      for (const CaseOutcome& outcome : result.cases) {
+        estimates.push_back(outcome.analytic.has_value()
+                                ? &*outcome.analytic
+                                : nullptr);
+        bool demand = false;
+        for (const OracleResult& r : outcome.oracles) {
+          demand = demand || !r.pass;
+        }
+        oracle_demands.push_back(demand);
+      }
+      const std::uint64_t cap = effective_rank_cap(options);
+      result.tier_stats.rank_cap = cap;
+      double best_upper = 0.0;
+      bool have_upper = false;
+      for (const tiers::TierEstimate* estimate : estimates) {
+        if (estimate != nullptr &&
+            (!have_upper ||
+             estimate->designed_upper_seconds < best_upper)) {
+          best_upper = estimate->designed_upper_seconds;
+          have_upper = true;
+        }
+      }
+      for (std::size_t i = 0; i < estimates.size(); ++i) {
+        if (estimates[i] != nullptr && !oracle_demands[i] &&
+            estimates[i]->designed_lower_seconds <= best_upper) {
+          ++result.tier_stats.rank_contenders;
+        }
+      }
+      const std::vector<tiers::EscalationReason> reasons =
+          tiers::select_escalations(estimates, oracle_demands, cap);
+
+      // Phase 3: cycle-accurate evaluation of the escalated designs.
+      std::vector<std::uint64_t> escalated;
+      for (std::uint64_t index = 0; index < reasons.size(); ++index) {
+        if (reasons[index] != tiers::EscalationReason::kNone) {
+          escalated.push_back(index);
+        }
+      }
+      std::vector<sys::BatchRunner::Job<CaseOutcome>> cycles;
+      cycles.reserve(escalated.size());
+      for (const std::uint64_t index : escalated) {
+        const tiers::EscalationReason reason = reasons[index];
+        cycles.push_back({cycle_key(index),
+                          [index, &opts, &evaluator, reason](
+                              sys::JobContext&) {
+                            return run_cycle_outcome(index, opts, evaluator,
+                                                     reason);
+                          }});
+      }
+      std::vector<CaseOutcome> escalated_outcomes =
+          runner.run(std::move(cycles));
+      for (std::size_t slot = 0; slot < escalated.size(); ++slot) {
+        result.cases[escalated[slot]] =
+            std::move(escalated_outcomes[slot]);
+      }
+    }
   }
-  result.cases = runner.run(std::move(jobs));
+
+  finalize_tier_record(result, options);
 
   // Shrink the first failure of each distinct oracle (index order), up to
   // the budget. Serial and deterministic.
@@ -188,7 +393,9 @@ std::string campaign_csv(const CampaignResult& result) {
   for (const std::string& oracle : result.oracle_names) {
     out << ',' << oracle;
   }
-  out << ",error\n";
+  out << ",tier,escalation,analytic_baseline_s,analytic_designed_s,"
+         "analytic_lo_s,analytic_hi_s,noc_hop_bytes,congruence_key,"
+         "congruent,band_violation,error\n";
   for (const CaseOutcome& c : result.cases) {
     out << c.index << ',' << c.config.seed << ',' << c.config.kernel_count
         << ',' << fmt(c.config.kernel_edge_probability) << ','
@@ -196,9 +403,16 @@ std::string campaign_csv(const CampaignResult& result) {
         << c.config.min_work_units << ',' << c.config.max_work_units << ','
         << fmt(c.config.duplicable_probability) << ','
         << fmt(c.config.streaming_probability) << ','
-        << csv_safe(c.solution_tag) << ',' << fmt(c.baseline_seconds) << ','
-        << fmt(c.designed_seconds) << ',' << fmt(c.crossbar_seconds) << ','
-        << fmt(c.pipelined_makespan_seconds);
+        << csv_safe(c.solution_tag);
+    // Analytic-only rows never ran a simulator: their cycle timings are
+    // "-" (absent), not zero.
+    if (c.simulated) {
+      out << ',' << fmt(c.baseline_seconds) << ',' << fmt(c.designed_seconds)
+          << ',' << fmt(c.crossbar_seconds) << ','
+          << fmt(c.pipelined_makespan_seconds);
+    } else {
+      out << ",-,-,-,-";
+    }
     for (const std::string& oracle : result.oracle_names) {
       const OracleResult* found = nullptr;
       for (const OracleResult& r : c.oracles) {
@@ -208,6 +422,22 @@ std::string campaign_csv(const CampaignResult& result) {
       }
       out << ',' << (found == nullptr ? "-" : found->pass ? "1" : "0");
     }
+    out << ',' << c.tier_name() << ',' << to_string(c.escalation);
+    if (c.analytic.has_value()) {
+      out << ',' << fmt(c.analytic->baseline_kernel_seconds) << ','
+          << fmt(c.analytic->designed_kernel_seconds) << ','
+          << fmt(c.analytic->designed_lower_seconds) << ','
+          << fmt(c.analytic->designed_upper_seconds) << ','
+          << c.analytic->noc_hop_bytes << ','
+          << hex_key(c.analytic->congruence_key) << ','
+          << (c.congruent ? '1' : '0');
+    } else {
+      out << ",-,-,-,-,-,-,-";
+    }
+    out << ','
+        << (c.simulated && c.analytic.has_value()
+                ? (c.band_violation ? "1" : "0")
+                : "-");
     out << ',' << csv_safe(c.error) << '\n';
   }
   return out.str();
@@ -226,9 +456,10 @@ std::string campaign_markdown(const CampaignResult& result,
      << options.space.min_kernels << "-" << options.space.max_kernels
      << ", edge density " << options.space.min_edge_probability << "-"
      << options.space.max_edge_probability
-     << "), each run through profiling, Algorithm 1 and all five system "
-        "variants, then checked against the invariant-oracle library "
-        "(docs/TESTING.md).\n\n";
+     << "), each run through profiling and Algorithm 1, priced by the "
+        "tiered evaluation engine (docs/MODEL.md §14), and checked "
+        "against the invariant-oracle library (docs/TESTING.md); "
+        "cycle-tier rows additionally run all five system variants.\n\n";
   md << "| oracle | pass | fail | rate |\n|---|---|---|---|\n";
   for (const std::string& oracle : result.oracle_names) {
     const std::uint64_t pass = result.pass_count(oracle);
@@ -245,6 +476,38 @@ std::string campaign_markdown(const CampaignResult& result,
   }
   md << "\nCases erroring before the oracles ran: " << result.error_count()
      << ".\n";
+
+  // Tier-disagreement table (docs/MODEL.md §14): how often the analytic
+  // tier sufficed, why rows escalated, and how honest the band is.
+  const TierStats& tiers_stats = result.tier_stats;
+  std::ostringstream rate;
+  rate.precision(4);
+  rate << 100.0 * tiers_stats.escalation_rate(result.cases.size());
+  md << "\n### Tier disagreement (`--tier=" << to_string(tiers_stats.mode)
+     << "`)\n\n"
+     << "| quantity | value |\n|---|---|\n"
+     << "| analytic evaluations | " << tiers_stats.analytic_evals << " |\n"
+     << "| cycle evaluations | " << tiers_stats.cycle_evals << " |\n"
+     << "| escalations (rank-overlap / oracle) | "
+     << tiers_stats.escalated_rank << " / " << tiers_stats.escalated_oracle
+     << " |\n"
+     << "| rank contenders before cap (cap) | "
+     << tiers_stats.rank_contenders << " (" << tiers_stats.rank_cap
+     << ") |\n"
+     << "| escalation rate | " << rate.str() << "% |\n"
+     << "| band checks / violations | " << tiers_stats.band_checks << " / "
+     << tiers_stats.band_violations << " |\n";
+  {
+    std::ostringstream worst;
+    worst.precision(4);
+    worst << tiers_stats.worst_measured_over_analytic << "x / "
+          << tiers_stats.worst_analytic_over_measured << "x";
+    md << "| worst measured/analytic, analytic/measured | " << worst.str()
+       << " |\n";
+  }
+  md << "| congruent designs / distinct signatures | "
+     << tiers_stats.congruent_designs << " / "
+     << tiers_stats.distinct_signatures << " |\n";
   if (!result.reproducers.empty()) {
     md << "\nShrunk reproducers (replayed by `test_dse_regressions` once "
           "checked in under `tests/fixtures/dse/`):\n\n";

@@ -1,18 +1,21 @@
 // Property-based design-space exploration campaign: generates seeded
-// SyntheticConfig variations across the sweep space, runs every design
-// point through the full pipeline on the BatchRunner, checks the invariant
-// oracle library per design, and shrinks failures into standalone JSON
-// reproducers. Deterministic: the outcome (CSV, markdown, reproducers) is
-// byte-identical at any thread count.
+// SyntheticConfig variations across the sweep space, evaluates every
+// design point through the tiered engine on the BatchRunner — analytic
+// first, cycle-accurate where the tier policy escalates — checks the
+// invariant oracle library per design, and shrinks failures into
+// standalone JSON reproducers. Deterministic: the outcome (CSV, markdown,
+// tier stats, reproducers) is byte-identical at any thread count.
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "apps/synthetic.hpp"
 #include "dse/oracles.hpp"
 #include "dse/reproducer.hpp"
+#include "tiers/tiered_evaluator.hpp"
 
 namespace hybridic::dse {
 
@@ -47,8 +50,27 @@ struct CaseOutcome {
   std::vector<OracleResult> oracles;
   std::string error;  ///< Exception message when the case itself failed.
 
+  // ---- Tier record. ----
+  /// Ran through the cycle-accurate engine (cycle mode or escalated).
+  bool simulated = false;
+  tiers::EscalationReason escalation = tiers::EscalationReason::kNone;
+  /// The analytic tier's estimate; absent when the case errored before
+  /// the estimator ran.
+  std::optional<tiers::TierEstimate> analytic;
+  /// Simulated designed kernel seconds (the value the band brackets);
+  /// only meaningful on simulated rows.
+  double measured_designed_kernel_seconds = 0.0;
+  /// Simulated result escaped the calibrated band (simulated rows only).
+  bool band_violation = false;
+  /// An earlier index produced the same congruence key (serial, in index
+  /// order, so the flag is thread-count invariant).
+  bool congruent = false;
+
   [[nodiscard]] bool ran() const { return error.empty(); }
   [[nodiscard]] bool all_pass() const;
+  [[nodiscard]] const char* tier_name() const {
+    return simulated ? "cycle" : "analytic";
+  }
 };
 
 struct CampaignOptions {
@@ -60,12 +82,46 @@ struct CampaignOptions {
   /// Shrink at most this many failures (the first per distinct oracle, in
   /// index order) into reproducers.
   std::uint32_t max_shrinks = 4;
+  /// Which evaluation tier(s) to run (docs/MODEL.md §14).
+  tiers::TierMode tier = tiers::TierMode::kCycle;
+  /// Cap on rank-overlap escalations in auto mode; 0 = automatic
+  /// (max(4, count / 50)). The calibrated band is wide enough that every
+  /// candidate overlaps the winner on most sweeps, so auto mode keeps
+  /// only the most promising contenders (lowest analytic lower bounds).
+  std::uint64_t max_rank_escalations = 0;
+};
+
+/// Aggregate tier-disagreement statistics for one campaign, assembled
+/// serially from the outcomes (thread-count invariant).
+struct TierStats {
+  tiers::TierMode mode = tiers::TierMode::kCycle;
+  std::uint64_t analytic_evals = 0;  ///< Designs the analytic tier priced.
+  std::uint64_t cycle_evals = 0;     ///< Designs the cycle engine ran.
+  std::uint64_t escalated_rank = 0;
+  std::uint64_t escalated_oracle = 0;
+  std::uint64_t rank_contenders = 0;  ///< Overlap set size before the cap.
+  std::uint64_t rank_cap = 0;         ///< Applied cap (auto mode).
+  std::uint64_t band_checks = 0;      ///< Simulated rows with an estimate.
+  std::uint64_t band_violations = 0;  ///< Measured escaped the band.
+  /// Worst-case disagreement over the checked rows: measured over
+  /// analytic mid-point and its inverse.
+  double worst_measured_over_analytic = 0.0;
+  double worst_analytic_over_measured = 0.0;
+  std::uint64_t congruent_designs = 0;    ///< Rows sharing an earlier key.
+  std::uint64_t distinct_signatures = 0;  ///< Unique congruence keys.
+
+  [[nodiscard]] double escalation_rate(std::uint64_t total) const {
+    return total == 0 ? 0.0
+                      : static_cast<double>(cycle_evals) /
+                            static_cast<double>(total);
+  }
 };
 
 struct CampaignResult {
   std::vector<std::string> oracle_names;  ///< Library order.
   std::vector<CaseOutcome> cases;         ///< Index order.
   std::vector<Reproducer> reproducers;    ///< Shrunk failures.
+  TierStats tier_stats;
 
   [[nodiscard]] std::uint64_t pass_count(const std::string& oracle) const;
   [[nodiscard]] std::uint64_t fail_count(const std::string& oracle) const;

@@ -368,10 +368,10 @@ std::vector<Oracle> oracle_library(const OracleBounds& bounds) {
       {"byte-conservation",
        "per-edge unique bytes bounded by raw bytes; kernel volumes balance "
        "and shared pairs cover exactly the profiled traffic",
-       check_byte_conservation},
+       check_byte_conservation, /*needs_cycle=*/false},
       {"mapping-legality",
        "proposed and NoC-only designs pass design_validate with no errors",
-       check_mapping_legality},
+       check_mapping_legality, /*needs_cycle=*/false},
       {"perf-model-agreement",
        "Eq.2 and the Delta-reduced analytic estimates agree with the "
        "cycle-level simulation within the stated band",

@@ -28,6 +28,11 @@ struct Oracle {
   std::string name;
   std::string description;
   std::function<OracleResult(const DesignCase&)> check;
+  /// Whether the check reads cycle-accurate outputs (runs, traces,
+  /// resources). Sim-free oracles (false) inspect only the schedule and
+  /// the designs, so the analytic tier can run them without escalating —
+  /// and their failure is what "an oracle demands exact traces" means.
+  bool needs_cycle = true;
 };
 
 /// Tunable agreement bounds (stated in docs/TESTING.md; the perf-model

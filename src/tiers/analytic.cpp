@@ -1,0 +1,161 @@
+#include "tiers/analytic.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "core/kernel_model.hpp"
+#include "noc/flit.hpp"
+
+namespace hybridic::tiers {
+namespace {
+
+/// ESWN direction of one mesh step (matching the router port order).
+enum : std::uint64_t { kEast = 0, kSouth = 1, kWest = 2, kNorth = 3 };
+
+HopAccount::LinkId link_id(std::uint32_t node, std::uint64_t dir) {
+  return static_cast<std::uint64_t>(node) * 4 + dir;
+}
+
+}  // namespace
+
+HopAccount& HopAccount::operator+=(const HopAccount& other) {
+  for (const auto& [link, bytes] : other.link_bytes_) {
+    link_bytes_[link] += bytes;
+  }
+  total_ += other.total_;
+  return *this;
+}
+
+HopAccount& HopAccount::operator*=(std::uint64_t batch) {
+  for (auto& [link, bytes] : link_bytes_) {
+    bytes *= batch;
+  }
+  total_ *= batch;
+  return *this;
+}
+
+void HopAccount::add_route(const noc::Mesh2D& mesh, std::uint32_t src,
+                           std::uint32_t dst, std::uint64_t bytes) {
+  // XY routing: resolve the X offset first, then the Y offset — the same
+  // dimension order the flit-level router uses, so link loads line up
+  // with what the simulator would congest.
+  noc::Coord at = mesh.coord_of(src);
+  const noc::Coord to = mesh.coord_of(dst);
+  while (at.x != to.x) {
+    const std::uint64_t dir = at.x < to.x ? kEast : kWest;
+    link_bytes_[link_id(mesh.id_of(at), dir)] += bytes;
+    at.x = at.x < to.x ? at.x + 1 : at.x - 1;
+    total_ += bytes;
+  }
+  while (at.y != to.y) {
+    const std::uint64_t dir = at.y < to.y ? kNorth : kSouth;
+    link_bytes_[link_id(mesh.id_of(at), dir)] += bytes;
+    at.y = at.y < to.y ? at.y + 1 : at.y - 1;
+    total_ += bytes;
+  }
+}
+
+void HopAccount::clear() {
+  link_bytes_.clear();
+  total_ = 0;
+}
+
+std::uint64_t HopAccount::max_link_bytes() const {
+  std::uint64_t best = 0;
+  for (const auto& [link, bytes] : link_bytes_) {
+    best = std::max(best, bytes);
+  }
+  return best;
+}
+
+HopAccount& HopAccount::scratch() {
+  static thread_local HopAccount account;
+  account.clear();
+  return account;
+}
+
+TierEstimate analytic_estimate(const sys::AppSchedule& schedule,
+                               const core::DesignResult& design,
+                               const sys::PlatformConfig& platform,
+                               double theta_seconds_per_byte,
+                               const TierCalibration& calibration) {
+  TierEstimate est;
+  est.solution_tag = design.solution_tag();
+  est.theta_seconds_per_byte = theta_seconds_per_byte;
+
+  const core::DesignEstimate& model = design.estimate;
+  est.baseline_kernel_seconds = model.baseline_seconds;
+  est.baseline_lower_seconds =
+      model.baseline_seconds / calibration.baseline_band;
+  est.baseline_upper_seconds =
+      model.baseline_seconds * calibration.baseline_band;
+  est.designed_lower_seconds =
+      model.proposed_seconds() / calibration.designed_band;
+  est.designed_upper_seconds =
+      model.baseline_seconds * calibration.designed_band;
+
+  // Per-edge hop x volume accounting over the mesh placement. The Delta-n
+  // term of Eq. 2 assumes the NoC hides kernel<->kernel traffic entirely;
+  // the route walk recovers what that hiding actually costs the fabric,
+  // giving a serialization floor for the mid-point estimate.
+  if (design.noc.has_value() && schedule.graph != nullptr) {
+    const core::NocPlan& plan = *design.noc;
+    const noc::Mesh2D mesh{plan.mesh_width, plan.mesh_height};
+
+    // Function -> mesh node, first attachment wins (duplicates of one
+    // function share its profiled edges, like the EdgeRouter).
+    std::map<prof::FunctionId, std::uint32_t> kernel_node;
+    std::map<prof::FunctionId, std::uint32_t> memory_node;
+    for (const core::NocAttachment& a : plan.attachments) {
+      const prof::FunctionId fn = design.instances[a.instance].function;
+      auto& slot = a.kind == core::NocNodeKind::kKernel ? kernel_node
+                                                        : memory_node;
+      slot.emplace(fn, a.node);
+    }
+    std::set<std::pair<prof::FunctionId, prof::FunctionId>> shared;
+    for (const core::SharedMemoryPairing& pair : design.shared_pairs) {
+      shared.insert({design.instances[pair.producer_instance].function,
+                     design.instances[pair.consumer_instance].function});
+    }
+
+    HopAccount& account = HopAccount::scratch();
+    const double noc_hz =
+        static_cast<double>(platform.noc_clock.hertz());
+    for (const prof::CommEdge& edge : schedule.graph->edges()) {
+      if (edge.producer == edge.consumer ||
+          shared.count({edge.producer, edge.consumer}) != 0) {
+        continue;
+      }
+      const auto src = kernel_node.find(edge.producer);
+      const auto dst = memory_node.find(edge.consumer);
+      if (src == kernel_node.end() || dst == memory_node.end()) {
+        continue;  // Not a NoC edge (host traffic stays on the bus).
+      }
+      const std::uint64_t volume = core::edge_volume(edge).count();
+      account.add_route(mesh, src->second, dst->second, volume);
+      est.noc_edges += 1;
+      est.noc_volume_bytes += volume;
+      const std::uint32_t hops = mesh.distance(src->second, dst->second);
+      est.noc_transfer_seconds +=
+          static_cast<double>(noc::idle_latency_cycles(
+              volume, hops, platform.noc.max_packet_payload_bytes,
+              platform.noc.router.pipeline_cycles)) /
+          noc_hz;
+    }
+    est.noc_hop_bytes = account.total_hop_bytes();
+    est.noc_max_link_bytes = account.max_link_bytes();
+  }
+
+  // Mid-point: the Delta-reduced estimate, floored by the exposed NoC
+  // serialization, clamped into the calibrated band so the mid never
+  // contradicts the bracket it is reported against.
+  const double mid =
+      std::max(model.proposed_seconds(), est.noc_transfer_seconds);
+  est.designed_kernel_seconds =
+      std::clamp(mid, est.designed_lower_seconds, est.designed_upper_seconds);
+  return est;
+}
+
+}  // namespace hybridic::tiers

@@ -1,0 +1,218 @@
+#include "tiers/congruence.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <numeric>
+#include <set>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "core/kernel_model.hpp"
+
+namespace hybridic::tiers {
+namespace {
+
+/// Exact, locale-free rendering of a double (hex float).
+std::string hexf(double value) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof buffer, "%a", value);
+  return buffer;
+}
+
+/// The order-free part of one instance's record: everything about it
+/// except references to other instances.
+std::string instance_record(const core::KernelInstance& inst,
+                            const sys::AppSchedule& schedule,
+                            const core::DesignResult& design) {
+  std::ostringstream out;
+  out << 'i' << static_cast<int>(inst.mapping.kernel) << ':'
+      << static_cast<int>(inst.mapping.memory) << ':'
+      << static_cast<int>(inst.comm_class.recv) << ':'
+      << static_cast<int>(inst.comm_class.send) << ':' << hexf(inst.work_share)
+      << ':' << inst.quantities.host_in.count() << ':'
+      << inst.quantities.kernel_in.count() << ':'
+      << inst.quantities.host_out.count() << ':'
+      << inst.quantities.kernel_out.count() << ':'
+      << inst.residual.host_in.count() << ':'
+      << inst.residual.kernel_in.count() << ':'
+      << inst.residual.host_out.count() << ':'
+      << inst.residual.kernel_out.count() << ':'
+      << schedule.specs[inst.spec_index].hw_compute_cycles.count();
+  // Mesh placement is part of the fabric: same structure on different
+  // nodes routes differently, so the nodes are part of the record.
+  if (design.noc.has_value()) {
+    const char* sep = ":n";
+    for (const core::NocAttachment& a : design.noc->attachments) {
+      if (design.instances[a.instance].function == inst.function) {
+        out << sep << (a.kind == core::NocNodeKind::kKernel ? 'k' : 'm')
+            << a.node;
+        sep = ",";
+      }
+    }
+  }
+  return out.str();
+}
+
+}  // namespace
+
+std::string congruence_signature(const sys::AppSchedule& schedule,
+                                 const core::DesignResult& design,
+                                 double theta_seconds_per_byte) {
+  // Canonical instance order: sort by the order-free record, original
+  // index breaking ties (Algorithm 1's discovery order is deterministic,
+  // so ties never make the signature ambiguous — two instances with equal
+  // records are interchangeable by construction).
+  std::vector<std::string> records;
+  records.reserve(design.instances.size());
+  for (const core::KernelInstance& inst : design.instances) {
+    records.push_back(instance_record(inst, schedule, design));
+  }
+  std::vector<std::size_t> order(design.instances.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&records](std::size_t a, std::size_t b) {
+              return records[a] != records[b] ? records[a] < records[b]
+                                              : a < b;
+            });
+  std::vector<std::size_t> canonical(design.instances.size());
+  for (std::size_t rank = 0; rank < order.size(); ++rank) {
+    canonical[order[rank]] = rank;
+  }
+  // Function ids relabel to the canonical rank of the function's first
+  // instance (duplication maps several instances to one function).
+  std::map<prof::FunctionId, std::size_t> fn_rank;
+  for (std::size_t i = 0; i < design.instances.size(); ++i) {
+    const prof::FunctionId fn = design.instances[i].function;
+    const auto it = fn_rank.find(fn);
+    if (it == fn_rank.end() || canonical[i] < it->second) {
+      fn_rank[fn] = canonical[i];
+    }
+  }
+
+  std::ostringstream out;
+  out << "theta=" << hexf(theta_seconds_per_byte) << ';';
+  if (design.noc.has_value()) {
+    out << "mesh=" << design.noc->mesh_width << 'x'
+        << design.noc->mesh_height << ';';
+  } else {
+    out << "mesh=none;";
+  }
+  for (const std::size_t index : order) {
+    out << records[index] << ';';
+  }
+
+  // Shared pairs and the parallel plan, renumbered and sorted.
+  std::set<std::string> lines;
+  for (const core::SharedMemoryPairing& pair : design.shared_pairs) {
+    std::ostringstream line;
+    line << "s" << canonical[pair.producer_instance] << '>'
+         << canonical[pair.consumer_instance] << ':' << pair.bytes.count()
+         << ':' << (pair.style == mem::SharingStyle::kDirect ? 'd' : 'x');
+    lines.insert(line.str());
+  }
+  for (const std::size_t inst : design.parallel.host_pipelined) {
+    lines.insert("p1:" + std::to_string(canonical[inst]));
+  }
+  for (const core::StreamedEdge& edge : design.parallel.streamed) {
+    lines.insert("p2:" + std::to_string(canonical[edge.producer_instance]) +
+                 '>' + std::to_string(canonical[edge.consumer_instance]));
+  }
+  for (const std::size_t spec : design.parallel.duplicated_specs) {
+    // Specs renumber through their function's canonical rank.
+    lines.insert("p3:" +
+                 std::to_string(fn_rank[schedule.specs[spec].function]));
+  }
+  for (const std::string& line : lines) {
+    out << line << ';';
+  }
+
+  // Per-edge unique bytes between profiled functions, renumbered where a
+  // function is instantiated (host functions keep a stable h<id> label:
+  // they are never relabeled by Algorithm 1).
+  if (schedule.graph != nullptr) {
+    std::set<std::string> edges;
+    for (const prof::CommEdge& edge : schedule.graph->edges()) {
+      const auto producer = fn_rank.find(edge.producer);
+      const auto consumer = fn_rank.find(edge.consumer);
+      std::ostringstream line;
+      line << 'e';
+      if (producer != fn_rank.end()) {
+        line << 'k' << producer->second;
+      } else {
+        line << 'h' << edge.producer;
+      }
+      line << '>';
+      if (consumer != fn_rank.end()) {
+        line << 'k' << consumer->second;
+      } else {
+        line << 'h' << edge.consumer;
+      }
+      line << ':' << core::edge_volume(edge).count();
+      edges.insert(line.str());
+    }
+    for (const std::string& edge : edges) {
+      out << edge << ';';
+    }
+  }
+  return out.str();
+}
+
+std::uint64_t congruence_key_of(const std::string& signature) {
+  std::uint64_t hash = 0xCBF29CE484222325ULL;  // FNV-1a 64.
+  for (const char ch : signature) {
+    hash ^= static_cast<unsigned char>(ch);
+    hash *= 0x100000001B3ULL;
+  }
+  // splitmix64 finalizer spreads the FNV bits.
+  hash += 0x9E3779B97F4A7C15ULL;
+  hash = (hash ^ (hash >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  hash = (hash ^ (hash >> 27)) * 0x94D049BB133111EBULL;
+  return hash ^ (hash >> 31);
+}
+
+TierEstimate CongruenceCache::get(
+    std::uint64_t key, const std::function<TierEstimate()>& make) {
+  {
+    const std::lock_guard<std::mutex> lock{mutex_};
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      ++hits_;
+      return it->second;
+    }
+  }
+  // Compute outside the lock: estimates for one key are identical
+  // whichever thread wins, so concurrent duplicate work is waste, not a
+  // correctness problem — and analytic estimates are cheap enough that a
+  // per-key future would cost more than the occasional double compute.
+  TierEstimate estimate = make();
+  estimate.congruence_key = key;
+  const std::lock_guard<std::mutex> lock{mutex_};
+  ++misses_;
+  return entries_.emplace(key, std::move(estimate)).first->second;
+}
+
+std::uint64_t CongruenceCache::hits() const {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  return hits_;
+}
+
+std::uint64_t CongruenceCache::misses() const {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  return misses_;
+}
+
+std::size_t CongruenceCache::size() const {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  return entries_.size();
+}
+
+void CongruenceCache::clear() {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  entries_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace hybridic::tiers

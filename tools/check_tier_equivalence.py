@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Check that an auto-tier DSE campaign agrees with the cycle-tier run.
+
+Usage: check_tier_equivalence.py AUTO_CSV CYCLE_CSV
+
+Both files are `dse_campaign` CSVs over the same (seed, count) sweep, one
+produced with --tier=auto and one with --tier=cycle. The tier contract
+(docs/MODEL.md §14) requires:
+
+  * every row the auto run escalated (tier == "cycle") is byte-identical
+    to the cycle run's row for the same index on every column except
+    `escalation` (auto says why it climbed, cycle says "requested") —
+    escalated rows re-use the same job keys, so timings, oracle verdicts,
+    congruence keys and error notes must all match exactly;
+  * oracle verdicts on the sim-free oracles (byte-conservation,
+    mapping-legality) match on every row, escalated or not — the analytic
+    tier runs them too, so auto mode may never flip them;
+  * no simulated row in either file violates its analytic band.
+
+Exits 0 when the contract holds, 1 with a per-row diagnosis otherwise.
+"""
+
+import csv
+import sys
+
+SIM_FREE_ORACLES = ("byte-conservation", "mapping-legality")
+
+
+def load(path):
+    with open(path, newline="") as f:
+        rows = list(csv.DictReader(f))
+    return {row["index"]: row for row in rows}
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    auto = load(sys.argv[1])
+    cycle = load(sys.argv[2])
+    if auto.keys() != cycle.keys():
+        print("tier-equivalence: row index sets differ "
+              f"({len(auto)} auto vs {len(cycle)} cycle rows)")
+        return 1
+
+    failures = 0
+    escalated = 0
+    for index, auto_row in auto.items():
+        cycle_row = cycle[index]
+        if cycle_row["tier"] != "cycle":
+            print(f"tier-equivalence: index {index}: cycle run has "
+                  f"tier={cycle_row['tier']!r}, expected 'cycle'")
+            failures += 1
+            continue
+        for oracle in SIM_FREE_ORACLES:
+            if oracle in auto_row and auto_row[oracle] != cycle_row[oracle]:
+                print(f"tier-equivalence: index {index}: sim-free oracle "
+                      f"{oracle} flipped ({auto_row[oracle]!r} auto vs "
+                      f"{cycle_row[oracle]!r} cycle)")
+                failures += 1
+        for row, label in ((auto_row, "auto"), (cycle_row, "cycle")):
+            if row.get("band_violation") == "1":
+                print(f"tier-equivalence: index {index}: band violation "
+                      f"in the {label} run")
+                failures += 1
+        if auto_row["tier"] != "cycle":
+            continue  # Analytic row: nothing more to compare.
+        escalated += 1
+        for column, value in auto_row.items():
+            if column == "escalation":
+                continue
+            if value != cycle_row[column]:
+                print(f"tier-equivalence: index {index}: escalated row "
+                      f"differs in {column!r}: {value!r} auto vs "
+                      f"{cycle_row[column]!r} cycle")
+                failures += 1
+
+    if failures:
+        print(f"tier-equivalence: FAILED ({failures} mismatches, "
+              f"{escalated} escalated rows checked)")
+        return 1
+    print(f"tier-equivalence: OK ({len(auto)} rows, {escalated} escalated "
+          "rows match the cycle run exactly)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
