@@ -15,6 +15,13 @@
 // bench_results/dse_smoke.csv only; byte-identical across reruns and
 // --threads values (every case is sampled from (campaign_seed, index),
 // never from time or thread id).
+//
+// Scaling out (docs/MODEL.md §15): `--store DIR` attaches the persistent
+// content-addressed result store (profiles + analytic estimates survive
+// restarts and are shared between processes); `--shard i/N` evaluates
+// only indices where index % N == i, writing `<name>.shardIofN.csv`.
+// `tools/merge_shards.py` reassembles the N shard CSVs into a file
+// byte-identical to the unsharded run.
 #include <chrono>
 #include <cstdlib>
 #include <fstream>
@@ -23,10 +30,19 @@
 
 #include "bench/bench_common.hpp"
 #include "dse/campaign.hpp"
+#include "store/store.hpp"
+#include "util/error.hpp"
 
 namespace {
 
 using namespace hybridic;
+
+// Exit codes follow the PR 4 scheme: 0 ok / 1 failures found / 2 usage /
+// 3 config / 5 store error.
+constexpr int kExitFailures = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitConfig = 3;
+constexpr int kExitStore = 5;
 
 struct Options {
   std::size_t threads = 0;
@@ -34,7 +50,21 @@ struct Options {
   std::uint64_t seed = 1;
   bool smoke = false;
   tiers::TierMode tier = tiers::TierMode::kCycle;
+  std::string store_dir;
+  std::uint64_t shard_index = 0;
+  std::uint64_t shard_count = 1;
+  /// CI warm-restart smoke: exit kExitStore unless the store served at
+  /// least one profile (proves a second --store run actually hits L2).
+  bool assert_warm = false;
 };
+
+void usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--threads N] [--count N] [--seed S]"
+            << " [--tier auto|analytic|cycle] [--smoke]"
+            << " [--store DIR] [--shard I/N] [--assert-warm]\n";
+  std::exit(kExitUsage);
+}
 
 Options parse(int argc, char** argv) {
   Options options;
@@ -54,6 +84,10 @@ Options parse(int argc, char** argv) {
       options.smoke = true;
       continue;
     }
+    if (arg == "--assert-warm") {
+      options.assert_warm = true;
+      continue;
+    }
     if (std::string v = value_of("--threads"); !v.empty()) {
       options.threads = static_cast<std::size_t>(std::stoul(v));
       continue;
@@ -67,6 +101,31 @@ Options parse(int argc, char** argv) {
       options.seed = std::stoull(v);
       continue;
     }
+    if (std::string v = value_of("--store"); !v.empty()) {
+      options.store_dir = v;
+      continue;
+    }
+    if (std::string v = value_of("--shard"); !v.empty()) {
+      const std::size_t slash = v.find('/');
+      if (slash == std::string::npos || slash == 0 ||
+          slash + 1 >= v.size()) {
+        std::cerr << "--shard expects I/N (e.g. --shard 0/2)\n";
+        std::exit(kExitUsage);
+      }
+      try {
+        options.shard_index = std::stoull(v.substr(0, slash));
+        options.shard_count = std::stoull(v.substr(slash + 1));
+      } catch (const std::exception&) {
+        std::cerr << "--shard expects I/N (e.g. --shard 0/2)\n";
+        std::exit(kExitUsage);
+      }
+      if (options.shard_count == 0 ||
+          options.shard_index >= options.shard_count) {
+        std::cerr << "--shard " << v << ": need 0 <= I < N\n";
+        std::exit(kExitUsage);
+      }
+      continue;
+    }
     if (std::string v = value_of("--tier"); !v.empty()) {
       if (const auto mode = tiers::parse_tier_mode(v)) {
         options.tier = *mode;
@@ -74,15 +133,18 @@ Options parse(int argc, char** argv) {
       }
       std::cerr << "unknown --tier value '" << v
                 << "' (expected auto, analytic, or cycle)\n";
-      std::exit(2);
+      std::exit(kExitUsage);
     }
-    std::cerr << "usage: " << argv[0]
-              << " [--threads N] [--count N] [--seed S]"
-              << " [--tier auto|analytic|cycle] [--smoke]\n";
-    std::exit(2);
+    usage(argv[0]);
   }
   if (options.smoke && !count_given) {
     options.count = 32;
+  }
+  if (options.shard_count > 1 && options.tier == tiers::TierMode::kAuto) {
+    // Auto-mode escalation selection is global; a shard cannot rank
+    // against estimates it never computed.
+    std::cerr << "--shard requires --tier=analytic or --tier=cycle\n";
+    std::exit(kExitUsage);
   }
   return options;
 }
@@ -97,6 +159,9 @@ int main(int argc, char** argv) {
   campaign.campaign_seed = options.seed;
   campaign.threads = options.threads;
   campaign.tier = options.tier;
+  campaign.store_dir = options.store_dir;
+  campaign.shard_index = options.shard_index;
+  campaign.shard_count = options.shard_count;
   if (options.smoke) {
     // CI smoke: keep the sweep cheap and skip shrinking (a shrink run
     // re-executes the pipeline dozens of times).
@@ -105,7 +170,16 @@ int main(int argc, char** argv) {
   }
 
   const auto t0 = std::chrono::steady_clock::now();
-  const dse::CampaignResult result = dse::run_campaign(campaign);
+  dse::CampaignResult result;
+  try {
+    result = dse::run_campaign(campaign);
+  } catch (const store::StoreError& e) {
+    std::cerr << "store error: " << e.what() << "\n";
+    return kExitStore;
+  } catch (const ConfigError& e) {
+    std::cerr << "config error: " << e.what() << "\n";
+    return kExitConfig;
+  }
   const double elapsed =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
@@ -126,26 +200,74 @@ int main(int argc, char** argv) {
                     ? static_cast<double>(result.cases.size()) / elapsed
                     : 0.0)
             << " designs/s)\n";
+  if (options.shard_count > 1) {
+    std::cout << "shard " << options.shard_index << "/"
+              << options.shard_count << ": " << result.cases.size()
+              << " of " << options.count << " designs\n";
+  }
+
+  // Live cache/store counters: stdout only — they vary with thread count,
+  // shard split, and store warmth, so they never enter the CSV/REPORT.
+  const apps::ProfileCacheStats& pc = result.profile_cache_stats;
+  std::cout << "profile_cache hits=" << pc.hits << " misses=" << pc.misses
+            << " l2_hits=" << pc.l2_hits << " l2_stores=" << pc.l2_stores
+            << " evictions=" << pc.evictions << " resident_entries="
+            << pc.entries << " resident_bytes=" << pc.resident_bytes
+            << "\n";
+  std::cout << "estimate_l2 hits=" << result.estimate_l2_hits
+            << " stores=" << result.estimate_l2_stores << "\n";
+  if (result.store_stats.has_value()) {
+    const store::StoreStats& ss = *result.store_stats;
+    std::cout << "store puts=" << ss.puts << " hits=" << ss.hits
+              << " misses=" << ss.misses << " corrupt=" << ss.corrupt_entries
+              << "\n";
+  }
+  if (options.assert_warm) {
+    if (!result.store_stats.has_value() ||
+        result.store_stats->hits == 0) {
+      std::cerr << "--assert-warm: the store served zero hits (expected a "
+                   "warm restart to reuse persisted artifacts)\n";
+      return kExitStore;
+    }
+    std::cout << "warm restart confirmed: " << result.store_stats->hits
+              << " store hits\n";
+  }
+
+  // Shard runs suffix their CSV so N concurrent shards (sharing one
+  // store) never clobber each other; the merge tool globs the suffix.
+  const auto shard_name = [&options](const std::string& base) {
+    if (options.shard_count <= 1) {
+      return base;
+    }
+    return base + ".shard" + std::to_string(options.shard_index) + "of" +
+           std::to_string(options.shard_count);
+  };
 
   if (options.smoke) {
-    const std::string path = bench::csv_path("dse_smoke");
+    const std::string path = bench::csv_path(shard_name("dse_smoke"));
     std::ofstream out{path};
     out << dse::campaign_csv(result);
     std::cout << "wrote " << path << " (" << result.cases.size()
               << " designs, " << failures << " with failures)\n";
   } else {
-    std::ofstream out{bench::csv_path("dse_campaign")};
+    const std::string path = bench::csv_path(shard_name("dse_campaign"));
+    std::ofstream out{path};
     out << dse::campaign_csv(result);
-    bench::patch_report_section(dse::campaign_section_marker(),
-                                dse::campaign_markdown(result, campaign));
+    if (options.shard_count <= 1) {
+      bench::patch_report_section(dse::campaign_section_marker(),
+                                  dse::campaign_markdown(result, campaign));
+    }
     const std::vector<std::string> saved = dse::save_reproducers(
         result, "bench_results/dse_reproducers");
-    std::cout << "wrote bench_results/dse_campaign.csv ("
-              << result.cases.size() << " designs, " << failures
-              << " with failures) and the REPORT.md campaign section\n";
-    for (const std::string& path : saved) {
-      std::cout << "shrunk reproducer: " << path << "\n";
+    std::cout << "wrote " << path << " (" << result.cases.size()
+              << " designs, " << failures << " with failures)"
+              << (options.shard_count <= 1
+                      ? " and the REPORT.md campaign section"
+                      : "")
+              << "\n";
+    for (const std::string& p : saved) {
+      std::cout << "shrunk reproducer: " << p << "\n";
     }
   }
-  return failures == 0 ? 0 : 1;
+  return failures == 0 ? 0 : kExitFailures;
 }

@@ -19,7 +19,11 @@
 //                fast tier only (no simulation — sim-only outputs are
 //                skipped with a note); auto runs both and reports whether
 //                the measured time landed inside the analytic band
+//   --store=DIR  persistent content-addressed profile store (docs/MODEL.md
+//                §15): profiles load from DIR when present (skipping the
+//                QUAD pass) and fresh profiles are written back
 //   --all        everything above plus the system comparison (default)
+//   --help       print usage and exit 0
 //
 // Exit codes (scripted callers rely on these staying distinct):
 //   0  run completed and the application verified
@@ -27,6 +31,7 @@
 //   2  usage error: unknown flag / malformed value / unknown app
 //   3  semantic configuration error (rejected before or during setup)
 //   4  simulation timeout or deadlock (stuck operations reported)
+//   5  store error: --store directory cannot be created or written
 //
 // Examples:
 //   ./build/examples/hybridic_cli jpeg --design --timeline
@@ -34,11 +39,13 @@
 //   ./build/examples/hybridic_cli canny --fault-rate=0.001 --trace
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "apps/app.hpp"
+#include "apps/profile_cache.hpp"
 #include "apps/synthetic.hpp"
 #include "core/design_validate.hpp"
 #include "core/interconnect_design.hpp"
@@ -47,6 +54,8 @@
 #include "sys/engine/chrome_trace.hpp"
 #include "sys/experiment.hpp"
 #include "sys/pipeline_executor.hpp"
+#include "store/adapters.hpp"
+#include "store/store.hpp"
 #include "sys/timeline.hpp"
 #include "tiers/tiered_evaluator.hpp"
 #include "util/error.hpp"
@@ -61,6 +70,7 @@ constexpr int kExitUnverified = 1;
 constexpr int kExitUsage = 2;
 constexpr int kExitConfig = 3;
 constexpr int kExitTimeout = 4;
+constexpr int kExitStore = 5;
 
 /// Thrown for malformed command lines; mapped to exit code 2.
 struct UsageError : std::runtime_error {
@@ -110,6 +120,7 @@ struct CliOptions {
   double fault_rate = 0.0;
   std::uint64_t fault_seed = 1;
   tiers::TierMode tier = tiers::TierMode::kCycle;
+  std::string store_dir;  ///< Empty = no persistent store.
 };
 
 /// Validate the whole command line up front, before any expensive work, so
@@ -149,6 +160,11 @@ CliOptions parse_cli(int argc, char** argv) {
                          "' (expected auto, analytic, or cycle)"};
       }
       options.tier = *mode;
+    } else if (arg.rfind("--store=", 0) == 0) {
+      options.store_dir = arg.substr(std::string{"--store="}.size());
+      if (options.store_dir.empty()) {
+        throw UsageError{"--store needs a directory path"};
+      }
     } else if (kKnownFlags.count(arg) > 0) {
       options.flags.insert(arg);
     } else {
@@ -158,14 +174,23 @@ CliOptions parse_cli(int argc, char** argv) {
   return options;
 }
 
-apps::ProfiledApp load_app(const std::string& spec) {
+/// Load (or restore from the store) the requested application. With a
+/// store the profile round-trips through the content-addressed L2: a warm
+/// directory skips the QUAD pass entirely, a cold one gets populated.
+std::shared_ptr<const apps::ProfiledApp> load_app(
+    const std::string& spec, const std::string& store_dir) {
+  apps::ProfileCache cache;
+  if (!store_dir.empty()) {
+    cache.set_l2(std::make_shared<store::ProfileStoreL2>(
+        std::make_shared<store::Store>(store_dir)));
+  }
   if (spec.rfind("synthetic:", 0) == 0) {
     apps::SyntheticConfig config;
     config.seed =
         parse_u64(spec.substr(std::string{"synthetic:"}.size()), "seed");
-    return apps::make_synthetic_app(config);
+    return cache.synthetic_app(config);
   }
-  return apps::run_paper_app(spec);
+  return cache.paper_app(spec);
 }
 
 void print_usage() {
@@ -173,7 +198,11 @@ void print_usage() {
                " [--design] [--profile] [--dot] [--memory] [--timeline]"
                " [--trace] [--json] [--validate] [--frames=N]"
                " [--fault-rate=R] [--fault-seed=S]"
-               " [--tier=auto|analytic|cycle] [--all]\n";
+               " [--tier=auto|analytic|cycle] [--store=DIR] [--all]\n"
+               "  --store=DIR  reuse profiles from (and publish them to) a"
+               " persistent\n"
+               "               content-addressed store; exit code 5 when DIR"
+               " is unusable\n";
 }
 
 /// The analytic tier's one-screen summary (docs/MODEL.md §14).
@@ -229,7 +258,9 @@ int run_cli(const CliOptions& cli) {
     platform_config.faults.resilience.noc_crc = true;
   }
 
-  const apps::ProfiledApp app = load_app(cli.app_spec);
+  const std::shared_ptr<const apps::ProfiledApp> app_ptr =
+      load_app(cli.app_spec, cli.store_dir);
+  const apps::ProfiledApp& app = *app_ptr;
   std::cout << "application: " << app.name << "  verification: "
             << (app.verified ? "PASS" : "FAIL") << " ("
             << app.verification_note << ")\n\n";
@@ -384,6 +415,12 @@ int run_cli(const CliOptions& cli) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string{argv[i]} == "--help") {
+      print_usage();
+      return kExitVerified;
+    }
+  }
   CliOptions cli;
   try {
     cli = parse_cli(argc, argv);
@@ -400,6 +437,9 @@ int main(int argc, char** argv) {
       std::cerr << "  stuck: " << op << "\n";
     }
     return kExitTimeout;
+  } catch (const store::StoreError& error) {
+    std::cerr << "store error: " << error.what() << "\n";
+    return kExitStore;
   } catch (const ConfigError& error) {
     std::cerr << "config error: " << error.what() << "\n";
     return kExitConfig;

@@ -8,12 +8,14 @@ std::shared_ptr<const ProfiledApp> ProfileCache::get(const std::string& key,
                                                      const Factory& make) {
   std::promise<std::shared_ptr<const ProfiledApp>> promise;
   Entry entry;
+  std::shared_ptr<ProfileL2> l2;
   {
     std::unique_lock<std::mutex> lock{mutex_};
     const auto it = entries_.find(key);
     if (it != entries_.end()) {
       hits_.fetch_add(1, std::memory_order_relaxed);
-      entry = it->second;
+      lru_.splice(lru_.begin(), lru_, it->second.lru);
+      entry = it->second.future;
       lock.unlock();
       if (entry.wait_for(std::chrono::seconds{0}) !=
           std::future_status::ready) {
@@ -25,15 +27,74 @@ std::shared_ptr<const ProfiledApp> ProfileCache::get(const std::string& key,
     }
     misses_.fetch_add(1, std::memory_order_relaxed);
     entry = promise.get_future().share();
-    entries_.emplace(key, entry);
+    lru_.push_front(key);
+    entries_.emplace(key, Record{entry, 0, false, lru_.begin()});
+    l2 = l2_;
   }
-  // Compute outside the lock so other keys proceed concurrently.
+  // Fulfill outside the lock so other keys proceed concurrently. L2 is
+  // consulted here — inside the single-flight — so concurrent requesters
+  // of one key trigger at most one disk read.
+  std::shared_ptr<const ProfiledApp> app;
+  if (l2 != nullptr) {
+    app = l2->load(key);
+    if (app != nullptr) {
+      l2_hits_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
   try {
-    promise.set_value(std::make_shared<const ProfiledApp>(make()));
+    if (app == nullptr) {
+      app = std::make_shared<const ProfiledApp>(make());
+      if (l2 != nullptr) {
+        l2->store(key, *app);
+        l2_stores_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    promise.set_value(app);
   } catch (...) {
     promise.set_exception(std::current_exception());
   }
+  {
+    std::unique_lock<std::mutex> lock{mutex_};
+    const std::uint64_t bytes =
+        app != nullptr && app->profiler != nullptr
+            ? app->profiler->approx_memory_bytes()
+            : 0;
+    publish_locked(key, bytes);
+  }
   return entry.get();
+}
+
+void ProfileCache::publish_locked(const std::string& key,
+                                  std::uint64_t bytes) {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    return;  // Evicted (or cleared) while computing — nothing to publish.
+  }
+  it->second.ready = true;
+  it->second.bytes = bytes;
+  resident_bytes_ += bytes;
+  evict_over_caps_locked();
+}
+
+void ProfileCache::evict_over_caps_locked() {
+  auto over = [this] {
+    return (max_entries_ != 0 && entries_.size() > max_entries_) ||
+           (max_bytes_ != 0 && resident_bytes_ > max_bytes_);
+  };
+  // Walk LRU from the cold end; skip in-flight entries (their owner still
+  // needs to publish through the map).
+  auto pos = lru_.end();
+  while (over() && pos != lru_.begin()) {
+    --pos;
+    const auto it = entries_.find(*pos);
+    if (it == entries_.end() || !it->second.ready) {
+      continue;
+    }
+    resident_bytes_ -= it->second.bytes;
+    entries_.erase(it);
+    pos = lru_.erase(pos);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 std::shared_ptr<const ProfiledApp> ProfileCache::paper_app(
@@ -66,6 +127,38 @@ std::string ProfileCache::synthetic_key(const SyntheticConfig& config) {
   return key.str();
 }
 
+void ProfileCache::set_l2(std::shared_ptr<ProfileL2> l2) {
+  std::unique_lock<std::mutex> lock{mutex_};
+  l2_ = std::move(l2);
+}
+
+void ProfileCache::set_capacity(std::size_t max_entries,
+                                std::uint64_t max_bytes) {
+  std::unique_lock<std::mutex> lock{mutex_};
+  max_entries_ = max_entries;
+  max_bytes_ = max_bytes;
+  evict_over_caps_locked();
+}
+
+std::uint64_t ProfileCache::resident_bytes() const {
+  std::unique_lock<std::mutex> lock{mutex_};
+  return resident_bytes_;
+}
+
+ProfileCacheStats ProfileCache::stats() const {
+  ProfileCacheStats s;
+  s.hits = hits();
+  s.misses = misses();
+  s.convoy_waits = convoy_waits();
+  s.l2_hits = l2_hits();
+  s.l2_stores = l2_stores();
+  s.evictions = evictions();
+  std::unique_lock<std::mutex> lock{mutex_};
+  s.resident_bytes = resident_bytes_;
+  s.entries = entries_.size();
+  return s;
+}
+
 std::size_t ProfileCache::size() const {
   std::unique_lock<std::mutex> lock{mutex_};
   return entries_.size();
@@ -74,9 +167,14 @@ std::size_t ProfileCache::size() const {
 void ProfileCache::clear() {
   std::unique_lock<std::mutex> lock{mutex_};
   entries_.clear();
+  lru_.clear();
+  resident_bytes_ = 0;
   hits_.store(0, std::memory_order_relaxed);
   misses_.store(0, std::memory_order_relaxed);
   convoy_waits_.store(0, std::memory_order_relaxed);
+  l2_hits_.store(0, std::memory_order_relaxed);
+  l2_stores_.store(0, std::memory_order_relaxed);
+  evictions_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace hybridic::apps

@@ -11,16 +11,24 @@
 // off one entry. A hit re-runs nothing — in particular, zero shadow-memory
 // passes (ShadowMemory::scan_count() is asserted unchanged in tests).
 //
-// Concurrency: the first requester of a key computes; every concurrent or
-// later requester blocks on a shared_future and counts as a hit. Distinct
-// keys never serialize — the factory runs outside the cache lock — but a
-// batch submitted app-major can still convoy cold: the first N jobs all
-// want key A, one thread computes it, and N-1 block on the future instead
-// of starting key B. convoy_waits() counts exactly those blocked hits so
-// benches can see the convoy; bench::prewarm_profiles() removes it.
-// A factory that throws caches the exception (profiling is deterministic,
-// retrying cannot help) and every requester of that key sees the same
-// error.
+// Tiering (docs/MODEL.md §15): this class is the in-memory L1. An optional
+// ProfileL2 backend (the persistent store in src/store/) sits underneath:
+// an L1 miss consults L2 before profiling, and freshly profiled entries are
+// published to L2, so warm-path performance survives process restarts and
+// is shared across campaign shards. L1 is bounded: set_capacity() installs
+// entry-count/byte caps enforced by LRU eviction of ready entries —
+// evicted profiles fall back to L2 (or recompute when no L2 is attached).
+//
+// Concurrency: the first requester of a key computes (or loads from L2);
+// every concurrent or later requester blocks on a shared_future and counts
+// as a hit. Distinct keys never serialize — the factory runs outside the
+// cache lock — but a batch submitted app-major can still convoy cold: the
+// first N jobs all want key A, one thread computes it, and N-1 block on
+// the future instead of starting key B. convoy_waits() counts exactly
+// those blocked hits so benches can see the convoy;
+// bench::prewarm_profiles() removes it. A factory that throws caches the
+// exception (profiling is deterministic, retrying cannot help) and every
+// requester of that key sees the same error.
 #pragma once
 
 #include <atomic>
@@ -28,6 +36,7 @@
 #include <cstdint>
 #include <functional>
 #include <future>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -38,11 +47,41 @@
 
 namespace hybridic::apps {
 
+/// Second-level profile backend under ProfileCache (implemented by the
+/// persistent store). Implementations must be thread-safe; load failures
+/// of any kind (missing, truncated, corrupt, stale version) must surface
+/// as nullptr — never as an exception — so a damaged store degrades to
+/// re-profiling.
+class ProfileL2 {
+public:
+  virtual ~ProfileL2() = default;
+
+  /// The profile stored under `key`, or nullptr on miss.
+  [[nodiscard]] virtual std::shared_ptr<const ProfiledApp> load(
+      const std::string& key) = 0;
+
+  /// Persist `app` under `key` (best effort).
+  virtual void store(const std::string& key, const ProfiledApp& app) = 0;
+};
+
+/// Point-in-time cache counters (see the accessors for semantics).
+struct ProfileCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t convoy_waits = 0;
+  std::uint64_t l2_hits = 0;
+  std::uint64_t l2_stores = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t resident_bytes = 0;
+  std::uint64_t entries = 0;
+};
+
 class ProfileCache {
 public:
   using Factory = std::function<ProfiledApp()>;
 
-  /// The profiled run for `key`, computing it with `make` on first request.
+  /// The profiled run for `key`, computing it with `make` on first request
+  /// (after consulting the L2 backend, when attached).
   std::shared_ptr<const ProfiledApp> get(const std::string& key,
                                          const Factory& make);
 
@@ -58,8 +97,17 @@ public:
   [[nodiscard]] static std::string synthetic_key(
       const SyntheticConfig& config);
 
+  /// Attach (or detach, with nullptr) the persistent L2 backend.
+  void set_l2(std::shared_ptr<ProfileL2> l2);
+
+  /// Bound the in-memory tier: at most `max_entries` cached profiles and
+  /// `max_bytes` of approximate resident profile memory; 0 = unbounded
+  /// (the default). Over-cap ready entries are evicted least-recently-used
+  /// first; in-flight computations are never evicted.
+  void set_capacity(std::size_t max_entries, std::uint64_t max_bytes);
+
   /// Requests served from an existing entry (including waits on an
-  /// in-flight computation) / requests that had to compute.
+  /// in-flight computation) / requests that had to compute or hit L2.
   [[nodiscard]] std::uint64_t hits() const {
     return hits_.load(std::memory_order_relaxed);
   }
@@ -71,6 +119,22 @@ public:
   [[nodiscard]] std::uint64_t convoy_waits() const {
     return convoy_waits_.load(std::memory_order_relaxed);
   }
+  /// L1 misses served by the L2 backend without re-profiling.
+  [[nodiscard]] std::uint64_t l2_hits() const {
+    return l2_hits_.load(std::memory_order_relaxed);
+  }
+  /// Freshly profiled entries published to the L2 backend.
+  [[nodiscard]] std::uint64_t l2_stores() const {
+    return l2_stores_.load(std::memory_order_relaxed);
+  }
+  /// Ready entries dropped from L1 by the capacity caps.
+  [[nodiscard]] std::uint64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+  /// Approximate bytes held by ready L1 entries.
+  [[nodiscard]] std::uint64_t resident_bytes() const;
+
+  [[nodiscard]] ProfileCacheStats stats() const;
 
   [[nodiscard]] std::size_t size() const;
 
@@ -79,11 +143,31 @@ public:
 private:
   using Entry = std::shared_future<std::shared_ptr<const ProfiledApp>>;
 
+  struct Record {
+    Entry future;
+    std::uint64_t bytes = 0;  ///< Approximate, 0 until ready.
+    bool ready = false;       ///< set_value/set_exception has run.
+    std::list<std::string>::iterator lru;  ///< Position in lru_.
+  };
+
+  /// Mark `key` ready with `bytes` resident, then enforce the caps.
+  /// Called (locked) after the future is fulfilled.
+  void publish_locked(const std::string& key, std::uint64_t bytes);
+  void evict_over_caps_locked();
+
   mutable std::mutex mutex_;
-  std::unordered_map<std::string, Entry> entries_;
+  std::unordered_map<std::string, Record> entries_;
+  std::list<std::string> lru_;  ///< Front = most recently used.
+  std::shared_ptr<ProfileL2> l2_;
+  std::size_t max_entries_ = 0;   ///< 0 = unbounded.
+  std::uint64_t max_bytes_ = 0;   ///< 0 = unbounded.
+  std::uint64_t resident_bytes_ = 0;
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
   std::atomic<std::uint64_t> convoy_waits_{0};
+  std::atomic<std::uint64_t> l2_hits_{0};
+  std::atomic<std::uint64_t> l2_stores_{0};
+  std::atomic<std::uint64_t> evictions_{0};
 };
 
 }  // namespace hybridic::apps

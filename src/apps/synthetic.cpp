@@ -39,7 +39,8 @@ ProfiledApp make_synthetic_app(const SyntheticConfig& cfg) {
   validate_synthetic_config(cfg);
   ProfiledApp app;
   app.name = "synthetic-" + std::to_string(cfg.seed);
-  app.profiler = std::make_unique<prof::QuadProfiler>();
+  app.profiler =
+      std::make_unique<prof::QuadProfiler>(prof::ProfileMode::kDeferred);
   prof::QuadProfiler& q = *app.profiler;
   Rng rng{cfg.seed};
 
@@ -172,6 +173,7 @@ ProfiledApp make_synthetic_app(const SyntheticConfig& cfg) {
 
   app.verified = true;
   app.verification_note = "synthetic dataflow (no functional semantics)";
+  q.finalize();
   return app;
 }
 

@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <set>
 #include <sstream>
 #include <utility>
 
 #include "dse/case_runner.hpp"
 #include "dse/shrinker.hpp"
+#include "store/adapters.hpp"
 #include "sys/batch_runner.hpp"
 #include "util/error.hpp"
 
@@ -26,6 +28,19 @@ std::string hex_key(std::uint64_t key) {
   std::ostringstream out;
   out << std::hex << key;
   return out.str();
+}
+
+/// 16-hex content hash of a row's profile identity: the exact string the
+/// profile cache (and the L2 store, revision aside) keys the config by.
+std::string profile_key_of(const apps::SyntheticConfig& config) {
+  static const char* kDigits = "0123456789abcdef";
+  const std::uint64_t h =
+      store::fnv1a64(apps::ProfileCache::synthetic_key(config));
+  std::string out(16, '0');
+  for (std::size_t i = 0; i < 16; ++i) {
+    out[i] = kDigits[(h >> (60 - 4 * i)) & 0xF];
+  }
+  return out;
 }
 
 /// CSV-safe rendering of a free-form message (no commas, no newlines).
@@ -55,6 +70,7 @@ std::uint64_t effective_rank_cap(const CampaignOptions& options) {
 CaseOutcome run_cycle_outcome(std::uint64_t index,
                               const CampaignOptions& options,
                               tiers::TieredEvaluator& evaluator,
+                              apps::ProfileCache* cache,
                               tiers::EscalationReason reason) {
   CaseOutcome outcome;
   outcome.index = index;
@@ -63,7 +79,7 @@ CaseOutcome run_cycle_outcome(std::uint64_t index,
   outcome.simulated = true;  ///< The cycle engine owns this row (even on
                              ///< error, so auto rows mirror cycle rows).
   try {
-    const DesignCase c = run_design_case(outcome.config);
+    const DesignCase c = run_design_case(outcome.config, cache);
     outcome.solution_tag = c.exp.proposed_design.solution_tag();
     outcome.baseline_seconds = c.exp.baseline.total_seconds;
     outcome.designed_seconds = c.exp.proposed.total_seconds;
@@ -86,18 +102,19 @@ CaseOutcome run_cycle_outcome(std::uint64_t index,
 /// sim-free oracles, never an event queue.
 CaseOutcome run_analytic_outcome(std::uint64_t index,
                                  const CampaignOptions& options,
-                                 tiers::TieredEvaluator& evaluator) {
+                                 tiers::TieredEvaluator& evaluator,
+                                 apps::ProfileCache* cache) {
   CaseOutcome outcome;
   outcome.index = index;
   outcome.config = sample_config(options.space, options.campaign_seed, index);
   try {
-    tiers::AnalyticCase analytic = evaluator.analyze(outcome.config);
+    tiers::AnalyticCase analytic = evaluator.analyze(outcome.config, cache);
     outcome.solution_tag = analytic.proposed.solution_tag();
     outcome.analytic = analytic.estimate;
 
     // Sim-free oracles run on a partial case: schedule + designs only.
     // The graph pointer stays valid across the moves (the profiler that
-    // owns it is held by unique_ptr).
+    // owns it is held by the shared ProfiledApp).
     DesignCase c;
     c.config = outcome.config;
     c.app = std::move(analytic.app);
@@ -116,11 +133,21 @@ CaseOutcome run_analytic_outcome(std::uint64_t index,
   return outcome;
 }
 
-/// Serial post-pass: congruent flags + tier stats, in index order.
+/// Serial post-pass: congruent/profile_reused flags + tier stats, in index
+/// order.
 void finalize_tier_record(CampaignResult& result,
                           const CampaignOptions& options) {
   TierStats& stats = result.tier_stats;
   stats.mode = options.tier;
+  std::set<std::string> seen_profiles;
+  for (CaseOutcome& outcome : result.cases) {
+    outcome.profile_key = profile_key_of(outcome.config);
+    outcome.profile_reused = !seen_profiles.insert(outcome.profile_key).second;
+    if (outcome.profile_reused) {
+      ++stats.reused_profiles;
+    }
+  }
+  stats.distinct_profiles = seen_profiles.size();
   std::set<std::uint64_t> seen_keys;
   for (CaseOutcome& outcome : result.cases) {
     if (!outcome.analytic.has_value()) {
@@ -240,15 +267,51 @@ std::uint64_t CampaignResult::error_count() const {
 }
 
 CampaignResult run_campaign(const CampaignOptions& options) {
+  require(options.shard_count >= 1, "shard count must be >= 1");
+  require(options.shard_index < options.shard_count,
+          "shard index must be < shard count");
+  // Auto-tier escalation ranks every estimate against every other; a
+  // shard only holds its own, so the selection (and thus the merged CSV)
+  // would differ from an unsharded run. Shard analytic or cycle sweeps.
+  require(options.shard_count == 1 || options.tier != tiers::TierMode::kAuto,
+          "--shard requires --tier=analytic or --tier=cycle: auto-mode "
+          "escalation selection is global");
+
   CampaignResult result;
   for (const Oracle& oracle : oracle_library(options.bounds)) {
     result.oracle_names.push_back(oracle.name);
   }
 
+  // This shard's slice of the sweep, with global indices preserved so the
+  // merged CSV is indistinguishable from an unsharded run.
+  std::vector<std::uint64_t> owned;
+  owned.reserve(static_cast<std::size_t>(
+      options.count / options.shard_count + 1));
+  for (std::uint64_t index = options.shard_index; index < options.count;
+       index += options.shard_count) {
+    owned.push_back(index);
+  }
+
   // One evaluator for the whole campaign: one theta probe, one congruence
   // cache. estimate() is thread-safe and pure, so sharing it across jobs
-  // never breaks the determinism contract.
+  // never breaks the determinism contract. The profile cache memoizes
+  // QUAD runs across design points; with a store attached both caches
+  // gain a persistent L2 tier shared across processes and shards.
   tiers::TieredEvaluator evaluator;
+  apps::ProfileCache profile_cache;
+  profile_cache.set_capacity(
+      static_cast<std::size_t>(options.profile_cache_max_entries),
+      options.profile_cache_max_bytes);
+  std::shared_ptr<store::Store> disk;
+  if (!options.store_dir.empty()) {
+    disk = std::make_shared<store::Store>(options.store_dir);
+    profile_cache.set_l2(std::make_shared<store::ProfileStoreL2>(disk));
+    evaluator.set_estimate_l2(std::make_shared<store::EstimateStoreL2>(
+        disk,
+        store::estimate_scope(evaluator.platform(),
+                              evaluator.calibration())));
+  }
+  apps::ProfileCache* cache = &profile_cache;
   sys::BatchRunner runner{options.threads};
   const CampaignOptions& opts = options;
 
@@ -262,27 +325,28 @@ CampaignResult run_campaign(const CampaignOptions& options) {
 
   if (options.tier == tiers::TierMode::kCycle) {
     std::vector<sys::BatchRunner::Job<CaseOutcome>> jobs;
-    jobs.reserve(options.count);
-    for (std::uint64_t index = 0; index < options.count; ++index) {
-      jobs.push_back({cycle_key(index), [index, &opts, &evaluator](
+    jobs.reserve(owned.size());
+    for (const std::uint64_t index : owned) {
+      jobs.push_back({cycle_key(index), [index, &opts, &evaluator, cache](
                                             sys::JobContext&) {
                         return run_cycle_outcome(
-                            index, opts, evaluator,
+                            index, opts, evaluator, cache,
                             tiers::EscalationReason::kRequested);
                       }});
     }
     result.cases = runner.run(std::move(jobs));
   } else {
-    // Phase 1: the analytic tier over every design point.
+    // Phase 1: the analytic tier over every owned design point.
     std::vector<sys::BatchRunner::Job<CaseOutcome>> probes;
-    probes.reserve(options.count);
-    for (std::uint64_t index = 0; index < options.count; ++index) {
+    probes.reserve(owned.size());
+    for (const std::uint64_t index : owned) {
       const std::string key = "tier/" +
                               std::to_string(options.campaign_seed) + "/" +
                               std::to_string(index);
-      probes.push_back({key, [index, &opts, &evaluator](sys::JobContext&) {
-                          return run_analytic_outcome(index, opts,
-                                                      evaluator);
+      probes.push_back({key,
+                        [index, &opts, &evaluator, cache](sys::JobContext&) {
+                          return run_analytic_outcome(index, opts, evaluator,
+                                                      cache);
                         }});
     }
     result.cases = runner.run(std::move(probes));
@@ -337,10 +401,10 @@ CampaignResult run_campaign(const CampaignOptions& options) {
       for (const std::uint64_t index : escalated) {
         const tiers::EscalationReason reason = reasons[index];
         cycles.push_back({cycle_key(index),
-                          [index, &opts, &evaluator, reason](
+                          [index, &opts, &evaluator, cache, reason](
                               sys::JobContext&) {
                             return run_cycle_outcome(index, opts, evaluator,
-                                                     reason);
+                                                     cache, reason);
                           }});
       }
       std::vector<CaseOutcome> escalated_outcomes =
@@ -353,6 +417,15 @@ CampaignResult run_campaign(const CampaignOptions& options) {
   }
 
   finalize_tier_record(result, options);
+
+  // Live counters for stdout reporting (never the CSV/REPORT: they vary
+  // with thread count, shard split, and store warmth).
+  result.profile_cache_stats = profile_cache.stats();
+  result.estimate_l2_hits = evaluator.cache().l2_hits();
+  result.estimate_l2_stores = evaluator.cache().l2_stores();
+  if (disk != nullptr) {
+    result.store_stats = disk->stats();
+  }
 
   // Shrink the first failure of each distinct oracle (index order), up to
   // the budget. Serial and deterministic.
@@ -389,13 +462,13 @@ std::string campaign_csv(const CampaignResult& result) {
   std::ostringstream out;
   out << "index,seed,kernels,edge_p,min_edge_bytes,max_edge_bytes,"
          "min_work,max_work,dup_p,stream_p,solution,baseline_s,designed_s,"
-         "crossbar_s,pipelined_makespan_s";
+         "crossbar_s,pipelined_makespan_s,measured_kernel_s";
   for (const std::string& oracle : result.oracle_names) {
     out << ',' << oracle;
   }
   out << ",tier,escalation,analytic_baseline_s,analytic_designed_s,"
          "analytic_lo_s,analytic_hi_s,noc_hop_bytes,congruence_key,"
-         "congruent,band_violation,error\n";
+         "congruent,profile_key,profile_reused,band_violation,error\n";
   for (const CaseOutcome& c : result.cases) {
     out << c.index << ',' << c.config.seed << ',' << c.config.kernel_count
         << ',' << fmt(c.config.kernel_edge_probability) << ','
@@ -409,9 +482,10 @@ std::string campaign_csv(const CampaignResult& result) {
     if (c.simulated) {
       out << ',' << fmt(c.baseline_seconds) << ',' << fmt(c.designed_seconds)
           << ',' << fmt(c.crossbar_seconds) << ','
-          << fmt(c.pipelined_makespan_seconds);
+          << fmt(c.pipelined_makespan_seconds) << ','
+          << fmt(c.measured_designed_kernel_seconds);
     } else {
-      out << ",-,-,-,-";
+      out << ",-,-,-,-,-";
     }
     for (const std::string& oracle : result.oracle_names) {
       const OracleResult* found = nullptr;
@@ -434,6 +508,7 @@ std::string campaign_csv(const CampaignResult& result) {
     } else {
       out << ",-,-,-,-,-,-,-";
     }
+    out << ',' << c.profile_key << ',' << (c.profile_reused ? '1' : '0');
     out << ','
         << (c.simulated && c.analytic.has_value()
                 ? (c.band_violation ? "1" : "0")
@@ -508,6 +583,9 @@ std::string campaign_markdown(const CampaignResult& result,
   md << "| congruent designs / distinct signatures | "
      << tiers_stats.congruent_designs << " / "
      << tiers_stats.distinct_signatures << " |\n";
+  md << "| reused profiles / distinct profiles | "
+     << tiers_stats.reused_profiles << " / "
+     << tiers_stats.distinct_profiles << " |\n";
   if (!result.reproducers.empty()) {
     md << "\nShrunk reproducers (replayed by `test_dse_regressions` once "
           "checked in under `tests/fixtures/dse/`):\n\n";

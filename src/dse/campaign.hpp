@@ -12,9 +12,11 @@
 #include <string>
 #include <vector>
 
+#include "apps/profile_cache.hpp"
 #include "apps/synthetic.hpp"
 #include "dse/oracles.hpp"
 #include "dse/reproducer.hpp"
+#include "store/store.hpp"
 #include "tiers/tiered_evaluator.hpp"
 
 namespace hybridic::dse {
@@ -65,6 +67,13 @@ struct CaseOutcome {
   /// An earlier index produced the same congruence key (serial, in index
   /// order, so the flag is thread-count invariant).
   bool congruent = false;
+  /// Content hash of this row's profile identity (the profile cache / L2
+  /// store key for the config) — 16 hex digits, derived purely from the
+  /// config, so it is shard- and thread-count invariant.
+  std::string profile_key;
+  /// An earlier index shares profile_key (serial first-seen pass, like
+  /// `congruent`; recomputed globally by tools/merge_shards.py).
+  bool profile_reused = false;
 
   [[nodiscard]] bool ran() const { return error.empty(); }
   [[nodiscard]] bool all_pass() const;
@@ -89,6 +98,22 @@ struct CampaignOptions {
   /// candidate overlaps the winner on most sweeps, so auto mode keeps
   /// only the most promising contenders (lowest analytic lower bounds).
   std::uint64_t max_rank_escalations = 0;
+
+  // ---- Persistent store + sharding (docs/MODEL.md §15). ----
+  /// Root of the content-addressed result store; empty = in-memory only.
+  /// Profiles and analytic estimates are read through / written back, so
+  /// a restarted process (or a sibling shard) reuses them.
+  std::string store_dir;
+  /// This process evaluates indices where index % shard_count ==
+  /// shard_index; rows keep their global indices. shard_count > 1 is
+  /// rejected for --tier=auto (escalation selection needs every
+  /// estimate, which no single shard holds).
+  std::uint64_t shard_index = 0;
+  std::uint64_t shard_count = 1;
+  /// In-memory profile-cache caps (0 = unbounded). Evicted entries fall
+  /// back to the store when one is attached.
+  std::uint64_t profile_cache_max_entries = 64;
+  std::uint64_t profile_cache_max_bytes = 0;
 };
 
 /// Aggregate tier-disagreement statistics for one campaign, assembled
@@ -109,6 +134,8 @@ struct TierStats {
   double worst_analytic_over_measured = 0.0;
   std::uint64_t congruent_designs = 0;    ///< Rows sharing an earlier key.
   std::uint64_t distinct_signatures = 0;  ///< Unique congruence keys.
+  std::uint64_t reused_profiles = 0;      ///< Rows sharing an earlier profile.
+  std::uint64_t distinct_profiles = 0;    ///< Unique profile keys.
 
   [[nodiscard]] double escalation_rate(std::uint64_t total) const {
     return total == 0 ? 0.0
@@ -122,6 +149,14 @@ struct CampaignResult {
   std::vector<CaseOutcome> cases;         ///< Index order.
   std::vector<Reproducer> reproducers;    ///< Shrunk failures.
   TierStats tier_stats;
+
+  // ---- Live cache/store counters. Machine- and run-dependent (they vary
+  // with thread count and store warmth), so they go to stdout only —
+  // never into the CSV or REPORT, which stay byte-identical.
+  apps::ProfileCacheStats profile_cache_stats;
+  std::uint64_t estimate_l2_hits = 0;
+  std::uint64_t estimate_l2_stores = 0;
+  std::optional<store::StoreStats> store_stats;  ///< Set when store_dir used.
 
   [[nodiscard]] std::uint64_t pass_count(const std::string& oracle) const;
   [[nodiscard]] std::uint64_t fail_count(const std::string& oracle) const;

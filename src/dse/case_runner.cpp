@@ -6,17 +6,21 @@
 
 namespace hybridic::dse {
 
-DesignCase run_design_case(const apps::SyntheticConfig& config) {
+DesignCase run_design_case(const apps::SyntheticConfig& config,
+                           apps::ProfileCache* cache) {
   DesignCase c;
   c.config = config;
-  c.app = apps::make_synthetic_app(config);
-  c.schedule = c.app.schedule();
+  c.app = cache != nullptr
+              ? cache->synthetic_app(config)
+              : std::make_shared<const apps::ProfiledApp>(
+                    apps::make_synthetic_app(config));
+  c.schedule = c.app->schedule();
 
   const sys::PlatformConfig platform;
   c.theta_seconds_per_byte =
       sys::make_design_input(c.schedule, platform).theta.seconds_per_byte;
 
-  c.exp = sys::run_experiment(c.schedule, platform, c.app.environment);
+  c.exp = sys::run_experiment(c.schedule, platform, c.app->environment);
   c.crossbar = sys::run_crossbar_system(c.schedule, platform);
   c.pipelined = sys::run_designed_pipelined(
       c.schedule, c.exp.proposed_design, platform, c.frame_count);

@@ -5,7 +5,9 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
+#include "apps/profile_cache.hpp"
 #include "apps/synthetic.hpp"
 #include "core/design_result.hpp"
 #include "sys/crossbar_system.hpp"
@@ -14,12 +16,12 @@
 
 namespace hybridic::dse {
 
-/// Everything produced for one explored design point. Owns the profiled
-/// app (the schedule's graph points into it), so move-only like
-/// ProfiledApp.
+/// Everything produced for one explored design point. Shares the profiled
+/// app (the schedule's graph points into it) with the profile cache, so
+/// N design points over one config profile once.
 struct DesignCase {
   apps::SyntheticConfig config;
-  apps::ProfiledApp app;
+  std::shared_ptr<const apps::ProfiledApp> app;
   sys::AppSchedule schedule;
 
   /// Designs, runs and resources of the four single-frame variants
@@ -38,7 +40,10 @@ struct DesignCase {
 };
 
 /// Run the full pipeline for `config`. Throws ConfigError on invalid
-/// configs and propagates SimTimeoutError from hung runs.
-[[nodiscard]] DesignCase run_design_case(const apps::SyntheticConfig& config);
+/// configs and propagates SimTimeoutError from hung runs. With a cache
+/// the profiling phase is memoized (and may be served by the cache's
+/// persistent L2 tier); without one it runs fresh.
+[[nodiscard]] DesignCase run_design_case(const apps::SyntheticConfig& config,
+                                         apps::ProfileCache* cache = nullptr);
 
 }  // namespace hybridic::dse

@@ -219,7 +219,7 @@ OracleResult check_resource_additivity(const DesignCase& c) {
   // interconnect.
   const core::ComponentCost bus =
       core::component_cost(core::Component::kBus);
-  const core::Resources expected = c.app.environment.base_infrastructure +
+  const core::Resources expected = c.app->environment.base_infrastructure +
                                    core::Resources{bus.luts, bus.regs} +
                                    kernels + interconnect;
   if (expected.luts != c.exp.proposed_resources.luts ||

@@ -1,0 +1,380 @@
+#include "store/codec.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace hybridic::store {
+
+namespace {
+
+constexpr const char* kProfileMagic = "profile 1";
+constexpr const char* kEstimateMagic = "estimate 1";
+
+/// Sequential line/token reader over a payload. Every take_* returns
+/// false on any shape violation; callers bail out to "malformed".
+class Reader {
+public:
+  explicit Reader(const std::string& text) : text_(text) {}
+
+  bool take_line(std::string& line) {
+    const std::size_t nl = text_.find('\n', pos_);
+    if (nl == std::string::npos) {
+      return false;
+    }
+    line.assign(text_, pos_, nl - pos_);
+    pos_ = nl + 1;
+    return true;
+  }
+
+  /// A line "<tag> <rest>"; fails unless the tag matches.
+  bool take_tagged(const std::string& tag, std::string& rest) {
+    std::string line;
+    if (!take_line(line) || line.rfind(tag + " ", 0) != 0) {
+      return false;
+    }
+    rest = line.substr(tag.size() + 1);
+    return true;
+  }
+
+  bool take_exact(const std::string& expected) {
+    std::string line;
+    return take_line(line) && line == expected;
+  }
+
+  /// "<tag> <len>" line followed by exactly len raw bytes and a newline.
+  bool take_sized(const std::string& tag, std::string& value) {
+    std::string rest;
+    std::uint64_t len = 0;
+    if (!take_tagged(tag, rest) || !parse_u64(rest, len)) {
+      return false;
+    }
+    if (pos_ + len + 1 > text_.size() || text_[pos_ + len] != '\n') {
+      return false;
+    }
+    value.assign(text_, pos_, len);
+    pos_ += len + 1;
+    return true;
+  }
+
+  [[nodiscard]] bool at_end() const { return pos_ == text_.size(); }
+
+  static bool parse_u64(const std::string& text, std::uint64_t& value) {
+    if (text.empty()) {
+      return false;
+    }
+    value = 0;
+    for (const char c : text) {
+      if (c < '0' || c > '9') {
+        return false;
+      }
+      if (value > (UINT64_MAX - static_cast<std::uint64_t>(c - '0')) / 10) {
+        return false;
+      }
+      value = value * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    return true;
+  }
+
+  static bool parse_double(const std::string& text, double& value) {
+    if (text.empty()) {
+      return false;
+    }
+    char* end = nullptr;
+    value = std::strtod(text.c_str(), &end);
+    return end != nullptr && *end == '\0';
+  }
+
+private:
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+/// Split a space-separated line into fields (no empty fields allowed).
+std::vector<std::string> split_fields(const std::string& line) {
+  std::vector<std::string> fields;
+  std::size_t pos = 0;
+  while (pos < line.size()) {
+    const std::size_t sp = line.find(' ', pos);
+    const std::size_t end = sp == std::string::npos ? line.size() : sp;
+    if (end == pos) {
+      return {};  // Empty field — malformed.
+    }
+    fields.push_back(line.substr(pos, end - pos));
+    pos = end + (sp == std::string::npos ? 0 : 1);
+    if (sp != std::string::npos && pos == line.size()) {
+      return {};  // Trailing space.
+    }
+  }
+  return fields;
+}
+
+bool parse_bool(const std::string& text, bool& value) {
+  if (text == "0") {
+    value = false;
+    return true;
+  }
+  if (text == "1") {
+    value = true;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string hexf(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%a", value);
+  return std::string{buf};
+}
+
+std::string encode_profile(const apps::ProfiledApp& app) {
+  const prof::ProfileSnapshot snap = app.profiler->snapshot();
+  std::ostringstream out;
+  out << kProfileMagic << '\n';
+  out << "name " << app.name.size() << '\n' << app.name << '\n';
+  out << "verified " << (app.verified ? 1 : 0) << '\n';
+  out << "note " << app.verification_note.size() << '\n'
+      << app.verification_note << '\n';
+  out << "env " << app.environment.base_infrastructure.luts << ' '
+      << app.environment.base_infrastructure.regs << ' '
+      << hexf(app.environment.power.static_watts) << ' '
+      << hexf(app.environment.power.watts_per_kilo_lut) << ' '
+      << hexf(app.environment.power.watts_per_kilo_reg) << '\n';
+  out << "functions " << snap.functions.size() << '\n';
+  for (const prof::ProfileSnapshot::Function& fn : snap.functions) {
+    out << "fn " << fn.name.size() << '\n' << fn.name << '\n';
+    out << fn.work_units << ' ' << fn.reads << ' ' << fn.writes << ' '
+        << fn.calls << ' ' << fn.unique_bytes_read << ' '
+        << fn.unique_bytes_written << '\n';
+  }
+  out << "edges " << snap.edges.size() << '\n';
+  for (const prof::ProfileSnapshot::Edge& edge : snap.edges) {
+    out << edge.producer << ' ' << edge.consumer << ' ' << edge.bytes << ' '
+        << edge.unique_addresses << '\n';
+  }
+  out << "order " << snap.call_order.size() << '\n';
+  for (const prof::FunctionId id : snap.call_order) {
+    out << "o " << id << '\n';
+  }
+  out << "calibration " << app.calibration.size() << '\n';
+  for (const sys::CalibrationEntry& cal : app.calibration) {
+    out << "cal " << cal.function.size() << '\n' << cal.function << '\n';
+    out << hexf(cal.host_cycles_per_work_unit) << ' '
+        << hexf(cal.kernel_cycles_per_work_unit) << ' ' << cal.area_luts
+        << ' ' << cal.area_regs << ' ' << (cal.is_kernel ? 1 : 0) << ' '
+        << (cal.duplicable ? 1 : 0) << ' ' << (cal.streaming ? 1 : 0)
+        << '\n';
+  }
+  return out.str();
+}
+
+std::shared_ptr<const apps::ProfiledApp> decode_profile(
+    const std::string& payload) {
+  Reader reader{payload};
+  if (!reader.take_exact(kProfileMagic)) {
+    return nullptr;
+  }
+  apps::ProfiledApp app;
+  std::string rest;
+  if (!reader.take_sized("name", app.name)) {
+    return nullptr;
+  }
+  bool verified = false;
+  if (!reader.take_tagged("verified", rest) ||
+      !parse_bool(rest, verified)) {
+    return nullptr;
+  }
+  app.verified = verified;
+  if (!reader.take_sized("note", app.verification_note)) {
+    return nullptr;
+  }
+  if (!reader.take_tagged("env", rest)) {
+    return nullptr;
+  }
+  {
+    const auto fields = split_fields(rest);
+    if (fields.size() != 5 ||
+        !Reader::parse_u64(fields[0],
+                           app.environment.base_infrastructure.luts) ||
+        !Reader::parse_u64(fields[1],
+                           app.environment.base_infrastructure.regs) ||
+        !Reader::parse_double(fields[2],
+                              app.environment.power.static_watts) ||
+        !Reader::parse_double(fields[3],
+                              app.environment.power.watts_per_kilo_lut) ||
+        !Reader::parse_double(fields[4],
+                              app.environment.power.watts_per_kilo_reg)) {
+      return nullptr;
+    }
+  }
+
+  prof::ProfileSnapshot snap;
+  std::uint64_t count = 0;
+  if (!reader.take_tagged("functions", rest) ||
+      !Reader::parse_u64(rest, count) || count > 1'000'000) {
+    return nullptr;
+  }
+  for (std::uint64_t i = 0; i < count; ++i) {
+    prof::ProfileSnapshot::Function fn;
+    if (!reader.take_sized("fn", fn.name) || !reader.take_line(rest)) {
+      return nullptr;
+    }
+    const auto fields = split_fields(rest);
+    if (fields.size() != 6 || !Reader::parse_u64(fields[0], fn.work_units) ||
+        !Reader::parse_u64(fields[1], fn.reads) ||
+        !Reader::parse_u64(fields[2], fn.writes) ||
+        !Reader::parse_u64(fields[3], fn.calls) ||
+        !Reader::parse_u64(fields[4], fn.unique_bytes_read) ||
+        !Reader::parse_u64(fields[5], fn.unique_bytes_written)) {
+      return nullptr;
+    }
+    snap.functions.push_back(std::move(fn));
+  }
+  if (!reader.take_tagged("edges", rest) ||
+      !Reader::parse_u64(rest, count) || count > 100'000'000) {
+    return nullptr;
+  }
+  for (std::uint64_t i = 0; i < count; ++i) {
+    prof::ProfileSnapshot::Edge edge;
+    std::uint64_t producer = 0;
+    std::uint64_t consumer = 0;
+    if (!reader.take_line(rest)) {
+      return nullptr;
+    }
+    const auto fields = split_fields(rest);
+    if (fields.size() != 4 || !Reader::parse_u64(fields[0], producer) ||
+        !Reader::parse_u64(fields[1], consumer) ||
+        !Reader::parse_u64(fields[2], edge.bytes) ||
+        !Reader::parse_u64(fields[3], edge.unique_addresses) ||
+        producer >= snap.functions.size() ||
+        consumer >= snap.functions.size()) {
+      return nullptr;
+    }
+    edge.producer = static_cast<prof::FunctionId>(producer);
+    edge.consumer = static_cast<prof::FunctionId>(consumer);
+    snap.edges.push_back(edge);
+  }
+  if (!reader.take_tagged("order", rest) ||
+      !Reader::parse_u64(rest, count) || count > snap.functions.size()) {
+    return nullptr;
+  }
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint64_t id = 0;
+    if (!reader.take_tagged("o", rest) || !Reader::parse_u64(rest, id) ||
+        id >= snap.functions.size()) {
+      return nullptr;
+    }
+    snap.call_order.push_back(static_cast<prof::FunctionId>(id));
+  }
+  if (!reader.take_tagged("calibration", rest) ||
+      !Reader::parse_u64(rest, count) || count > 1'000'000) {
+    return nullptr;
+  }
+  for (std::uint64_t i = 0; i < count; ++i) {
+    sys::CalibrationEntry cal;
+    if (!reader.take_sized("cal", cal.function) ||
+        !reader.take_line(rest)) {
+      return nullptr;
+    }
+    const auto fields = split_fields(rest);
+    std::uint64_t luts = 0;
+    std::uint64_t regs = 0;
+    if (fields.size() != 7 ||
+        !Reader::parse_double(fields[0], cal.host_cycles_per_work_unit) ||
+        !Reader::parse_double(fields[1], cal.kernel_cycles_per_work_unit) ||
+        !Reader::parse_u64(fields[2], luts) ||
+        !Reader::parse_u64(fields[3], regs) ||
+        !parse_bool(fields[4], cal.is_kernel) ||
+        !parse_bool(fields[5], cal.duplicable) ||
+        !parse_bool(fields[6], cal.streaming) || luts > UINT32_MAX ||
+        regs > UINT32_MAX) {
+      return nullptr;
+    }
+    cal.area_luts = static_cast<std::uint32_t>(luts);
+    cal.area_regs = static_cast<std::uint32_t>(regs);
+    app.calibration.push_back(std::move(cal));
+  }
+  if (!reader.at_end()) {
+    return nullptr;  // Trailing garbage: treat as damage.
+  }
+  try {
+    app.profiler = prof::QuadProfiler::from_snapshot(snap);
+  } catch (...) {
+    return nullptr;  // Inconsistent snapshot (e.g. duplicate names).
+  }
+  return std::make_shared<const apps::ProfiledApp>(std::move(app));
+}
+
+std::string encode_estimate(const tiers::TierEstimate& e) {
+  std::ostringstream out;
+  out << kEstimateMagic << '\n';
+  out << "tag " << e.solution_tag.size() << '\n' << e.solution_tag << '\n';
+  out << "theta " << hexf(e.theta_seconds_per_byte) << '\n';
+  out << "baseline " << hexf(e.baseline_kernel_seconds) << '\n';
+  out << "designed " << hexf(e.designed_kernel_seconds) << '\n';
+  out << "band " << hexf(e.designed_lower_seconds) << ' '
+      << hexf(e.designed_upper_seconds) << ' '
+      << hexf(e.baseline_lower_seconds) << ' '
+      << hexf(e.baseline_upper_seconds) << '\n';
+  out << "noc " << e.noc_edges << ' ' << e.noc_volume_bytes << ' '
+      << e.noc_hop_bytes << ' ' << e.noc_max_link_bytes << '\n';
+  out << "noct " << hexf(e.noc_transfer_seconds) << '\n';
+  out << "ckey " << e.congruence_key << '\n';
+  return out.str();
+}
+
+std::optional<tiers::TierEstimate> decode_estimate(
+    const std::string& payload) {
+  Reader reader{payload};
+  if (!reader.take_exact(kEstimateMagic)) {
+    return std::nullopt;
+  }
+  tiers::TierEstimate e;
+  std::string rest;
+  if (!reader.take_sized("tag", e.solution_tag) ||
+      !reader.take_tagged("theta", rest) ||
+      !Reader::parse_double(rest, e.theta_seconds_per_byte) ||
+      !reader.take_tagged("baseline", rest) ||
+      !Reader::parse_double(rest, e.baseline_kernel_seconds) ||
+      !reader.take_tagged("designed", rest) ||
+      !Reader::parse_double(rest, e.designed_kernel_seconds)) {
+    return std::nullopt;
+  }
+  if (!reader.take_tagged("band", rest)) {
+    return std::nullopt;
+  }
+  {
+    const auto fields = split_fields(rest);
+    if (fields.size() != 4 ||
+        !Reader::parse_double(fields[0], e.designed_lower_seconds) ||
+        !Reader::parse_double(fields[1], e.designed_upper_seconds) ||
+        !Reader::parse_double(fields[2], e.baseline_lower_seconds) ||
+        !Reader::parse_double(fields[3], e.baseline_upper_seconds)) {
+      return std::nullopt;
+    }
+  }
+  if (!reader.take_tagged("noc", rest)) {
+    return std::nullopt;
+  }
+  {
+    const auto fields = split_fields(rest);
+    if (fields.size() != 4 ||
+        !Reader::parse_u64(fields[0], e.noc_edges) ||
+        !Reader::parse_u64(fields[1], e.noc_volume_bytes) ||
+        !Reader::parse_u64(fields[2], e.noc_hop_bytes) ||
+        !Reader::parse_u64(fields[3], e.noc_max_link_bytes)) {
+      return std::nullopt;
+    }
+  }
+  if (!reader.take_tagged("noct", rest) ||
+      !Reader::parse_double(rest, e.noc_transfer_seconds) ||
+      !reader.take_tagged("ckey", rest) ||
+      !Reader::parse_u64(rest, e.congruence_key) || !reader.at_end()) {
+    return std::nullopt;
+  }
+  return e;
+}
+
+}  // namespace hybridic::store

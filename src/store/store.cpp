@@ -1,0 +1,273 @@
+#include "store/store.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace hybridic::store {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kMagic = "hybridic-store 1";
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::string hex64(std::uint64_t value) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(value));
+  return std::string{buf};
+}
+
+/// Read one '\n'-terminated line starting at `pos`; false when no newline
+/// remains. `pos` advances past the newline.
+bool take_line(const std::string& blob, std::size_t& pos,
+               std::string& line) {
+  const std::size_t nl = blob.find('\n', pos);
+  if (nl == std::string::npos) {
+    return false;
+  }
+  line.assign(blob, pos, nl - pos);
+  pos = nl + 1;
+  return true;
+}
+
+bool parse_u64(const std::string& text, std::uint64_t& value) {
+  if (text.empty()) {
+    return false;
+  }
+  value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') {
+      return false;
+    }
+    if (value > (UINT64_MAX - static_cast<std::uint64_t>(c - '0')) / 10) {
+      return false;
+    }
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return true;
+}
+
+}  // namespace
+
+std::uint64_t fnv1a64(const std::string& data, std::uint64_t basis) {
+  std::uint64_t hash = basis;
+  for (const char c : data) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+Store::Store(std::string root) : root_(std::move(root)) {
+  std::error_code ec;
+  fs::create_directories(fs::path{root_} / "objects", ec);
+  if (!ec) {
+    fs::create_directories(fs::path{root_} / "tmp", ec);
+  }
+  if (ec) {
+    throw StoreError{"cannot create store directories under '" + root_ +
+                     "': " + ec.message()};
+  }
+}
+
+std::string Store::object_name(const std::string& key) {
+  // Two independent FNV passes finalized with splitmix64 give a 128-bit
+  // address; the embedded-key check on read makes even a collision safe.
+  const std::uint64_t h1 = splitmix64(fnv1a64(key));
+  const std::uint64_t h2 =
+      splitmix64(fnv1a64(key, 0x84222325cbf29ce4ULL));
+  return hex64(h1) + hex64(h2);
+}
+
+std::string Store::object_path(const std::string& key) const {
+  const std::string name = object_name(key);
+  return (fs::path{root_} / "objects" / name.substr(0, 2) / name).string();
+}
+
+void Store::put(const std::string& key, const std::string& payload) {
+  // Entry layout (all line-oriented except the raw payload bytes):
+  //   hybridic-store 1
+  //   rev <engine revision>
+  //   key <key length>
+  //   <key bytes>
+  //   len <payload length>
+  //   <payload bytes>
+  //   sum <16-hex FNV-1a of payload>
+  std::ostringstream blob;
+  blob << kMagic << '\n'
+       << "rev " << kEngineRevision << '\n'
+       << "key " << key.size() << '\n'
+       << key << '\n'
+       << "len " << payload.size() << '\n'
+       << payload << '\n'
+       << "sum " << hex64(fnv1a64(payload)) << '\n';
+  const std::string bytes = blob.str();
+
+  const std::string name = object_name(key);
+  const fs::path tmp =
+      fs::path{root_} / "tmp" /
+      (name + "." + std::to_string(::getpid()) + "." +
+       std::to_string(tmp_seq_.fetch_add(1, std::memory_order_relaxed)));
+  {
+    std::ofstream out{tmp, std::ios::binary | std::ios::trunc};
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out.good()) {
+      std::error_code ignore;
+      fs::remove(tmp, ignore);
+      throw StoreError{"cannot write store entry '" + tmp.string() + "'"};
+    }
+  }
+  const fs::path final_path = fs::path{object_path(key)};
+  std::error_code ec;
+  fs::create_directories(final_path.parent_path(), ec);
+  if (!ec) {
+    // rename(2): atomic publication; a concurrent same-key writer wrote
+    // identical bytes, so whichever rename lands last is equivalent.
+    fs::rename(tmp, final_path, ec);
+  }
+  if (ec) {
+    std::error_code ignore;
+    fs::remove(tmp, ignore);
+    throw StoreError{"cannot publish store entry for key '" + key +
+                     "': " + ec.message()};
+  }
+  puts_.fetch_add(1, std::memory_order_relaxed);
+
+  // Index append: one write(2) on an O_APPEND descriptor, so lines from
+  // concurrent processes interleave whole, never torn mid-line (for the
+  // short lines we write). Best effort — the index is a convenience
+  // listing, not the source of truth.
+  const std::string line = name + " " + std::to_string(key.size()) + " " +
+                           key + "\n";
+  const std::string index_path = (fs::path{root_} / "index.log").string();
+  const int fd = ::open(index_path.c_str(),
+                        O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+  if (fd >= 0) {
+    const ssize_t written [[maybe_unused]] =
+        ::write(fd, line.data(), line.size());
+    ::close(fd);
+  }
+}
+
+std::optional<std::string> Store::get(const std::string& key) const {
+  std::string blob;
+  {
+    std::ifstream in{object_path(key), std::ios::binary};
+    if (!in.is_open()) {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      return std::nullopt;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    if (!in.good() && !in.eof()) {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      corrupt_.fetch_add(1, std::memory_order_relaxed);
+      return std::nullopt;
+    }
+    blob = buffer.str();
+  }
+
+  const auto damaged = [this]() -> std::optional<std::string> {
+    corrupt_.fetch_add(1, std::memory_order_relaxed);
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  };
+
+  std::size_t pos = 0;
+  std::string line;
+  if (!take_line(blob, pos, line) || line != kMagic) {
+    return damaged();
+  }
+  std::uint64_t rev = 0;
+  if (!take_line(blob, pos, line) || line.rfind("rev ", 0) != 0 ||
+      !parse_u64(line.substr(4), rev)) {
+    return damaged();
+  }
+  if (rev != kEngineRevision) {
+    // A valid entry from another engine revision: stale, not corrupt.
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  std::uint64_t key_len = 0;
+  if (!take_line(blob, pos, line) || line.rfind("key ", 0) != 0 ||
+      !parse_u64(line.substr(4), key_len)) {
+    return damaged();
+  }
+  if (pos + key_len + 1 > blob.size() ||
+      blob.compare(pos, key_len, key) != 0 || blob[pos + key_len] != '\n') {
+    return damaged();  // Truncated, or a different key hashed here.
+  }
+  pos += key_len + 1;
+  std::uint64_t payload_len = 0;
+  if (!take_line(blob, pos, line) || line.rfind("len ", 0) != 0 ||
+      !parse_u64(line.substr(4), payload_len)) {
+    return damaged();
+  }
+  if (pos + payload_len + 1 > blob.size() ||
+      blob[pos + payload_len] != '\n') {
+    return damaged();
+  }
+  std::string payload = blob.substr(pos, payload_len);
+  pos += payload_len + 1;
+  if (!take_line(blob, pos, line) || line.rfind("sum ", 0) != 0 ||
+      line.substr(4) != hex64(fnv1a64(payload)) || pos != blob.size()) {
+    return damaged();
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return payload;
+}
+
+std::vector<std::pair<std::string, std::string>> Store::read_index() const {
+  std::vector<std::pair<std::string, std::string>> result;
+  std::ifstream in{(fs::path{root_} / "index.log").string(),
+                   std::ios::binary};
+  if (!in.is_open()) {
+    return result;
+  }
+  std::string line;
+  while (std::getline(in, line)) {
+    // "<32 hex> <keylen> <key>" — validate shape, skip damage.
+    const std::size_t sp1 = line.find(' ');
+    if (sp1 != 32) {
+      continue;
+    }
+    const std::size_t sp2 = line.find(' ', sp1 + 1);
+    if (sp2 == std::string::npos) {
+      continue;
+    }
+    std::uint64_t key_len = 0;
+    if (!parse_u64(line.substr(sp1 + 1, sp2 - sp1 - 1), key_len)) {
+      continue;
+    }
+    if (line.size() - sp2 - 1 != key_len) {
+      continue;  // Torn or concatenated line.
+    }
+    result.emplace_back(line.substr(0, 32), line.substr(sp2 + 1));
+  }
+  return result;
+}
+
+StoreStats Store::stats() const {
+  StoreStats s;
+  s.puts = puts_.load(std::memory_order_relaxed);
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.corrupt_entries = corrupt_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace hybridic::store

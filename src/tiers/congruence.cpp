@@ -174,6 +174,7 @@ std::uint64_t congruence_key_of(const std::string& signature) {
 
 TierEstimate CongruenceCache::get(
     std::uint64_t key, const std::function<TierEstimate()>& make) {
+  std::shared_ptr<EstimateL2> l2;
   {
     const std::lock_guard<std::mutex> lock{mutex_};
     const auto it = entries_.find(key);
@@ -181,16 +182,52 @@ TierEstimate CongruenceCache::get(
       ++hits_;
       return it->second;
     }
+    l2 = l2_;
   }
   // Compute outside the lock: estimates for one key are identical
   // whichever thread wins, so concurrent duplicate work is waste, not a
   // correctness problem — and analytic estimates are cheap enough that a
   // per-key future would cost more than the occasional double compute.
-  TierEstimate estimate = make();
-  estimate.congruence_key = key;
+  // The persistent tier is consulted first for the same reason: whatever
+  // it returns is the value a fresh compute would produce.
+  bool from_l2 = false;
+  TierEstimate estimate;
+  if (l2 != nullptr) {
+    if (std::optional<TierEstimate> stored = l2->load(key)) {
+      estimate = std::move(*stored);
+      from_l2 = true;
+    }
+  }
+  if (!from_l2) {
+    estimate = make();
+    estimate.congruence_key = key;
+    if (l2 != nullptr) {
+      l2->store(key, estimate);
+    }
+  }
   const std::lock_guard<std::mutex> lock{mutex_};
   ++misses_;
+  if (from_l2) {
+    ++l2_hits_;
+  } else if (l2 != nullptr) {
+    ++l2_stores_;
+  }
   return entries_.emplace(key, std::move(estimate)).first->second;
+}
+
+void CongruenceCache::set_l2(std::shared_ptr<EstimateL2> l2) {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  l2_ = std::move(l2);
+}
+
+std::uint64_t CongruenceCache::l2_hits() const {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  return l2_hits_;
+}
+
+std::uint64_t CongruenceCache::l2_stores() const {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  return l2_stores_;
 }
 
 std::uint64_t CongruenceCache::hits() const {
@@ -213,6 +250,8 @@ void CongruenceCache::clear() {
   entries_.clear();
   hits_ = 0;
   misses_ = 0;
+  l2_hits_ = 0;
+  l2_stores_ = 0;
 }
 
 }  // namespace hybridic::tiers

@@ -57,10 +57,14 @@ TieredEvaluator::TieredEvaluator(sys::PlatformConfig platform,
   theta_ = sys::engine::measured_theta(platform_);
 }
 
-AnalyticCase TieredEvaluator::analyze(const apps::SyntheticConfig& config) {
+AnalyticCase TieredEvaluator::analyze(const apps::SyntheticConfig& config,
+                                      apps::ProfileCache* cache) {
   AnalyticCase out;
-  out.app = apps::make_synthetic_app(config);
-  out.schedule = out.app.schedule();
+  out.app = cache != nullptr
+                ? cache->synthetic_app(config)
+                : std::make_shared<const apps::ProfiledApp>(
+                      apps::make_synthetic_app(config));
+  out.schedule = out.app->schedule();
   out.theta_seconds_per_byte = theta_;
 
   core::DesignInput input;

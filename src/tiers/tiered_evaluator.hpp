@@ -11,12 +11,14 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "apps/app.hpp"
+#include "apps/profile_cache.hpp"
 #include "apps/synthetic.hpp"
 #include "sys/platform.hpp"
 #include "tiers/analytic.hpp"
@@ -47,7 +49,9 @@ enum class EscalationReason : std::uint8_t {
 /// The analytic tier's product for one design point: everything the
 /// cycle-free half of the pipeline produces.
 struct AnalyticCase {
-  apps::ProfiledApp app;  ///< Owns the graph the schedule points into.
+  /// Shares the graph the schedule points into (with the profile cache,
+  /// when one was supplied).
+  std::shared_ptr<const apps::ProfiledApp> app;
   sys::AppSchedule schedule;
   core::DesignResult proposed;
   core::DesignResult noc_only;
@@ -63,7 +67,10 @@ public:
   /// Tier-1 evaluation of one synthetic config: profile, Algorithm 1
   /// (proposed + NoC-only designs), analytic estimate. Thread-safe;
   /// throws ConfigError on invalid configs like the cycle pipeline.
-  [[nodiscard]] AnalyticCase analyze(const apps::SyntheticConfig& config);
+  /// With a cache the profiling phase is memoized (and may come from the
+  /// cache's persistent L2 tier).
+  [[nodiscard]] AnalyticCase analyze(const apps::SyntheticConfig& config,
+                                     apps::ProfileCache* cache = nullptr);
 
   /// Estimate an already-designed schedule (congruence-cached). Used by
   /// the cycle tier to attach disagreement stats without re-profiling.
@@ -81,6 +88,12 @@ public:
     return calibration_;
   }
   [[nodiscard]] const CongruenceCache& cache() const { return cache_; }
+
+  /// Attach a persistent L2 tier behind the congruence cache: misses
+  /// consult it before computing, computed estimates are written back.
+  void set_estimate_l2(std::shared_ptr<EstimateL2> l2) {
+    cache_.set_l2(std::move(l2));
+  }
 
 private:
   sys::PlatformConfig platform_;

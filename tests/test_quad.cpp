@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace hybridic::prof {
 namespace {
@@ -164,6 +167,134 @@ TEST(QuadProfiler, AllocationAlignment) {
   (void)q.allocate(3, 1);
   const std::uint64_t aligned = q.allocate(16, 64);
   EXPECT_EQ(aligned % 64, 0U);
+}
+
+// ---------------------------------------------------------------------------
+// Deferred mode: trace replay must reproduce eager attribution exactly.
+// ---------------------------------------------------------------------------
+
+/// A deterministic workload with page-crossing accesses, overwrites,
+/// repeated reads, nested scopes, and enough events (> the serial-replay
+/// threshold) to exercise the sharded replay path.
+void run_workload(QuadProfiler& q) {
+  const FunctionId a = q.declare("a");
+  const FunctionId b = q.declare("b");
+  const FunctionId c = q.declare("c");
+  const std::uint64_t buf = q.allocate(256 * 1024);
+  q.enter(a);
+  q.add_work(1000);
+  for (std::uint64_t i = 0; i < 3000; ++i) {
+    q.record_write(buf + i * 37 % (256 * 1024 - 64), 48 + i % 16);
+  }
+  q.leave();
+  q.enter(b);
+  for (std::uint64_t i = 0; i < 2000; ++i) {
+    q.record_write(buf + (i * 97 + 13) % (256 * 1024 - 64), 32);
+  }
+  q.enter(c);  // Nested: reads attribute to c, not b.
+  for (std::uint64_t i = 0; i < 4000; ++i) {
+    q.record_read(buf + i * 61 % (256 * 1024 - 64), 40 + i % 24);
+  }
+  q.leave();
+  q.leave();
+  q.enter(c);
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    q.record_read(buf + i * 4093 % (256 * 1024 - 64), 64);
+  }
+  q.leave();
+}
+
+void expect_same_profile(const QuadProfiler& x, const QuadProfiler& y) {
+  const auto ex = x.graph().edges();
+  const auto ey = y.graph().edges();
+  ASSERT_EQ(ex.size(), ey.size());
+  for (std::size_t i = 0; i < ex.size(); ++i) {
+    EXPECT_EQ(ex[i].producer, ey[i].producer);
+    EXPECT_EQ(ex[i].consumer, ey[i].consumer);
+    EXPECT_EQ(ex[i].bytes.count(), ey[i].bytes.count());
+    EXPECT_EQ(ex[i].unique_addresses, ey[i].unique_addresses);
+  }
+  ASSERT_EQ(x.graph().function_count(), y.graph().function_count());
+  for (FunctionId f = 0; f < x.graph().function_count(); ++f) {
+    EXPECT_EQ(x.graph().function(f).reads, y.graph().function(f).reads);
+    EXPECT_EQ(x.graph().function(f).writes, y.graph().function(f).writes);
+    EXPECT_EQ(x.graph().function(f).calls, y.graph().function(f).calls);
+    EXPECT_EQ(x.graph().function(f).work_units,
+              y.graph().function(f).work_units);
+    EXPECT_EQ(x.unique_bytes_read(f), y.unique_bytes_read(f));
+    EXPECT_EQ(x.unique_bytes_written(f), y.unique_bytes_written(f));
+  }
+  EXPECT_EQ(x.call_order(), y.call_order());
+}
+
+TEST(QuadDeferred, SerialReplayMatchesEager) {
+  QuadProfiler eager{ProfileMode::kEager};
+  run_workload(eager);
+  QuadProfiler deferred{ProfileMode::kDeferred};
+  run_workload(deferred);
+  EXPECT_GT(deferred.pending_events(), 0U);
+  EXPECT_TRUE(deferred.graph().edges().empty());  // Not yet attributed.
+  deferred.finalize();
+  EXPECT_EQ(deferred.pending_events(), 0U);
+  expect_same_profile(eager, deferred);
+}
+
+TEST(QuadDeferred, ShardedReplayIsThreadCountInvariant) {
+  QuadProfiler eager{ProfileMode::kEager};
+  run_workload(eager);
+  for (const std::size_t threads : {2U, 4U, 7U}) {
+    ThreadPool pool{threads};
+    QuadProfiler deferred{ProfileMode::kDeferred};
+    run_workload(deferred);
+    deferred.finalize(&pool);
+    expect_same_profile(eager, deferred);
+  }
+}
+
+TEST(QuadDeferred, FinalizeIsIdempotentAndAllowsFurtherEagerUse) {
+  QuadProfiler q{ProfileMode::kDeferred};
+  const FunctionId p = q.declare("p");
+  const FunctionId c = q.declare("c");
+  const std::uint64_t addr = q.allocate(64);
+  q.enter(p);
+  q.record_write(addr, 64);
+  q.leave();
+  q.finalize();
+  q.finalize();  // Idempotent.
+  q.enter(c);
+  q.record_read(addr, 64);  // Post-finalize accesses attribute eagerly.
+  q.leave();
+  EXPECT_EQ(q.graph().bytes_between(p, c).count(), 64U);
+  const auto edges = q.graph().edges();
+  ASSERT_EQ(edges.size(), 1U);
+  EXPECT_EQ(edges[0].unique_addresses, 64U);
+}
+
+TEST(QuadSnapshot, RoundTripPreservesDownstreamView) {
+  QuadProfiler q{ProfileMode::kDeferred};
+  run_workload(q);
+  q.finalize();
+  const ProfileSnapshot snap = q.snapshot();
+  const std::unique_ptr<QuadProfiler> restored =
+      QuadProfiler::from_snapshot(snap);
+  ASSERT_NE(restored, nullptr);
+  EXPECT_TRUE(restored->restored());
+  expect_same_profile(q, *restored);
+  EXPECT_EQ(q.memory_report(), restored->memory_report());
+}
+
+TEST(QuadSnapshot, RestoredProfilerRejectsNewAccesses) {
+  QuadProfiler q;
+  const FunctionId f = q.declare("f");
+  q.enter(f);
+  q.record_write(q.allocate(16), 16);
+  q.leave();
+  const std::unique_ptr<QuadProfiler> restored =
+      QuadProfiler::from_snapshot(q.snapshot());
+  restored->enter(f);
+  EXPECT_THROW(restored->record_write(0x1000, 4), ConfigError);
+  EXPECT_THROW(restored->record_read(0x1000, 4), ConfigError);
+  restored->leave();
 }
 
 TEST(ScopedFunctionTest, RaiiEnterLeave) {

@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Merge sharded dse_campaign CSVs back into the unsharded byte stream.
+
+A sharded campaign (``dse_campaign --shard i/N``) evaluates the indices
+where ``index % N == i`` and writes ``<name>.shardIofN.csv``; every row
+keeps its global index, and every cell is a pure function of
+(campaign_seed, index), so reassembling the shards in index order
+reproduces the unsharded CSV exactly — with two exceptions that are
+defined as serial first-seen passes over the *whole* campaign and must
+therefore be recomputed here:
+
+  * ``congruent``      — an earlier row shares this row's congruence_key
+  * ``profile_reused`` — an earlier row shares this row's profile_key
+
+Both are recomputed in merged index order, which is precisely what the
+unsharded binary does, so the output is byte-identical (CI ``cmp``s it).
+
+Usage:
+    tools/merge_shards.py -o merged.csv shard0.csv shard1.csv ...
+
+Exit codes: 0 merged, 2 usage, 3 inconsistent shards (mismatched
+headers, duplicate or missing indices).
+"""
+
+import argparse
+import sys
+
+
+def fail(code, message):
+    print("merge_shards: " + message, file=sys.stderr)
+    sys.exit(code)
+
+
+def parse_shard(path):
+    try:
+        with open(path, "r", newline="") as handle:
+            text = handle.read()
+    except OSError as err:
+        fail(3, "cannot read {}: {}".format(path, err))
+    lines = text.split("\n")
+    if not lines or not lines[0]:
+        fail(3, path + ": empty file")
+    # The campaign CSV never quotes cells (commas are sanitised away), so
+    # a plain split is an exact inverse of the writer.
+    header = lines[0]
+    rows = [line.split(",") for line in lines[1:] if line]
+    return header, rows
+
+
+def column(header, name):
+    cells = header.split(",")
+    try:
+        return cells.index(name)
+    except ValueError:
+        fail(3, "column '{}' missing from header".format(name))
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Merge dse_campaign shard CSVs into the unsharded CSV."
+    )
+    parser.add_argument("shards", nargs="+", help="shard CSV files")
+    parser.add_argument("-o", "--output", required=True,
+                        help="merged CSV path")
+    args = parser.parse_args()
+    if len(args.shards) < 1:
+        fail(2, "need at least one shard CSV")
+
+    header = None
+    rows = []
+    for path in args.shards:
+        shard_header, shard_rows = parse_shard(path)
+        if header is None:
+            header = shard_header
+        elif shard_header != header:
+            fail(3, path + ": header differs from first shard")
+        rows.extend(shard_rows)
+
+    idx_col = column(header, "index")
+    ckey_col = column(header, "congruence_key")
+    congruent_col = column(header, "congruent")
+    pkey_col = column(header, "profile_key")
+    reused_col = column(header, "profile_reused")
+
+    try:
+        rows.sort(key=lambda row: int(row[idx_col]))
+    except (ValueError, IndexError):
+        fail(3, "malformed index cell in a shard row")
+    seen = set()
+    for row in rows:
+        index = int(row[idx_col])
+        if index in seen:
+            fail(3, "duplicate index {} across shards".format(index))
+        seen.add(index)
+    if seen != set(range(len(rows))):
+        missing = sorted(set(range(len(rows))) - seen)[:5]
+        fail(3, "shards do not cover a contiguous index range "
+                "(first missing: {})".format(missing))
+
+    # Recompute the two global first-seen flags in merged index order.
+    seen_ckeys = set()
+    seen_pkeys = set()
+    for row in rows:
+        ckey = row[ckey_col]
+        if ckey != "-":
+            row[congruent_col] = "1" if ckey in seen_ckeys else "0"
+            seen_ckeys.add(ckey)
+        pkey = row[pkey_col]
+        row[reused_col] = "1" if pkey in seen_pkeys else "0"
+        seen_pkeys.add(pkey)
+
+    out = header + "\n"
+    out += "".join(",".join(row) + "\n" for row in rows)
+    with open(args.output, "w", newline="") as handle:
+        handle.write(out)
+    print("merged {} shards, {} rows -> {}".format(
+        len(args.shards), len(rows), args.output))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
