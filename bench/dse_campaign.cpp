@@ -56,13 +56,47 @@ struct Options {
   /// CI warm-restart smoke: exit kExitStore unless the store served at
   /// least one profile (proves a second --store run actually hits L2).
   bool assert_warm = false;
+  std::uint32_t boards = 1;
+  std::string board_topology = "chain";
 };
 
+void print_help(const char* argv0, std::ostream& out) {
+  out << "usage: " << argv0
+      << " [--threads N] [--count N] [--seed S]"
+      << " [--tier auto|analytic|cycle] [--smoke]"
+      << " [--store DIR] [--shard I/N] [--assert-warm]"
+      << " [--boards N] [--board-topology chain|ring|mesh]\n"
+      << "\n"
+      << "Property-based design-space exploration campaign: sweeps\n"
+      << "generated design points through profiling, Algorithm 1 and the\n"
+      << "tiered evaluation engine, checks the invariant oracles, and\n"
+      << "shrinks failures into JSON reproducers.\n"
+      << "\n"
+      << "  --threads N     worker threads (0 = hardware concurrency)\n"
+      << "  --count N       design points to sweep (default 1000; 32 with"
+      << " --smoke)\n"
+      << "  --seed S        campaign seed (default 1)\n"
+      << "  --tier MODE     auto | analytic | cycle (default cycle)\n"
+      << "  --smoke         small CI sweep -> bench_results/dse_smoke.csv\n"
+      << "  --store DIR     persistent content-addressed result store\n"
+      << "  --shard I/N     evaluate only indices with index % N == I\n"
+      << "  --assert-warm   fail unless the store served >= 1 hit\n"
+      << "  --boards N      sample board counts in [1, N]; N > 1 runs the\n"
+      << "                  two-level multi-board design on sampled rows\n"
+      << "  --board-topology chain|ring|mesh   inter-board network shape\n"
+      << "  --help          print this help and exit 0\n"
+      << "\n"
+      << "Exit codes:\n"
+      << "  0  campaign completed, every oracle passed\n"
+      << "  1  campaign completed with oracle failures (or errors)\n"
+      << "  2  usage error: unknown flag or malformed value\n"
+      << "  3  semantic configuration error\n"
+      << "  5  store error: --store directory unusable (or --assert-warm"
+      << " cold)\n";
+}
+
 void usage(const char* argv0) {
-  std::cerr << "usage: " << argv0
-            << " [--threads N] [--count N] [--seed S]"
-            << " [--tier auto|analytic|cycle] [--smoke]"
-            << " [--store DIR] [--shard I/N] [--assert-warm]\n";
+  print_help(argv0, std::cerr);
   std::exit(kExitUsage);
 }
 
@@ -80,6 +114,10 @@ Options parse(int argc, char** argv) {
       }
       return "";
     };
+    if (arg == "--help") {
+      print_help(argv[0], std::cout);
+      std::exit(0);
+    }
     if (arg == "--smoke") {
       options.smoke = true;
       continue;
@@ -135,6 +173,29 @@ Options parse(int argc, char** argv) {
                 << "' (expected auto, analytic, or cycle)\n";
       std::exit(kExitUsage);
     }
+    if (std::string v = value_of("--boards"); !v.empty()) {
+      try {
+        options.boards = static_cast<std::uint32_t>(std::stoul(v));
+      } catch (const std::exception&) {
+        options.boards = 0;
+      }
+      if (options.boards == 0) {
+        std::cerr << "--boards expects a positive integer, got '" << v
+                  << "'\n";
+        std::exit(kExitUsage);
+      }
+      continue;
+    }
+    if (std::string v = value_of("--board-topology"); !v.empty()) {
+      if (v != "chain" && v != "ring" && v != "mesh") {
+        std::cerr << "unknown --board-topology value '" << v
+                  << "' (expected chain, ring, or mesh)\n";
+        std::exit(kExitUsage);
+      }
+      options.board_topology = v;
+      continue;
+    }
+    std::cerr << "unknown flag '" << arg << "'\n";
     usage(argv[0]);
   }
   if (options.smoke && !count_given) {
@@ -162,6 +223,11 @@ int main(int argc, char** argv) {
   campaign.store_dir = options.store_dir;
   campaign.shard_index = options.shard_index;
   campaign.shard_count = options.shard_count;
+  if (options.boards > 1) {
+    campaign.space.min_boards = 1;
+    campaign.space.max_boards = options.boards;
+    campaign.space.board_topologies = {options.board_topology};
+  }
   if (options.smoke) {
     // CI smoke: keep the sweep cheap and skip shrinking (a shrink run
     // re-executes the pipeline dozens of times).

@@ -19,6 +19,10 @@
 //                fast tier only (no simulation — sim-only outputs are
 //                skipped with a note); auto runs both and reports whether
 //                the measured time landed inside the analytic band
+//   --boards=N   two-level design over N boards: min-cut board partition,
+//                then per-board Algorithm 1; N=1 (default) is the exact
+//                single-board pipeline
+//   --board-topology=T   inter-board network: chain | ring | mesh
 //   --store=DIR  persistent content-addressed profile store (docs/MODEL.md
 //                §15): profiles load from DIR when present (skipping the
 //                QUAD pass) and fresh profiles are written back
@@ -50,6 +54,9 @@
 #include "core/design_validate.hpp"
 #include "core/interconnect_design.hpp"
 #include "core/json_export.hpp"
+#include "core/multi_board_design.hpp"
+#include "sys/multi_board.hpp"
+#include "tiers/analytic.hpp"
 #include "prof/dot_export.hpp"
 #include "sys/engine/chrome_trace.hpp"
 #include "sys/experiment.hpp"
@@ -121,6 +128,8 @@ struct CliOptions {
   std::uint64_t fault_seed = 1;
   tiers::TierMode tier = tiers::TierMode::kCycle;
   std::string store_dir;  ///< Empty = no persistent store.
+  std::uint32_t boards = 1;
+  std::string board_topology = "chain";
 };
 
 /// Validate the whole command line up front, before any expensive work, so
@@ -165,6 +174,22 @@ CliOptions parse_cli(int argc, char** argv) {
       if (options.store_dir.empty()) {
         throw UsageError{"--store needs a directory path"};
       }
+    } else if (arg.rfind("--boards=", 0) == 0) {
+      options.boards = static_cast<std::uint32_t>(parse_u64(
+          arg.substr(std::string{"--boards="}.size()), "--boards"));
+      if (options.boards == 0) {
+        throw UsageError{"--boards must be >= 1"};
+      }
+    } else if (arg.rfind("--board-topology=", 0) == 0) {
+      options.board_topology =
+          arg.substr(std::string{"--board-topology="}.size());
+      if (options.board_topology != "chain" &&
+          options.board_topology != "ring" &&
+          options.board_topology != "mesh") {
+        throw UsageError{"unknown --board-topology value '" +
+                         options.board_topology +
+                         "' (expected chain, ring, or mesh)"};
+      }
     } else if (kKnownFlags.count(arg) > 0) {
       options.flags.insert(arg);
     } else {
@@ -198,7 +223,8 @@ void print_usage() {
                " [--design] [--profile] [--dot] [--memory] [--timeline]"
                " [--trace] [--json] [--validate] [--frames=N]"
                " [--fault-rate=R] [--fault-seed=S]"
-               " [--tier=auto|analytic|cycle] [--store=DIR] [--all]\n"
+               " [--tier=auto|analytic|cycle] [--store=DIR]"
+               " [--boards=N] [--board-topology=chain|ring|mesh] [--all]\n"
                "  --store=DIR  reuse profiles from (and publish them to) a"
                " persistent\n"
                "               content-addressed store; exit code 5 when DIR"
@@ -226,6 +252,34 @@ void print_estimate(const tiers::TierEstimate& est) {
             << " bytes)\n"
             << "  congruence key        " << std::hex << est.congruence_key
             << std::dec << "\n\n";
+}
+
+/// Two-level design summary: the board partition and (when simulated) the
+/// multi-board run.
+void print_multi_board(const core::MultiBoardDesign& multi,
+                       const std::string& topology,
+                       const sys::MultiBoardRunResult* run) {
+  const core::BoardPartition& part = multi.partition;
+  std::cout << "two-level design: " << part.board_count << " boards ("
+            << topology << " links)\n";
+  for (std::uint32_t b = 0; b < part.board_count; ++b) {
+    std::cout << "  board " << b << ": "
+              << multi.board_kernels[b].size() << " kernels, intra-board "
+              << part.intra_board_bytes[b].count() << " bytes\n";
+  }
+  std::cout << "  cut: " << multi.cut_edges.size() << " edges, "
+            << part.cut_bytes.count() << " of " << part.total_bytes.count()
+            << " bytes cross boards (" << part.refinement_moves
+            << " refinement moves)\n";
+  if (run != nullptr) {
+    std::cout << "  multi-board run: total "
+              << format_fixed(run->run.total_seconds * 1e3, 3) << " ms, "
+              << run->inter_board_transfers << " link transfers, "
+              << run->inter_board_bytes << " bytes, link busy "
+              << format_fixed(run->inter_board_busy_seconds * 1e3, 3)
+              << " ms, reroutes " << run->board_link_reroutes << "\n";
+  }
+  std::cout << "\n";
 }
 
 int run_cli(const CliOptions& cli) {
@@ -310,6 +364,29 @@ int run_cli(const CliOptions& cli) {
       }
     }
     print_estimate(est);
+    if (cli.boards > 1) {
+      core::MultiBoardDesignInput minput;
+      minput.base = input;
+      minput.board_count = cli.boards;
+      const core::MultiBoardDesign multi = core::design_multi_board(minput);
+      const sys::MultiBoardConfig mbc = sys::MultiBoardConfig::uniform(
+          cli.boards, platform_config,
+          core::parse_board_topology(cli.board_topology));
+      const tiers::TierEstimate mest = tiers::analytic_estimate_multi(
+          schedule, multi, mbc, input.theta.seconds_per_byte);
+      print_multi_board(multi, cli.board_topology, nullptr);
+      std::cout << "inter-board analytic term: " << mest.inter_board_edges
+                << " cut edges, " << mest.inter_board_bytes << " bytes, "
+                << mest.inter_board_hop_bytes
+                << " hop-bytes, serialized "
+                << format_fixed(mest.inter_board_seconds * 1e3, 3)
+                << " ms\n"
+                << "designed band (multi-board) "
+                << format_fixed(mest.designed_lower_seconds * 1e3, 3)
+                << " .. "
+                << format_fixed(mest.designed_upper_seconds * 1e3, 3)
+                << " ms\n\n";
+    }
     for (const char* skipped : {"--timeline", "--trace", "--compare"}) {
       if (flags.count(skipped) > 0) {
         std::cout << skipped
@@ -385,6 +462,18 @@ int run_cli(const CliOptions& cli) {
               << format_fixed(pipelined.throughput_fps(), 1)
               << " fps, bottleneck: " << pipelined.bottleneck_stage
               << "\n\n";
+  }
+  if (cli.boards > 1) {
+    core::MultiBoardDesignInput minput;
+    minput.base = sys::make_design_input(schedule, platform_config);
+    minput.board_count = cli.boards;
+    const core::MultiBoardDesign multi = core::design_multi_board(minput);
+    const sys::MultiBoardConfig mbc = sys::MultiBoardConfig::uniform(
+        cli.boards, platform_config,
+        core::parse_board_topology(cli.board_topology));
+    const sys::MultiBoardRunResult mrun =
+        sys::run_designed_multi(schedule, multi, mbc);
+    print_multi_board(multi, cli.board_topology, &mrun);
   }
   if (flags.count("--compare") > 0) {
     Table table{"System comparison"};

@@ -33,6 +33,13 @@ void validate_synthetic_config(const SyntheticConfig& cfg) {
   probability(cfg.kernel_edge_probability, "kernel_edge_probability");
   probability(cfg.duplicable_probability, "duplicable_probability");
   probability(cfg.streaming_probability, "streaming_probability");
+  require(cfg.board_count >= 1,
+          "SyntheticConfig.board_count must be >= 1, got 0");
+  require(cfg.board_topology == "chain" || cfg.board_topology == "ring" ||
+              cfg.board_topology == "mesh",
+          "SyntheticConfig.board_topology must be chain, ring or mesh, "
+          "got '" +
+              cfg.board_topology + "'");
 }
 
 ProfiledApp make_synthetic_app(const SyntheticConfig& cfg) {

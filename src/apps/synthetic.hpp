@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 
 #include "apps/app.hpp"
 
@@ -21,6 +22,12 @@ struct SyntheticConfig {
   double duplicable_probability = 0.25;
   double streaming_probability = 0.5;
   std::uint64_t seed = 1;
+
+  // ---- Evaluation platform, not profile identity. Profiling is
+  // platform-independent, so these never enter ProfileCache::synthetic_key:
+  // designs over 1 or 4 boards share one profiled app.
+  std::uint32_t board_count = 1;
+  std::string board_topology = "chain";  ///< chain | ring | mesh.
 };
 
 /// Validate `config` bounds: kernel_count >= 1, min <= max for edge bytes

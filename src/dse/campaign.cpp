@@ -86,6 +86,14 @@ CaseOutcome run_cycle_outcome(std::uint64_t index,
     outcome.crossbar_seconds = c.crossbar.total_seconds;
     outcome.pipelined_makespan_seconds = c.pipelined.makespan_seconds;
     outcome.oracles = run_all_oracles(c, options.bounds);
+    if (c.multi_run != nullptr) {
+      outcome.multi_total_seconds = c.multi_run->run.total_seconds;
+      outcome.inter_board_bytes = c.multi_run->inter_board_bytes;
+      outcome.board_link_reroutes = c.multi_run->board_link_reroutes;
+    }
+    if (c.multi_design != nullptr) {
+      outcome.cut_bytes = c.multi_design->partition.cut_bytes.count();
+    }
     outcome.analytic =
         evaluator.estimate(c.schedule, c.exp.proposed_design);
     outcome.measured_designed_kernel_seconds =
@@ -122,7 +130,19 @@ CaseOutcome run_analytic_outcome(std::uint64_t index,
     c.exp.proposed_design = std::move(analytic.proposed);
     c.exp.noc_only_design = std::move(analytic.noc_only);
     c.theta_seconds_per_byte = analytic.theta_seconds_per_byte;
-    for (const Oracle& oracle : oracle_library(options.bounds)) {
+    if (outcome.config.board_count > 1) {
+      // The two-level partition + per-board designs are sim-free, so the
+      // analytic tier can run the board-conservation oracle too.
+      core::MultiBoardDesignInput input;
+      input.base =
+          sys::make_design_input(c.schedule, sys::PlatformConfig{});
+      input.board_count = outcome.config.board_count;
+      c.multi_design = std::make_shared<const core::MultiBoardDesign>(
+          core::design_multi_board(input));
+      outcome.cut_bytes = c.multi_design->partition.cut_bytes.count();
+    }
+    for (const Oracle& oracle :
+         oracle_library(options.bounds, c.multi_design != nullptr)) {
       if (!oracle.needs_cycle) {
         outcome.oracles.push_back(oracle.check(c));
       }
@@ -221,6 +241,21 @@ apps::SyntheticConfig sample_config(const SweepSpace& space,
   config.duplicable_probability = rng.uniform();
   config.streaming_probability = rng.uniform();
   config.seed = rng.next();
+
+  // Board draws come strictly AFTER every existing field and only when
+  // the space actually sweeps boards: a single-board campaign consumes
+  // the identical RNG stream it always did, so its configs (and
+  // therefore its CSV) replay byte for byte.
+  if (space.multi_board()) {
+    config.board_count = static_cast<std::uint32_t>(
+        rng.between(std::max<std::uint32_t>(1, space.min_boards),
+                    space.max_boards));
+    const auto& topologies = space.board_topologies;
+    if (!topologies.empty()) {
+      config.board_topology = topologies[static_cast<std::size_t>(
+          rng.between(0, static_cast<std::uint64_t>(topologies.size()) - 1))];
+    }
+  }
   return config;
 }
 
@@ -278,7 +313,9 @@ CampaignResult run_campaign(const CampaignOptions& options) {
           "escalation selection is global");
 
   CampaignResult result;
-  for (const Oracle& oracle : oracle_library(options.bounds)) {
+  result.multi_board = options.space.multi_board();
+  for (const Oracle& oracle :
+       oracle_library(options.bounds, result.multi_board)) {
     result.oracle_names.push_back(oracle.name);
   }
 
@@ -468,7 +505,15 @@ std::string campaign_csv(const CampaignResult& result) {
   }
   out << ",tier,escalation,analytic_baseline_s,analytic_designed_s,"
          "analytic_lo_s,analytic_hi_s,noc_hop_bytes,congruence_key,"
-         "congruent,profile_key,profile_reused,band_violation,error\n";
+         "congruent,profile_key,profile_reused,band_violation";
+  // Board columns exist only in multi-board campaigns: single-board CSVs
+  // keep their historical schema byte for byte (and merge_shards.py
+  // refuses to mix the two schemas).
+  if (result.multi_board) {
+    out << ",boards,board_topology,cut_bytes,multi_total_s,"
+           "inter_board_bytes,board_reroutes";
+  }
+  out << ",error\n";
   for (const CaseOutcome& c : result.cases) {
     out << c.index << ',' << c.config.seed << ',' << c.config.kernel_count
         << ',' << fmt(c.config.kernel_edge_probability) << ','
@@ -513,6 +558,17 @@ std::string campaign_csv(const CampaignResult& result) {
         << (c.simulated && c.analytic.has_value()
                 ? (c.band_violation ? "1" : "0")
                 : "-");
+    if (result.multi_board) {
+      out << ',' << c.config.board_count << ',' << c.config.board_topology
+          << ',' << c.cut_bytes;
+      // The multi run only exists on simulated multi-board rows.
+      if (c.simulated && c.config.board_count > 1) {
+        out << ',' << fmt(c.multi_total_seconds) << ','
+            << c.inter_board_bytes << ',' << c.board_link_reroutes;
+      } else {
+        out << ",-,-,-";
+      }
+    }
     out << ',' << csv_safe(c.error) << '\n';
   }
   return out.str();
@@ -535,6 +591,17 @@ std::string campaign_markdown(const CampaignResult& result,
         "tiered evaluation engine (docs/MODEL.md §14), and checked "
         "against the invariant-oracle library (docs/TESTING.md); "
         "cycle-tier rows additionally run all five system variants.\n\n";
+  if (result.multi_board) {
+    md << "Board dimension swept: " << options.space.min_boards << "-"
+       << options.space.max_boards << " boards over topologies {";
+    for (std::size_t i = 0; i < options.space.board_topologies.size(); ++i) {
+      md << (i == 0 ? "" : ", ") << options.space.board_topologies[i];
+    }
+    md << "}; multi-board rows run the two-level design (min-cut board "
+          "partition, then per-board Algorithm 1) and the inter-board "
+          "link simulation, checked by the board-byte-conservation "
+          "oracle.\n\n";
+  }
   md << "| oracle | pass | fail | rate |\n|---|---|---|---|\n";
   for (const std::string& oracle : result.oracle_names) {
     const std::uint64_t pass = result.pass_count(oracle);

@@ -31,6 +31,16 @@ struct SweepSpace {
   std::uint64_t max_edge_bytes_ceiling = 128 * 1024;
   std::uint64_t min_work_units_floor = 1'000;
   std::uint64_t max_work_units_ceiling = 400'000;
+
+  /// Board dimension. With max_boards == 1 (the default) the sampler
+  /// draws nothing extra, so every pre-multi-board campaign replays its
+  /// exact RNG stream and CSV. With max_boards > 1 board count and
+  /// topology are drawn after all existing fields.
+  std::uint32_t min_boards = 1;
+  std::uint32_t max_boards = 1;
+  std::vector<std::string> board_topologies = {"chain"};
+
+  [[nodiscard]] bool multi_board() const { return max_boards > 1; }
 };
 
 /// Deterministically sample the `index`-th config of a campaign. The
@@ -74,6 +84,14 @@ struct CaseOutcome {
   /// An earlier index shares profile_key (serial first-seen pass, like
   /// `congruent`; recomputed globally by tools/merge_shards.py).
   bool profile_reused = false;
+
+  // ---- Multi-board record (meaningful only in multi-board campaigns;
+  // the CSV emits these columns only there, so single-board campaigns
+  // keep their schema byte-identical). ----
+  double multi_total_seconds = 0.0;     ///< Multi-board run wall time.
+  std::uint64_t cut_bytes = 0;          ///< Partition cut (unique bytes).
+  std::uint64_t inter_board_bytes = 0;  ///< Bytes the links moved.
+  std::uint64_t board_link_reroutes = 0;
 
   [[nodiscard]] bool ran() const { return error.empty(); }
   [[nodiscard]] bool all_pass() const;
@@ -149,6 +167,10 @@ struct CampaignResult {
   std::vector<CaseOutcome> cases;         ///< Index order.
   std::vector<Reproducer> reproducers;    ///< Shrunk failures.
   TierStats tier_stats;
+  /// Campaign swept the board dimension (space.multi_board()): the CSV
+  /// gains the boards/topology/inter-board columns and the oracle library
+  /// includes board-byte-conservation.
+  bool multi_board = false;
 
   // ---- Live cache/store counters. Machine- and run-dependent (they vary
   // with thread count and store warmth), so they go to stdout only —

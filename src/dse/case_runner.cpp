@@ -26,6 +26,24 @@ DesignCase run_design_case(const apps::SyntheticConfig& config,
       c.schedule, c.exp.proposed_design, platform, c.frame_count);
   c.baseline_frames =
       sys::run_baseline_frames(c.schedule, platform, c.frame_count);
+
+  // Level-one board partition + per-board designs + multi-board run, on a
+  // uniform platform per board. Single-board configs skip this entirely,
+  // keeping the case (and every byte derived from it) identical to the
+  // pre-multi-board pipeline.
+  if (config.board_count > 1) {
+    core::MultiBoardDesignInput input;
+    input.base = sys::make_design_input(c.schedule, platform);
+    input.board_count = config.board_count;
+    auto design = std::make_shared<core::MultiBoardDesign>(
+        core::design_multi_board(input));
+    const sys::MultiBoardConfig mbc = sys::MultiBoardConfig::uniform(
+        config.board_count, platform,
+        core::parse_board_topology(config.board_topology));
+    c.multi_run = std::make_shared<const sys::MultiBoardRunResult>(
+        sys::run_designed_multi(c.schedule, *design, mbc));
+    c.multi_design = std::move(design);
+  }
   return c;
 }
 

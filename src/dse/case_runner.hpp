@@ -10,8 +10,10 @@
 #include "apps/profile_cache.hpp"
 #include "apps/synthetic.hpp"
 #include "core/design_result.hpp"
+#include "core/multi_board_design.hpp"
 #include "sys/crossbar_system.hpp"
 #include "sys/experiment.hpp"
+#include "sys/multi_board.hpp"
 #include "sys/pipeline_executor.hpp"
 
 namespace hybridic::dse {
@@ -37,6 +39,11 @@ struct DesignCase {
 
   /// θ the designer consumed (sec/byte of the idle bus).
   double theta_seconds_per_byte = 0.0;
+
+  /// Two-level multi-board view, present only when config.board_count > 1
+  /// (shared_ptr keeps the case copyable; MultiBoardDesign is move-only).
+  std::shared_ptr<const core::MultiBoardDesign> multi_design;
+  std::shared_ptr<const sys::MultiBoardRunResult> multi_run;
 };
 
 /// Run the full pipeline for `config`. Throws ConfigError on invalid

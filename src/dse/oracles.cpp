@@ -361,10 +361,83 @@ OracleResult check_trace_wellformed(const DesignCase& c) {
   return pass(name);
 }
 
+// ---------------------------------------------------------------------------
+// Oracle (multi-board campaigns only): two-level byte conservation.
+// ---------------------------------------------------------------------------
+
+OracleResult check_board_conservation(const DesignCase& c) {
+  const std::string name = "board-byte-conservation";
+  if (c.multi_design == nullptr) {
+    return fail(name, "case carries no multi-board design (board_count " +
+                          std::to_string(c.config.board_count) + ")");
+  }
+  const core::MultiBoardDesign& multi = *c.multi_design;
+  const core::BoardPartition& part = multi.partition;
+
+  // Every kernel lands on exactly one board, and that board is in range.
+  if (part.board_of_kernel.size() != c.schedule.specs.size()) {
+    return fail(name, "partition covers " +
+                          std::to_string(part.board_of_kernel.size()) +
+                          " kernels but the schedule has " +
+                          std::to_string(c.schedule.specs.size()));
+  }
+  for (std::size_t k = 0; k < c.schedule.specs.size(); ++k) {
+    const auto it =
+        part.board_of_function.find(c.schedule.specs[k].function);
+    if (it == part.board_of_function.end()) {
+      return fail(name, "kernel '" + c.schedule.specs[k].name +
+                            "' is on no board");
+    }
+    if (it->second >= part.board_count) {
+      return fail(name, "kernel '" + c.schedule.specs[k].name +
+                            "' is on out-of-range board " +
+                            std::to_string(it->second));
+    }
+  }
+
+  // Intra-board + cut bytes recompose the profiled multigraph's unique
+  // bytes exactly (self-edges excluded on both sides of the ledger).
+  std::uint64_t profiled = 0;
+  for (const prof::CommEdge& edge : c.schedule.graph->edges()) {
+    if (edge.producer != edge.consumer) {
+      profiled += core::edge_volume(edge).count();
+    }
+  }
+  std::uint64_t intra = 0;
+  for (const Bytes bytes : part.intra_board_bytes) {
+    intra += bytes.count();
+  }
+  if (intra + part.cut_bytes.count() != profiled ||
+      part.total_bytes.count() != profiled) {
+    return fail(name, "byte ledger broken: intra " + std::to_string(intra) +
+                          " B + cut " +
+                          std::to_string(part.cut_bytes.count()) +
+                          " B != profiled " + std::to_string(profiled) +
+                          " B");
+  }
+
+  // The cut-edge list the link policy replays must sum to the same cut.
+  std::uint64_t cut_edges = 0;
+  for (const core::InterBoardEdge& edge : multi.cut_edges) {
+    if (edge.producer_board == edge.consumer_board) {
+      return fail(name, "cut edge with both endpoints on board " +
+                            std::to_string(edge.producer_board));
+    }
+    cut_edges += edge.bytes.count();
+  }
+  if (cut_edges != part.cut_bytes.count()) {
+    return fail(name, "cut-edge list moves " + std::to_string(cut_edges) +
+                          " B but the partition cut is " +
+                          std::to_string(part.cut_bytes.count()) + " B");
+  }
+  return pass(name);
+}
+
 }  // namespace
 
-std::vector<Oracle> oracle_library(const OracleBounds& bounds) {
-  return {
+std::vector<Oracle> oracle_library(const OracleBounds& bounds,
+                                   bool multi_board) {
+  std::vector<Oracle> library = {
       {"byte-conservation",
        "per-edge unique bytes bounded by raw bytes; kernel volumes balance "
        "and shared pairs cover exactly the profiled traffic",
@@ -402,6 +475,14 @@ std::vector<Oracle> oracle_library(const OracleBounds& bounds) {
        "consistent",
        check_trace_wellformed},
   };
+  if (multi_board) {
+    library.push_back(
+        {"board-byte-conservation",
+         "every kernel sits on exactly one board and intra-board plus "
+         "inter-board cut bytes recompose the profiled multigraph exactly",
+         check_board_conservation, /*needs_cycle=*/false});
+  }
+  return library;
 }
 
 Oracle mutation_oracle() {
@@ -423,7 +504,7 @@ Oracle mutation_oracle() {
 }
 
 Oracle find_oracle(const std::string& name, const OracleBounds& bounds) {
-  for (Oracle& oracle : oracle_library(bounds)) {
+  for (Oracle& oracle : oracle_library(bounds, /*multi_board=*/true)) {
     if (oracle.name == name) {
       return std::move(oracle);
     }
@@ -437,7 +518,8 @@ Oracle find_oracle(const std::string& name, const OracleBounds& bounds) {
 std::vector<OracleResult> run_all_oracles(const DesignCase& c,
                                           const OracleBounds& bounds) {
   std::vector<OracleResult> results;
-  for (const Oracle& oracle : oracle_library(bounds)) {
+  for (const Oracle& oracle :
+       oracle_library(bounds, c.multi_design != nullptr)) {
     results.push_back(oracle.check(c));
   }
   return results;

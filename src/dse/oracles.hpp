@@ -61,9 +61,12 @@ struct OracleBounds {
   double pipeline_slack = 1.50;
 };
 
-/// The production oracle library (everything the campaign runs).
+/// The production oracle library (everything the campaign runs). With
+/// `multi_board` the board-byte-conservation oracle joins as the ninth
+/// entry; single-board campaigns keep the original eight so their CSV
+/// schema and REPORT tables stay byte-identical.
 [[nodiscard]] std::vector<Oracle> oracle_library(
-    const OracleBounds& bounds = {});
+    const OracleBounds& bounds = {}, bool multi_board = false);
 
 /// A deliberately broken oracle ("designs move no bytes") used by the
 /// mutation check: it fails on any config with traffic, so the shrinker
@@ -76,7 +79,8 @@ struct OracleBounds {
 [[nodiscard]] Oracle find_oracle(const std::string& name,
                                  const OracleBounds& bounds = {});
 
-/// Run every library oracle over `c` (in library order).
+/// Run every library oracle over `c` (in library order). The multi-board
+/// oracle joins exactly when the case carries a multi-board design.
 [[nodiscard]] std::vector<OracleResult> run_all_oracles(
     const DesignCase& c, const OracleBounds& bounds = {});
 

@@ -184,6 +184,14 @@ std::string to_json(const Reproducer& r) {
       << fmt_probability(r.config.duplicable_probability) << ",\n";
   out << "    \"streaming_probability\": "
       << fmt_probability(r.config.streaming_probability) << ",\n";
+  // Board fields only appear for multi-board configs, so every
+  // single-board reproducer (including the checked-in fixtures) keeps its
+  // historical byte-exact shape.
+  if (r.config.board_count > 1) {
+    out << "    \"board_count\": " << r.config.board_count << ",\n";
+    out << "    \"board_topology\": \"" << json_escape(r.config.board_topology)
+        << "\",\n";
+  }
   out << "    \"seed\": " << r.config.seed << "\n";
   out << "  }\n";
   out << "}\n";
@@ -229,6 +237,15 @@ Reproducer parse_reproducer(const std::string& json) {
       take_double(config, "duplicable_probability");
   r.config.streaming_probability =
       take_double(config, "streaming_probability");
+  // Optional multi-board fields (absent in single-board reproducers).
+  if (config.count("board_count") != 0) {
+    r.config.board_count =
+        static_cast<std::uint32_t>(take_u64(config, "board_count"));
+  }
+  if (config.count("board_topology") != 0) {
+    r.config.board_topology = config.at("board_topology");
+    config.erase("board_topology");
+  }
   r.config.seed = take_u64(config, "seed");
   if (!config.empty()) {
     require(false,

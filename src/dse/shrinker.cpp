@@ -88,6 +88,17 @@ bool zero_streaming(apps::SyntheticConfig& c) {
   return true;
 }
 
+bool halve_boards(apps::SyntheticConfig& c) {
+  // Never below 2: the board-conservation oracle needs a multi-board
+  // case, so shrinking to a single board would manufacture a spurious
+  // "still fails" and pin a reproducer that cannot replay the property.
+  if (c.board_count <= 2) {
+    return false;
+  }
+  c.board_count = std::max<std::uint32_t>(2, c.board_count / 2);
+  return true;
+}
+
 }  // namespace
 
 ShrinkResult shrink(const apps::SyntheticConfig& config,
@@ -106,7 +117,7 @@ ShrinkResult shrink(const apps::SyntheticConfig& config,
   static constexpr Move kMoves[] = {
       halve_kernels,     drop_kernel,      halve_edge_probability,
       halve_edge_bytes,  halve_work_units, zero_duplication,
-      zero_streaming,
+      zero_streaming,    halve_boards,
   };
 
   // Fixpoint loop: keep applying moves until a full sweep accepts nothing

@@ -57,6 +57,12 @@ struct FaultSpec {
   double sdram_bitflip_rate = 0.0;
   /// Probability that a BRAM access suffers a bit flip.
   double bram_bitflip_rate = 0.0;
+  /// Permanently failed inter-board serial links, named by the two board
+  /// ids they connect (multi-board runs only; single-board platforms
+  /// ignore them, so they do not force a FaultInjector into existence).
+  /// On ring/mesh board topologies traffic reroutes around a dead link;
+  /// a disconnected topology (any dead chain link) is a ConfigError.
+  std::vector<LinkDown> dead_board_links;
   ResilienceSpec resilience;
 
   /// True when any fault class is actually configured; the platform only
@@ -86,6 +92,9 @@ struct FaultStats {
   std::uint64_t degraded_edges = 0;
   /// NoC source/destination pairs whose route detours around dead links.
   std::uint64_t noc_reroutes = 0;
+  /// Inter-board transfers whose board route detours around a dead
+  /// serial link (multi-board runs only).
+  std::uint64_t board_link_reroutes = 0;
 };
 
 }  // namespace hybridic::faults

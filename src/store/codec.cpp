@@ -9,7 +9,7 @@ namespace hybridic::store {
 namespace {
 
 constexpr const char* kProfileMagic = "profile 1";
-constexpr const char* kEstimateMagic = "estimate 1";
+constexpr const char* kEstimateMagic = "estimate 2";
 
 /// Sequential line/token reader over a payload. Every take_* returns
 /// false on any shape violation; callers bail out to "malformed".
@@ -321,6 +321,9 @@ std::string encode_estimate(const tiers::TierEstimate& e) {
   out << "noc " << e.noc_edges << ' ' << e.noc_volume_bytes << ' '
       << e.noc_hop_bytes << ' ' << e.noc_max_link_bytes << '\n';
   out << "noct " << hexf(e.noc_transfer_seconds) << '\n';
+  out << "iboard " << e.inter_board_edges << ' ' << e.inter_board_bytes
+      << ' ' << e.inter_board_hop_bytes << '\n';
+  out << "iboardt " << hexf(e.inter_board_seconds) << '\n';
   out << "ckey " << e.congruence_key << '\n';
   return out.str();
 }
@@ -369,7 +372,23 @@ std::optional<tiers::TierEstimate> decode_estimate(
     }
   }
   if (!reader.take_tagged("noct", rest) ||
-      !Reader::parse_double(rest, e.noc_transfer_seconds) ||
+      !Reader::parse_double(rest, e.noc_transfer_seconds)) {
+    return std::nullopt;
+  }
+  if (!reader.take_tagged("iboard", rest)) {
+    return std::nullopt;
+  }
+  {
+    const auto fields = split_fields(rest);
+    if (fields.size() != 3 ||
+        !Reader::parse_u64(fields[0], e.inter_board_edges) ||
+        !Reader::parse_u64(fields[1], e.inter_board_bytes) ||
+        !Reader::parse_u64(fields[2], e.inter_board_hop_bytes)) {
+      return std::nullopt;
+    }
+  }
+  if (!reader.take_tagged("iboardt", rest) ||
+      !Reader::parse_double(rest, e.inter_board_seconds) ||
       !reader.take_tagged("ckey", rest) ||
       !Reader::parse_u64(rest, e.congruence_key) || !reader.at_end()) {
     return std::nullopt;

@@ -37,7 +37,7 @@ namespace hybridic::store {
 
 /// Bump whenever profiling, the analytic tier, or a codec changes in a
 /// way that invalidates previously stored artifacts.
-inline constexpr std::uint32_t kEngineRevision = 1;
+inline constexpr std::uint32_t kEngineRevision = 2;
 
 /// The store root is unusable (cannot create directories, not writable).
 /// Only setup fails loudly; per-entry damage degrades to misses.

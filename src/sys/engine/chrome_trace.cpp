@@ -66,10 +66,18 @@ void write_chrome_trace(const ExecTrace& trace,
          "\"process_name\", \"args\": {\"name\": \""
       << escaped(system_name) << "\"}}";
   for (std::size_t f = 0; f < kFabricCount; ++f) {
+    // The inter-board track only exists on multi-board runs; single-board
+    // traces stay byte-identical to what they were before that fabric
+    // existed (the golden trace fixtures pin this).
+    const Fabric fabric = static_cast<Fabric>(f);
+    if (fabric == Fabric::kInterBoard &&
+        trace.usage(fabric).ops == 0) {
+      continue;
+    }
     emit_comma();
     out << "    {\"ph\": \"M\", \"pid\": 0, \"tid\": " << f
         << ", \"name\": \"thread_name\", \"args\": {\"name\": \""
-        << fabric_name(static_cast<Fabric>(f)) << "\"}}";
+        << fabric_name(fabric) << "\"}}";
   }
   for (const std::size_t i : trace.chronological()) {
     const TraceEvent& event = trace.events()[i];

@@ -82,6 +82,19 @@ public:
     return app_end_.seconds();
   }
 
+  /// External dependency gate: lift the host cursor to `when` so the next
+  /// step cannot start earlier. The multi-board runner uses this to gate
+  /// a board on inter-board link arrivals; a never-lifted cursor leaves
+  /// single-board behaviour bit-identical.
+  void lift_cursor(Picoseconds when) {
+    if (when > t_) {
+      t_ = when;
+    }
+    if (when > app_end_) {
+      app_end_ = when;
+    }
+  }
+
 private:
   /// Timing record of one executed kernel instance.
   struct InstRec {

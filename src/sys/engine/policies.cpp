@@ -85,4 +85,47 @@ Picoseconds CrossbarPolicy::stream(std::uint32_t step,
   return done;
 }
 
+Picoseconds InterBoardLinkPolicy::transfer(std::uint32_t step,
+                                           const std::string& label,
+                                           std::uint32_t src,
+                                           std::uint32_t dst, Bytes bytes,
+                                           Picoseconds ready) {
+  bool rerouted = false;
+  const std::vector<std::uint32_t> path = net_->route(src, dst, &rerouted);
+  if (rerouted && rerouted_logged_.insert({src, dst}).second) {
+    ++reroutes_;
+    if (trace_ != nullptr) {
+      trace_->record({EventKind::kReroute, Fabric::kInterBoard, step, 0,
+                      ready.seconds(), ready.seconds(),
+                      label + " board reroute " + std::to_string(src) +
+                          "->" + std::to_string(dst) +
+                          " around dead link"});
+    }
+  }
+  // Per-hop store-and-forward cost in integer picoseconds, so cursor
+  // arithmetic is exact and deterministic.
+  const double hop_seconds =
+      net_->link().latency_seconds +
+      static_cast<double>(bytes.count()) /
+          net_->link().bandwidth_bytes_per_second;
+  const Picoseconds hop_cost{
+      static_cast<std::uint64_t>(hop_seconds * 1e12 + 0.5)};
+  Picoseconds at = ready;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    Picoseconds& free = link_free_[{path[i], path[i + 1]}];
+    const Picoseconds start = std::max(at, free);
+    at = start + hop_cost;
+    free = at;
+  }
+  ++transfers_;
+  bytes_moved_ += bytes.count();
+  if (trace_ != nullptr && path.size() > 1) {
+    trace_->record({EventKind::kNocTransfer, Fabric::kInterBoard, step,
+                    bytes.count(), ready.seconds(), at.seconds(),
+                    label + " link " + std::to_string(src) + "->" +
+                        std::to_string(dst)});
+  }
+  return at;
+}
+
 }  // namespace hybridic::sys::engine

@@ -12,6 +12,8 @@
 //  - NocPolicy:          the wormhole mesh NoC (flit-level simulation plus
 //                        the analytic idle-latency oracle).
 //  - CrossbarPolicy:     the full-crossbar comparison fabric.
+//  - InterBoardLinkPolicy: DMA over the inter-board serial links of a
+//                        multi-FPGA platform (chain/ring/mesh of boards).
 //
 // Adding a new fabric class (e.g. an inter-FPGA MPI link or a collective
 // offload engine) means adding one policy here and composing it per-edge —
@@ -20,6 +22,7 @@
 
 #include <algorithm>
 #include <functional>
+#include <map>
 #include <memory>
 #include <set>
 #include <string>
@@ -189,6 +192,45 @@ public:
 private:
   ExecTrace* trace_;
   std::unique_ptr<mem::FullCrossbar> crossbar_;
+};
+
+/// DMA over the inter-board serial links: a cut edge's bytes leave the
+/// producer board's SDRAM through the link controller (a bus master, like
+/// the DMA engine) and land in the consumer board's SDRAM. Timing is
+/// store-and-forward per hop (b_eff: latency + bytes/bandwidth each), with
+/// one busy cursor per directed link so concurrent transfers over a shared
+/// link serialize deterministically. Dead links reroute per the
+/// BoardNetwork (ring/mesh); each rerouted (src, dst) board pair is
+/// annotated once and counted.
+class InterBoardLinkPolicy : public FabricPolicy {
+public:
+  InterBoardLinkPolicy(const BoardNetwork& net, ExecTrace* trace)
+      : net_(&net), trace_(trace) {}
+
+  [[nodiscard]] Fabric fabric() const override { return Fabric::kInterBoard; }
+
+  /// Move `bytes` from board `src` to board `dst`, ready to leave at
+  /// `ready`; returns the arrival time at the destination board. Records
+  /// one kNocTransfer-kind event spanning the transfer on the
+  /// inter-board fabric (plus a one-time kReroute annotation when dead
+  /// links forced a detour).
+  Picoseconds transfer(std::uint32_t step, const std::string& label,
+                       std::uint32_t src, std::uint32_t dst, Bytes bytes,
+                       Picoseconds ready);
+
+  [[nodiscard]] std::uint64_t reroutes() const { return reroutes_; }
+  [[nodiscard]] std::uint64_t transfers() const { return transfers_; }
+  [[nodiscard]] std::uint64_t bytes_moved() const { return bytes_moved_; }
+
+private:
+  const BoardNetwork* net_;
+  ExecTrace* trace_;
+  /// Busy-until cursor per directed link (src board, dst board).
+  std::map<std::pair<std::uint32_t, std::uint32_t>, Picoseconds> link_free_;
+  std::set<std::pair<std::uint32_t, std::uint32_t>> rerouted_logged_;
+  std::uint64_t reroutes_ = 0;
+  std::uint64_t transfers_ = 0;
+  std::uint64_t bytes_moved_ = 0;
 };
 
 }  // namespace hybridic::sys::engine

@@ -15,6 +15,7 @@ const char* fabric_name(Fabric fabric) {
     case Fabric::kNoc: return "noc";
     case Fabric::kSharedMemory: return "shared-mem";
     case Fabric::kCrossbar: return "crossbar";
+    case Fabric::kInterBoard: return "inter-board";
   }
   return "?";
 }

@@ -20,8 +20,9 @@ enum class Fabric : std::uint8_t {
   kNoc,            ///< The wormhole mesh NoC.
   kSharedMemory,   ///< Shared local-memory (direct or crossbar) handoffs.
   kCrossbar,       ///< The full-crossbar comparison fabric.
+  kInterBoard,     ///< Inter-board serial links (multi-board platforms).
 };
-inline constexpr std::size_t kFabricCount = 6;
+inline constexpr std::size_t kFabricCount = 7;
 
 [[nodiscard]] const char* fabric_name(Fabric fabric);
 

@@ -15,6 +15,7 @@
 
 #include "bus/bus.hpp"
 #include "bus/dma.hpp"
+#include "core/board_partition.hpp"
 #include "core/design_result.hpp"
 #include "faults/fault_spec.hpp"
 #include "faults/injector.hpp"
@@ -24,6 +25,7 @@
 #include "noc/network.hpp"
 #include "sim/clock.hpp"
 #include "sim/engine.hpp"
+#include "sys/board_net.hpp"
 
 namespace hybridic::sys {
 
@@ -60,6 +62,42 @@ struct PlatformConfig {
   /// Fault-free runs finish in simulated milliseconds, so the default is
   /// far off the hot path.
   double watchdog_seconds = 10.0;
+};
+
+/// A multi-FPGA platform: N per-board PlatformConfigs joined by an
+/// inter-board serial-link network (chain / ring / mesh of point-to-point
+/// links, b_eff style). The host CPU lives on board 0. board_count() == 1
+/// degenerates to the plain single-board platform: every multi-board
+/// entry point then delegates verbatim to the single-board code path.
+struct MultiBoardConfig {
+  std::vector<PlatformConfig> boards{PlatformConfig{}};
+  core::BoardTopology topology = core::BoardTopology::kChain;
+  InterBoardLinkConfig link;
+  /// Seed for the level-one board partition (deterministic tie-breaks).
+  std::uint64_t partition_seed = 1;
+
+  [[nodiscard]] std::uint32_t board_count() const {
+    return static_cast<std::uint32_t>(boards.size());
+  }
+  [[nodiscard]] const PlatformConfig& board(std::uint32_t b) const {
+    return boards.at(b);
+  }
+  /// Dead inter-board links travel in the per-board fault spec (board 0
+  /// holds the authoritative copy — uniform() replicates one config).
+  [[nodiscard]] const std::vector<faults::LinkDown>& dead_board_links()
+      const {
+    return boards.at(0).faults.dead_board_links;
+  }
+
+  /// N identical boards built from `base`.
+  [[nodiscard]] static MultiBoardConfig uniform(
+      std::uint32_t board_count, const PlatformConfig& base = {},
+      core::BoardTopology topology = core::BoardTopology::kChain) {
+    MultiBoardConfig config;
+    config.boards.assign(board_count, base);
+    config.topology = topology;
+    return config;
+  }
 };
 
 /// A runnable platform for one application design. Owns the engine.

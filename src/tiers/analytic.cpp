@@ -7,6 +7,8 @@
 
 #include "core/kernel_model.hpp"
 #include "noc/flit.hpp"
+#include "sys/board_net.hpp"
+#include "sys/multi_board.hpp"
 
 namespace hybridic::tiers {
 namespace {
@@ -155,6 +157,84 @@ TierEstimate analytic_estimate(const sys::AppSchedule& schedule,
       std::max(model.proposed_seconds(), est.noc_transfer_seconds);
   est.designed_kernel_seconds =
       std::clamp(mid, est.designed_lower_seconds, est.designed_upper_seconds);
+  return est;
+}
+
+TierEstimate analytic_estimate_multi(const sys::AppSchedule& schedule,
+                                     const core::MultiBoardDesign& design,
+                                     const sys::MultiBoardConfig& config,
+                                     double theta_seconds_per_byte,
+                                     const TierCalibration& calibration) {
+  if (design.board_count() == 1) {
+    // Degenerate path: identical to the single-board estimate.
+    return analytic_estimate(schedule, design.boards.at(0), config.board(0),
+                             theta_seconds_per_byte, calibration);
+  }
+
+  const std::uint32_t boards = design.board_count();
+  const sys::BoardNetwork net(boards, config.topology, config.link,
+                              config.dead_board_links());
+  const std::vector<sys::AppSchedule> subs =
+      sys::board_schedules(schedule, design);
+
+  TierEstimate est;
+  est.theta_seconds_per_byte = theta_seconds_per_byte;
+
+  // Per-board estimates on the projected sub-schedules. Baselines add (a
+  // conventional single-bus baseline runs all kernels back to back);
+  // designed mids take the slowest board (boards overlap).
+  double max_mid = 0.0;
+  double max_lower = 0.0;
+  double sum_upper = 0.0;
+  std::string tags;
+  for (std::uint32_t b = 0; b < boards; ++b) {
+    const TierEstimate per = analytic_estimate(
+        subs[b], design.boards.at(b), config.board(b),
+        theta_seconds_per_byte, calibration);
+    est.baseline_kernel_seconds += per.baseline_kernel_seconds;
+    max_mid = std::max(max_mid, per.designed_kernel_seconds);
+    max_lower = std::max(max_lower, per.designed_lower_seconds);
+    sum_upper += per.designed_upper_seconds;
+    est.noc_edges += per.noc_edges;
+    est.noc_volume_bytes += per.noc_volume_bytes;
+    est.noc_hop_bytes += per.noc_hop_bytes;
+    est.noc_max_link_bytes =
+        std::max(est.noc_max_link_bytes, per.noc_max_link_bytes);
+    est.noc_transfer_seconds += per.noc_transfer_seconds;
+    if (b != 0) {
+      tags += "|";
+    }
+    tags += per.solution_tag;
+  }
+  est.solution_tag = "boards=" + std::to_string(boards) + ":" +
+                     to_string(config.topology) + ":" + tags;
+  est.baseline_lower_seconds =
+      est.baseline_kernel_seconds / calibration.baseline_band;
+  est.baseline_upper_seconds =
+      est.baseline_kernel_seconds * calibration.baseline_band;
+
+  // Serialized inter-board term: every cut edge rides its shortest path
+  // store-and-forward, priced end to end as if the links were otherwise
+  // idle and the transfers fully serialized.
+  for (const core::InterBoardEdge& edge : design.cut_edges) {
+    const std::uint32_t hops =
+        net.hop_count(edge.producer_board, edge.consumer_board);
+    est.inter_board_edges += 1;
+    est.inter_board_bytes += edge.bytes.count();
+    est.inter_board_hop_bytes += edge.bytes.count() * hops;
+    est.inter_board_seconds += net.transfer_seconds(edge.bytes, hops);
+  }
+
+  // The inter-board term carries its own calibrated band: the bracket's
+  // floor assumes maximal link overlap, its ceiling assumes every
+  // transfer queues behind every other.
+  est.designed_lower_seconds =
+      max_lower + est.inter_board_seconds / calibration.inter_board_band;
+  est.designed_upper_seconds =
+      sum_upper + est.inter_board_seconds * calibration.inter_board_band;
+  est.designed_kernel_seconds =
+      std::clamp(max_mid + est.inter_board_seconds,
+                 est.designed_lower_seconds, est.designed_upper_seconds);
   return est;
 }
 

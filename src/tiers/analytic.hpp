@@ -17,6 +17,7 @@
 #include <unordered_map>
 
 #include "core/design_result.hpp"
+#include "core/multi_board_design.hpp"
 #include "noc/topology.hpp"
 #include "sys/platform.hpp"
 #include "sys/schedule.hpp"
@@ -67,6 +68,12 @@ private:
 struct TierCalibration {
   double baseline_band = 2.0;  ///< == OracleBounds::baseline_perf_band.
   double designed_band = 6.0;  ///< == OracleBounds::proposed_perf_band.
+  /// Band on the inter-board serialization term of a multi-board
+  /// estimate. The link model is store-and-forward with per-link busy
+  /// cursors, so the analytic sum-of-transfers can over-state (transfers
+  /// overlap on disjoint links) or under-state (queueing on a shared
+  /// link) the simulated cost by a bounded factor.
+  double inter_board_band = 3.0;
 };
 
 /// What the analytic tier knows about one design point.
@@ -96,6 +103,12 @@ struct TierEstimate {
   std::uint64_t noc_max_link_bytes = 0;  ///< Busiest link.
   double noc_transfer_seconds = 0.0;     ///< Idle-network serialization.
 
+  /// Inter-board link accounting (all zero for single-board estimates).
+  std::uint64_t inter_board_edges = 0;
+  std::uint64_t inter_board_bytes = 0;      ///< Unique bytes crossing boards.
+  std::uint64_t inter_board_hop_bytes = 0;  ///< Sum bytes x link hops.
+  double inter_board_seconds = 0.0;  ///< Serialized link-transfer term.
+
   /// Canonical design signature (0 until the congruence cache fills it).
   std::uint64_t congruence_key = 0;
 
@@ -122,6 +135,18 @@ struct TierEstimate {
 [[nodiscard]] TierEstimate analytic_estimate(
     const sys::AppSchedule& schedule, const core::DesignResult& design,
     const sys::PlatformConfig& platform, double theta_seconds_per_byte,
+    const TierCalibration& calibration = {});
+
+/// Price a two-level multi-board design analytically: per-board
+/// analytic_estimate over each board's projected sub-schedule, combined
+/// with a serialized inter-board link term (sum over cut edges of
+/// store-and-forward transfer time along the topology's shortest path)
+/// carrying its own calibrated band. With board_count == 1 this returns
+/// exactly analytic_estimate on board 0 — multi-board pricing never
+/// perturbs single-board results.
+[[nodiscard]] TierEstimate analytic_estimate_multi(
+    const sys::AppSchedule& schedule, const core::MultiBoardDesign& design,
+    const sys::MultiBoardConfig& config, double theta_seconds_per_byte,
     const TierCalibration& calibration = {});
 
 }  // namespace hybridic::tiers

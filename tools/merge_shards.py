@@ -55,6 +55,38 @@ def column(header, name):
         fail(3, "column '{}' missing from header".format(name))
 
 
+# The columns that only appear in a multi-board campaign CSV (the most
+# common source of a header mismatch: merging shards from a single-board
+# campaign with shards from a --boards>1 campaign).
+MULTI_BOARD_COLUMNS = frozenset([
+    "boards", "board_topology", "cut_bytes", "multi_total_s",
+    "inter_board_bytes", "board_reroutes", "board-byte-conservation",
+])
+
+
+def diagnose_header_mismatch(first_path, first_header, path, shard_header):
+    first_cols = set(first_header.split(","))
+    shard_cols = set(shard_header.split(","))
+    only_first = sorted(first_cols - shard_cols)
+    only_shard = sorted(shard_cols - first_cols)
+    parts = ["{}: header differs from first shard ({})".format(
+        path, first_path)]
+    if only_first:
+        parts.append("columns only in {}: {}".format(
+            first_path, ",".join(only_first)))
+    if only_shard:
+        parts.append("columns only in {}: {}".format(
+            path, ",".join(only_shard)))
+    if not only_first and not only_shard:
+        parts.append("same columns in a different order")
+    diff = set(only_first) | set(only_shard)
+    if diff and diff <= MULTI_BOARD_COLUMNS:
+        parts.append("this mixes single-board and multi-board campaign "
+                     "CSVs; rerun the shards with identical "
+                     "--boards/--board-topology flags")
+    return "; ".join(parts)
+
+
 def main():
     parser = argparse.ArgumentParser(
         description="Merge dse_campaign shard CSVs into the unsharded CSV."
@@ -67,13 +99,16 @@ def main():
         fail(2, "need at least one shard CSV")
 
     header = None
+    first_path = None
     rows = []
     for path in args.shards:
         shard_header, shard_rows = parse_shard(path)
         if header is None:
             header = shard_header
+            first_path = path
         elif shard_header != header:
-            fail(3, path + ": header differs from first shard")
+            fail(3, diagnose_header_mismatch(
+                first_path, header, path, shard_header))
         rows.extend(shard_rows)
 
     idx_col = column(header, "index")

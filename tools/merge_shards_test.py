@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Tests for tools/merge_shards.py.
+
+Drives the script as a subprocess (the same way CI does) and checks:
+
+  * two consistent shards merge into the expected byte stream, with the
+    global first-seen flags (congruent, profile_reused) recomputed in
+    merged index order;
+  * shards with different headers fail with exit 3 and a message that
+    names the differing columns;
+  * a single-board shard mixed with a multi-board shard is called out
+    explicitly as a single-/multi-board schema mix.
+
+Run from anywhere: python3 tools/merge_shards_test.py
+"""
+
+import os
+import subprocess
+import sys
+import tempfile
+
+SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                      "merge_shards.py")
+
+HEADER = "index,congruence_key,congruent,profile_key,profile_reused,total_s"
+MULTI_HEADER = HEADER + ",boards,board_topology,cut_bytes"
+
+
+def write(path, text):
+    with open(path, "w", newline="") as handle:
+        handle.write(text)
+
+
+def run_merge(out_path, shards):
+    return subprocess.run(
+        [sys.executable, SCRIPT, "-o", out_path] + shards,
+        capture_output=True, text=True)
+
+
+def check(condition, message):
+    if not condition:
+        print("FAIL: " + message, file=sys.stderr)
+        sys.exit(1)
+
+
+def test_merge_success(tmp):
+    shard0 = os.path.join(tmp, "shard0of2.csv")
+    shard1 = os.path.join(tmp, "shard1of2.csv")
+    # Shard-local first-seen flags are wrong on purpose: index 2 reuses
+    # index 1's keys but shard0 saw them first in its own stream.
+    write(shard0, HEADER + "\n"
+          "0,ck0,0,pk0,0,1.0\n"
+          "2,ck1,0,pk1,0,3.0\n")
+    write(shard1, HEADER + "\n"
+          "1,ck1,0,pk1,0,2.0\n"
+          "3,-,0,pk0,0,4.0\n")
+    merged = os.path.join(tmp, "merged.csv")
+    proc = run_merge(merged, [shard0, shard1])
+    check(proc.returncode == 0,
+          "merge exit {} != 0: {}".format(proc.returncode, proc.stderr))
+    with open(merged, "r", newline="") as handle:
+        got = handle.read()
+    want = (HEADER + "\n"
+            "0,ck0,0,pk0,0,1.0\n"
+            "1,ck1,0,pk1,0,2.0\n"
+            "2,ck1,1,pk1,1,3.0\n"
+            "3,-,0,pk0,1,4.0\n")
+    check(got == want, "merged CSV mismatch:\n{}\nwant:\n{}".format(got, want))
+    print("ok merge_success")
+
+
+def test_header_mismatch_names_columns(tmp):
+    shard0 = os.path.join(tmp, "a.csv")
+    shard1 = os.path.join(tmp, "b.csv")
+    write(shard0, HEADER + ",extra_a\n0,ck0,0,pk0,0,1.0,x\n")
+    write(shard1, HEADER + ",extra_b\n1,ck1,0,pk1,0,2.0,y\n")
+    proc = run_merge(os.path.join(tmp, "out.csv"), [shard0, shard1])
+    check(proc.returncode == 3,
+          "mismatch exit {} != 3".format(proc.returncode))
+    check("header differs from first shard" in proc.stderr,
+          "missing mismatch message: " + proc.stderr)
+    check("extra_a" in proc.stderr and "extra_b" in proc.stderr,
+          "differing columns not named: " + proc.stderr)
+    check("single-board and multi-board" not in proc.stderr,
+          "unrelated mismatch mislabelled as board mix: " + proc.stderr)
+    print("ok header_mismatch_names_columns")
+
+
+def test_single_multi_board_mix(tmp):
+    shard0 = os.path.join(tmp, "single.csv")
+    shard1 = os.path.join(tmp, "multi.csv")
+    write(shard0, HEADER + "\n0,ck0,0,pk0,0,1.0\n")
+    write(shard1, MULTI_HEADER + "\n1,ck1,0,pk1,0,2.0,2,chain,64\n")
+    proc = run_merge(os.path.join(tmp, "out.csv"), [shard0, shard1])
+    check(proc.returncode == 3,
+          "board-mix exit {} != 3".format(proc.returncode))
+    check("single-board and multi-board" in proc.stderr,
+          "board mix not called out: " + proc.stderr)
+    check("boards" in proc.stderr and "board_topology" in proc.stderr,
+          "board columns not named: " + proc.stderr)
+    print("ok single_multi_board_mix")
+
+
+def main():
+    with tempfile.TemporaryDirectory() as tmp:
+        test_merge_success(tmp)
+        test_header_mismatch_names_columns(tmp)
+        test_single_multi_board_mix(tmp)
+    print("merge_shards_test: all tests passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
