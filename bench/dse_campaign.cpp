@@ -22,11 +22,15 @@
 // only indices where index % N == i, writing `<name>.shardIofN.csv`.
 // `tools/merge_shards.py` reassembles the N shard CSVs into a file
 // byte-identical to the unsharded run.
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
 
 #include "bench/bench_common.hpp"
 #include "dse/campaign.hpp"
@@ -38,11 +42,32 @@ namespace {
 using namespace hybridic;
 
 // Exit codes follow the PR 4 scheme: 0 ok / 1 failures found / 2 usage /
-// 3 config / 5 store error.
+// 3 config / 5 store error. PR 9 adds 6 (interrupted and drained) and
+// 7 (completed with quarantined jobs); 6 beats 7 beats 1.
 constexpr int kExitFailures = 1;
 constexpr int kExitUsage = 2;
 constexpr int kExitConfig = 3;
 constexpr int kExitStore = 5;
+constexpr int kExitInterrupted = 6;
+constexpr int kExitQuarantined = 7;
+
+/// Set (only) by the SIGINT/SIGTERM handler; the campaign polls it as an
+/// admission gate, drains in-flight jobs, and flushes the journal.
+std::atomic<bool> g_stop{false};
+
+void handle_stop_signal(int) {
+  g_stop.store(true, std::memory_order_relaxed);
+}
+
+void install_signal_handlers() {
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = handle_stop_signal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // No SA_RESTART: the drain must not wait on a retry.
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+}
 
 struct Options {
   std::size_t threads = 0;
@@ -58,6 +83,9 @@ struct Options {
   bool assert_warm = false;
   std::uint32_t boards = 1;
   std::string board_topology = "chain";
+  std::string journal_path;
+  bool resume = false;
+  double job_timeout = 0.0;
 };
 
 void print_help(const char* argv0, std::ostream& out) {
@@ -65,7 +93,8 @@ void print_help(const char* argv0, std::ostream& out) {
       << " [--threads N] [--count N] [--seed S]"
       << " [--tier auto|analytic|cycle] [--smoke]"
       << " [--store DIR] [--shard I/N] [--assert-warm]"
-      << " [--boards N] [--board-topology chain|ring|mesh]\n"
+      << " [--boards N] [--board-topology chain|ring|mesh]"
+      << " [--journal FILE] [--resume] [--job-timeout S]\n"
       << "\n"
       << "Property-based design-space exploration campaign: sweeps\n"
       << "generated design points through profiling, Algorithm 1 and the\n"
@@ -84,7 +113,18 @@ void print_help(const char* argv0, std::ostream& out) {
       << "  --boards N      sample board counts in [1, N]; N > 1 runs the\n"
       << "                  two-level multi-board design on sampled rows\n"
       << "  --board-topology chain|ring|mesh   inter-board network shape\n"
+      << "  --journal FILE  append-only run journal: every settled design\n"
+      << "                  is checkpointed the moment it completes\n"
+      << "  --resume        skip designs already journaled for this exact\n"
+      << "                  campaign (requires --journal)\n"
+      << "  --job-timeout S wall-clock watchdog per design; a design that\n"
+      << "                  exceeds it is quarantined, not retried\n"
+      << "  --version       print the engine revision and exit 0\n"
       << "  --help          print this help and exit 0\n"
+      << "\n"
+      << "SIGINT/SIGTERM stop admission, drain in-flight designs, flush\n"
+      << "the journal, and exit 6; a later --resume run continues where\n"
+      << "the drain stopped.\n"
       << "\n"
       << "Exit codes:\n"
       << "  0  campaign completed, every oracle passed\n"
@@ -92,7 +132,9 @@ void print_help(const char* argv0, std::ostream& out) {
       << "  2  usage error: unknown flag or malformed value\n"
       << "  3  semantic configuration error\n"
       << "  5  store error: --store directory unusable (or --assert-warm"
-      << " cold)\n";
+      << " cold)\n"
+      << "  6  interrupted by SIGINT/SIGTERM and drained cleanly\n"
+      << "  7  campaign completed but quarantined >= 1 poison design\n";
 }
 
 void usage(const char* argv0) {
@@ -118,6 +160,15 @@ Options parse(int argc, char** argv) {
       print_help(argv[0], std::cout);
       std::exit(0);
     }
+    if (arg == "--version") {
+      std::cout << "dse_campaign engine revision "
+                << store::kEngineRevision << "\n";
+      std::exit(0);
+    }
+    if (arg == "--resume") {
+      options.resume = true;
+      continue;
+    }
     if (arg == "--smoke") {
       options.smoke = true;
       continue;
@@ -141,6 +192,24 @@ Options parse(int argc, char** argv) {
     }
     if (std::string v = value_of("--store"); !v.empty()) {
       options.store_dir = v;
+      continue;
+    }
+    if (std::string v = value_of("--journal"); !v.empty()) {
+      options.journal_path = v;
+      continue;
+    }
+    if (std::string v = value_of("--job-timeout"); !v.empty()) {
+      try {
+        options.job_timeout = std::stod(v);
+      } catch (const std::exception&) {
+        options.job_timeout = -1.0;
+      }
+      if (!(options.job_timeout > 0.0)) {
+        std::cerr << "--job-timeout expects a positive number of seconds, "
+                     "got '"
+                  << v << "'\n";
+        std::exit(kExitUsage);
+      }
       continue;
     }
     if (std::string v = value_of("--shard"); !v.empty()) {
@@ -207,6 +276,17 @@ Options parse(int argc, char** argv) {
     std::cerr << "--shard requires --tier=analytic or --tier=cycle\n";
     std::exit(kExitUsage);
   }
+  if (options.resume && options.journal_path.empty()) {
+    std::cerr << "--resume requires --journal FILE\n";
+    std::exit(kExitUsage);
+  }
+  if (!options.journal_path.empty() &&
+      options.tier == tiers::TierMode::kAuto) {
+    // Same global-selection problem as sharding: a resumed run would
+    // rank escalations against a different survivor set.
+    std::cerr << "--journal requires --tier=analytic or --tier=cycle\n";
+    std::exit(kExitUsage);
+  }
   return options;
 }
 
@@ -214,6 +294,7 @@ Options parse(int argc, char** argv) {
 
 int main(int argc, char** argv) {
   const Options options = parse(argc, argv);
+  install_signal_handlers();
 
   dse::CampaignOptions campaign;
   campaign.count = options.count;
@@ -223,6 +304,21 @@ int main(int argc, char** argv) {
   campaign.store_dir = options.store_dir;
   campaign.shard_index = options.shard_index;
   campaign.shard_count = options.shard_count;
+  campaign.journal_path = options.journal_path;
+  campaign.resume = options.resume;
+  campaign.job_timeout_seconds = options.job_timeout;
+  campaign.stop_requested = &g_stop;
+  // Test harness hook: HYBRIDIC_WEDGE_INDEX=N wedges design N forever,
+  // exercising the watchdog/quarantine path from the real binary. The
+  // abandoned thread sleeps until process exit.
+  if (const char* wedge_env = std::getenv("HYBRIDIC_WEDGE_INDEX")) {
+    const std::uint64_t wedge_index = std::stoull(wedge_env);
+    campaign.job_started_hook = [wedge_index](std::uint64_t index) {
+      while (index == wedge_index) {
+        std::this_thread::sleep_for(std::chrono::seconds(3600));
+      }
+    };
+  }
   if (options.boards > 1) {
     campaign.space.min_boards = 1;
     campaign.space.max_boards = options.boards;
@@ -271,6 +367,18 @@ int main(int argc, char** argv) {
               << options.shard_count << ": " << result.cases.size()
               << " of " << options.count << " designs\n";
   }
+  if (!options.journal_path.empty()) {
+    std::cout << "journal " << options.journal_path
+              << ": resumed=" << result.resumed_count
+              << " quarantined=" << result.quarantined_count
+              << " drained=" << result.skipped_count
+              << " damaged_lines=" << result.journal_skipped_lines << "\n";
+  }
+  if (result.interrupted) {
+    std::cout << "interrupted: admission stopped, in-flight designs "
+                 "drained, journal flushed ("
+              << result.skipped_count << " designs not started)\n";
+  }
 
   // Live cache/store counters: stdout only — they vary with thread count,
   // shard split, and store warmth, so they never enter the CSV/REPORT.
@@ -315,6 +423,13 @@ int main(int argc, char** argv) {
     out << dse::campaign_csv(result);
     std::cout << "wrote " << path << " (" << result.cases.size()
               << " designs, " << failures << " with failures)\n";
+    // Smoke skips oracle shrinking (max_shrinks 0) but still pins poison
+    // designs: quarantine reproducers bypass that budget.
+    const std::vector<std::string> saved = dse::save_reproducers(
+        result, "bench_results/dse_reproducers");
+    for (const std::string& p : saved) {
+      std::cout << "shrunk reproducer: " << p << "\n";
+    }
   } else {
     const std::string path = bench::csv_path(shard_name("dse_campaign"));
     std::ofstream out{path};
@@ -334,6 +449,15 @@ int main(int argc, char** argv) {
     for (const std::string& p : saved) {
       std::cout << "shrunk reproducer: " << p << "\n";
     }
+  }
+  // Precedence: a drain outranks quarantine outranks oracle failures —
+  // the caller must first learn the run is incomplete, then that some
+  // designs never produced a verdict, then the verdicts themselves.
+  if (result.interrupted) {
+    return kExitInterrupted;
+  }
+  if (result.quarantined_count > 0) {
+    return kExitQuarantined;
   }
   return failures == 0 ? 0 : kExitFailures;
 }

@@ -27,6 +27,7 @@
 //                §15): profiles load from DIR when present (skipping the
 //                QUAD pass) and fresh profiles are written back
 //   --all        everything above plus the system comparison (default)
+//   --version    print the engine revision and exit 0
 //   --help       print usage and exit 0
 //
 // Exit codes (scripted callers rely on these staying distinct):
@@ -507,6 +508,11 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::string{argv[i]} == "--help") {
       print_usage();
+      return kExitVerified;
+    }
+    if (std::string{argv[i]} == "--version") {
+      std::cout << "hybridic_cli engine revision "
+                << hybridic::store::kEngineRevision << "\n";
       return kExitVerified;
     }
   }

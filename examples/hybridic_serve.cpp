@@ -1,0 +1,574 @@
+// hybridic_serve: a supervised JSON-lines front end over the pipeline.
+//
+// Reads one flat JSON object per stdin line, runs the full flow for it —
+// synthetic config -> QUAD profiling -> Algorithm 1 -> the requested
+// evaluation tier — and writes one JSON object per stdout line. The
+// process is long-lived: the profile cache and the tiered evaluator stay
+// warm across requests, so repeated shapes are served from memory.
+//
+// Request fields (all optional; unknown keys are usage errors):
+//   id               echoed verbatim in the response
+//   op               "design" (default) | "stats"
+//   seed, kernels, hosts, boards          integers
+//   edge_p, dup_p, stream_p               probabilities in [0, 1]
+//   min_edge_bytes, max_edge_bytes        integers
+//   min_work, max_work                    integers
+//   board_topology   chain | ring | mesh
+//   tier             analytic (default) | cycle
+//   timeout_s        per-request wall-clock watchdog (0 = none)
+//
+// Responses: {"id":...,"ok":true,...} on success, or
+// {"id":...,"ok":false,"error":E,"exit_code":N,"message":M} where the
+// error taxonomy E/N mirrors the CLI exit-code scheme ("internal"/1,
+// "usage"/2, "config"/3, "timeout"/4, "store"/5). A request whose
+// watchdog expires is answered with the timeout taxonomy, counted as
+// quarantined, and the wedged attempt is abandoned — the server keeps
+// serving.
+//
+// Shutdown: EOF on stdin, SIGINT or SIGTERM. The server finishes the
+// in-flight request, prints its counters to stderr and exits 0.
+#include <atomic>
+#include <cctype>
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "apps/profile_cache.hpp"
+#include "apps/synthetic.hpp"
+#include "dse/case_runner.hpp"
+#include "store/store.hpp"
+#include "sys/batch_runner.hpp"
+#include "tiers/tiered_evaluator.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using namespace hybridic;
+
+std::atomic<bool> g_stop{false};
+
+void handle_stop_signal(int) {
+  g_stop.store(true, std::memory_order_relaxed);
+}
+
+void install_signal_handlers() {
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = handle_stop_signal;
+  sigemptyset(&sa.sa_mask);
+  // No SA_RESTART: a signal must interrupt the blocking stdin read so the
+  // serve loop can notice the stop and shut down in order.
+  sa.sa_flags = 0;
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Minimal strict JSON: one flat object of string / number / bool values.
+// Anything else (arrays, nesting, null, trailing junk) is a usage error —
+// the protocol is deliberately narrow so damage is rejected, not guessed
+// at.
+
+struct JsonValue {
+  enum class Kind { kString, kNumber, kBool } kind = Kind::kString;
+  std::string text;  ///< Raw text: decoded string, number spelling, 0/1.
+};
+
+class FlatJsonParser {
+public:
+  explicit FlatJsonParser(const std::string& line) : text_(line) {}
+
+  /// Parse into `out`; on failure returns false and sets `error`.
+  bool parse(std::map<std::string, JsonValue>& out, std::string& error) {
+    skip_ws();
+    if (!take('{')) {
+      error = "expected '{'";
+      return false;
+    }
+    skip_ws();
+    if (take('}')) {
+      return finish(error);
+    }
+    while (true) {
+      std::string key;
+      if (!parse_string(key)) {
+        error = "expected a string key";
+        return false;
+      }
+      skip_ws();
+      if (!take(':')) {
+        error = "expected ':' after key \"" + key + "\"";
+        return false;
+      }
+      skip_ws();
+      JsonValue value;
+      if (!parse_value(value)) {
+        error = "bad value for key \"" + key + "\"";
+        return false;
+      }
+      if (!out.emplace(key, std::move(value)).second) {
+        error = "duplicate key \"" + key + "\"";
+        return false;
+      }
+      skip_ws();
+      if (take(',')) {
+        skip_ws();
+        continue;
+      }
+      if (take('}')) {
+        return finish(error);
+      }
+      error = "expected ',' or '}'";
+      return false;
+    }
+  }
+
+private:
+  bool finish(std::string& error) {
+    skip_ws();
+    if (pos_ != text_.size()) {
+      error = "trailing characters after '}'";
+      return false;
+    }
+    return true;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t')) {
+      ++pos_;
+    }
+  }
+
+  bool take(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool parse_string(std::string& out) {
+    if (!take('"')) {
+      return false;
+    }
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return true;
+      }
+      if (c == '\\') {
+        if (pos_ >= text_.size()) {
+          return false;
+        }
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'n': out.push_back('\n'); break;
+          case 't': out.push_back('\t'); break;
+          case 'r': out.push_back('\r'); break;
+          default: return false;  // \uXXXX et al: out of protocol.
+        }
+        continue;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return false;
+      }
+      out.push_back(c);
+    }
+    return false;
+  }
+
+  bool parse_value(JsonValue& out) {
+    if (pos_ < text_.size() && text_[pos_] == '"') {
+      out.kind = JsonValue::Kind::kString;
+      return parse_string(out.text);
+    }
+    if (text_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      out = {JsonValue::Kind::kBool, "1"};
+      return true;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      out = {JsonValue::Kind::kBool, "0"};
+      return true;
+    }
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    bool digits = false;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      digits = digits ||
+               std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0;
+      ++pos_;
+    }
+    if (!digits) {
+      return false;
+    }
+    out.kind = JsonValue::Kind::kNumber;
+    out.text = text_.substr(start, pos_ - start);
+    return true;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double value) {
+  std::ostringstream out;
+  out.precision(std::numeric_limits<double>::max_digits10);
+  out << value;
+  return out.str();
+}
+
+// ---------------------------------------------------------------------------
+// Error taxonomy: the structured mirror of the CLI exit-code scheme, so a
+// scripted caller can switch on one field either way.
+
+struct Taxonomy {
+  const char* error;
+  int exit_code;
+};
+
+constexpr Taxonomy kInternal{"internal", 1};
+constexpr Taxonomy kUsage{"usage", 2};
+constexpr Taxonomy kConfig{"config", 3};
+constexpr Taxonomy kTimeout{"timeout", 4};
+constexpr Taxonomy kStore{"store", 5};
+
+/// One finished request: the response line plus how to count it.
+struct ServeReply {
+  std::string json;       ///< Body after the echoed id ("ok":...}).
+  bool ok = false;
+};
+
+std::string error_body(const Taxonomy& taxonomy, const std::string& message) {
+  std::ostringstream out;
+  out << "\"ok\":false,\"error\":\"" << taxonomy.error
+      << "\",\"exit_code\":" << taxonomy.exit_code << ",\"message\":\""
+      << json_escape(message) << "\"}";
+  return out.str();
+}
+
+struct Counters {
+  std::uint64_t requests = 0;
+  std::uint64_t served = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t quarantined = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Request decoding.
+
+struct Request {
+  apps::SyntheticConfig config;
+  tiers::TierMode tier = tiers::TierMode::kAnalytic;
+  double timeout_seconds = 0.0;
+  std::string id;
+  bool stats = false;
+};
+
+bool parse_u64_field(const JsonValue& v, std::uint64_t& out) {
+  if (v.kind != JsonValue::Kind::kNumber) {
+    return false;
+  }
+  try {
+    std::size_t used = 0;
+    out = std::stoull(v.text, &used);
+    return used == v.text.size();
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+bool parse_u32_field(const JsonValue& v, std::uint32_t& out) {
+  std::uint64_t wide = 0;
+  if (!parse_u64_field(v, wide) || wide > UINT32_MAX) {
+    return false;
+  }
+  out = static_cast<std::uint32_t>(wide);
+  return true;
+}
+
+bool parse_double_field(const JsonValue& v, double& out) {
+  if (v.kind != JsonValue::Kind::kNumber) {
+    return false;
+  }
+  try {
+    std::size_t used = 0;
+    out = std::stod(v.text, &used);
+    return used == v.text.size();
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+/// Decode one parsed object into a Request; returns false with a usage
+/// message on any unknown key or ill-typed value.
+bool decode_request(const std::map<std::string, JsonValue>& fields,
+                    Request& request, std::string& error) {
+  for (const auto& [key, value] : fields) {
+    bool ok = true;
+    if (key == "id") {
+      ok = value.kind == JsonValue::Kind::kString;
+      request.id = value.text;
+    } else if (key == "op") {
+      if (value.text == "stats") {
+        request.stats = true;
+      } else {
+        ok = value.text == "design";
+      }
+    } else if (key == "seed") {
+      ok = parse_u64_field(value, request.config.seed);
+    } else if (key == "kernels") {
+      ok = parse_u32_field(value, request.config.kernel_count);
+    } else if (key == "hosts") {
+      ok = parse_u32_field(value, request.config.host_function_count);
+    } else if (key == "boards") {
+      ok = parse_u32_field(value, request.config.board_count);
+    } else if (key == "edge_p") {
+      ok = parse_double_field(value, request.config.kernel_edge_probability);
+    } else if (key == "dup_p") {
+      ok = parse_double_field(value, request.config.duplicable_probability);
+    } else if (key == "stream_p") {
+      ok = parse_double_field(value, request.config.streaming_probability);
+    } else if (key == "min_edge_bytes") {
+      ok = parse_u64_field(value, request.config.min_edge_bytes);
+    } else if (key == "max_edge_bytes") {
+      ok = parse_u64_field(value, request.config.max_edge_bytes);
+    } else if (key == "min_work") {
+      ok = parse_u64_field(value, request.config.min_work_units);
+    } else if (key == "max_work") {
+      ok = parse_u64_field(value, request.config.max_work_units);
+    } else if (key == "board_topology") {
+      ok = value.text == "chain" || value.text == "ring" ||
+           value.text == "mesh";
+      request.config.board_topology = value.text;
+    } else if (key == "tier") {
+      const auto mode = tiers::parse_tier_mode(value.text);
+      // Auto is a campaign concept (batch-ranked escalation); a single
+      // request picks its tier explicitly.
+      ok = mode.has_value() && *mode != tiers::TierMode::kAuto;
+      if (ok) {
+        request.tier = *mode;
+      }
+    } else if (key == "timeout_s") {
+      ok = parse_double_field(value, request.timeout_seconds) &&
+           request.timeout_seconds >= 0.0;
+    } else {
+      error = "unknown key \"" + key + "\"";
+      return false;
+    }
+    if (!ok) {
+      error = "bad value for key \"" + key + "\"";
+      return false;
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// The design job itself. Runs on a watchdog thread when the request set
+// timeout_s, so it only touches state that outlives the request: the
+// evaluator and cache live in main() until process exit.
+
+ServeReply run_design(const Request& request,
+                      tiers::TieredEvaluator& evaluator,
+                      apps::ProfileCache& cache) {
+  ServeReply reply;
+  try {
+    std::ostringstream out;
+    out << "\"ok\":true,\"tier\":\"" << tiers::to_string(request.tier)
+        << "\"";
+    if (request.tier == tiers::TierMode::kCycle) {
+      const dse::DesignCase c = dse::run_design_case(request.config, &cache);
+      const tiers::TierEstimate estimate =
+          evaluator.estimate(c.schedule, c.exp.proposed_design);
+      out << ",\"solution\":\""
+          << json_escape(c.exp.proposed_design.solution_tag())
+          << "\",\"baseline_s\":" << json_number(c.exp.baseline.total_seconds)
+          << ",\"designed_s\":" << json_number(c.exp.proposed.total_seconds)
+          << ",\"crossbar_s\":" << json_number(c.crossbar.total_seconds)
+          << ",\"pipelined_makespan_s\":"
+          << json_number(c.pipelined.makespan_seconds)
+          << ",\"analytic_designed_s\":"
+          << json_number(estimate.designed_kernel_seconds);
+    } else {
+      tiers::AnalyticCase analytic =
+          evaluator.analyze(request.config, &cache);
+      out << ",\"solution\":\""
+          << json_escape(analytic.proposed.solution_tag())
+          << "\",\"analytic_baseline_s\":"
+          << json_number(analytic.estimate.baseline_kernel_seconds)
+          << ",\"analytic_designed_s\":"
+          << json_number(analytic.estimate.designed_kernel_seconds)
+          << ",\"analytic_lo_s\":"
+          << json_number(analytic.estimate.designed_lower_seconds)
+          << ",\"analytic_hi_s\":"
+          << json_number(analytic.estimate.designed_upper_seconds);
+    }
+    out << "}";
+    reply.json = out.str();
+    reply.ok = true;
+  } catch (const store::StoreError& e) {
+    reply.json = error_body(kStore, e.what());
+  } catch (const SimTimeoutError& e) {
+    reply.json = error_body(kTimeout, e.what());
+  } catch (const ConfigError& e) {
+    reply.json = error_body(kConfig, e.what());
+  } catch (const std::exception& e) {
+    reply.json = error_body(kInternal, e.what());
+  }
+  return reply;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--version") {
+      std::cout << "hybridic_serve engine revision "
+                << store::kEngineRevision << "\n";
+      return 0;
+    }
+    if (arg == "--help") {
+      std::cout
+          << "usage: " << argv[0] << "\n"
+          << "\n"
+          << "JSON-lines server: one flat JSON request per stdin line,\n"
+          << "one JSON response per stdout line. See the header comment\n"
+          << "of examples/hybridic_serve.cpp (and docs/MODEL.md section\n"
+          << "17) for\n"
+          << "the request schema and the error taxonomy. Exits 0 on EOF\n"
+          << "or SIGINT/SIGTERM after finishing the in-flight request.\n";
+      return 0;
+    }
+    std::cerr << "unknown flag '" << arg << "'\n";
+    return 2;
+  }
+  install_signal_handlers();
+
+  tiers::TieredEvaluator evaluator;
+  apps::ProfileCache cache;
+  Counters counters;
+
+  std::string line;
+  while (!g_stop.load(std::memory_order_relaxed) &&
+         std::getline(std::cin, line)) {
+    if (line.empty()) {
+      continue;  // Blank lines are keep-alives, not requests.
+    }
+    ++counters.requests;
+
+    std::map<std::string, JsonValue> fields;
+    Request request;
+    std::string parse_error;
+    FlatJsonParser parser{line};
+    if (!parser.parse(fields, parse_error) ||
+        !decode_request(fields, request, parse_error)) {
+      ++counters.failed;
+      std::cout << "{\"id\":\"" << json_escape(request.id) << "\","
+                << error_body(kUsage, parse_error) << "\n"
+                << std::flush;
+      continue;
+    }
+
+    if (request.stats) {
+      ++counters.served;
+      std::cout << "{\"id\":\"" << json_escape(request.id)
+                << "\",\"ok\":true,\"requests\":" << counters.requests
+                << ",\"served\":" << counters.served
+                << ",\"failed\":" << counters.failed
+                << ",\"quarantined\":" << counters.quarantined << "}\n"
+                << std::flush;
+      continue;
+    }
+
+    // The request body under its watchdog. The attempt thread owns copies
+    // of the closure; an expired request is abandoned (and counted as
+    // quarantined), never joined.
+    const auto body = [&evaluator, &cache,
+                       request](sys::JobContext&) -> ServeReply {
+      return run_design(request, evaluator, cache);
+    };
+    sys::detail::AttemptOutcome<ServeReply> outcome;
+    if (request.timeout_seconds > 0.0) {
+      sys::JobContext context{request.id, sys::job_seed(request.id),
+                              Rng{sys::job_seed(request.id)}, 0};
+      outcome = sys::detail::attempt_with_watchdog<ServeReply>(
+          body, std::move(context), nullptr, request.timeout_seconds);
+    } else {
+      sys::JobContext context{request.id, sys::job_seed(request.id),
+                              Rng{sys::job_seed(request.id)}, 0};
+      outcome = sys::detail::run_attempt<ServeReply>(body, context, nullptr);
+    }
+
+    std::string tail;
+    switch (outcome.status) {
+      case sys::JobStatus::kOk:
+        tail = outcome.value->json;
+        if (outcome.value->ok) {
+          ++counters.served;
+        } else {
+          ++counters.failed;
+        }
+        break;
+      case sys::JobStatus::kTimeout:
+        ++counters.quarantined;
+        tail = error_body(kTimeout, outcome.error);
+        break;
+      default:
+        ++counters.failed;
+        tail = error_body(kInternal, outcome.error);
+        break;
+    }
+    std::cout << "{\"id\":\"" << json_escape(request.id) << "\"," << tail
+              << "\n"
+              << std::flush;
+  }
+
+  std::cerr << "hybridic_serve: "
+            << (g_stop.load(std::memory_order_relaxed) ? "signal" : "eof")
+            << " shutdown; requests=" << counters.requests
+            << " served=" << counters.served << " failed=" << counters.failed
+            << " quarantined=" << counters.quarantined << "\n";
+  return 0;
+}

@@ -3,14 +3,18 @@
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <memory>
 #include <set>
 #include <sstream>
 #include <utility>
 
 #include "dse/case_runner.hpp"
+#include "dse/outcome_codec.hpp"
 #include "dse/shrinker.hpp"
 #include "store/adapters.hpp"
+#include "store/codec.hpp"
+#include "store/journal.hpp"
 #include "sys/batch_runner.hpp"
 #include "util/error.hpp"
 
@@ -30,17 +34,19 @@ std::string hex_key(std::uint64_t key) {
   return out.str();
 }
 
-/// 16-hex content hash of a row's profile identity: the exact string the
-/// profile cache (and the L2 store, revision aside) keys the config by.
-std::string profile_key_of(const apps::SyntheticConfig& config) {
+std::string hex16(std::uint64_t h) {
   static const char* kDigits = "0123456789abcdef";
-  const std::uint64_t h =
-      store::fnv1a64(apps::ProfileCache::synthetic_key(config));
   std::string out(16, '0');
   for (std::size_t i = 0; i < 16; ++i) {
     out[i] = kDigits[(h >> (60 - 4 * i)) & 0xF];
   }
   return out;
+}
+
+/// 16-hex content hash of a row's profile identity: the exact string the
+/// profile cache (and the L2 store, revision aside) keys the config by.
+std::string profile_key_of(const apps::SyntheticConfig& config) {
+  return hex16(store::fnv1a64(apps::ProfileCache::synthetic_key(config)));
 }
 
 /// CSV-safe rendering of a free-form message (no commas, no newlines).
@@ -79,6 +85,9 @@ CaseOutcome run_cycle_outcome(std::uint64_t index,
   outcome.simulated = true;  ///< The cycle engine owns this row (even on
                              ///< error, so auto rows mirror cycle rows).
   try {
+    if (options.job_started_hook) {
+      options.job_started_hook(index);
+    }
     const DesignCase c = run_design_case(outcome.config, cache);
     outcome.solution_tag = c.exp.proposed_design.solution_tag();
     outcome.baseline_seconds = c.exp.baseline.total_seconds;
@@ -100,6 +109,10 @@ CaseOutcome run_cycle_outcome(std::uint64_t index,
         c.exp.proposed.kernel_seconds();
     outcome.band_violation = !outcome.analytic->contains_designed(
         outcome.measured_designed_kernel_seconds);
+  } catch (const store::StoreError&) {
+    // Transient by classification (a flaky filesystem, not a property of
+    // the design): propagate so the supervisor can retry with backoff.
+    throw;
   } catch (const std::exception& e) {
     outcome.error = e.what();
   }
@@ -116,6 +129,9 @@ CaseOutcome run_analytic_outcome(std::uint64_t index,
   outcome.index = index;
   outcome.config = sample_config(options.space, options.campaign_seed, index);
   try {
+    if (options.job_started_hook) {
+      options.job_started_hook(index);
+    }
     tiers::AnalyticCase analytic = evaluator.analyze(outcome.config, cache);
     outcome.solution_tag = analytic.proposed.solution_tag();
     outcome.analytic = analytic.estimate;
@@ -147,6 +163,8 @@ CaseOutcome run_analytic_outcome(std::uint64_t index,
         outcome.oracles.push_back(oracle.check(c));
       }
     }
+  } catch (const store::StoreError&) {
+    throw;  // Transient: the supervisor retries with backoff.
   } catch (const std::exception& e) {
     outcome.error = e.what();
   }
@@ -210,7 +228,167 @@ void finalize_tier_record(CampaignResult& result,
   }
 }
 
+/// Deterministic row for a poison job: config fields only, a stable
+/// "quarantined: ..." note (no measured times), no verdicts — so a
+/// wedged-then-resumed campaign and an uninterrupted one print the
+/// identical row.
+CaseOutcome quarantine_outcome(std::uint64_t index,
+                               const CampaignOptions& options,
+                               const std::string& error) {
+  CaseOutcome outcome;
+  outcome.index = index;
+  outcome.config = sample_config(options.space, options.campaign_seed, index);
+  outcome.quarantined = true;
+  outcome.error = "quarantined: " + error;
+  return outcome;
+}
+
+CaseOutcome skipped_outcome(std::uint64_t index,
+                            const CampaignOptions& options) {
+  CaseOutcome outcome;
+  outcome.index = index;
+  outcome.config = sample_config(options.space, options.campaign_seed, index);
+  outcome.skipped = true;
+  outcome.error = "skipped: interrupted before start";
+  return outcome;
+}
+
+/// Everything a job body touches, heap-held behind one shared_ptr: a
+/// watchdog-abandoned attempt may outlive run_campaign's frame, so job
+/// closures capture this by value and never reference the stack.
+struct CampaignState {
+  CampaignOptions options;
+  tiers::TieredEvaluator evaluator;
+  apps::ProfileCache profile_cache;
+  std::shared_ptr<store::Store> disk;
+};
+
+using CaseBody = std::function<CaseOutcome(
+    const std::shared_ptr<CampaignState>&, std::uint64_t)>;
+
+/// One supervised batch over `indices`: restored rows come straight from
+/// the journal replay, live rows run under the watchdog/retry/stop-gate
+/// supervisor, and every settled row (ok or quarantined) is journaled the
+/// moment it finishes — a SIGKILL loses at most the in-flight jobs.
+std::vector<CaseOutcome> run_case_batch(
+    sys::BatchRunner& runner, const std::shared_ptr<CampaignState>& state,
+    const std::vector<std::uint64_t>& indices,
+    const std::function<std::string(std::uint64_t)>& key_of,
+    const CaseBody& body,
+    const std::map<std::string, CaseOutcome>& restored,
+    store::Journal* journal, const std::string& fingerprint,
+    CampaignResult& result) {
+  std::vector<CaseOutcome> outcomes(indices.size());
+  std::vector<std::uint64_t> live;
+  std::vector<std::size_t> live_slot;
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    const std::uint64_t index = indices[i];
+    const auto it = restored.find(key_of(index));
+    if (it != restored.end()) {
+      CaseOutcome outcome = it->second;
+      outcome.resumed = true;
+      ++result.resumed_count;
+      if (outcome.quarantined) {
+        ++result.quarantined_count;
+      }
+      outcomes[i] = std::move(outcome);
+    } else {
+      live.push_back(index);
+      live_slot.push_back(i);
+    }
+  }
+  if (live.empty()) {
+    return outcomes;
+  }
+
+  sys::SuperviseOptions supervise;
+  supervise.job_timeout_seconds = state->options.job_timeout_seconds;
+  supervise.transient_retries = state->options.transient_retries;
+  supervise.backoff_initial_seconds = state->options.backoff_initial_seconds;
+  supervise.is_transient = [](const std::exception& e) {
+    return dynamic_cast<const store::StoreError*>(&e) != nullptr;
+  };
+  supervise.stop_requested = state->options.stop_requested;
+
+  std::vector<sys::BatchRunner::Job<CaseOutcome>> jobs;
+  jobs.reserve(live.size());
+  for (const std::uint64_t index : live) {
+    // Value captures only: an abandoned attempt thread keeps its own
+    // shared_ptr to the campaign state and its own copy of the body.
+    jobs.push_back({key_of(index), [state, body, index](sys::JobContext&) {
+                      return body(state, index);
+                    }});
+  }
+
+  const auto on_settled =
+      [&live, &state, journal, &fingerprint, &key_of](
+          std::size_t slot, const sys::SupervisedResult<CaseOutcome>& r) {
+        if (journal == nullptr || r.status == sys::JobStatus::kSkipped) {
+          return;  // Skipped jobs are NOT journaled: a resume re-runs them.
+        }
+        const std::uint64_t index = live[slot];
+        const CaseOutcome outcome =
+            r.status == sys::JobStatus::kOk
+                ? *r.value
+                : quarantine_outcome(index, state->options, r.error);
+        journal->append(fingerprint, key_of(index), encode_outcome(outcome));
+      };
+
+  std::vector<sys::SupervisedResult<CaseOutcome>> slots =
+      runner.run_supervised(std::move(jobs), supervise, on_settled);
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    sys::SupervisedResult<CaseOutcome>& slot = slots[i];
+    CaseOutcome& outcome = outcomes[live_slot[i]];
+    switch (slot.status) {
+      case sys::JobStatus::kOk:
+        outcome = std::move(*slot.value);
+        break;
+      case sys::JobStatus::kTimeout:
+      case sys::JobStatus::kCrashed:
+        outcome = quarantine_outcome(live[i], state->options, slot.error);
+        ++result.quarantined_count;
+        break;
+      case sys::JobStatus::kSkipped:
+        outcome = skipped_outcome(live[i], state->options);
+        ++result.skipped_count;
+        result.interrupted = true;
+        break;
+    }
+  }
+  return outcomes;
+}
+
 }  // namespace
+
+std::string campaign_fingerprint(const CampaignOptions& options) {
+  using store::hexf;
+  const SweepSpace& space = options.space;
+  const OracleBounds& bounds = options.bounds;
+  std::ostringstream s;
+  s << "campaign-fp 1"
+    << "|rev " << store::kEngineRevision
+    << "|tier " << tiers::to_string(options.tier)
+    << "|seed " << options.campaign_seed
+    << "|count " << options.count
+    << "|shard " << options.shard_index << '/' << options.shard_count
+    << "|kernels " << space.min_kernels << ' ' << space.max_kernels
+    << "|edgep " << hexf(space.min_edge_probability) << ' '
+    << hexf(space.max_edge_probability)
+    << "|bytes " << space.min_edge_bytes_floor << ' '
+    << space.max_edge_bytes_ceiling
+    << "|work " << space.min_work_units_floor << ' '
+    << space.max_work_units_ceiling
+    << "|boards " << space.min_boards << ' ' << space.max_boards
+    << "|topologies";
+  for (const std::string& topology : space.board_topologies) {
+    s << ' ' << topology;
+  }
+  s << "|bounds " << hexf(bounds.baseline_perf_band) << ' '
+    << hexf(bounds.proposed_perf_band) << ' ' << hexf(bounds.speedup_slack)
+    << ' ' << hexf(bounds.pipeline_slack)
+    << "|watchdog " << hexf(options.job_timeout_seconds);
+  return hex16(store::fnv1a64(s.str()));
+}
 
 apps::SyntheticConfig sample_config(const SweepSpace& space,
                                     std::uint64_t campaign_seed,
@@ -311,6 +489,15 @@ CampaignResult run_campaign(const CampaignOptions& options) {
   require(options.shard_count == 1 || options.tier != tiers::TierMode::kAuto,
           "--shard requires --tier=analytic or --tier=cycle: auto-mode "
           "escalation selection is global");
+  // Journaling keys one ledger record per job; auto mode re-decides the
+  // escalation set globally on every run, so a partial ledger could not
+  // reproduce it. Same restriction (and reason) as sharding.
+  require(options.journal_path.empty() ||
+              options.tier != tiers::TierMode::kAuto,
+          "--journal requires --tier=analytic or --tier=cycle: auto-mode "
+          "escalation selection is global");
+  require(!options.resume || !options.journal_path.empty(),
+          "--resume requires --journal");
 
   CampaignResult result;
   result.multi_board = options.space.multi_board();
@@ -333,60 +520,89 @@ CampaignResult run_campaign(const CampaignOptions& options) {
   // cache. estimate() is thread-safe and pure, so sharing it across jobs
   // never breaks the determinism contract. The profile cache memoizes
   // QUAD runs across design points; with a store attached both caches
-  // gain a persistent L2 tier shared across processes and shards.
-  tiers::TieredEvaluator evaluator;
-  apps::ProfileCache profile_cache;
-  profile_cache.set_capacity(
+  // gain a persistent L2 tier shared across processes and shards. All of
+  // it lives behind one shared_ptr (CampaignState) so watchdog-abandoned
+  // attempts never dangle into this frame.
+  auto state = std::make_shared<CampaignState>();
+  state->options = options;
+  state->profile_cache.set_capacity(
       static_cast<std::size_t>(options.profile_cache_max_entries),
       options.profile_cache_max_bytes);
-  std::shared_ptr<store::Store> disk;
   if (!options.store_dir.empty()) {
-    disk = std::make_shared<store::Store>(options.store_dir);
-    profile_cache.set_l2(std::make_shared<store::ProfileStoreL2>(disk));
-    evaluator.set_estimate_l2(std::make_shared<store::EstimateStoreL2>(
-        disk,
-        store::estimate_scope(evaluator.platform(),
-                              evaluator.calibration())));
+    state->disk = std::make_shared<store::Store>(options.store_dir);
+    state->profile_cache.set_l2(
+        std::make_shared<store::ProfileStoreL2>(state->disk));
+    state->evaluator.set_estimate_l2(std::make_shared<store::EstimateStoreL2>(
+        state->disk,
+        store::estimate_scope(state->evaluator.platform(),
+                              state->evaluator.calibration())));
   }
-  apps::ProfileCache* cache = &profile_cache;
   sys::BatchRunner runner{options.threads};
-  const CampaignOptions& opts = options;
 
-  const auto cycle_key = [&options](std::uint64_t index) {
-    // The same key in cycle mode and for auto-mode escalations: escalated
-    // rows replay the identical RNG stream, so their CSV rows match a
-    // pure --tier=cycle campaign byte for byte.
-    return "dse/" + std::to_string(options.campaign_seed) + "/" +
-           std::to_string(index);
-  };
+  // Run journal (docs/MODEL.md §17): replay the ledger first when
+  // resuming, then open it for appending. Records from a different
+  // campaign fingerprint — or damaged beyond their checksum — are
+  // ignored: a stale or torn ledger degrades to re-execution.
+  const std::string fingerprint = campaign_fingerprint(options);
+  std::unique_ptr<store::Journal> journal;
+  std::map<std::string, CaseOutcome> restored;
+  if (!options.journal_path.empty()) {
+    if (options.resume) {
+      store::Journal::ReadResult ledger =
+          store::Journal::read(options.journal_path);
+      result.journal_skipped_lines = ledger.skipped_lines;
+      for (store::Journal::Entry& entry : ledger.entries) {
+        if (entry.fingerprint != fingerprint ||
+            restored.count(entry.key) != 0) {
+          continue;  // Stale campaign, or a benign duplicate (first wins —
+                     // re-appends of a completed job carry identical bytes).
+        }
+        std::optional<CaseOutcome> outcome = decode_outcome(entry.payload);
+        if (!outcome.has_value()) {
+          ++result.journal_skipped_lines;
+          continue;
+        }
+        restored.emplace(entry.key, std::move(*outcome));
+      }
+    }
+    journal = std::make_unique<store::Journal>(options.journal_path);
+  }
+
+  const std::uint64_t campaign_seed = options.campaign_seed;
+  const std::function<std::string(std::uint64_t)> cycle_key =
+      [campaign_seed](std::uint64_t index) {
+        // The same key in cycle mode and for auto-mode escalations:
+        // escalated rows replay the identical RNG stream, so their CSV
+        // rows match a pure --tier=cycle campaign byte for byte.
+        return "dse/" + std::to_string(campaign_seed) + "/" +
+               std::to_string(index);
+      };
+  const std::function<std::string(std::uint64_t)> tier_key =
+      [campaign_seed](std::uint64_t index) {
+        return "tier/" + std::to_string(campaign_seed) + "/" +
+               std::to_string(index);
+      };
 
   if (options.tier == tiers::TierMode::kCycle) {
-    std::vector<sys::BatchRunner::Job<CaseOutcome>> jobs;
-    jobs.reserve(owned.size());
-    for (const std::uint64_t index : owned) {
-      jobs.push_back({cycle_key(index), [index, &opts, &evaluator, cache](
-                                            sys::JobContext&) {
-                        return run_cycle_outcome(
-                            index, opts, evaluator, cache,
-                            tiers::EscalationReason::kRequested);
-                      }});
-    }
-    result.cases = runner.run(std::move(jobs));
+    const CaseBody body = [](const std::shared_ptr<CampaignState>& s,
+                             std::uint64_t index) {
+      return run_cycle_outcome(index, s->options, s->evaluator,
+                               &s->profile_cache,
+                               tiers::EscalationReason::kRequested);
+    };
+    result.cases = run_case_batch(runner, state, owned, cycle_key, body,
+                                  restored, journal.get(), fingerprint,
+                                  result);
   } else {
     // Phase 1: the analytic tier over every owned design point.
-    std::vector<sys::BatchRunner::Job<CaseOutcome>> probes;
-    probes.reserve(owned.size());
-    for (const std::uint64_t index : owned) {
-      const std::string key = "tier/" +
-                              std::to_string(options.campaign_seed) + "/" +
-                              std::to_string(index);
-      probes.push_back({key,
-                        [index, &opts, &evaluator, cache](sys::JobContext&) {
-                          return run_analytic_outcome(index, opts, evaluator,
-                                                      cache);
-                        }});
-    }
-    result.cases = runner.run(std::move(probes));
+    const CaseBody body = [](const std::shared_ptr<CampaignState>& s,
+                             std::uint64_t index) {
+      return run_analytic_outcome(index, s->options, s->evaluator,
+                                  &s->profile_cache);
+    };
+    result.cases = run_case_batch(runner, state, owned, tier_key, body,
+                                  restored, journal.get(), fingerprint,
+                                  result);
 
     // Phase 2 (serial): pick the designs that must climb to the cycle
     // tier — sim-free oracle failures and ranked contenders.
@@ -433,20 +649,21 @@ CampaignResult run_campaign(const CampaignOptions& options) {
           escalated.push_back(index);
         }
       }
-      std::vector<sys::BatchRunner::Job<CaseOutcome>> cycles;
-      cycles.reserve(escalated.size());
-      for (const std::uint64_t index : escalated) {
-        const tiers::EscalationReason reason = reasons[index];
-        cycles.push_back({cycle_key(index),
-                          [index, &opts, &evaluator, cache, reason](
-                              sys::JobContext&) {
-                            return run_cycle_outcome(index, opts, evaluator,
-                                                     cache, reason);
-                          }});
-      }
-      std::vector<CaseOutcome> escalated_outcomes =
-          runner.run(std::move(cycles));
+      auto shared_reasons =
+          std::make_shared<std::vector<tiers::EscalationReason>>(reasons);
+      const CaseBody cycle_body = [shared_reasons](
+                                      const std::shared_ptr<CampaignState>& s,
+                                      std::uint64_t index) {
+        return run_cycle_outcome(index, s->options, s->evaluator,
+                                 &s->profile_cache, (*shared_reasons)[index]);
+      };
+      std::vector<CaseOutcome> escalated_outcomes = run_case_batch(
+          runner, state, escalated, cycle_key, cycle_body, restored,
+          journal.get(), fingerprint, result);
       for (std::size_t slot = 0; slot < escalated.size(); ++slot) {
+        if (escalated_outcomes[slot].skipped) {
+          continue;  // Drained before its cycle run: keep the analytic row.
+        }
         result.cases[escalated[slot]] =
             std::move(escalated_outcomes[slot]);
       }
@@ -457,21 +674,28 @@ CampaignResult run_campaign(const CampaignOptions& options) {
 
   // Live counters for stdout reporting (never the CSV/REPORT: they vary
   // with thread count, shard split, and store warmth).
-  result.profile_cache_stats = profile_cache.stats();
-  result.estimate_l2_hits = evaluator.cache().l2_hits();
-  result.estimate_l2_stores = evaluator.cache().l2_stores();
-  if (disk != nullptr) {
-    result.store_stats = disk->stats();
+  result.profile_cache_stats = state->profile_cache.stats();
+  result.estimate_l2_hits = state->evaluator.cache().l2_hits();
+  result.estimate_l2_stores = state->evaluator.cache().l2_stores();
+  if (state->disk != nullptr) {
+    result.store_stats = state->disk->stats();
+  }
+  if (options.stop_requested != nullptr &&
+      options.stop_requested->load(std::memory_order_relaxed)) {
+    result.interrupted = true;
   }
 
   // Shrink the first failure of each distinct oracle (index order), up to
-  // the budget. Serial and deterministic.
+  // the budget. Serial and deterministic. An interrupted (draining) run
+  // skips all shrinking to exit promptly — the resumed run emits the full
+  // set.
   std::set<std::string> shrunk_oracles;
   for (const CaseOutcome& outcome : result.cases) {
-    if (result.reproducers.size() >= options.max_shrinks) {
+    if (result.interrupted ||
+        result.reproducers.size() >= options.max_shrinks) {
       break;
     }
-    if (!outcome.ran()) {
+    if (!outcome.ran() || outcome.quarantined || outcome.skipped) {
       continue;
     }
     for (const OracleResult& r : outcome.oracles) {
@@ -491,6 +715,41 @@ CampaignResult run_campaign(const CampaignOptions& options) {
         break;
       }
     }
+  }
+
+  // Every quarantined row (fresh or resumed) yields a reproducer so the
+  // poison config is pinned in the checked-in JSON format. The shrink
+  // probe is itself supervised — a candidate of a genuinely wedged config
+  // wedges too, costing a full watchdog budget per probe, hence the
+  // separate (small) attempt budget. A wedge keyed on the environment
+  // rather than the config (e.g. the test harness wedging one index)
+  // fails to reproduce under the probe and is pinned unshrunk. Not gated
+  // by max_shrinks: a --smoke run (max_shrinks 0) must still pin poison
+  // jobs. "quarantine-*" names are not library oracles — these files
+  // document the quarantine, they do not replay.
+  for (const CaseOutcome& outcome : result.cases) {
+    if (!outcome.quarantined || result.interrupted) {
+      continue;
+    }
+    const double probe_timeout = options.job_timeout_seconds;
+    const auto still_wedged =
+        [probe_timeout](const apps::SyntheticConfig& candidate) {
+          // The probe's copy of the candidate keeps an abandoned probe
+          // thread safe after this frame unwinds.
+          return sys::probe_supervised(
+                     [candidate] { (void)run_design_case(candidate); },
+                     probe_timeout) != sys::JobStatus::kOk;
+        };
+    const ConfigShrink shrunk = shrink_config(
+        outcome.config, still_wedged, options.quarantine_shrink_attempts);
+    Reproducer reproducer;
+    reproducer.oracle = outcome.error.find("watchdog") != std::string::npos
+                            ? "quarantine-timeout"
+                            : "quarantine-crash";
+    reproducer.expect = Expectation::kFail;  ///< Pinned live failure.
+    reproducer.message = outcome.error;
+    reproducer.config = shrunk.config;
+    result.reproducers.push_back(std::move(reproducer));
   }
   return result;
 }
@@ -513,7 +772,7 @@ std::string campaign_csv(const CampaignResult& result) {
     out << ",boards,board_topology,cut_bytes,multi_total_s,"
            "inter_board_bytes,board_reroutes";
   }
-  out << ",error\n";
+  out << ",quarantined,error\n";
   for (const CaseOutcome& c : result.cases) {
     out << c.index << ',' << c.config.seed << ',' << c.config.kernel_count
         << ',' << fmt(c.config.kernel_edge_probability) << ','
@@ -541,7 +800,14 @@ std::string campaign_csv(const CampaignResult& result) {
       }
       out << ',' << (found == nullptr ? "-" : found->pass ? "1" : "0");
     }
-    out << ',' << c.tier_name() << ',' << to_string(c.escalation);
+    // Quarantined/skipped rows never picked a tier — their tier cell is
+    // "-", which also keeps the resumed CSV independent of which run
+    // quarantined the job.
+    if (c.quarantined || c.skipped) {
+      out << ",-," << to_string(c.escalation);
+    } else {
+      out << ',' << c.tier_name() << ',' << to_string(c.escalation);
+    }
     if (c.analytic.has_value()) {
       out << ',' << fmt(c.analytic->baseline_kernel_seconds) << ','
           << fmt(c.analytic->designed_kernel_seconds) << ','
@@ -569,7 +835,8 @@ std::string campaign_csv(const CampaignResult& result) {
         out << ",-,-,-";
       }
     }
-    out << ',' << csv_safe(c.error) << '\n';
+    out << ',' << (c.quarantined ? '1' : '0') << ',' << csv_safe(c.error)
+        << '\n';
   }
   return out.str();
 }

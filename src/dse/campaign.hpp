@@ -7,7 +7,9 @@
 // tier stats, reproducers) is byte-identical at any thread count.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -61,6 +63,18 @@ struct CaseOutcome {
   double pipelined_makespan_seconds = 0.0;
   std::vector<OracleResult> oracles;
   std::string error;  ///< Exception message when the case itself failed.
+  /// Poison job: the supervised runner abandoned it (wall-clock watchdog
+  /// expired) or it crashed past its transient retry budget. The row
+  /// keeps its config but carries no timings or oracle verdicts; `error`
+  /// holds the deterministic "quarantined: ..." note.
+  bool quarantined = false;
+  /// Never ran: a graceful drain (SIGINT/SIGTERM) stopped admission
+  /// before this job started. Skipped rows are NOT journaled, so a
+  /// resumed campaign re-executes them.
+  bool skipped = false;
+  /// Restored from the run journal instead of being re-executed
+  /// (stdout-only provenance; never surfaces in the CSV).
+  bool resumed = false;
 
   // ---- Tier record. ----
   /// Ran through the cycle-accurate engine (cycle mode or escalated).
@@ -132,7 +146,39 @@ struct CampaignOptions {
   /// back to the store when one is attached.
   std::uint64_t profile_cache_max_entries = 64;
   std::uint64_t profile_cache_max_bytes = 0;
+
+  // ---- Crash safety (docs/MODEL.md §17). ----
+  /// Append-only completion ledger; empty = no journal. Rejected for
+  /// --tier=auto (escalation selection is global, like sharding).
+  std::string journal_path;
+  /// Replay journal_path before running and skip every job whose record
+  /// matches this campaign's fingerprint. Requires journal_path.
+  bool resume = false;
+  /// Per-job wall-clock watchdog in seconds; 0 = none. A job that
+  /// exceeds it is abandoned and quarantined, never retried.
+  double job_timeout_seconds = 0.0;
+  /// Bounded retry budget for transient failures (store::StoreError — a
+  /// flaky filesystem, not a logic bug).
+  std::uint32_t transient_retries = 2;
+  double backoff_initial_seconds = 0.005;
+  /// Shrink budget per quarantined job (supervised probes; each probe of
+  /// a genuinely wedged candidate costs a full watchdog timeout).
+  std::uint32_t quarantine_shrink_attempts = 8;
+  /// Graceful-drain admission gate: when set and true, owned jobs that
+  /// have not started are skipped (not journaled — a resume re-runs
+  /// them); in-flight jobs finish under the watchdog.
+  const std::atomic<bool>* stop_requested = nullptr;
+  /// Test hook, called at the start of every job body with the case
+  /// index (lets a harness wedge one specific index).
+  std::function<void(std::uint64_t)> job_started_hook;
 };
+
+/// 16-hex fingerprint of everything that determines a campaign's rows:
+/// engine revision, tier, seed/count, shard spec, sweep space, oracle
+/// bounds, and the watchdog budget (quarantined rows embed its message).
+/// Journal entries recorded under a different fingerprint are ignored on
+/// resume — a stale ledger degrades to re-execution, never to wrong rows.
+[[nodiscard]] std::string campaign_fingerprint(const CampaignOptions& options);
 
 /// Aggregate tier-disagreement statistics for one campaign, assembled
 /// serially from the outcomes (thread-count invariant).
@@ -179,6 +225,15 @@ struct CampaignResult {
   std::uint64_t estimate_l2_hits = 0;
   std::uint64_t estimate_l2_stores = 0;
   std::optional<store::StoreStats> store_stats;  ///< Set when store_dir used.
+
+  // ---- Crash-safety record (docs/MODEL.md §17). ----
+  std::uint64_t quarantined_count = 0;  ///< Poison jobs fenced off.
+  std::uint64_t skipped_count = 0;      ///< Drained before starting.
+  std::uint64_t resumed_count = 0;      ///< Restored from the journal.
+  std::uint64_t journal_skipped_lines = 0;  ///< Damaged ledger lines.
+  /// A graceful drain cut the run short (skipped_count > 0 or the stop
+  /// flag was raised): the CSV is partial and a --resume should follow.
+  bool interrupted = false;
 
   [[nodiscard]] std::uint64_t pass_count(const std::string& oracle) const;
   [[nodiscard]] std::uint64_t fail_count(const std::string& oracle) const;

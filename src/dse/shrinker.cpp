@@ -101,18 +101,16 @@ bool halve_boards(apps::SyntheticConfig& c) {
 
 }  // namespace
 
-ShrinkResult shrink(const apps::SyntheticConfig& config,
-                    const Oracle& oracle, std::uint32_t max_attempts) {
-  {
-    const DesignCase c = run_design_case(config);
-    const OracleResult initial = oracle.check(c);
-    require(!initial.pass,
-            "shrink() called with a config that passes oracle '" +
-                oracle.name + "'");
-  }
-
-  ShrinkResult result;
+ConfigShrink shrink_config(
+    const apps::SyntheticConfig& config,
+    const std::function<bool(const apps::SyntheticConfig&)>& still_fails,
+    std::uint32_t max_attempts) {
+  ConfigShrink result;
   result.config = config;
+  result.reproduced = still_fails(config);
+  if (!result.reproduced) {
+    return result;
+  }
 
   static constexpr Move kMoves[] = {
       halve_kernels,     drop_kernel,      halve_edge_probability,
@@ -134,14 +132,37 @@ ShrinkResult shrink(const apps::SyntheticConfig& config,
         continue;
       }
       ++result.attempts;
-      if (still_fails(candidate, oracle)) {
+      if (still_fails(candidate)) {
         result.config = candidate;
         ++result.accepted;
         progressed = true;
       }
     }
   }
+  return result;
+}
 
+ShrinkResult shrink(const apps::SyntheticConfig& config,
+                    const Oracle& oracle, std::uint32_t max_attempts) {
+  {
+    const DesignCase c = run_design_case(config);
+    const OracleResult initial = oracle.check(c);
+    require(!initial.pass,
+            "shrink() called with a config that passes oracle '" +
+                oracle.name + "'");
+  }
+
+  const ConfigShrink shrunk = shrink_config(
+      config,
+      [&oracle](const apps::SyntheticConfig& candidate) {
+        return still_fails(candidate, oracle);
+      },
+      max_attempts);
+
+  ShrinkResult result;
+  result.config = shrunk.config;
+  result.attempts = shrunk.attempts;
+  result.accepted = shrunk.accepted;
   const DesignCase final_case = run_design_case(result.config);
   result.failure = oracle.check(final_case);
   return result;

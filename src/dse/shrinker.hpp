@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 
 #include "apps/synthetic.hpp"
 #include "dse/oracles.hpp"
@@ -20,6 +21,28 @@ struct ShrinkResult {
   std::uint32_t attempts = 0;     ///< Candidate configs evaluated.
   std::uint32_t accepted = 0;     ///< Reductions that kept the failure.
 };
+
+/// Outcome of a predicate-driven shrink (no oracle attached).
+struct ConfigShrink {
+  apps::SyntheticConfig config;  ///< Smallest config the predicate held on.
+  std::uint32_t attempts = 0;    ///< Candidate configs probed.
+  std::uint32_t accepted = 0;    ///< Reductions that kept the predicate.
+  /// The predicate held on the original config. When false (e.g. a job
+  /// wedged by its environment, not its config), `config` is the original
+  /// and no reduction was attempted.
+  bool reproduced = false;
+};
+
+/// Greedily minimize `config` while `still_fails(candidate)` stays true —
+/// the same deterministic move set and fixpoint loop as shrink(), but
+/// driven by an arbitrary predicate. The quarantine path supplies a
+/// supervised probe here, because its candidates may themselves wedge;
+/// the predicate must therefore be safe to call on any candidate. The
+/// original config is probed first (not counted against `max_attempts`).
+[[nodiscard]] ConfigShrink shrink_config(
+    const apps::SyntheticConfig& config,
+    const std::function<bool(const apps::SyntheticConfig&)>& still_fails,
+    std::uint32_t max_attempts = 64);
 
 /// Shrink `config` against `oracle`. The oracle must fail on `config`
 /// (throws ConfigError otherwise — shrinking a passing config means the

@@ -2,11 +2,50 @@
 
 #include <chrono>
 #include <condition_variable>
+#include <cstdio>
 #include <mutex>
 
 #include "util/error.hpp"
 
 namespace hybridic::sys {
+
+const char* job_status_name(JobStatus status) {
+  switch (status) {
+    case JobStatus::kOk:
+      return "ok";
+    case JobStatus::kCrashed:
+      return "crashed";
+    case JobStatus::kTimeout:
+      return "timeout";
+    case JobStatus::kSkipped:
+      return "skipped";
+  }
+  return "unknown";
+}
+
+std::string watchdog_expired_message(double timeout_seconds) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "wall-clock watchdog (%gs) expired",
+                timeout_seconds);
+  return std::string{buf};
+}
+
+JobStatus probe_supervised(const std::function<void()>& fn,
+                           double timeout_seconds) {
+  // `fn` is captured by value: an abandoned watchdog thread may still be
+  // inside the call after this frame returns.
+  const std::function<int(JobContext&)> wrapped = [fn](JobContext&) {
+    fn();
+    return 0;
+  };
+  JobContext context{"probe", 0, Rng{0}, 0};
+  const detail::AttemptOutcome<int> outcome =
+      timeout_seconds > 0.0
+          ? detail::attempt_with_watchdog<int>(wrapped, std::move(context),
+                                               nullptr, timeout_seconds)
+          : detail::run_attempt<int>(wrapped, context, nullptr);
+  return outcome.status;
+}
 
 std::uint64_t job_seed(std::string_view key) {
   // FNV-1a 64.

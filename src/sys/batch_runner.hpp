@@ -15,19 +15,80 @@
 // batch: every other job still runs to completion, and the runner stays
 // usable for further batches. run() rethrows the first failure afterwards;
 // inspect last_report() for the full picture.
+//
+// Supervised batches (docs/MODEL.md §17) add a crash-safety layer on the
+// same pool: a per-job wall-clock watchdog (the attempt runs on its own
+// thread and is abandoned when the budget expires), bounded retry with
+// exponential backoff for failures a caller-supplied predicate classifies
+// as transient, and an admission gate that skips not-yet-started jobs
+// once a stop flag is raised. Supervised jobs never poison the batch:
+// every job ends in exactly one of ok / crashed / timeout / skipped.
 #pragma once
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
 namespace hybridic::sys {
+
+/// Terminal state of one supervised job.
+enum class JobStatus : std::uint8_t {
+  kOk = 0,
+  kCrashed,  ///< Threw: non-transient, or the transient retry budget ran out.
+  kTimeout,  ///< The wall-clock watchdog expired; the attempt was abandoned.
+  kSkipped,  ///< Never started: stop was requested before admission.
+};
+
+[[nodiscard]] const char* job_status_name(JobStatus status);
+
+/// Deterministic watchdog-expiry message ("%g"-formatted budget, no
+/// measured times) so a quarantined row's text is identical across runs.
+[[nodiscard]] std::string watchdog_expired_message(double timeout_seconds);
+
+/// Run `fn` to completion under an optional wall-clock watchdog and
+/// report how it ended (kOk / kCrashed / kTimeout). `timeout_seconds` == 0
+/// runs inline with no watchdog. Used for quarantine-shrink probes, where
+/// a candidate config may itself wedge.
+[[nodiscard]] JobStatus probe_supervised(const std::function<void()>& fn,
+                                         double timeout_seconds);
+
+struct SuperviseOptions {
+  /// Per-attempt wall-clock budget in seconds; 0 disables the watchdog
+  /// (attempts then run inline on the pool worker).
+  double job_timeout_seconds = 0.0;
+  /// Extra attempts granted when `is_transient` classifies a thrown
+  /// failure as retryable (a flaky filesystem, not a logic bug).
+  std::uint32_t transient_retries = 0;
+  /// Delay before the first retry; doubles on each subsequent retry.
+  double backoff_initial_seconds = 0.005;
+  /// Classifies a thrown exception as transient (retryable). Empty =
+  /// nothing is transient. Called on the attempt thread.
+  std::function<bool(const std::exception&)> is_transient;
+  /// Admission gate: when set and true, jobs (and retries) that have not
+  /// started yet finish as kSkipped; in-flight attempts still run to
+  /// completion (bounded by the watchdog when one is configured).
+  const std::atomic<bool>* stop_requested = nullptr;
+};
+
+template <typename R>
+struct SupervisedResult {
+  JobStatus status = JobStatus::kSkipped;
+  std::optional<R> value;      ///< Present exactly when status == kOk.
+  std::string error;           ///< Failure/timeout/skip message otherwise.
+  std::uint32_t attempts = 0;  ///< Attempts actually started.
+};
 
 /// Handed to each job; everything a job may depend on beyond its inputs.
 struct JobContext {
@@ -46,6 +107,11 @@ struct JobReport {
   double wall_seconds = 0.0;
   bool ok = true;
   std::string error;           ///< Exception message when !ok.
+  /// Supervised batches only (run_supervised): terminal state and the
+  /// number of attempts started. Plain run()/run_collect() leave the
+  /// defaults (kOk / 1).
+  JobStatus status = JobStatus::kOk;
+  std::uint32_t attempts = 1;
 };
 
 /// Metrics for the last run() batch.
@@ -75,6 +141,94 @@ struct BatchReport {
 /// finalized with a splitmix-style mix so near-identical keys get
 /// uncorrelated streams.
 [[nodiscard]] std::uint64_t job_seed(std::string_view key);
+
+namespace detail {
+
+/// Blocks template deduction on a parameter so callers can pass a lambda
+/// where a std::function of an already-deduced R is expected.
+template <typename T>
+struct NonDeduced {
+  using type = T;
+};
+template <typename T>
+using non_deduced_t = typename NonDeduced<T>::type;
+
+template <typename R>
+struct AttemptOutcome {
+  JobStatus status = JobStatus::kCrashed;
+  std::optional<R> value;
+  std::string error;
+  bool transient = false;
+};
+
+/// One attempt body: run the job, classify any failure. Never throws.
+template <typename R>
+AttemptOutcome<R> run_attempt(
+    const std::function<R(JobContext&)>& fn, JobContext& context,
+    const std::function<bool(const std::exception&)>& classify) {
+  AttemptOutcome<R> outcome;
+  try {
+    outcome.value.emplace(fn(context));
+    outcome.status = JobStatus::kOk;
+  } catch (const std::exception& e) {
+    outcome.status = JobStatus::kCrashed;
+    outcome.error = e.what();
+    outcome.transient = classify && classify(e);
+  } catch (...) {
+    outcome.status = JobStatus::kCrashed;
+    outcome.error = "unknown exception";
+  }
+  return outcome;
+}
+
+/// One attempt on a dedicated thread, abandoned (detached) when the
+/// wall-clock budget expires. The attempt thread owns copies of
+/// everything it touches — the job function, its context, and the shared
+/// completion state — so abandoning it leaks no references into the
+/// caller's frame; a late completion writes only into state the thread
+/// itself keeps alive.
+template <typename R>
+AttemptOutcome<R> attempt_with_watchdog(
+    std::function<R(JobContext&)> fn, JobContext context,
+    std::function<bool(const std::exception&)> classify,
+    double timeout_seconds) {
+  struct Shared {
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool done = false;
+    AttemptOutcome<R> outcome;
+  };
+  auto shared = std::make_shared<Shared>();
+  std::thread worker{[shared, fn = std::move(fn), classify = std::move(classify),
+                      context = std::move(context)]() mutable {
+    AttemptOutcome<R> outcome = run_attempt<R>(fn, context, classify);
+    std::lock_guard<std::mutex> lock{shared->mutex};
+    shared->outcome = std::move(outcome);
+    shared->done = true;
+    // Notify under the lock: the supervisor may stop referencing `shared`
+    // the moment it observes done (it holds its own shared_ptr, but the
+    // cv must not be signalled outside the critical section).
+    shared->cv.notify_all();
+  }};
+  std::unique_lock<std::mutex> lock{shared->mutex};
+  const bool finished = shared->cv.wait_for(
+      lock, std::chrono::duration<double>{timeout_seconds},
+      [&shared] { return shared->done; });
+  if (finished) {
+    AttemptOutcome<R> outcome = std::move(shared->outcome);
+    lock.unlock();
+    worker.join();
+    return outcome;
+  }
+  lock.unlock();
+  worker.detach();
+  AttemptOutcome<R> timeout;
+  timeout.status = JobStatus::kTimeout;
+  timeout.error = watchdog_expired_message(timeout_seconds);
+  return timeout;
+}
+
+}  // namespace detail
 
 class BatchRunner {
 public:
@@ -127,6 +281,58 @@ public:
     return slots;
   }
 
+  /// As run_collect(), but each job runs under supervision: a per-attempt
+  /// wall-clock watchdog, bounded transient retry with exponential
+  /// backoff, and a stop-flag admission gate. Every slot reports exactly
+  /// one terminal status; nothing is rethrown. Results stay in submission
+  /// order and retries replay the job's own RNG stream from scratch, so
+  /// supervision never perturbs the determinism contract.
+  ///
+  /// `on_settled`, when set, fires on the worker thread the moment a
+  /// job's terminal status is known — before the batch drains — so a
+  /// caller can checkpoint completions incrementally (a crash then loses
+  /// at most the in-flight jobs). It fires exactly once per job; an
+  /// exception it throws is recorded against the job like a job failure.
+  template <typename R>
+  std::vector<SupervisedResult<R>> run_supervised(
+      std::vector<Job<R>> jobs, const SuperviseOptions& options,
+      const detail::non_deduced_t<
+          std::function<void(std::size_t, const SupervisedResult<R>&)>>&
+          on_settled = nullptr) {
+    // Jobs and slots live on the heap behind shared_ptrs: an abandoned
+    // watchdog thread may still hold a copy of a job function after this
+    // frame returns, and the erased lambda must stay copyable.
+    auto owned =
+        std::make_shared<std::vector<Job<R>>>(std::move(jobs));
+    auto slots = std::make_shared<std::vector<SupervisedResult<R>>>(
+        owned->size());
+    std::vector<std::string> keys;
+    keys.reserve(owned->size());
+    for (const Job<R>& job : *owned) {
+      keys.push_back(job.key);
+    }
+    const SuperviseOptions* opts = &options;
+    const auto* settle = &on_settled;
+    run_erased(keys, [owned, slots, opts, settle](std::size_t i,
+                                                  JobContext& context) {
+      supervise_one<R>((*owned)[i], context, *opts, (*slots)[i]);
+      if (*settle) {
+        (*settle)(i, (*slots)[i]);
+      }
+    });
+    for (std::size_t i = 0; i < slots->size(); ++i) {
+      JobReport& report = last_.jobs[i];
+      const SupervisedResult<R>& slot = (*slots)[i];
+      report.status = slot.status;
+      report.attempts = slot.attempts;
+      if (slot.status != JobStatus::kOk) {
+        report.ok = false;
+        report.error = slot.error;
+      }
+    }
+    return std::move(*slots);
+  }
+
   [[nodiscard]] std::size_t thread_count() const {
     return pool_.thread_count();
   }
@@ -135,6 +341,51 @@ public:
   [[nodiscard]] const BatchReport& last_report() const { return last_; }
 
 private:
+  /// Supervision loop for one job: admission gate, backoff, bounded
+  /// retry. Runs on the pool worker that picked the job up; never throws.
+  template <typename R>
+  static void supervise_one(const Job<R>& job, const JobContext& context,
+                            const SuperviseOptions& options,
+                            SupervisedResult<R>& slot) {
+    const std::uint32_t max_attempts = 1 + options.transient_retries;
+    double backoff = options.backoff_initial_seconds;
+    for (std::uint32_t attempt = 0; attempt < max_attempts; ++attempt) {
+      if (options.stop_requested != nullptr &&
+          options.stop_requested->load(std::memory_order_relaxed)) {
+        slot.status = JobStatus::kSkipped;
+        slot.error = "skipped: stop requested before the job started";
+        return;
+      }
+      if (attempt > 0) {
+        std::this_thread::sleep_for(std::chrono::duration<double>{backoff});
+        backoff *= 2.0;
+      }
+      ++slot.attempts;
+      // Every attempt replays the identical inputs: same key, same seed,
+      // a fresh RNG stream — a retried job cannot observe its own retry.
+      JobContext fresh{context.key, context.seed, Rng{context.seed},
+                       context.index};
+      detail::AttemptOutcome<R> outcome =
+          options.job_timeout_seconds > 0.0
+              ? detail::attempt_with_watchdog<R>(
+                    job.run, std::move(fresh), options.is_transient,
+                    options.job_timeout_seconds)
+              : detail::run_attempt<R>(job.run, fresh, options.is_transient);
+      slot.status = outcome.status;
+      slot.error = std::move(outcome.error);
+      if (outcome.status == JobStatus::kOk) {
+        slot.value = std::move(outcome.value);
+        return;
+      }
+      if (outcome.status == JobStatus::kTimeout || !outcome.transient) {
+        // A wedge is deterministic (retrying burns another full budget for
+        // the same answer) and a logic bug is not transient: both go
+        // straight to the caller's quarantine path.
+        return;
+      }
+    }
+  }
+
   /// Run one keyed invocation per index on the pool; fills last_.
   void run_erased(
       const std::vector<std::string>& keys,

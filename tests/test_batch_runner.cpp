@@ -13,6 +13,8 @@
 #include <atomic>
 #include <chrono>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <set>
 #include <string>
 #include <thread>
@@ -267,6 +269,185 @@ TEST(BatchRunner, ReportCarriesPerJobMetrics) {
     EXPECT_LT(report.jobs[i].worker, 2U);
   }
   EXPECT_GE(report.wall_seconds, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Supervised batches (docs/MODEL.md §17): watchdog, retry, quarantine,
+// admission gate.
+
+TEST(Supervised, OkJobsSettleWithValueAndOneAttempt) {
+  sys::BatchRunner runner{2};
+  std::vector<sys::BatchRunner::Job<int>> jobs;
+  for (int i = 0; i < 4; ++i) {
+    jobs.push_back({"ok/" + std::to_string(i),
+                    [i](sys::JobContext&) { return i * 10; }});
+  }
+  const auto slots =
+      runner.run_supervised(std::move(jobs), sys::SuperviseOptions{});
+  ASSERT_EQ(slots.size(), 4U);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(slots[i].status, sys::JobStatus::kOk);
+    ASSERT_TRUE(slots[i].value.has_value());
+    EXPECT_EQ(*slots[i].value, i * 10);
+    EXPECT_EQ(slots[i].attempts, 1U);
+    EXPECT_EQ(runner.last_report().jobs[i].status, sys::JobStatus::kOk);
+  }
+}
+
+TEST(Supervised, TransientFailureRetriesUntilSuccess) {
+  sys::BatchRunner runner{1};
+  auto failures_left = std::make_shared<std::atomic<int>>(2);
+  std::vector<sys::BatchRunner::Job<int>> jobs;
+  jobs.push_back({"flaky", [failures_left](sys::JobContext&) {
+                    if (failures_left->fetch_sub(1) > 0) {
+                      throw std::runtime_error("transient blip");
+                    }
+                    return 7;
+                  }});
+  sys::SuperviseOptions options;
+  options.transient_retries = 3;
+  options.backoff_initial_seconds = 0.001;
+  options.is_transient = [](const std::exception&) { return true; };
+  const auto slots = runner.run_supervised(std::move(jobs), options);
+  ASSERT_EQ(slots.size(), 1U);
+  EXPECT_EQ(slots[0].status, sys::JobStatus::kOk);
+  EXPECT_EQ(*slots[0].value, 7);
+  EXPECT_EQ(slots[0].attempts, 3U);  // Two blips + the success.
+}
+
+TEST(Supervised, NonTransientFailureIsNeverRetried) {
+  sys::BatchRunner runner{1};
+  auto calls = std::make_shared<std::atomic<int>>(0);
+  std::vector<sys::BatchRunner::Job<int>> jobs;
+  jobs.push_back({"bug", [calls](sys::JobContext&) -> int {
+                    calls->fetch_add(1);
+                    throw std::logic_error("deterministic bug");
+                  }});
+  sys::SuperviseOptions options;
+  options.transient_retries = 5;
+  options.is_transient = [](const std::exception&) { return false; };
+  const auto slots = runner.run_supervised(std::move(jobs), options);
+  EXPECT_EQ(slots[0].status, sys::JobStatus::kCrashed);
+  EXPECT_EQ(slots[0].error, "deterministic bug");
+  EXPECT_EQ(slots[0].attempts, 1U);
+  EXPECT_EQ(calls->load(), 1);
+}
+
+TEST(Supervised, RetryBudgetExhaustionEndsInCrashed) {
+  sys::BatchRunner runner{1};
+  std::vector<sys::BatchRunner::Job<int>> jobs;
+  jobs.push_back({"always-flaky", [](sys::JobContext&) -> int {
+                    throw std::runtime_error("still flaky");
+                  }});
+  sys::SuperviseOptions options;
+  options.transient_retries = 2;
+  options.backoff_initial_seconds = 0.001;
+  options.is_transient = [](const std::exception&) { return true; };
+  const auto slots = runner.run_supervised(std::move(jobs), options);
+  EXPECT_EQ(slots[0].status, sys::JobStatus::kCrashed);
+  EXPECT_EQ(slots[0].attempts, 3U);
+}
+
+TEST(Supervised, WatchdogExpiryQuarantinesWithoutRetry) {
+  sys::BatchRunner runner{2};
+  // The wedge job polls a cancel flag so the abandoned thread drains
+  // promptly once the test is done (a real wedge would sleep until
+  // process exit).
+  auto cancel = std::make_shared<std::atomic<bool>>(false);
+  auto attempts = std::make_shared<std::atomic<int>>(0);
+  std::vector<sys::BatchRunner::Job<int>> jobs;
+  jobs.push_back({"wedged", [cancel, attempts](sys::JobContext&) {
+                    attempts->fetch_add(1);
+                    while (!cancel->load()) {
+                      std::this_thread::sleep_for(
+                          std::chrono::milliseconds(1));
+                    }
+                    return 0;
+                  }});
+  jobs.push_back({"fine", [](sys::JobContext&) { return 42; }});
+  sys::SuperviseOptions options;
+  options.job_timeout_seconds = 0.05;
+  options.transient_retries = 3;  // Must NOT apply to timeouts.
+  options.is_transient = [](const std::exception&) { return true; };
+  const auto slots = runner.run_supervised(std::move(jobs), options);
+  EXPECT_EQ(slots[0].status, sys::JobStatus::kTimeout);
+  EXPECT_EQ(slots[0].error, sys::watchdog_expired_message(0.05));
+  EXPECT_EQ(slots[0].attempts, 1U);
+  EXPECT_EQ(attempts->load(), 1);
+  EXPECT_EQ(slots[1].status, sys::JobStatus::kOk);
+  EXPECT_EQ(*slots[1].value, 42);
+  cancel->store(true);
+  // Give the abandoned thread a beat to observe the flag and exit before
+  // the test's shared state unwinds.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+}
+
+TEST(Supervised, StopFlagSkipsNotYetStartedJobs) {
+  sys::BatchRunner runner{1};
+  std::atomic<bool> stop{false};
+  std::vector<sys::BatchRunner::Job<int>> jobs;
+  jobs.push_back({"first", [&stop](sys::JobContext&) {
+                    stop.store(true);  // Raised while the batch runs.
+                    return 1;
+                  }});
+  jobs.push_back({"second", [](sys::JobContext&) { return 2; }});
+  sys::SuperviseOptions options;
+  options.stop_requested = &stop;
+  const auto slots = runner.run_supervised(std::move(jobs), options);
+  EXPECT_EQ(slots[0].status, sys::JobStatus::kOk);
+  EXPECT_EQ(slots[1].status, sys::JobStatus::kSkipped);
+  EXPECT_EQ(slots[1].attempts, 0U);
+  EXPECT_FALSE(slots[1].value.has_value());
+}
+
+TEST(Supervised, OnSettledFiresOncePerJobBeforeBatchEnd) {
+  sys::BatchRunner runner{2};
+  std::vector<sys::BatchRunner::Job<int>> jobs;
+  for (int i = 0; i < 6; ++i) {
+    jobs.push_back({"settle/" + std::to_string(i),
+                    [i](sys::JobContext&) -> int {
+                      if (i == 3) {
+                        throw std::runtime_error("boom");
+                      }
+                      return i;
+                    }});
+  }
+  std::mutex mutex;
+  std::map<std::size_t, sys::JobStatus> settled;
+  const auto slots = runner.run_supervised(
+      std::move(jobs), sys::SuperviseOptions{},
+      [&mutex, &settled](std::size_t i,
+                         const sys::SupervisedResult<int>& r) {
+        const std::lock_guard<std::mutex> lock{mutex};
+        EXPECT_EQ(settled.count(i), 0U);
+        settled[i] = r.status;
+      });
+  ASSERT_EQ(settled.size(), 6U);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(settled[i], i == 3 ? sys::JobStatus::kCrashed
+                                 : sys::JobStatus::kOk);
+  }
+  EXPECT_EQ(slots[3].status, sys::JobStatus::kCrashed);
+}
+
+TEST(Supervised, ProbeSupervisedClassifiesOkCrashAndTimeout) {
+  EXPECT_EQ(sys::probe_supervised([] {}, 0.0), sys::JobStatus::kOk);
+  EXPECT_EQ(sys::probe_supervised(
+                [] { throw std::runtime_error("nope"); }, 0.0),
+            sys::JobStatus::kCrashed);
+  EXPECT_EQ(sys::probe_supervised([] {}, 5.0), sys::JobStatus::kOk);
+  auto cancel = std::make_shared<std::atomic<bool>>(false);
+  EXPECT_EQ(sys::probe_supervised(
+                [cancel] {
+                  while (!cancel->load()) {
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(1));
+                  }
+                },
+                0.05),
+            sys::JobStatus::kTimeout);
+  cancel->store(true);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
 }
 
 }  // namespace

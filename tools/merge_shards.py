@@ -42,6 +42,10 @@ def parse_shard(path):
         fail(3, path + ": empty file")
     # The campaign CSV never quotes cells (commas are sanitised away), so
     # a plain split is an exact inverse of the writer.
+    #
+    # A header-only shard (with or without a trailing newline) is legal:
+    # a drained or narrow shard of a small campaign may own zero indices,
+    # and its header still participates in the consistency check.
     header = lines[0]
     rows = [line.split(",") for line in lines[1:] if line]
     return header, rows

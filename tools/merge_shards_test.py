@@ -9,7 +9,10 @@ Drives the script as a subprocess (the same way CI does) and checks:
   * shards with different headers fail with exit 3 and a message that
     names the differing columns;
   * a single-board shard mixed with a multi-board shard is called out
-    explicitly as a single-/multi-board schema mix.
+    explicitly as a single-/multi-board schema mix;
+  * header-only shards (a shard owning zero indices, e.g. after a drain)
+    merge cleanly, with or without a trailing newline, including the
+    degenerate all-shards-empty case.
 
 Run from anywhere: python3 tools/merge_shards_test.py
 """
@@ -101,11 +104,49 @@ def test_single_multi_board_mix(tmp):
     print("ok single_multi_board_mix")
 
 
+def test_header_only_shard(tmp):
+    shard0 = os.path.join(tmp, "full.csv")
+    shard1 = os.path.join(tmp, "empty_nl.csv")
+    shard2 = os.path.join(tmp, "empty_bare.csv")
+    write(shard0, HEADER + "\n0,ck0,0,pk0,0,1.0\n1,ck0,0,pk0,0,2.0\n")
+    write(shard1, HEADER + "\n")   # Header only, trailing newline.
+    write(shard2, HEADER)          # Header only, no trailing newline.
+    merged = os.path.join(tmp, "merged_empty.csv")
+    proc = run_merge(merged, [shard0, shard1, shard2])
+    check(proc.returncode == 0,
+          "header-only exit {} != 0: {}".format(proc.returncode,
+                                                proc.stderr))
+    with open(merged, "r", newline="") as handle:
+        got = handle.read()
+    want = HEADER + "\n0,ck0,0,pk0,0,1.0\n1,ck0,1,pk0,1,2.0\n"
+    check(got == want,
+          "header-only merge mismatch:\n{}\nwant:\n{}".format(got, want))
+    print("ok header_only_shard")
+
+
+def test_all_shards_empty(tmp):
+    shard0 = os.path.join(tmp, "e0.csv")
+    shard1 = os.path.join(tmp, "e1.csv")
+    write(shard0, HEADER + "\n")
+    write(shard1, HEADER)
+    merged = os.path.join(tmp, "merged_all_empty.csv")
+    proc = run_merge(merged, [shard0, shard1])
+    check(proc.returncode == 0,
+          "all-empty exit {} != 0: {}".format(proc.returncode, proc.stderr))
+    with open(merged, "r", newline="") as handle:
+        got = handle.read()
+    check(got == HEADER + "\n",
+          "all-empty merge should be the bare header, got:\n" + got)
+    print("ok all_shards_empty")
+
+
 def main():
     with tempfile.TemporaryDirectory() as tmp:
         test_merge_success(tmp)
         test_header_mismatch_names_columns(tmp)
         test_single_multi_board_mix(tmp)
+        test_header_only_shard(tmp)
+        test_all_shards_empty(tmp)
     print("merge_shards_test: all tests passed")
     return 0
 

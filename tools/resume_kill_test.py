@@ -1,0 +1,182 @@
+#!/usr/bin/env python3
+"""Crash-safety harness for dse_campaign's journal/resume machinery.
+
+Drives the real binary the way an operator (or a crashing machine) would
+and asserts the PR 9 contract:
+
+  * SIGKILL mid-run, then ``--resume`` at a different thread count,
+    reproduces the uninterrupted campaign CSV byte for byte;
+  * SIGTERM drains cleanly (exit 6) and the drained journal resumes to
+    the same byte-identical CSV;
+  * a deliberately wedged job (HYBRIDIC_WEDGE_INDEX) is quarantined
+    (exit 7) with a ``quarantined`` CSV row and a pinned JSON reproducer,
+    while every other design completes; resuming the wedged journal
+    reproduces the same CSV.
+
+Usage: python3 tools/resume_kill_test.py /path/to/dse_campaign
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+SWEEP = ["--smoke", "--count", "48", "--seed", "7", "--tier", "cycle"]
+
+
+def check(condition, message):
+    if not condition:
+        print("FAIL: " + message, file=sys.stderr)
+        sys.exit(1)
+
+
+def run(binary, cwd, extra, env=None, timeout=600):
+    merged_env = dict(os.environ)
+    if env:
+        merged_env.update(env)
+    return subprocess.run(
+        [binary] + SWEEP + extra, cwd=cwd, env=merged_env,
+        capture_output=True, text=True, timeout=timeout)
+
+
+def read_csv(cwd):
+    with open(os.path.join(cwd, "bench_results", "dse_smoke.csv"),
+              "r", newline="") as handle:
+        return handle.read()
+
+
+def journal_lines(path):
+    try:
+        with open(path, "rb") as handle:
+            return handle.read().count(b"\n")
+    except OSError:
+        return 0
+
+
+def start_and_signal(binary, cwd, journal, min_lines, sig):
+    """Start a journaled run, wait for >= min_lines checkpoints, signal."""
+    proc = subprocess.Popen(
+        [binary] + SWEEP + ["--threads", "2", "--journal", journal],
+        cwd=cwd, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+    deadline = time.monotonic() + 300
+    while journal_lines(journal) < min_lines:
+        if proc.poll() is not None:
+            print("note: campaign finished before the signal landed; the "
+                  "resume still runs but exercised no mid-run recovery",
+                  file=sys.stderr)
+            return proc.wait()
+        check(time.monotonic() < deadline,
+              "journal never reached {} lines".format(min_lines))
+        time.sleep(0.05)
+    proc.send_signal(sig)
+    return proc.wait()
+
+
+def test_sigkill_resume(binary, tmp, reference):
+    cwd = os.path.join(tmp, "sigkill")
+    os.mkdir(cwd)
+    journal = os.path.join(cwd, "run.journal")
+    code = start_and_signal(binary, cwd, journal, 2, signal.SIGKILL)
+    if code == -signal.SIGKILL:
+        check(journal_lines(journal) >= 2,
+              "killed run left fewer than 2 journal lines")
+    resumed = run(binary, cwd,
+                  ["--threads", "1", "--journal", journal, "--resume"])
+    check(resumed.returncode == 0,
+          "resume after SIGKILL exit {}: {}".format(
+              resumed.returncode, resumed.stderr))
+    check("resumed=" in resumed.stdout, "resume run did not report journal "
+          "stats: " + resumed.stdout)
+    check(read_csv(cwd) == reference,
+          "CSV after SIGKILL+resume differs from the uninterrupted run")
+    print("ok sigkill_resume")
+
+
+def test_sigterm_drain_resume(binary, tmp, reference):
+    cwd = os.path.join(tmp, "sigterm")
+    os.mkdir(cwd)
+    journal = os.path.join(cwd, "run.journal")
+    code = start_and_signal(binary, cwd, journal, 1, signal.SIGTERM)
+    if code != 0:
+        check(code == 6, "drained run exit {} != 6".format(code))
+    resumed = run(binary, cwd,
+                  ["--threads", "3", "--journal", journal, "--resume"])
+    check(resumed.returncode == 0,
+          "resume after drain exit {}: {}".format(
+              resumed.returncode, resumed.stderr))
+    check(read_csv(cwd) == reference,
+          "CSV after SIGTERM drain+resume differs from the uninterrupted "
+          "run")
+    print("ok sigterm_drain_resume")
+
+
+def test_wedged_quarantine(binary, tmp):
+    cwd = os.path.join(tmp, "wedge")
+    os.mkdir(cwd)
+    journal = os.path.join(cwd, "wedge.journal")
+    env = {"HYBRIDIC_WEDGE_INDEX": "23"}
+    wedged = run(binary, cwd,
+                 ["--threads", "2", "--journal", journal,
+                  "--job-timeout", "2"], env=env)
+    check(wedged.returncode == 7,
+          "wedged run exit {} != 7: {}".format(
+              wedged.returncode, wedged.stderr))
+    csv = read_csv(cwd)
+    quarantined = [line for line in csv.splitlines()
+                   if "quarantined: wall-clock watchdog" in line]
+    check(len(quarantined) == 1,
+          "expected exactly 1 quarantined row, got {}".format(
+              len(quarantined)))
+    check(quarantined[0].startswith("23,"),
+          "quarantined row is not design 23: " + quarantined[0])
+    repro_dir = os.path.join(cwd, "bench_results", "dse_reproducers")
+    repros = [name for name in os.listdir(repro_dir)
+              if name.startswith("quarantine-timeout-")]
+    check(len(repros) == 1,
+          "expected one quarantine-timeout reproducer, got {}".format(
+              repros))
+    # The other 47 designs completed: only the wedged row lacks verdicts.
+    rows = csv.splitlines()[1:]
+    check(len(rows) == 48, "expected 48 rows, got {}".format(len(rows)))
+
+    # Resuming the wedged journal (wedge still armed) reproduces the CSV:
+    # the quarantined row is restored, not re-run, so the resume is fast
+    # and byte-identical. --job-timeout must match: the watchdog budget is
+    # part of the campaign fingerprint (it shapes the quarantine rows), so
+    # a resume under a different budget deliberately ignores the journal.
+    resumed = run(binary, cwd,
+                  ["--threads", "1", "--journal", journal, "--resume",
+                   "--job-timeout", "2"],
+                  env=env)
+    check(resumed.returncode == 7,
+          "resumed wedged run exit {} != 7".format(resumed.returncode))
+    check(read_csv(cwd) == csv,
+          "CSV after resuming the wedged journal differs")
+    print("ok wedged_quarantine")
+
+
+def main():
+    if len(sys.argv) != 2:
+        print("usage: resume_kill_test.py /path/to/dse_campaign",
+              file=sys.stderr)
+        return 2
+    binary = os.path.abspath(sys.argv[1])
+    with tempfile.TemporaryDirectory() as tmp:
+        ref_cwd = os.path.join(tmp, "reference")
+        os.mkdir(ref_cwd)
+        ref = run(binary, ref_cwd, ["--threads", "2"])
+        check(ref.returncode == 0,
+              "reference run exit {}: {}".format(ref.returncode, ref.stderr))
+        reference = read_csv(ref_cwd)
+
+        test_sigkill_resume(binary, tmp, reference)
+        test_sigterm_drain_resume(binary, tmp, reference)
+        test_wedged_quarantine(binary, tmp)
+    print("resume_kill_test: all tests passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Round-trip smoke for the hybridic_serve JSON-lines front end.
+
+Starts the server, walks one request through every branch of the error
+taxonomy — served, usage, config, timeout (quarantined) — checks the
+stats counters, checks determinism (the same request twice yields the
+same bytes), and verifies the orderly EOF shutdown (exit 0).
+
+Usage: python3 tools/serve_smoke.py /path/to/hybridic_serve
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+
+def check(condition, message):
+    if not condition:
+        print("FAIL: " + message, file=sys.stderr)
+        sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 2:
+        print("usage: serve_smoke.py /path/to/hybridic_serve",
+              file=sys.stderr)
+        return 2
+    binary = os.path.abspath(sys.argv[1])
+
+    requests = [
+        {"id": "ok-1", "seed": 5, "kernels": 4},
+        {"id": "ok-1-again", "seed": 5, "kernels": 4},
+        {"id": "bad-key", "seed": 5, "bogus": 1},
+        {"id": "bad-config", "kernels": 0},
+        {"id": "wedged", "kernels": 8, "tier": "cycle",
+         "timeout_s": 0.0001},
+        {"id": "stats", "op": "stats"},
+    ]
+    stdin = "".join(json.dumps(r) + "\n" for r in requests)
+    proc = subprocess.run([binary], input=stdin, capture_output=True,
+                          text=True, timeout=600)
+    check(proc.returncode == 0,
+          "serve exit {} != 0 on EOF: {}".format(proc.returncode,
+                                                 proc.stderr))
+    lines = proc.stdout.splitlines()
+    check(len(lines) == len(requests),
+          "expected {} responses, got {}".format(len(requests), len(lines)))
+    replies = [json.loads(line) for line in lines]
+
+    ok = replies[0]
+    check(ok["id"] == "ok-1" and ok["ok"] is True,
+          "design request failed: " + lines[0])
+    check("analytic_designed_s" in ok and "solution" in ok,
+          "design response missing fields: " + lines[0])
+
+    # Determinism: identical config, identical numbers (only the echoed
+    # id differs).
+    again = dict(replies[1])
+    check(again.pop("id") == "ok-1-again", "bad echo on second request")
+    first = dict(replies[0])
+    first.pop("id")
+    check(first == again, "same request produced different responses:\n"
+          + lines[0] + "\n" + lines[1])
+
+    usage = replies[2]
+    check(usage["ok"] is False and usage["error"] == "usage"
+          and usage["exit_code"] == 2,
+          "unknown key not a usage error: " + lines[2])
+
+    config = replies[3]
+    check(config["ok"] is False and config["error"] == "config"
+          and config["exit_code"] == 3,
+          "kernels=0 not a config error: " + lines[3])
+
+    wedged = replies[4]
+    check(wedged["ok"] is False and wedged["error"] == "timeout"
+          and wedged["exit_code"] == 4,
+          "expired watchdog not a timeout error: " + lines[4])
+    check("watchdog" in wedged["message"],
+          "timeout message does not name the watchdog: " + lines[4])
+
+    stats = replies[5]
+    check(stats["ok"] is True and stats["requests"] == 6
+          and stats["served"] == 3 and stats["failed"] == 2
+          and stats["quarantined"] == 1,
+          "counter mismatch: " + lines[5])
+
+    check("eof shutdown" in proc.stderr,
+          "missing shutdown summary on stderr: " + proc.stderr)
+    print("serve_smoke: all tests passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
