@@ -86,6 +86,9 @@ struct Options {
   std::string journal_path;
   bool resume = false;
   double job_timeout = 0.0;
+  bool search = false;
+  std::uint32_t search_restarts = 2;
+  std::uint32_t search_iterations = 60;
 };
 
 void print_help(const char* argv0, std::ostream& out) {
@@ -95,6 +98,8 @@ void print_help(const char* argv0, std::ostream& out) {
       << " [--store DIR] [--shard I/N] [--assert-warm]"
       << " [--boards N] [--board-topology chain|ring|mesh]"
       << " [--journal FILE] [--resume] [--job-timeout S]\n"
+      << "       [--search anneal] [--search-restarts N]"
+      << " [--search-iterations N]\n"
       << "\n"
       << "Property-based design-space exploration campaign: sweeps\n"
       << "generated design points through profiling, Algorithm 1 and the\n"
@@ -119,6 +124,13 @@ void print_help(const char* argv0, std::ostream& out) {
       << "                  campaign (requires --journal)\n"
       << "  --job-timeout S wall-clock watchdog per design; a design that\n"
       << "                  exceeds it is quarantined, not retried\n"
+      << "  --search anneal run the seeded annealer on every design and\n"
+      << "                  record it next to Algorithm 1 (searched_* CSV\n"
+      << "                  columns + the REPORT Pareto section)\n"
+      << "  --search-restarts N    annealer restarts per design"
+      << " (default 2)\n"
+      << "  --search-iterations N  annealer iterations per restart"
+      << " (default 60)\n"
       << "  --version       print the engine revision and exit 0\n"
       << "  --help          print this help and exit 0\n"
       << "\n"
@@ -242,6 +254,42 @@ Options parse(int argc, char** argv) {
                 << "' (expected auto, analytic, or cycle)\n";
       std::exit(kExitUsage);
     }
+    if (std::string v = value_of("--search"); !v.empty()) {
+      if (v != "anneal") {
+        std::cerr << "unknown --search value '" << v
+                  << "' (expected anneal)\n";
+        std::exit(kExitUsage);
+      }
+      options.search = true;
+      continue;
+    }
+    if (std::string v = value_of("--search-restarts"); !v.empty()) {
+      try {
+        options.search_restarts = static_cast<std::uint32_t>(std::stoul(v));
+      } catch (const std::exception&) {
+        options.search_restarts = 0;
+      }
+      if (options.search_restarts == 0) {
+        std::cerr << "--search-restarts expects a positive integer, got '"
+                  << v << "'\n";
+        std::exit(kExitUsage);
+      }
+      continue;
+    }
+    if (std::string v = value_of("--search-iterations"); !v.empty()) {
+      try {
+        options.search_iterations =
+            static_cast<std::uint32_t>(std::stoul(v));
+      } catch (const std::exception&) {
+        options.search_iterations = 0;
+      }
+      if (options.search_iterations == 0) {
+        std::cerr << "--search-iterations expects a positive integer, got '"
+                  << v << "'\n";
+        std::exit(kExitUsage);
+      }
+      continue;
+    }
     if (std::string v = value_of("--boards"); !v.empty()) {
       try {
         options.boards = static_cast<std::uint32_t>(std::stoul(v));
@@ -307,6 +355,9 @@ int main(int argc, char** argv) {
   campaign.journal_path = options.journal_path;
   campaign.resume = options.resume;
   campaign.job_timeout_seconds = options.job_timeout;
+  campaign.search = options.search;
+  campaign.search_restarts = options.search_restarts;
+  campaign.search_iterations = options.search_iterations;
   campaign.stop_requested = &g_stop;
   // Test harness hook: HYBRIDIC_WEDGE_INDEX=N wedges design N forever,
   // exercising the watchdog/quarantine path from the real binary. The

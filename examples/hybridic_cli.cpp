@@ -11,6 +11,9 @@
 //   --trace      print per-fabric trace lanes + Chrome-trace JSON
 //   --json       print the design as JSON (toolchain hand-off)
 //   --validate   run the design validator and print its findings
+//   --search     run the seeded annealer (src/search/) next to Algorithm 1
+//                and print the comparison; cycle tiers also validate the
+//                incumbent against its own analytic band
 //   --frames=N   report pipelined multi-frame throughput over N frames
 //   --fault-rate=R   inject faults at per-event rate R (CRC+retry on)
 //   --fault-seed=S   RNG seed for fault injection (default 1)
@@ -61,6 +64,7 @@
 #include "prof/dot_export.hpp"
 #include "sys/engine/chrome_trace.hpp"
 #include "sys/experiment.hpp"
+#include "search/anneal.hpp"
 #include "sys/pipeline_executor.hpp"
 #include "store/adapters.hpp"
 #include "store/store.hpp"
@@ -117,7 +121,7 @@ double parse_rate(const std::string& text) {
 
 const std::set<std::string> kKnownFlags = {
     "--design", "--profile", "--dot",      "--memory", "--timeline",
-    "--trace",  "--json",    "--validate", "--all"};
+    "--trace",  "--json",    "--validate", "--search", "--all"};
 
 const std::set<std::string> kKnownApps = {"canny", "jpeg", "klt", "fluid"};
 
@@ -222,7 +226,7 @@ std::shared_ptr<const apps::ProfiledApp> load_app(
 void print_usage() {
   std::cout << "usage: hybridic_cli <canny|jpeg|klt|fluid|synthetic:SEED>"
                " [--design] [--profile] [--dot] [--memory] [--timeline]"
-               " [--trace] [--json] [--validate] [--frames=N]"
+               " [--trace] [--json] [--validate] [--search] [--frames=N]"
                " [--fault-rate=R] [--fault-seed=S]"
                " [--tier=auto|analytic|cycle] [--store=DIR]"
                " [--boards=N] [--board-topology=chain|ring|mesh] [--all]\n"
@@ -255,6 +259,31 @@ void print_estimate(const tiers::TierEstimate& est) {
             << std::dec << "\n\n";
 }
 
+/// One-screen "Algorithm 1 vs searched" summary. Fixed seed: the CLI's
+/// output is a determinism contract like everything else it prints.
+void print_search(const search::SearchResult& sr) {
+  const search::SearchRecord r = sr.record();
+  std::cout << "annealed search (" << r.solution_tag << "):\n"
+            << "  algorithm 1  "
+            << format_fixed(r.algorithm1_analytic_seconds * 1e3, 3)
+            << " ms analytic, " << r.algorithm1_luts << " LUTs\n"
+            << "  searched     " << format_fixed(r.analytic_seconds * 1e3, 3)
+            << " ms analytic, " << r.luts << " LUTs  (gain "
+            << format_ratio(r.gain) << ", restart " << r.best_restart
+            << ")\n"
+            << "  moves        " << r.proposed << " proposed, " << r.accepted
+            << " accepted, " << r.rejected_illegal << " rejected illegal, "
+            << r.cache_hits << " congruence-cache hits\n";
+  if (sr.cycle.has_value()) {
+    std::cout << "  cycle check  "
+              << format_fixed(sr.cycle->measured_kernel_seconds * 1e3, 3)
+              << " ms — "
+              << (sr.cycle->within_band ? "inside" : "OUTSIDE")
+              << " the analytic band\n";
+  }
+  std::cout << "\n";
+}
+
 /// Two-level design summary: the board partition and (when simulated) the
 /// multi-board run.
 void print_multi_board(const core::MultiBoardDesign& multi,
@@ -285,6 +314,8 @@ void print_multi_board(const core::MultiBoardDesign& multi,
 
 int run_cli(const CliOptions& cli) {
   std::set<std::string> flags = cli.flags;
+  // Remembered across the --all remap below.
+  const bool do_search = cli.flags.count("--search") > 0;
   std::uint32_t frames = cli.frames;
   if (flags.count("--all") > 0) {
     flags = {"--design", "--profile", "--memory", "--timeline",
@@ -365,6 +396,10 @@ int run_cli(const CliOptions& cli) {
       }
     }
     print_estimate(est);
+    if (do_search) {
+      print_search(
+          search::anneal_interconnect(schedule, input, platform_config, {}));
+    }
     if (cli.boards > 1) {
       core::MultiBoardDesignInput minput;
       minput.base = input;
@@ -417,6 +452,17 @@ int run_cli(const CliOptions& cli) {
               << format_fixed(measured * 1e3, 3) << " ms — "
               << (est.contains_designed(measured) ? "inside" : "OUTSIDE")
               << " the analytic band\n\n";
+  }
+
+  if (do_search) {
+    // Cycle tiers close the loop: the incumbent is simulated and checked
+    // against its own analytic band.
+    search::AnnealOptions sopt;
+    sopt.cycle_validate = true;
+    const core::DesignInput input =
+        sys::make_design_input(schedule, platform_config);
+    print_search(
+        search::anneal_interconnect(schedule, input, platform_config, sopt));
   }
 
   if (flags.count("--design") > 0) {

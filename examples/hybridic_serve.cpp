@@ -8,14 +8,20 @@
 //
 // Request fields (all optional; unknown keys are usage errors):
 //   id               echoed verbatim in the response
-//   op               "design" (default) | "stats"
+//   op               "design" (default) | "search" | "stats"
 //   seed, kernels, hosts, boards          integers
 //   edge_p, dup_p, stream_p               probabilities in [0, 1]
 //   min_edge_bytes, max_edge_bytes        integers
 //   min_work, max_work                    integers
 //   board_topology   chain | ring | mesh
 //   tier             analytic (default) | cycle
+//   restarts, iterations   annealer knobs ("search" requests only)
 //   timeout_s        per-request wall-clock watchdog (0 = none)
+//
+// op "search" runs the seeded annealer (src/search) on the configured
+// app and answers with the searched-vs-Algorithm-1 record; with
+// tier=cycle the final incumbent is also simulated cycle-accurately and
+// checked against its analytic band.
 //
 // Responses: {"id":...,"ok":true,...} on success, or
 // {"id":...,"ok":false,"error":E,"exit_code":N,"message":M} where the
@@ -42,8 +48,10 @@
 #include "apps/profile_cache.hpp"
 #include "apps/synthetic.hpp"
 #include "dse/case_runner.hpp"
+#include "search/anneal.hpp"
 #include "store/store.hpp"
 #include "sys/batch_runner.hpp"
+#include "sys/experiment.hpp"
 #include "tiers/tiered_evaluator.hpp"
 #include "util/error.hpp"
 
@@ -303,6 +311,9 @@ struct Request {
   double timeout_seconds = 0.0;
   std::string id;
   bool stats = false;
+  bool search = false;
+  std::uint32_t search_restarts = 2;
+  std::uint32_t search_iterations = 60;
 };
 
 bool parse_u64_field(const JsonValue& v, std::uint64_t& out) {
@@ -352,9 +363,17 @@ bool decode_request(const std::map<std::string, JsonValue>& fields,
     } else if (key == "op") {
       if (value.text == "stats") {
         request.stats = true;
+      } else if (value.text == "search") {
+        request.search = true;
       } else {
         ok = value.text == "design";
       }
+    } else if (key == "restarts") {
+      ok = parse_u32_field(value, request.search_restarts) &&
+           request.search_restarts > 0;
+    } else if (key == "iterations") {
+      ok = parse_u32_field(value, request.search_iterations) &&
+           request.search_iterations > 0;
     } else if (key == "seed") {
       ok = parse_u64_field(value, request.config.seed);
     } else if (key == "kernels") {
@@ -459,6 +478,62 @@ ServeReply run_design(const Request& request,
   return reply;
 }
 
+// The search job: seeded annealing over the configured app, always
+// seeded by (and compared against) Algorithm 1. tier=cycle adds the
+// end-of-run cycle-accurate check of the incumbent.
+ServeReply run_search(const Request& request,
+                      tiers::TieredEvaluator& evaluator,
+                      apps::ProfileCache& cache) {
+  ServeReply reply;
+  try {
+    const tiers::AnalyticCase analytic =
+        evaluator.analyze(request.config, &cache);
+    const core::DesignInput input =
+        sys::make_design_input(analytic.schedule, evaluator.platform());
+    search::AnnealOptions sopt;
+    sopt.seed = request.config.seed;
+    sopt.restarts = request.search_restarts;
+    sopt.iterations = request.search_iterations;
+    sopt.calibration = evaluator.calibration();
+    sopt.cycle_validate = request.tier == tiers::TierMode::kCycle;
+    const search::SearchResult result = search::anneal_interconnect(
+        analytic.schedule, input, evaluator.platform(), sopt);
+    const search::SearchRecord record = result.record();
+    std::ostringstream out;
+    out << "\"ok\":true,\"tier\":\"" << tiers::to_string(request.tier)
+        << "\",\"solution\":\"" << json_escape(record.solution_tag)
+        << "\",\"searched_analytic_s\":"
+        << json_number(record.analytic_seconds) << ",\"alg1_analytic_s\":"
+        << json_number(record.algorithm1_analytic_seconds)
+        << ",\"searched_luts\":" << record.luts
+        << ",\"alg1_luts\":" << record.algorithm1_luts
+        << ",\"gain\":" << json_number(record.gain)
+        << ",\"best_restart\":" << record.best_restart
+        << ",\"proposed\":" << record.proposed
+        << ",\"accepted\":" << record.accepted
+        << ",\"rejected_illegal\":" << record.rejected_illegal
+        << ",\"cache_hits\":" << record.cache_hits;
+    if (result.cycle.has_value()) {
+      out << ",\"cycle_s\":"
+          << json_number(result.cycle->measured_kernel_seconds)
+          << ",\"within_band\":"
+          << (result.cycle->within_band ? "true" : "false");
+    }
+    out << "}";
+    reply.json = out.str();
+    reply.ok = true;
+  } catch (const store::StoreError& e) {
+    reply.json = error_body(kStore, e.what());
+  } catch (const SimTimeoutError& e) {
+    reply.json = error_body(kTimeout, e.what());
+  } catch (const ConfigError& e) {
+    reply.json = error_body(kConfig, e.what());
+  } catch (const std::exception& e) {
+    reply.json = error_body(kInternal, e.what());
+  }
+  return reply;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -527,7 +602,8 @@ int main(int argc, char** argv) {
     // quarantined), never joined.
     const auto body = [&evaluator, &cache,
                        request](sys::JobContext&) -> ServeReply {
-      return run_design(request, evaluator, cache);
+      return request.search ? run_search(request, evaluator, cache)
+                            : run_design(request, evaluator, cache);
     };
     sys::detail::AttemptOutcome<ServeReply> outcome;
     if (request.timeout_seconds > 0.0) {

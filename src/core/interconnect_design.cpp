@@ -17,14 +17,43 @@ double cycles_to_seconds(Cycles c, Frequency clock) {
   return static_cast<double>(c.count()) / static_cast<double>(clock.hertz());
 }
 
+/// The HW function set plus the function->spec map (shared by the greedy
+/// pass and the builder; both must agree on it exactly).
+struct SpecIndex {
+  std::set<prof::FunctionId> hw_set;
+  std::map<prof::FunctionId, std::size_t> spec_of_function;
+};
+
+SpecIndex index_specs(const DesignInput& input) {
+  SpecIndex index;
+  for (std::size_t s = 0; s < input.kernels.size(); ++s) {
+    index.hw_set.insert(input.kernels[s].function);
+    require(
+        index.spec_of_function.emplace(input.kernels[s].function, s).second,
+        "two kernel specs share one function: " + input.kernels[s].name);
+  }
+  return index;
+}
+
+std::vector<KernelQuantities> full_quantities(const DesignInput& input,
+                                              const SpecIndex& index) {
+  std::vector<KernelQuantities> quantities(input.kernels.size());
+  for (std::size_t s = 0; s < input.kernels.size(); ++s) {
+    quantities[s] = derive_quantities(*input.graph, input.kernels[s].function,
+                                      index.hw_set);
+  }
+  return quantities;
+}
+
 }  // namespace
 
-DesignResult design_interconnect(const DesignInput& input) {
+DesignDecisions greedy_decisions(const DesignInput& input) {
   require(input.graph != nullptr, "design input needs a profile graph");
   require(!input.kernels.empty(), "design input needs at least one kernel");
   const prof::CommGraph& graph = *input.graph;
+  const SpecIndex index = index_specs(input);
 
-  DesignResult result;
+  DesignDecisions decisions;
 
   // ---- Lines 2-6: duplication of the most computationally intensive
   // kernels (case 3), budget permitting. ----
@@ -53,8 +82,80 @@ DesignResult design_interconnect(const DesignInput& input) {
       }
       budget -= spec.area_luts;
       duplicated[s] = true;
-      result.parallel.duplicated_specs.push_back(s);
+      decisions.duplicated_specs.push_back(s);
     }
+  }
+
+  // ---- Lines 8-13: shared-local-memory pairings. ----
+  if (input.enable_shared_memory) {
+    const std::vector<KernelQuantities> spec_quantities =
+        full_quantities(input, index);
+    // Consider larger transfers first so the greedy pairing removes the
+    // most bus traffic.
+    std::vector<prof::CommEdge> candidates;
+    for (const prof::CommEdge& edge : graph.edges()) {
+      if (edge.producer == edge.consumer) {
+        continue;
+      }
+      if (index.hw_set.count(edge.producer) == 0 ||
+          index.hw_set.count(edge.consumer) == 0) {
+        continue;
+      }
+      candidates.push_back(edge);
+    }
+    std::stable_sort(candidates.begin(), candidates.end(),
+                     [](const prof::CommEdge& a, const prof::CommEdge& b) {
+                       return a.bytes > b.bytes;
+                     });
+    std::set<std::size_t> paired_specs;
+    for (const prof::CommEdge& edge : candidates) {
+      const std::size_t ps = index.spec_of_function.at(edge.producer);
+      const std::size_t cs = index.spec_of_function.at(edge.consumer);
+      if (duplicated[ps] || duplicated[cs]) {
+        continue;  // A shared BRAM cannot serve two producer copies.
+      }
+      if (paired_specs.count(ps) > 0 || paired_specs.count(cs) > 0) {
+        continue;  // One sharing per kernel (BRAM port budget).
+      }
+      // Exclusivity (line 9): D^K_out(i) = D^K_in(j) = D_ij.
+      if (spec_quantities[ps].kernel_out != edge_volume(edge) ||
+          spec_quantities[cs].kernel_in != edge_volume(edge)) {
+        continue;
+      }
+      SharedPairDecision pairing;
+      pairing.producer_spec = ps;
+      pairing.consumer_spec = cs;
+      pairing.bytes = edge_volume(edge);
+      // §IV-A1: no crossbar when the consumer never talks to the host.
+      const bool consumer_host_free =
+          spec_quantities[cs].host_in.count() == 0 &&
+          spec_quantities[cs].host_out.count() == 0;
+      pairing.style = consumer_host_free ? mem::SharingStyle::kDirect
+                                         : mem::SharingStyle::kCrossbar;
+      decisions.shared_pairs.push_back(pairing);
+      paired_specs.insert(ps);
+      paired_specs.insert(cs);
+    }
+  }
+
+  return decisions;
+}
+
+DesignResult build_design(const DesignInput& input,
+                          const DesignDecisions& decisions) {
+  require(input.graph != nullptr, "design input needs a profile graph");
+  require(!input.kernels.empty(), "design input needs at least one kernel");
+  const prof::CommGraph& graph = *input.graph;
+  const SpecIndex index = index_specs(input);
+
+  DesignResult result;
+
+  std::vector<bool> duplicated(input.kernels.size(), false);
+  for (const std::size_t s : decisions.duplicated_specs) {
+    require(s < input.kernels.size(),
+            "duplication decision names a missing spec");
+    duplicated[s] = true;
+    result.parallel.duplicated_specs.push_back(s);
   }
 
   // ---- Instances (after duplication). ----
@@ -73,95 +174,57 @@ DesignResult design_interconnect(const DesignInput& input) {
     }
   }
 
-  // ---- Line 7: the quantitative communication profile (G) and the HW
-  // function set. ----
-  std::set<prof::FunctionId> hw_set;
-  std::map<prof::FunctionId, std::size_t> spec_of_function;
-  for (std::size_t s = 0; s < input.kernels.size(); ++s) {
-    hw_set.insert(input.kernels[s].function);
-    require(
-        spec_of_function.emplace(input.kernels[s].function, s).second,
-        "two kernel specs share one function: " + input.kernels[s].name);
-  }
+  // ---- Line 7: the quantitative communication profile (G). ----
+  const std::vector<KernelQuantities> spec_quantities =
+      full_quantities(input, index);
 
-  std::vector<KernelQuantities> spec_quantities(input.kernels.size());
-  for (std::size_t s = 0; s < input.kernels.size(); ++s) {
-    spec_quantities[s] =
-        derive_quantities(graph, input.kernels[s].function, hw_set);
-  }
-
-  // ---- Lines 8-13: shared-local-memory pairings. ----
+  // ---- Realize the shared-local-memory decisions. ----
   std::set<std::pair<prof::FunctionId, prof::FunctionId>> excluded_edges;
-  std::set<std::size_t> paired_specs;
-  if (input.enable_shared_memory) {
-    // Consider larger transfers first so the greedy pairing removes the
-    // most bus traffic.
-    std::vector<prof::CommEdge> candidates;
-    for (const prof::CommEdge& edge : graph.edges()) {
-      if (edge.producer == edge.consumer) {
-        continue;
-      }
-      if (hw_set.count(edge.producer) == 0 ||
-          hw_set.count(edge.consumer) == 0) {
-        continue;
-      }
-      candidates.push_back(edge);
-    }
-    std::stable_sort(candidates.begin(), candidates.end(),
-                     [](const prof::CommEdge& a, const prof::CommEdge& b) {
-                       return a.bytes > b.bytes;
-                     });
-    for (const prof::CommEdge& edge : candidates) {
-      const std::size_t ps = spec_of_function.at(edge.producer);
-      const std::size_t cs = spec_of_function.at(edge.consumer);
-      if (duplicated[ps] || duplicated[cs]) {
-        continue;  // A shared BRAM cannot serve two producer copies.
-      }
-      if (paired_specs.count(ps) > 0 || paired_specs.count(cs) > 0) {
-        continue;  // One sharing per kernel (BRAM port budget).
-      }
-      // Exclusivity (line 9): D^K_out(i) = D^K_in(j) = D_ij.
-      if (spec_quantities[ps].kernel_out != edge_volume(edge) ||
-          spec_quantities[cs].kernel_in != edge_volume(edge)) {
-        continue;
-      }
-      SharedMemoryPairing pairing;
-      pairing.producer_instance = instances_of_spec.at(ps).front();
-      pairing.consumer_instance = instances_of_spec.at(cs).front();
-      pairing.bytes = edge_volume(edge);
-      // §IV-A1: no crossbar when the consumer never talks to the host.
-      const bool consumer_host_free =
-          spec_quantities[cs].host_in.count() == 0 &&
-          spec_quantities[cs].host_out.count() == 0;
-      pairing.style = consumer_host_free ? mem::SharingStyle::kDirect
-                                         : mem::SharingStyle::kCrossbar;
-      result.shared_pairs.push_back(pairing);
-      paired_specs.insert(ps);
-      paired_specs.insert(cs);
-      excluded_edges.insert({edge.producer, edge.consumer});
-    }
+  for (const SharedPairDecision& decision : decisions.shared_pairs) {
+    require(decision.producer_spec < input.kernels.size() &&
+                decision.consumer_spec < input.kernels.size(),
+            "shared-pair decision names a missing spec");
+    SharedMemoryPairing pairing;
+    pairing.producer_instance =
+        instances_of_spec.at(decision.producer_spec).front();
+    pairing.consumer_instance =
+        instances_of_spec.at(decision.consumer_spec).front();
+    pairing.bytes = decision.bytes;
+    pairing.style = decision.style;
+    result.shared_pairs.push_back(pairing);
+    excluded_edges.insert({input.kernels[decision.producer_spec].function,
+                           input.kernels[decision.consumer_spec].function});
   }
 
   // ---- Residual quantities, classification, adaptive mapping. ----
   std::vector<KernelQuantities> residual(input.kernels.size());
   for (std::size_t s = 0; s < input.kernels.size(); ++s) {
-    residual[s] = derive_quantities(graph, input.kernels[s].function, hw_set,
-                                    excluded_edges);
+    residual[s] = derive_quantities(graph, input.kernels[s].function,
+                                    index.hw_set, excluded_edges);
   }
   for (KernelInstance& inst : result.instances) {
     inst.quantities = spec_quantities[inst.spec_index];
     inst.residual = residual[inst.spec_index];
     inst.comm_class = classify(inst.residual);
-    if (input.enable_adaptive_mapping) {
+    const std::optional<InterconnectClass> forced =
+        inst.spec_index < decisions.mapping_override.size()
+            ? decisions.mapping_override[inst.spec_index]
+            : std::nullopt;
+    if (forced.has_value()) {
+      // A decision, not a derivation: build it even when infeasible so the
+      // caller's legality gate (validate_design, the DSE oracles) is what
+      // rejects it — the search harness depends on that separation.
+      inst.mapping = *forced;
+    } else if (input.enable_adaptive_mapping) {
       inst.mapping = adaptive_map(inst.comm_class);
+      sim_assert(is_feasible(inst.mapping),
+                 "adaptive mapping produced the infeasible {K1,M2} case");
     } else {
       // Naive "map everything" used by the NoC-only comparison system:
       // every kernel and every local memory joins the NoC as well as the
       // system infrastructure.
       inst.mapping = InterconnectClass{KernelConn::kK2, MemConn::kM3};
     }
-    sim_assert(is_feasible(inst.mapping),
-               "adaptive mapping produced the infeasible {K1,M2} case");
   }
 
   // ---- Line 14: map the remaining kernels/memories to the NoC. ----
@@ -177,14 +240,16 @@ DesignResult design_interconnect(const DesignInput& input) {
     }
   }
 
-  // Residual kernel->kernel traffic decides whether a NoC exists at all.
+  // Residual kernel->kernel traffic decides whether a NoC exists at all —
+  // unless a mapping override explicitly asked for NoC fabric.
   std::uint64_t residual_kernel_bytes = 0;
   for (const KernelQuantities& q : residual) {
     residual_kernel_bytes += q.kernel_out.count();
   }
 
   if (!attachments.empty() &&
-      (residual_kernel_bytes > 0 || !input.enable_adaptive_mapping)) {
+      (residual_kernel_bytes > 0 || !input.enable_adaptive_mapping ||
+       decisions.any_mapping_override())) {
     // Build the placement problem: producer-kernel -> consumer-memory
     // traffic, with duplicated instances splitting their function's bytes.
     std::map<std::pair<std::size_t, NocNodeKind>, std::uint32_t>
@@ -197,15 +262,15 @@ DesignResult design_interconnect(const DesignInput& input) {
         static_cast<std::uint32_t>(attachments.size());
     for (const prof::CommEdge& edge : graph.edges()) {
       if (edge.producer == edge.consumer ||
-          hw_set.count(edge.producer) == 0 ||
-          hw_set.count(edge.consumer) == 0 ||
+          index.hw_set.count(edge.producer) == 0 ||
+          index.hw_set.count(edge.consumer) == 0 ||
           excluded_edges.count({edge.producer, edge.consumer}) > 0) {
         continue;
       }
-      for (const std::size_t pi :
-           instances_of_spec.at(spec_of_function.at(edge.producer))) {
-        for (const std::size_t ci :
-             instances_of_spec.at(spec_of_function.at(edge.consumer))) {
+      for (const std::size_t pi : instances_of_spec.at(
+               index.spec_of_function.at(edge.producer))) {
+        for (const std::size_t ci : instances_of_spec.at(
+                 index.spec_of_function.at(edge.consumer))) {
           const auto pk = attachment_index.find({pi, NocNodeKind::kKernel});
           const auto cm =
               attachment_index.find({ci, NocNodeKind::kLocalMemory});
@@ -262,12 +327,12 @@ DesignResult design_interconnect(const DesignInput& input) {
     }
     for (const prof::CommEdge& edge : graph.edges()) {
       if (edge.producer == edge.consumer ||
-          hw_set.count(edge.producer) == 0 ||
-          hw_set.count(edge.consumer) == 0) {
+          index.hw_set.count(edge.producer) == 0 ||
+          index.hw_set.count(edge.consumer) == 0) {
         continue;
       }
-      const std::size_t ps = spec_of_function.at(edge.producer);
-      const std::size_t cs = spec_of_function.at(edge.consumer);
+      const std::size_t ps = index.spec_of_function.at(edge.producer);
+      const std::size_t cs = index.spec_of_function.at(edge.consumer);
       if (!input.kernels[ps].streaming || !input.kernels[cs].streaming) {
         continue;
       }
@@ -336,6 +401,10 @@ DesignResult design_interconnect(const DesignInput& input) {
   }
 
   return result;
+}
+
+DesignResult design_interconnect(const DesignInput& input) {
+  return build_design(input, greedy_decisions(input));
 }
 
 }  // namespace hybridic::core

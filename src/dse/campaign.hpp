@@ -18,6 +18,7 @@
 #include "apps/synthetic.hpp"
 #include "dse/oracles.hpp"
 #include "dse/reproducer.hpp"
+#include "search/anneal.hpp"
 #include "store/store.hpp"
 #include "tiers/tiered_evaluator.hpp"
 
@@ -99,6 +100,13 @@ struct CaseOutcome {
   /// `congruent`; recomputed globally by tools/merge_shards.py).
   bool profile_reused = false;
 
+  /// Annealed-search record (--search=anneal): the oracle-gated,
+  /// LUT-capped search result next to Algorithm 1's pricing. Absent when
+  /// search is off or the case errored first; the CSV emits searched_*
+  /// columns only in search campaigns, so non-search campaigns keep
+  /// their schema byte-identical.
+  std::optional<search::SearchRecord> searched;
+
   // ---- Multi-board record (meaningful only in multi-board campaigns;
   // the CSV emits these columns only there, so single-board campaigns
   // keep their schema byte-identical). ----
@@ -125,6 +133,14 @@ struct CampaignOptions {
   std::uint32_t max_shrinks = 4;
   /// Which evaluation tier(s) to run (docs/MODEL.md §14).
   tiers::TierMode tier = tiers::TierMode::kCycle;
+  /// Run the annealed search (src/search/) on every successful case and
+  /// record it next to Algorithm 1 (searched_* CSV columns + the
+  /// "Algorithm 1 vs searched" REPORT section). The annealer is gated by
+  /// the simulation-free oracles and runs serially inside the case job,
+  /// so campaign determinism is unchanged.
+  bool search = false;
+  std::uint32_t search_restarts = 2;
+  std::uint32_t search_iterations = 60;
   /// Cap on rank-overlap escalations in auto mode; 0 = automatic
   /// (max(4, count / 50)). The calibrated band is wide enough that every
   /// candidate overlaps the winner on most sweeps, so auto mode keeps
@@ -217,6 +233,9 @@ struct CampaignResult {
   /// gains the boards/topology/inter-board columns and the oracle library
   /// includes board-byte-conservation.
   bool multi_board = false;
+  /// Campaign ran the annealed search (options.search): the CSV gains the
+  /// searched_* columns and the REPORT gains the Pareto section.
+  bool searched = false;
 
   // ---- Live cache/store counters. Machine- and run-dependent (they vary
   // with thread count and store warmth), so they go to stdout only —

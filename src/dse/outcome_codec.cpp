@@ -181,6 +181,18 @@ std::string encode_outcome(const CaseOutcome& o) {
   } else {
     out << "analytic -\n";
   }
+  // Optional searched record (--search campaigns only): absent on every
+  // pre-search ledger, so old journals decode exactly as before.
+  if (o.searched.has_value()) {
+    const search::SearchRecord& s = *o.searched;
+    out << "searched-tag " << s.solution_tag.size() << '\n'
+        << s.solution_tag << '\n';
+    out << "searched " << hexf(s.analytic_seconds) << ' '
+        << hexf(s.algorithm1_analytic_seconds) << ' ' << hexf(s.gain) << ' '
+        << s.luts << ' ' << s.algorithm1_luts << ' ' << s.best_restart
+        << ' ' << s.proposed << ' ' << s.accepted << ' '
+        << s.rejected_illegal << ' ' << s.cache_hits << '\n';
+  }
   out << "end\n";
   return out.str();
 }
@@ -311,7 +323,42 @@ std::optional<CaseOutcome> decode_outcome(const std::string& payload) {
     }
     o.analytic = std::move(estimate);
   }
-  if (!reader.take_exact("end") || !reader.at_end()) {
+  // The next line is either the terminator or the optional searched
+  // record (absent on pre-search ledgers).
+  std::string line;
+  if (!reader.take_line(line)) {
+    return std::nullopt;
+  }
+  if (line != "end") {
+    const std::string tag = "searched-tag ";
+    std::uint64_t tag_len = 0;
+    search::SearchRecord s;
+    if (line.rfind(tag, 0) != 0 ||
+        !Reader::parse_u64(line.substr(tag.size()), tag_len) ||
+        !reader.take_raw(tag_len, s.solution_tag) ||
+        !reader.take_tagged("searched", rest)) {
+      return std::nullopt;
+    }
+    const std::vector<std::string> f = split_fields(rest);
+    if (f.size() != 10 ||
+        !Reader::parse_double(f[0], s.analytic_seconds) ||
+        !Reader::parse_double(f[1], s.algorithm1_analytic_seconds) ||
+        !Reader::parse_double(f[2], s.gain) ||
+        !Reader::parse_u64(f[3], s.luts) ||
+        !Reader::parse_u64(f[4], s.algorithm1_luts) ||
+        !parse_u32(f[5], s.best_restart) ||
+        !Reader::parse_u64(f[6], s.proposed) ||
+        !Reader::parse_u64(f[7], s.accepted) ||
+        !Reader::parse_u64(f[8], s.rejected_illegal) ||
+        !Reader::parse_u64(f[9], s.cache_hits)) {
+      return std::nullopt;
+    }
+    o.searched = std::move(s);
+    if (!reader.take_exact("end")) {
+      return std::nullopt;
+    }
+  }
+  if (!reader.at_end()) {
     return std::nullopt;
   }
   return o;

@@ -4,8 +4,13 @@
 // are the repository's reproduction anchors (see EXPERIMENTS.md).
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
 #include "apps/app.hpp"
 #include "apps/jpeg.hpp"
+#include "dse/campaign.hpp"
 #include "sys/experiment.hpp"
 
 namespace hybridic {
@@ -183,6 +188,78 @@ TEST(Golden, DuplicateCallOrderRejected) {
                ConfigError);
   EXPECT_THROW((void)sys::build_schedule("bad", q.graph(), {}, {7}),
                ConfigError);
+}
+
+// ---------------------------------------------------------------------------
+// Search-campaign output: the searched_* CSV columns and the
+// "Algorithm 1 vs searched" REPORT section are a scripting contract, so
+// a tiny deterministic campaign is pinned byte-for-byte. Regenerate with
+//   HYBRIDIC_UPDATE_SEARCH_FIXTURES=1 ctest -R Golden
+// and review the diff like any other golden update.
+
+std::string search_fixture_path(const char* name) {
+  return std::string{HYBRIDIC_TESTS_SOURCE_DIR} + "/fixtures/search/" + name;
+}
+
+bool search_update_mode() {
+  const char* flag = std::getenv("HYBRIDIC_UPDATE_SEARCH_FIXTURES");
+  return flag != nullptr && std::string{flag} == "1";
+}
+
+void expect_matches_fixture(const std::string& text, const char* name) {
+  const std::string path = search_fixture_path(name);
+  if (search_update_mode()) {
+    std::ofstream out{path};
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << text;
+    return;
+  }
+  std::ifstream in{path};
+  ASSERT_TRUE(in.good()) << path
+                         << " missing; regenerate with "
+                            "HYBRIDIC_UPDATE_SEARCH_FIXTURES=1";
+  const std::string on_disk{std::istreambuf_iterator<char>{in},
+                            std::istreambuf_iterator<char>{}};
+  EXPECT_EQ(on_disk, text) << name << " drifted from the checked-in fixture";
+}
+
+TEST(Golden, SearchCampaignCsvColumnsAndReportSection) {
+  dse::CampaignOptions options;
+  options.count = 4;
+  options.campaign_seed = 11;
+  options.threads = 1;
+  options.tier = tiers::TierMode::kAnalytic;
+  options.space.max_kernels = 4;
+  options.max_shrinks = 0;
+  options.search = true;
+  options.search_restarts = 2;
+  options.search_iterations = 16;
+  const dse::CampaignResult result = dse::run_campaign(options);
+
+  const std::string csv = dse::campaign_csv(result);
+  EXPECT_NE(csv.find("searched_solution,searched_analytic_s"),
+            std::string::npos);
+  expect_matches_fixture(csv, "campaign_search.csv");
+
+  const std::string markdown = dse::campaign_markdown(result, options);
+  const std::size_t at =
+      markdown.find("### Algorithm 1 vs searched (`--search=anneal`)");
+  ASSERT_NE(at, std::string::npos);
+  std::size_t end = markdown.find("\n### ", at + 1);
+  if (end == std::string::npos) {
+    end = markdown.size();
+  }
+  expect_matches_fixture(markdown.substr(at, end - at),
+                         "campaign_search_section.md");
+
+  // The same sweep without --search must keep the original schema: no
+  // searched columns, no Pareto section.
+  options.search = false;
+  const dse::CampaignResult plain = dse::run_campaign(options);
+  EXPECT_EQ(dse::campaign_csv(plain).find("searched_"), std::string::npos);
+  EXPECT_EQ(dse::campaign_markdown(plain, options)
+                .find("Algorithm 1 vs searched"),
+            std::string::npos);
 }
 
 }  // namespace

@@ -56,6 +56,37 @@ TEST(CampaignResume, RestoredRowsReproduceTheCsvByteForByte) {
   EXPECT_EQ(dse::campaign_csv(warm), cold_csv);
 }
 
+TEST(CampaignResume, SearchCampaignRowsRestoreByteForByte) {
+  // The searched_* columns ride the same journal: a resumed search
+  // campaign must reproduce the uninterrupted CSV byte-for-byte without
+  // re-running the annealer, at a different thread count.
+  const std::string path = journal_path("search");
+  dse::CampaignOptions first = small_campaign(path);
+  first.search = true;
+  first.search_restarts = 2;
+  first.search_iterations = 12;
+  const dse::CampaignResult cold = dse::run_campaign(first);
+  const std::string cold_csv = dse::campaign_csv(cold);
+  EXPECT_NE(cold_csv.find("searched_solution"), std::string::npos);
+
+  dse::CampaignOptions second = first;
+  second.resume = true;
+  second.threads = 1;
+  const dse::CampaignResult warm = dse::run_campaign(second);
+  EXPECT_EQ(warm.resumed_count, first.count);
+  EXPECT_EQ(dse::campaign_csv(warm), cold_csv);
+
+  // A search journal is a different campaign from a plain one: the
+  // fingerprint embeds the search knobs, so a non-search resume must
+  // ignore every entry instead of restoring rows with a foreign schema.
+  dse::CampaignOptions plain = small_campaign(path);
+  plain.resume = true;
+  const dse::CampaignResult mismatched = dse::run_campaign(plain);
+  EXPECT_EQ(mismatched.resumed_count, 0U);
+  EXPECT_EQ(dse::campaign_csv(mismatched).find("searched_"),
+            std::string::npos);
+}
+
 TEST(CampaignResume, WithoutResumeFlagJournalIsWriteOnly) {
   const std::string path = journal_path("writeonly");
   (void)dse::run_campaign(small_campaign(path));

@@ -23,7 +23,12 @@ import sys
 import tempfile
 import time
 
-SWEEP = ["--smoke", "--count", "48", "--seed", "7", "--tier", "cycle"]
+# --search rides along so the byte-identity checks also cover the
+# searched_* columns (a SIGKILL mid-search must restore the annealer's
+# incumbent record from the journal, never re-derive it).
+SWEEP = ["--smoke", "--count", "48", "--seed", "7", "--tier", "cycle",
+         "--search", "anneal", "--search-restarts", "2",
+         "--search-iterations", "12"]
 
 
 def check(condition, message):
